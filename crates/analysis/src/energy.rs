@@ -1,0 +1,263 @@
+//! The consumed time/energy distribution widget (paper Fig. 7): CET/CEE
+//! accumulated per T-THREAD, distributed over the registered threads,
+//! plus a 10 Wh battery whose status bar and projected lifespan tell the
+//! designer "the tasks that consume much time or energy".
+
+use std::fmt::Write as _;
+
+use rtk_core::{Energy, Power, TThreadInfo};
+use sysc::SimTime;
+
+/// The battery model of the Fig. 7 widget.
+#[derive(Debug, Clone, Copy)]
+pub struct Battery {
+    capacity: Energy,
+    consumed: Energy,
+}
+
+impl Battery {
+    /// The paper's assumption: a 10 watt-hour battery.
+    pub fn ten_watt_hours() -> Self {
+        Battery {
+            capacity: Energy::from_wh(10),
+            consumed: Energy::ZERO,
+        }
+    }
+
+    /// A battery with a custom capacity.
+    pub fn with_capacity(capacity: Energy) -> Self {
+        Battery {
+            capacity,
+            consumed: Energy::ZERO,
+        }
+    }
+
+    /// Drains the battery by `e`.
+    pub fn drain(&mut self, e: Energy) {
+        self.consumed = (self.consumed + e).min(self.capacity);
+    }
+
+    /// Remaining energy.
+    pub fn remaining(&self) -> Energy {
+        self.capacity - self.consumed
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        if self.capacity.is_zero() {
+            0.0
+        } else {
+            self.remaining().as_j_f64() / self.capacity.as_j_f64()
+        }
+    }
+
+    /// Projected lifespan at the observed average power (consumed energy
+    /// over elapsed simulated time). `None` if nothing was consumed.
+    pub fn projected_lifespan(&self, elapsed: SimTime) -> Option<SimTime> {
+        if self.consumed.is_zero() || elapsed.is_zero() {
+            return None;
+        }
+        let avg_w = self.consumed.as_j_f64() / elapsed.as_secs_f64();
+        let secs = self.capacity.as_j_f64() / avg_w;
+        Some(SimTime::from_ps((secs * 1e12) as u64))
+    }
+
+    /// The Fig. 7 status bar, e.g. `[##########----------] 50.0%`.
+    pub fn status_bar(&self, width: usize) -> String {
+        let frac = self.remaining_fraction();
+        let filled = (frac * width as f64).round() as usize;
+        format!(
+            "[{}{}] {:.1}%",
+            "#".repeat(filled.min(width)),
+            "-".repeat(width - filled.min(width)),
+            frac * 100.0
+        )
+    }
+}
+
+/// One row of the distribution report.
+#[derive(Debug, Clone)]
+pub struct DistributionRow {
+    /// Thread name.
+    pub name: String,
+    /// Consumed execution time.
+    pub cet: SimTime,
+    /// Consumed execution energy.
+    pub cee: Energy,
+    /// Share of total consumed time (0..=100).
+    pub time_pct: f64,
+    /// Share of total consumed energy (0..=100).
+    pub energy_pct: f64,
+}
+
+/// The full Fig. 7 report.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Per-thread rows, sorted by energy (descending).
+    pub rows: Vec<DistributionRow>,
+    /// Total consumed execution time over all threads.
+    pub total_cet: SimTime,
+    /// Total consumed execution energy over all threads (incl. idle).
+    pub total_cee: Energy,
+    /// CPU idle time and idle energy.
+    pub idle: (SimTime, Energy),
+    /// Elapsed simulated time of the scenario.
+    pub elapsed: SimTime,
+    /// Battery state after draining the total energy.
+    pub battery: Battery,
+}
+
+impl EnergyReport {
+    /// Builds the report from SIM_HashTB snapshots plus idle stats.
+    pub fn build(
+        threads: &[TThreadInfo],
+        idle: (SimTime, Energy),
+        elapsed: SimTime,
+        mut battery: Battery,
+    ) -> Self {
+        let total_cet: SimTime = threads.iter().map(|t| t.stats.total_cet()).sum();
+        let busy_cee: Energy = threads.iter().map(|t| t.stats.total_cee()).sum();
+        let total_cee = busy_cee + idle.1;
+        let mut rows: Vec<DistributionRow> = threads
+            .iter()
+            .map(|t| {
+                let cet = t.stats.total_cet();
+                let cee = t.stats.total_cee();
+                DistributionRow {
+                    name: t.name.clone(),
+                    cet,
+                    cee,
+                    time_pct: pct(cet.as_ps(), total_cet.as_ps()),
+                    energy_pct: pct(cee.as_pj(), total_cee.as_pj()),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.cee.cmp(&a.cee).then(a.name.cmp(&b.name)));
+        battery.drain(total_cee);
+        EnergyReport {
+            rows,
+            total_cet,
+            total_cee,
+            idle,
+            elapsed,
+            battery,
+        }
+    }
+
+    /// Renders the textual widget.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Consumed Time/Energy Distribution (elapsed {})", self.elapsed);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14} {:>7} {:>14} {:>7}",
+            "thread", "CET", "time%", "CEE", "energy%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>14} {:>6.1}% {:>14} {:>6.1}%",
+                r.name,
+                r.cet.to_string(),
+                r.time_pct,
+                r.cee.to_string(),
+                r.energy_pct
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14} {:>7} {:>14}",
+            "(idle)",
+            self.idle.0.to_string(),
+            "",
+            self.idle.1.to_string()
+        );
+        let _ = writeln!(
+            out,
+            "total: CET={} CEE={}",
+            self.total_cet, self.total_cee
+        );
+        let _ = writeln!(out, "battery: {}", self.battery.status_bar(20));
+        if let Some(life) = self.battery.projected_lifespan(self.elapsed) {
+            let _ = writeln!(
+                out,
+                "projected battery lifespan: {:.1} hours",
+                life.as_secs_f64() / 3600.0
+            );
+        }
+        out
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Average power drawn over a window (reporting convenience).
+pub fn average_power(total: Energy, elapsed: SimTime) -> Power {
+    if elapsed.is_zero() {
+        return Power::ZERO;
+    }
+    let watts = total.as_j_f64() / elapsed.as_secs_f64();
+    Power::from_uw((watts * 1e6) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_drain_and_bar() {
+        let mut b = Battery::with_capacity(Energy::from_j(100));
+        b.drain(Energy::from_j(25));
+        assert_eq!(b.remaining(), Energy::from_j(75));
+        assert!((b.remaining_fraction() - 0.75).abs() < 1e-9);
+        let bar = b.status_bar(20);
+        assert!(bar.starts_with("[###############-----]") || bar.contains("75.0%"));
+    }
+
+    #[test]
+    fn battery_never_goes_negative() {
+        let mut b = Battery::with_capacity(Energy::from_j(1));
+        b.drain(Energy::from_j(5));
+        assert_eq!(b.remaining(), Energy::ZERO);
+        assert_eq!(b.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn lifespan_projection() {
+        let mut b = Battery::ten_watt_hours();
+        // 1 J consumed over 1 s => 1 W average => 10 Wh / 1 W = 10 h.
+        b.drain(Energy::from_j(1));
+        let life = b.projected_lifespan(SimTime::from_secs(1)).unwrap();
+        assert!((life.as_secs_f64() / 3600.0 - 10.0).abs() < 0.01);
+        // No consumption: no projection.
+        let b2 = Battery::ten_watt_hours();
+        assert!(b2.projected_lifespan(SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn average_power_math() {
+        let p = average_power(Energy::from_mj(30), SimTime::from_secs(1));
+        assert_eq!(p, Power::from_mw(30));
+        assert_eq!(average_power(Energy::from_j(1), SimTime::ZERO), Power::ZERO);
+    }
+
+    #[test]
+    fn report_builds_and_renders() {
+        let report = EnergyReport::build(
+            &[],
+            (SimTime::from_ms(500), Energy::from_uj(10)),
+            SimTime::from_secs(1),
+            Battery::ten_watt_hours(),
+        );
+        let text = report.render();
+        assert!(text.contains("Distribution"));
+        assert!(text.contains("(idle)"));
+        assert!(text.contains("battery:"));
+    }
+}

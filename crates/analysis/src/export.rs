@@ -1,0 +1,162 @@
+//! CSV export of traces and reports — for spreadsheet/plotting tools,
+//! complementing the serde `Serialize` impls on the record types.
+//!
+//! Fields are escaped per RFC 4180 (quotes doubled, fields containing
+//! separators quoted); times are exported in microseconds and energies
+//! in nanojoules for spreadsheet-friendly magnitudes.
+
+use std::fmt::Write as _;
+
+use rtk_core::{TraceKind, TraceRecord};
+
+use crate::energy::EnergyReport;
+use crate::speed::SpeedTable;
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Exports trace records as CSV:
+/// `start_us,end_us,thread,kind,context,label,energy_nj`.
+pub fn trace_to_csv(records: &[TraceRecord]) -> String {
+    let mut out = String::from("start_us,end_us,thread,kind,context,label,energy_nj\n");
+    for r in records {
+        let (kind, context, label) = match &r.kind {
+            TraceKind::Slice { context, label } => {
+                ("slice", context.label(), label.as_str())
+            }
+            TraceKind::Dispatch => ("dispatch", "", ""),
+            TraceKind::Preempt => ("preempt", "", ""),
+            TraceKind::ResumeFromPreempt => ("resume_ex", "", ""),
+            TraceKind::InterruptEnter => ("int_enter", "", ""),
+            TraceKind::ResumeFromInterrupt => ("resume_ei", "", ""),
+            TraceKind::Sleep => ("sleep", "", ""),
+            TraceKind::Wakeup => ("wakeup", "", ""),
+            TraceKind::Startup => ("startup", "", ""),
+            TraceKind::Exit => ("exit", "", ""),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.start.as_us(),
+            r.end.as_us(),
+            csv_field(&r.name),
+            kind,
+            context,
+            csv_field(label),
+            r.energy.as_pj() / 1000,
+        );
+    }
+    out
+}
+
+/// Exports an energy report as CSV:
+/// `thread,cet_us,time_pct,cee_nj,energy_pct`.
+pub fn energy_to_csv(report: &EnergyReport) -> String {
+    let mut out = String::from("thread,cet_us,time_pct,cee_nj,energy_pct\n");
+    for r in &report.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.2},{},{:.2}",
+            csv_field(&r.name),
+            r.cet.as_us(),
+            r.time_pct,
+            r.cee.as_pj() / 1000,
+            r.energy_pct,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(idle),{},,{},",
+        report.idle.0.as_us(),
+        report.idle.1.as_pj() / 1000
+    );
+    out
+}
+
+/// Exports a speed table as CSV:
+/// `configuration,sim_s,wall_s,r_over_s,s_over_r,events`.
+pub fn speed_to_csv(table: &SpeedTable) -> String {
+    let mut out = String::from("configuration,sim_s,wall_s,r_over_s,s_over_r,events\n");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.6},{:.6},{:.3},{}",
+            csv_field(&r.label),
+            r.sim_time.as_secs_f64(),
+            r.wall.as_secs_f64(),
+            r.r_over_s(),
+            r.s_over_r(),
+            r.events,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::Battery;
+    use rtk_core::{Energy, ExecContext, TaskId, ThreadRef};
+    use sysc::SimTime;
+
+    fn rec(kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            start: SimTime::from_us(10),
+            end: SimTime::from_us(20),
+            who: ThreadRef::Task(TaskId::from_raw(1)),
+            name: "t,weird\"name".into(),
+            kind,
+            energy: Energy::from_nj(5),
+        }
+    }
+
+    #[test]
+    fn trace_csv_escapes_and_formats() {
+        let csv = trace_to_csv(&[
+            rec(TraceKind::Slice {
+                context: ExecContext::TaskBody,
+                label: "blk".into(),
+            }),
+            rec(TraceKind::Preempt),
+        ]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "start_us,end_us,thread,kind,context,label,energy_nj"
+        );
+        let l1 = lines.next().unwrap();
+        assert!(l1.starts_with("10,20,\"t,weird\"\"name\",slice,task,blk,5"));
+        let l2 = lines.next().unwrap();
+        assert!(l2.contains(",preempt,,,"));
+    }
+
+    #[test]
+    fn energy_csv_has_idle_row() {
+        let report = EnergyReport::build(
+            &[],
+            (SimTime::from_ms(2), Energy::from_nj(7)),
+            SimTime::from_ms(10),
+            Battery::ten_watt_hours(),
+        );
+        let csv = energy_to_csv(&report);
+        assert!(csv.contains("(idle),2000,,7,"));
+    }
+
+    #[test]
+    fn speed_csv_round_trips_ratios() {
+        let mut t = SpeedTable::new();
+        t.push(crate::speed::SpeedRow {
+            label: "cfg,a".into(),
+            sim_time: SimTime::from_secs(1),
+            wall: std::time::Duration::from_millis(250),
+            events: 9,
+        });
+        let csv = speed_to_csv(&t);
+        assert!(csv.contains("\"cfg,a\",1.000,0.250000,0.250000,4.000,9"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The execution time/energy trace widget (paper Fig. 6): an ASCII
+//! Gantt chart in which "task dispatching, interrupt handling, and
+//! preemption can be observed" and "different contexts of execution are
+//! assigned different patterns to display the execution time/energy of a
+//! BFM access, basic block, or OS service".
+
+use std::collections::BTreeMap;
+
+use rtk_core::{ExecContext, TraceKind, TraceRecord};
+use sysc::SimTime;
+
+/// The pattern (fill character) assigned to each execution context.
+pub fn context_pattern(ctx: ExecContext) -> char {
+    match ctx {
+        ExecContext::Startup => 'S',
+        ExecContext::TaskBody => '=',
+        ExecContext::ServiceCall => '$',
+        ExecContext::Handler => '#',
+        ExecContext::BfmAccess => 'B',
+        ExecContext::Sleeping => '.',
+        ExecContext::Preempted => 'p',
+        ExecContext::Interrupted => 'i',
+        ExecContext::Dormant => ' ',
+        // ExecContext is non_exhaustive; render unknown contexts as '?'.
+        _ => '?',
+    }
+}
+
+/// Gantt chart renderer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttConfig {
+    /// Chart width in character columns.
+    pub width: usize,
+    /// Mark dispatch points with `^` on the row below each lane.
+    pub show_markers: bool,
+}
+
+impl Default for GanttConfig {
+    fn default() -> Self {
+        GanttConfig {
+            width: 100,
+            show_markers: true,
+        }
+    }
+}
+
+/// Renders the Fig. 6 execution-trace chart from trace records.
+#[derive(Debug)]
+pub struct GanttChart {
+    cfg: GanttConfig,
+}
+
+impl GanttChart {
+    /// Creates a renderer.
+    pub fn new(cfg: GanttConfig) -> Self {
+        GanttChart { cfg }
+    }
+
+    /// Renders the time window `[from, to]`. One lane per T-THREAD (in
+    /// first-appearance order), slices filled with context patterns,
+    /// point events marked beneath each lane (`^` dispatch, `!`
+    /// interrupt enter, `x` preempt).
+    pub fn render(&self, records: &[TraceRecord], from: SimTime, to: SimTime) -> String {
+        assert!(to > from, "empty Gantt window");
+        let width = self.cfg.width;
+        let span = (to - from).as_ps() as f64;
+        let col_of = |t: SimTime| -> usize {
+            let rel = (t.saturating_sub(from)).as_ps() as f64 / span;
+            ((rel * width as f64) as usize).min(width - 1)
+        };
+
+        // Lanes in order of first appearance.
+        let mut lanes: BTreeMap<String, usize> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for r in records {
+            if r.end < from || r.start > to {
+                continue;
+            }
+            if !lanes.contains_key(&r.name) {
+                lanes.insert(r.name.clone(), order.len());
+                order.push(r.name.clone());
+            }
+        }
+        let mut bars: Vec<Vec<char>> = vec![vec![' '; width]; order.len()];
+        let mut marks: Vec<Vec<char>> = vec![vec![' '; width]; order.len()];
+
+        for r in records {
+            if r.end < from || r.start > to {
+                continue;
+            }
+            let lane = lanes[&r.name];
+            match &r.kind {
+                TraceKind::Slice { context, .. } => {
+                    let c0 = col_of(r.start.max(from));
+                    let c1 = col_of(r.end.min(to));
+                    let pat = context_pattern(*context);
+                    for col in c0..=c1 {
+                        bars[lane][col] = pat;
+                    }
+                }
+                TraceKind::Dispatch => marks[lane][col_of(r.start)] = '^',
+                TraceKind::Preempt => marks[lane][col_of(r.start)] = 'x',
+                TraceKind::InterruptEnter => marks[lane][col_of(r.start)] = '!',
+                TraceKind::Wakeup => {
+                    if marks[lane][col_of(r.start)] == ' ' {
+                        marks[lane][col_of(r.start)] = 'w';
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let name_w = order.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Execution Time/Energy Trace  [{from} .. {to}]\n"
+        ));
+        for (i, name) in order.iter().enumerate() {
+            out.push_str(&format!(
+                "{name:>name_w$} |{}|\n",
+                bars[i].iter().collect::<String>()
+            ));
+            if self.cfg.show_markers && marks[i].iter().any(|c| *c != ' ') {
+                out.push_str(&format!(
+                    "{:>name_w$} |{}|\n",
+                    "",
+                    marks[i].iter().collect::<String>()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{:>name_w$}  legend: ==task  $$service  BBbfm  ##handler  ^dispatch  xpreempt  !interrupt  wwakeup\n",
+            ""
+        ));
+        out
+    }
+}
+
+impl Default for GanttChart {
+    fn default() -> Self {
+        GanttChart::new(GanttConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_core::{Energy, TaskId, ThreadRef};
+
+    fn slice(name: &str, s: u64, e: u64, ctx: ExecContext) -> TraceRecord {
+        TraceRecord {
+            start: SimTime::from_us(s),
+            end: SimTime::from_us(e),
+            who: ThreadRef::Task(TaskId::from_raw(1)),
+            name: name.into(),
+            kind: TraceKind::Slice {
+                context: ctx,
+                label: "x".into(),
+            },
+            energy: Energy::ZERO,
+        }
+    }
+
+    #[test]
+    fn patterns_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            ExecContext::Startup,
+            ExecContext::TaskBody,
+            ExecContext::ServiceCall,
+            ExecContext::Handler,
+            ExecContext::BfmAccess,
+            ExecContext::Sleeping,
+            ExecContext::Preempted,
+            ExecContext::Interrupted,
+        ];
+        let set: HashSet<char> = all.iter().map(|c| context_pattern(*c)).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn renders_lanes_with_patterns() {
+        let records = vec![
+            slice("lcd", 0, 50, ExecContext::TaskBody),
+            slice("lcd", 50, 60, ExecContext::BfmAccess),
+            slice("keypad", 60, 80, ExecContext::Handler),
+        ];
+        let chart = GanttChart::new(GanttConfig {
+            width: 50,
+            show_markers: false,
+        });
+        let out = chart.render(&records, SimTime::ZERO, SimTime::from_us(100));
+        assert!(out.contains("lcd"));
+        assert!(out.contains("keypad"));
+        assert!(out.contains('='));
+        assert!(out.contains('B'));
+        assert!(out.contains('#'));
+        assert!(out.contains("legend"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Gantt window")]
+    fn rejects_empty_window() {
+        let chart = GanttChart::default();
+        let _ = chart.render(&[], SimTime::from_us(5), SimTime::from_us(5));
+    }
+}

@@ -1,0 +1,28 @@
+//! # rtk-analysis — trace, Gantt, energy, waveform and speed analysis
+//!
+//! The debug and measurement instruments of the RTK-Spec TRON
+//! reproduction, corresponding to the paper's GUI widgets and evaluation
+//! artifacts:
+//!
+//! * [`TraceRecorder`] — captures the kernel's execution trace.
+//! * [`GanttChart`] — the execution time/energy trace widget (Fig. 6).
+//! * [`EnergyReport`] / [`Battery`] — the consumed time/energy
+//!   distribution widget with the 10 Wh battery status bar (Fig. 7).
+//! * [`WaveProbe`] — signal probing into VCD / ASCII waveforms (Fig. 4).
+//! * [`SpeedTable`] — the co-simulation speed measure (Table 2).
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod export;
+pub mod gantt;
+pub mod speed;
+pub mod trace;
+pub mod vcd;
+
+pub use energy::{average_power, Battery, DistributionRow, EnergyReport};
+pub use export::{energy_to_csv, speed_to_csv, trace_to_csv};
+pub use gantt::{context_pattern, GanttChart, GanttConfig};
+pub use speed::{measure, SpeedRow, SpeedTable};
+pub use trace::TraceRecorder;
+pub use vcd::WaveProbe;

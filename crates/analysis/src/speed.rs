@@ -1,0 +1,138 @@
+//! The co-simulation speed measure (paper Table 2): simulate a reference
+//! unit time `S`, measure the wall-clock time `R`, and report the `R/S`
+//! and `S/R` ratios for different GUI/BFM configurations.
+//!
+//! The paper reports `S/R = 0.2` (5× slower than real time) without GUI
+//! overhead and `S/R = 0.1` (10×) with GUI widgets refreshed by BFM
+//! accesses every 10 ms, on a Pentium III 1.4 GHz. Absolute values are
+//! host-dependent; the *shape* (GUI overhead slows co-simulation
+//! monotonically) is the reproducible claim.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sysc::SimTime;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct SpeedRow {
+    /// Configuration label (e.g. "no GUI", "GUI @ 10 ms").
+    pub label: String,
+    /// Simulated time `S`.
+    pub sim_time: SimTime,
+    /// Wall-clock time `R`.
+    pub wall: std::time::Duration,
+    /// Kernel events processed (context for the numbers).
+    pub events: u64,
+}
+
+impl SpeedRow {
+    /// `R/S`: wall seconds per simulated second (lag factor).
+    pub fn r_over_s(&self) -> f64 {
+        self.wall.as_secs_f64() / self.sim_time.as_secs_f64()
+    }
+
+    /// `S/R`: the paper's speed metric (1.0 = real time).
+    pub fn s_over_r(&self) -> f64 {
+        self.sim_time.as_secs_f64() / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs one measurement: `run` must advance its simulation by exactly
+/// `sim_time` and return the number of kernel events processed.
+pub fn measure(label: &str, sim_time: SimTime, run: impl FnOnce() -> u64) -> SpeedRow {
+    let t0 = Instant::now();
+    let events = run();
+    let wall = t0.elapsed();
+    SpeedRow {
+        label: label.to_string(),
+        sim_time,
+        wall,
+        events,
+    }
+}
+
+/// The assembled Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct SpeedTable {
+    /// Measurement rows.
+    pub rows: Vec<SpeedRow>,
+}
+
+impl SpeedTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: SpeedRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Co-Simulation Speed Measure (Table 2)");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12} {:>10} {:>10} {:>12}",
+            "configuration", "S", "R (wall)", "R/S", "S/R", "events"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>10.4} {:>10.1} {:>12}",
+                r.label,
+                r.sim_time.to_string(),
+                format!("{:.3} s", r.wall.as_secs_f64()),
+                r.r_over_s(),
+                r.s_over_r(),
+                r.events
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_reciprocal() {
+        let row = SpeedRow {
+            label: "x".into(),
+            sim_time: SimTime::from_secs(1),
+            wall: std::time::Duration::from_millis(200),
+            events: 42,
+        };
+        assert!((row.r_over_s() - 0.2).abs() < 1e-9);
+        assert!((row.s_over_r() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_times_the_closure() {
+        let row = measure("t", SimTime::from_secs(1), || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7
+        });
+        assert!(row.wall.as_millis() >= 5);
+        assert_eq!(row.events, 7);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = SpeedTable::new();
+        t.push(SpeedRow {
+            label: "no GUI".into(),
+            sim_time: SimTime::from_secs(1),
+            wall: std::time::Duration::from_millis(100),
+            events: 1000,
+        });
+        let s = t.render();
+        assert!(s.contains("Table 2"));
+        assert!(s.contains("no GUI"));
+        assert!(s.contains("S/R"));
+    }
+}

@@ -1,0 +1,93 @@
+//! In-memory execution-trace recorder (the data source for the Gantt
+//! and distribution widgets).
+
+use parking_lot::Mutex;
+use rtk_core::{TraceKind, TraceRecord, TraceSink};
+use sysc::SimTime;
+
+/// Records every [`TraceRecord`] the kernel emits. Attach with
+/// [`rtk_core::Rtos::set_trace_sink`].
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records captured.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Snapshot of all records (in emission order).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Records within a time window.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<TraceRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.end >= from && r.start <= to)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops all records.
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+
+    /// Counts records of one kind (point events).
+    pub fn count_kind(&self, pred: impl Fn(&TraceKind) -> bool) -> usize {
+        self.records.lock().iter().filter(|r| pred(&r.kind)).count()
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn record(&self, rec: TraceRecord) {
+        self.records.lock().push(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_core::{Energy, TaskId, ThreadRef};
+
+    fn rec(start_us: u64, end_us: u64) -> TraceRecord {
+        TraceRecord {
+            start: SimTime::from_us(start_us),
+            end: SimTime::from_us(end_us),
+            who: ThreadRef::Task(TaskId::from_raw(1)),
+            name: "t".into(),
+            kind: TraceKind::Dispatch,
+            energy: Energy::ZERO,
+        }
+    }
+
+    #[test]
+    fn records_and_windows() {
+        let r = TraceRecorder::new();
+        assert!(r.is_empty());
+        r.record(rec(0, 10));
+        r.record(rec(20, 30));
+        r.record(rec(40, 50));
+        assert_eq!(r.len(), 3);
+        let w = r.window(SimTime::from_us(15), SimTime::from_us(35));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start, SimTime::from_us(20));
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench behind Table 2: wall-clock cost of simulating 100 ms
+//! of the video-game co-simulation under different GUI loads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtk_bench::paper_scenario;
+use rtk_bfm::GuiCost;
+use rtk_videogame::Gui;
+use sysc::SimTime;
+
+fn bench_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim_speed_100ms");
+    group.sample_size(10);
+    let configs: Vec<(&str, Gui)> = vec![
+        ("no_gui", Gui::Off),
+        (
+            "gui_light_10ms",
+            Gui::On {
+                period: SimTime::from_ms(10),
+                cost: GuiCost::LIGHT,
+            },
+        ),
+        (
+            "gui_heavy_10ms",
+            Gui::On {
+                period: SimTime::from_ms(10),
+                cost: GuiCost::HEAVY,
+            },
+        ),
+    ];
+    for (name, gui) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cosim = paper_scenario(gui);
+                cosim.rtos.run_until(SimTime::from_ms(100));
+                std::hint::black_box(cosim.rtos.engine_stats().events_fired)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim);
+criterion_main!(benches);

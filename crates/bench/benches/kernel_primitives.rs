@@ -1,0 +1,66 @@
+//! Microbenchmarks of the kernel service-call machinery: how much host
+//! time one simulated service interaction costs (the SIM_API overhead
+//! the paper's speed argument rests on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtk_core::{KernelConfig, QueueOrder, Rtos, Timeout};
+use sysc::SimTime;
+
+/// Runs a kernel whose init task performs `n` semaphore signal/wait
+/// pairs against itself (no blocking).
+fn sem_pairs(n: u64) -> Rtos {
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let sem = sys.tk_cre_sem("s", 0, 10, QueueOrder::Fifo).unwrap();
+        for _ in 0..n {
+            sys.tk_sig_sem(sem, 1).unwrap();
+            sys.tk_wai_sem(sem, 1, Timeout::Poll).unwrap();
+        }
+    });
+    rtos.run_until(SimTime::from_ms(50));
+    rtos
+}
+
+/// Two tasks ping-ponging through sleep/wakeup: `n` full context-switch
+/// round trips.
+fn switch_pairs(n: u64) -> Rtos {
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let a = sys
+            .tk_cre_tsk("a", 10, move |sys, _| {
+                for _ in 0..n {
+                    if sys.tk_slp_tsk(Timeout::Forever).is_err() {
+                        return;
+                    }
+                }
+            })
+            .unwrap();
+        sys.tk_sta_tsk(a, 0).unwrap();
+        let b = sys
+            .tk_cre_tsk("b", 20, move |sys, _| {
+                for _ in 0..n {
+                    while sys.tk_wup_tsk(a).is_err() {
+                        sys.exec(SimTime::from_us(1));
+                    }
+                    sys.exec(SimTime::from_us(1));
+                }
+            })
+            .unwrap();
+        sys.tk_sta_tsk(b, 0).unwrap();
+    });
+    rtos.run_until(SimTime::from_secs(5));
+    rtos
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_primitives");
+    group.sample_size(10);
+    group.bench_function("sem_sig_wai_x1000", |b| {
+        b.iter(|| std::hint::black_box(sem_pairs(1000).now()))
+    });
+    group.bench_function("context_switch_x200", |b| {
+        b.iter(|| std::hint::black_box(switch_pairs(200).now()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation bench: the same four-task workload on RTK-Spec I (round
+//! robin), RTK-Spec II (priority, 16 levels) and RTK-Spec TRON
+//! (priority, 140 levels) — the paper's three-kernel SIM_API coverage
+//! claim, measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtk_core::{KernelConfig, Rtos, Sys};
+use rtk_videogame::PlayerSkill;
+use sysc::SimTime;
+
+fn workload(sys: &mut Sys<'_>, _stacd: i32) {
+    for (name, pri) in [("w1", 10u8), ("w2", 11), ("w3", 12), ("w4", 13)] {
+        let t = sys
+            .tk_cre_tsk(name, pri, |sys, _| {
+                for _ in 0..50 {
+                    sys.exec(SimTime::from_us(300));
+                }
+            })
+            .unwrap();
+        sys.tk_sta_tsk(t, 0).unwrap();
+    }
+}
+
+fn run(mut rtos: Rtos) -> u64 {
+    rtos.run_until(SimTime::from_ms(200));
+    rtos.engine_stats().events_fired
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let _ = PlayerSkill::Absent; // crate linkage
+    let mut group = c.benchmark_group("three_kernels");
+    group.sample_size(10);
+    group.bench_function("rtk_spec_i_rr", |b| {
+        b.iter(|| run(rtk_core::minikernels::rtk_spec_i(2, workload)))
+    });
+    group.bench_function("rtk_spec_ii_priority", |b| {
+        b.iter(|| run(rtk_core::minikernels::rtk_spec_ii(workload)))
+    });
+    group.bench_function("rtk_spec_tron", |b| {
+        b.iter(|| run(Rtos::new(KernelConfig::paper(), workload)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

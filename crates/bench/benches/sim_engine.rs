@@ -1,0 +1,58 @@
+//! Microbenchmarks of the sysc discrete-event engine: raw event
+//! throughput for thread processes (baton handoff) vs method processes
+//! (plain callbacks) — quantifying the paper's host-code-execution
+//! speed argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sysc::{SimTime, Simulation, SpawnMode};
+
+fn thread_pingpong(events: u64) {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let ping = h.create_event("ping");
+    let pong = h.create_event("pong");
+    h.spawn_thread("a", SpawnMode::Immediate, move |ctx| {
+        for _ in 0..events {
+            ctx.handle().notify_after(ping, SimTime::from_ns(10));
+            ctx.wait_event(pong);
+        }
+    });
+    let h2 = sim.handle();
+    h2.spawn_thread("b", SpawnMode::WaitEvent(ping), move |ctx| loop {
+        ctx.handle().notify(pong);
+        ctx.wait_event(ping);
+    });
+    sim.run_to_completion();
+}
+
+fn method_cascade(events: u64) {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let tick = h.create_event("tick");
+    h.make_periodic(tick, SimTime::from_ns(100), SimTime::from_ns(100));
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let c = counter.clone();
+    let h2 = h.clone();
+    h.spawn_method("m", &[tick], false, move |_ctx| {
+        if c.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= events {
+            h2.stop_periodic(tick);
+            h2.cancel(tick);
+        }
+    });
+    sim.run_to_completion();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.bench_function("thread_handoff_x10k", |b| {
+        b.iter(|| thread_pingpong(std::hint::black_box(10_000)))
+    });
+    group.bench_function("method_events_x10k", |b| {
+        b.iter(|| method_cascade(std::hint::black_box(10_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

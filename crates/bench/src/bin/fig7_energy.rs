@@ -1,0 +1,34 @@
+//! Regenerates **Figure 7** — "Consumed Time/Energy Distribution": CET
+//! and CEE accumulated at run time and distributed over the registered
+//! T-THREADs, with the 10 watt-hour battery status bar and the projected
+//! battery lifespan.
+
+use rtk_analysis::{average_power, Battery, EnergyReport};
+use rtk_bench::paper_scenario;
+use rtk_videogame::Gui;
+use sysc::SimTime;
+
+fn main() {
+    let mut cosim = paper_scenario(Gui::Off);
+    let horizon = SimTime::from_secs(1);
+    cosim.rtos.run_until(horizon);
+
+    let threads = cosim.rtos.threads();
+    let idle = cosim.rtos.idle_stats();
+    let report = EnergyReport::build(&threads, idle, horizon, Battery::ten_watt_hours());
+    println!("{}", report.render());
+    println!(
+        "average system power: {}",
+        average_power(report.total_cee, horizon)
+    );
+    println!();
+    println!("per-place CET/CEE of the busiest threads:");
+    let mut sorted = threads.clone();
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.stats.total_cee()));
+    for t in sorted.iter().take(4) {
+        println!("  {} [{:?}]", t.name, t.kind);
+        for (ctx, cet, cee) in t.stats.iter() {
+            println!("    {:<12} CET={:<14} CEE={}", ctx.label(), cet.to_string(), cee);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared scenario runners for the experiment binaries and criterion
+//! benches (one per paper table/figure — see DESIGN.md §4).
+
+use rtk_core::KernelConfig;
+use rtk_videogame::{build_cosim, Cosim, GameConfig, Gui, PlayerSkill};
+use sysc::SimTime;
+
+/// Builds the paper's co-simulation scenario (kernel + BFM + video game
+/// + perfect player) with the given GUI configuration.
+pub fn paper_scenario(gui: Gui) -> Cosim {
+    build_cosim(
+        KernelConfig::paper(),
+        GameConfig::default(),
+        PlayerSkill::Perfect,
+        gui,
+    )
+}
+
+/// Runs the scenario for `sim_time`, returning the engine event count
+/// (the speed harness's work measure).
+pub fn run_scenario(cosim: &mut Cosim, sim_time: SimTime) -> u64 {
+    cosim.rtos.run_until(sim_time);
+    let stats = cosim.rtos.engine_stats();
+    stats.events_fired + stats.process_runs
+}
+
+/// The reference unit time of Table 2: S = 1 s.
+pub const TABLE2_S: SimTime = SimTime::from_secs(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_runs_and_counts_events() {
+        let mut cosim = paper_scenario(Gui::Off);
+        let events = run_scenario(&mut cosim, SimTime::from_ms(100));
+        assert!(events > 100);
+    }
+}

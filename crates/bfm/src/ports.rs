@@ -1,0 +1,112 @@
+//! Parallel I/O: the four 8-bit port latches (P0–P3) as sysc signals —
+//! so waveform probes (paper Fig. 4) can watch them — plus the
+//! ALE-multiplexed external peripheral bus.
+
+use rtk_core::Sys;
+use sysc::{SimHandle, Signal};
+
+use crate::timing::{cycles, BusTiming};
+
+/// The parallel-port block; cloneable handle.
+#[derive(Debug, Clone)]
+pub struct Ports {
+    sigs: [Signal<u8>; 4],
+    /// Address-latch signal of the multiplexed external bus (Fig. 4's
+    /// handshake waveforms).
+    ale: Signal<bool>,
+    /// Read/write strobes of the external bus.
+    rd_n: Signal<bool>,
+    wr_n: Signal<bool>,
+    timing: BusTiming,
+}
+
+impl Ports {
+    /// Creates the port block (all latches reset to 0xFF, 8051-style).
+    pub fn new(handle: &SimHandle, timing: BusTiming) -> Self {
+        Ports {
+            sigs: [
+                Signal::new(handle, "P0", 0xFF),
+                Signal::new(handle, "P1", 0xFF),
+                Signal::new(handle, "P2", 0xFF),
+                Signal::new(handle, "P3", 0xFF),
+            ],
+            ale: Signal::new(handle, "ALE", false),
+            rd_n: Signal::new(handle, "nRD", true),
+            wr_n: Signal::new(handle, "nWR", true),
+            timing,
+        }
+    }
+
+    /// Task-side: writes a port latch (1 machine cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port > 3`.
+    pub fn write(&self, sys: &mut Sys<'_>, port: usize, value: u8) {
+        sys.bfm_access("port.wr", self.timing.access(cycles::PORT));
+        self.sigs[port].write(value);
+    }
+
+    /// Task-side: reads a port latch (1 machine cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port > 3`.
+    pub fn read(&self, sys: &mut Sys<'_>, port: usize) -> u8 {
+        sys.bfm_access("port.rd", self.timing.access(cycles::PORT));
+        self.sigs[port].read()
+    }
+
+    /// Task-side: one multiplexed external-bus *write* transaction:
+    /// address phase on P0/P2 with ALE, data phase with nWR (3 machine
+    /// cycles). The strobe signals toggle so a waveform probe shows the
+    /// Fig. 4 handshake.
+    pub fn ext_bus_write(&self, sys: &mut Sys<'_>, addr: u8, value: u8) {
+        self.ale.write(true);
+        self.sigs[0].write(addr);
+        sys.bfm_access("extbus.wr", self.timing.access(cycles::EXT_BUS));
+        self.ale.write(false);
+        self.wr_n.write(false);
+        self.sigs[0].write(value);
+        self.wr_n.write(true);
+    }
+
+    /// Task-side: one multiplexed external-bus *read* transaction
+    /// (3 machine cycles); the value must be supplied by the caller's
+    /// device model (the bus itself has no devices attached directly).
+    pub fn ext_bus_read(&self, sys: &mut Sys<'_>, addr: u8, value_from_device: u8) -> u8 {
+        self.ale.write(true);
+        self.sigs[0].write(addr);
+        sys.bfm_access("extbus.rd", self.timing.access(cycles::EXT_BUS));
+        self.ale.write(false);
+        self.rd_n.write(false);
+        self.sigs[0].write(value_from_device);
+        self.rd_n.write(true);
+        value_from_device
+    }
+
+    /// Host-side: current latch value.
+    pub fn peek(&self, port: usize) -> u8 {
+        self.sigs[port].read()
+    }
+
+    /// The latch signal of one port (for waveform probing).
+    pub fn signal(&self, port: usize) -> &Signal<u8> {
+        &self.sigs[port]
+    }
+
+    /// The ALE signal (for waveform probing).
+    pub fn ale_signal(&self) -> &Signal<bool> {
+        &self.ale
+    }
+
+    /// The read-strobe signal.
+    pub fn rd_signal(&self) -> &Signal<bool> {
+        &self.rd_n
+    }
+
+    /// The write-strobe signal.
+    pub fn wr_signal(&self) -> &Signal<bool> {
+        &self.wr_n
+    }
+}

@@ -1,0 +1,101 @@
+//! Bus timing and energy: machine-cycle budgets for every BFM call.
+//!
+//! Each BFM call is "associated with a cycle budget that is based on BFM
+//! timing characteristics, and an estimation on the energy consumed
+//! during that BFM access" (paper §5.1). The 8051 reference point: a
+//! 12 MHz oscillator with 12 clocks per machine cycle gives exactly
+//! 1 µs per machine cycle.
+
+use rtk_core::{Cost, Energy};
+use sysc::SimTime;
+
+/// Machine-cycle timing and per-cycle bus energy of the modeled MCU.
+#[derive(Debug, Clone, Copy)]
+pub struct BusTiming {
+    /// Duration of one machine cycle.
+    pub machine_cycle: SimTime,
+    /// Extra energy drawn per bus-active machine cycle (beyond the core
+    /// active power).
+    pub energy_per_cycle: Energy,
+}
+
+impl BusTiming {
+    /// The classic 12 MHz 8051: 1 µs machine cycle, ~2 nJ of bus energy
+    /// per cycle (estimated, as the paper's annotations were).
+    pub const fn mcu_8051_12mhz() -> Self {
+        BusTiming {
+            machine_cycle: SimTime::from_us(1),
+            energy_per_cycle: Energy::from_nj(2),
+        }
+    }
+
+    /// The `(time, energy)` cost of a bus access of `cycles` machine
+    /// cycles.
+    pub fn access(&self, cycles: u64) -> Cost {
+        Cost::new(self.machine_cycle * cycles, self.energy_per_cycle * cycles)
+    }
+}
+
+impl Default for BusTiming {
+    fn default() -> Self {
+        BusTiming::mcu_8051_12mhz()
+    }
+}
+
+/// Machine-cycle budgets of the 8051-style bus operations (in machine
+/// cycles, from the 8051 instruction timing of the corresponding MOV /
+/// MOVX instruction sequences).
+pub mod cycles {
+    /// Internal RAM access (direct addressing MOV).
+    pub const IRAM: u64 = 1;
+    /// External RAM access (MOVX @DPTR).
+    pub const XRAM: u64 = 2;
+    /// Special function register access.
+    pub const SFR: u64 = 1;
+    /// Parallel-port latch read/write.
+    pub const PORT: u64 = 1;
+    /// Serial buffer (SBUF) load/read.
+    pub const SBUF: u64 = 1;
+    /// External peripheral-bus transaction (ALE-multiplexed address +
+    /// data phases).
+    pub const EXT_BUS: u64 = 3;
+    /// LCD controller command (excluding device busy time).
+    pub const LCD_CMD: u64 = 3;
+    /// LCD character write (includes the 40 µs device busy time at one
+    /// cycle per microsecond).
+    pub const LCD_DATA: u64 = 43;
+    /// LCD clear-display command (1.52 ms device busy time).
+    pub const LCD_CLEAR: u64 = 1523;
+    /// Keypad column scan (drive rows + read columns).
+    pub const KEYPAD_SCAN: u64 = 4;
+    /// Seven-segment digit latch write.
+    pub const SSD_WRITE: u64 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_cycle_is_exactly_one_microsecond() {
+        let t = BusTiming::mcu_8051_12mhz();
+        assert_eq!(t.machine_cycle, SimTime::from_us(1));
+    }
+
+    #[test]
+    fn access_cost_scales_with_cycles() {
+        let t = BusTiming::default();
+        let c = t.access(cycles::XRAM);
+        assert_eq!(c.time, SimTime::from_us(2));
+        assert_eq!(c.energy, Energy::from_nj(4));
+        let c = t.access(cycles::LCD_CLEAR);
+        assert_eq!(c.time, SimTime::from_us(1523));
+    }
+
+    #[test]
+    fn budgets_are_ordered_sensibly() {
+        assert!(cycles::IRAM < cycles::XRAM);
+        assert!(cycles::LCD_DATA > cycles::LCD_CMD);
+        assert!(cycles::LCD_CLEAR > cycles::LCD_DATA);
+    }
+}

@@ -1,0 +1,346 @@
+//! The central module (paper Fig. 3): three coordinator processes —
+//! **Boot**, **Thread Dispatch** and **Interrupt Dispatch** — sensitive
+//! to the reset, system-tick and external-interrupt signals respectively.
+//!
+//! * **Boot** performs the kernel startup sequence upon reset:
+//!   initializes the kernel internal state and starts the initialization
+//!   task, which calls the user main entry to create & start tasks,
+//!   handlers, and allocate application resources.
+//! * **Thread Dispatch** activates the timer handler on every system
+//!   tick: it updates the system clock, checks for cyclic, alarm, and
+//!   task-resuming events in the timer queue, and then dispatches —
+//!   starting a new task/handler or preempting the running task if a
+//!   higher-priority task is ready.
+//! * **Interrupt Dispatch** identifies and responds to external
+//!   interrupts by activating their dedicated interrupt service
+//!   routines, with nesting by priority level and *delayed dispatching*
+//!   (dispatch requests raised inside handlers take effect only when the
+//!   outermost handler returns).
+
+use std::sync::Arc;
+
+use sysc::{EventId, ProcCtx, SpawnMode};
+
+use crate::error::ErCode;
+use crate::ids::ThreadRef;
+use crate::state::{
+    Delivered, IntRequest, KernelState, Shared, TaskBody, TimerAction,
+};
+use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
+
+/// The interrupt-request event, if the central module is installed.
+pub(crate) fn int_request_event(st: &KernelState) -> Option<EventId> {
+    st.int_req_ev
+}
+
+/// Installs the central module processes into the simulation and
+/// schedules the boot sequence.
+pub(crate) fn install(shared: &Arc<Shared>, main: Box<TaskBody>) {
+    let h = shared.h.clone();
+    shared.register_thread(ThreadRef::Timer, "timer", TThreadKind::TimerHandler);
+
+    let tick_ev = h.create_event("systick");
+    let int_req_ev = h.create_event("int_req");
+    {
+        let mut st = shared.st.lock();
+        st.tick_ev = Some(tick_ev);
+        st.int_req_ev = Some(int_req_ev);
+    }
+
+    // Thread Dispatch: sensitive to the system tick.
+    let sh = Arc::clone(shared);
+    h.spawn_thread(
+        "thread_dispatch",
+        SpawnMode::WaitEvent(tick_ev),
+        move |proc| loop {
+            sh.on_tick(proc);
+            proc.wait_event(tick_ev);
+        },
+    );
+
+    // Interrupt Dispatch: sensitive to external interrupt requests.
+    let sh = Arc::clone(shared);
+    h.spawn_thread(
+        "interrupt_dispatch",
+        SpawnMode::WaitEvent(int_req_ev),
+        move |proc| loop {
+            sh.drain_interrupts(proc);
+            proc.wait_event(int_req_ev);
+        },
+    );
+
+    // Boot: sensitive to reset (modeled as immediate activation at t=0).
+    let sh = Arc::clone(shared);
+    h.spawn_thread("boot", SpawnMode::Immediate, move |proc| {
+        sh.boot(proc, main);
+    });
+}
+
+impl Shared {
+    /// The kernel startup sequence (Boot module).
+    fn boot(self: &Arc<Shared>, proc: &mut ProcCtx, main: Box<TaskBody>) {
+        let (boot_cost, tick, init_pri, tick_ev) = {
+            let st = self.st.lock();
+            (
+                st.cfg.boot_cost,
+                st.cfg.tick,
+                st.cfg.init_task_priority,
+                st.tick_ev.expect("central module installed"),
+            )
+        };
+        if !boot_cost.is_zero() {
+            proc.wait_time(boot_cost);
+        }
+        let tid = self
+            .create_task_raw("init", init_pri, main)
+            .expect("init task creation cannot fail");
+        self.start_task(tid, 0, proc.now())
+            .expect("init task start cannot fail");
+        {
+            let mut st = self.st.lock();
+            st.booted = true;
+        }
+        // Start the real-time clock driving the kernel central module
+        // (paper §5.1: default timing resolution 1 ms).
+        self.h.make_periodic(tick_ev, tick, tick);
+        self.dispatch_from_scheduler(proc.now());
+    }
+
+    /// One system tick (Thread Dispatch body): timer handler activation,
+    /// timer-queue expiry, handler activations, then delayed dispatch.
+    fn on_tick(self: &Arc<Shared>, proc: &mut ProcCtx) {
+        {
+            let mut st = self.st.lock();
+            if !st.booted {
+                return;
+            }
+            // If the CPU is held at or above the tick's interrupt level,
+            // or another dispatcher is mid-handshake, pend the tick; it
+            // is replayed when the interrupt stack unwinds.
+            let blocked = st.cpu_transfer
+                || st
+                    .current_int_level()
+                    .is_some_and(|l| l >= st.tick_int_level);
+            if blocked {
+                st.tick_pending = true;
+                return;
+            }
+            st.cpu_transfer = true;
+        }
+        self.freeze_occupant(proc);
+        let (tick_cost, tick_ms) = {
+            let mut st = self.st.lock();
+            st.int_stack.push(ThreadRef::Timer);
+            let lvl = st.tick_int_level;
+            st.int_levels.push(lvl);
+            st.cpu_transfer = false;
+            st.ticks += 1;
+            let tick_ms = st.cfg.tick.as_ms().max(1);
+            st.systim_ms += tick_ms;
+            let rec = st.thread_mut(ThreadRef::Timer);
+            rec.parked = false;
+            rec.marking = ExecContext::Handler;
+            rec.stats.sigma.fire(TThreadEvent::Es);
+            Shared::update_idle(&mut st, proc.now());
+            (st.cfg.cost.timer_tick, tick_ms)
+        };
+        let _ = tick_ms;
+        if !tick_cost.is_zero() {
+            self.sim_wait_atomic(proc, ThreadRef::Timer, ExecContext::Handler, "tick", tick_cost);
+        }
+        // Round-robin style schedulers may request a time-slice
+        // preemption of the running task.
+        {
+            let mut st = self.st.lock();
+            let running = st.running;
+            if st.scheduler.on_tick(running) && st.running.is_some() {
+                // Requeue at the *tail*: the slice is spent.
+                let now = proc.now();
+                let r = st.running.take().expect("checked above");
+                let tcb = st.tcb_mut(r).expect("running task exists");
+                tcb.state = crate::state::TaskState::Ready;
+                let pri = tcb.cur_pri;
+                st.scheduler.enqueue(r, pri, false);
+                let rec = st.thread_mut(ThreadRef::Task(r));
+                rec.resume_as = crate::state::ResumeKind::Preempted;
+                rec.marking = ExecContext::Preempted;
+                rec.cpu_granted = false;
+                rec.stats.preemptions += 1;
+                Shared::trace_point(&st, now, ThreadRef::Task(r), crate::trace::TraceKind::Preempt);
+            }
+        }
+        // Expire timer-queue entries due at this tick.
+        loop {
+            let action = {
+                let mut st = self.st.lock();
+                let due = st
+                    .timeq
+                    .peek()
+                    .is_some_and(|std::cmp::Reverse(e)| e.at_tick <= st.ticks);
+                if due {
+                    st.timeq.pop().map(|std::cmp::Reverse(e)| e.action)
+                } else {
+                    None
+                }
+            };
+            let Some(action) = action else { break };
+            match action {
+                TimerAction::TaskTimeout { tid, wait_gen }
+                | TimerAction::DelayEnd { tid, wait_gen } => {
+                    let mut st = self.st.lock();
+                    let valid = st
+                        .tcb(tid)
+                        .map(|t| {
+                            t.wait_gen == wait_gen
+                                && matches!(
+                                    t.state,
+                                    crate::state::TaskState::Wait
+                                        | crate::state::TaskState::WaitSuspend
+                                )
+                        })
+                        .unwrap_or(false);
+                    if valid {
+                        crate::kernel::detach_waiter(&mut st, tid);
+                        Shared::make_ready(
+                            &mut st,
+                            proc.now(),
+                            tid,
+                            Err(ErCode::Tmout),
+                            Delivered::None,
+                        );
+                    }
+                }
+                TimerAction::CyclicFire { id, gen } => {
+                    crate::kernel::time::fire_cyclic(self, proc, id, gen);
+                }
+                TimerAction::AlarmFire { id, gen } => {
+                    crate::kernel::time::fire_alarm(self, proc, id, gen);
+                }
+            }
+        }
+        // Pop the timer frame and perform the delayed dispatch.
+        {
+            let mut st = self.st.lock();
+            let top = st.int_stack.pop();
+            st.int_levels.pop();
+            debug_assert_eq!(top, Some(ThreadRef::Timer));
+            let rec = st.thread_mut(ThreadRef::Timer);
+            rec.marking = ExecContext::Dormant;
+            rec.parked = true;
+            rec.stats.cycles += 1;
+        }
+        self.after_frame_pop(proc);
+    }
+
+    /// Interrupt Dispatch body: deliver every deliverable pending
+    /// request (new requests arriving while we work are caught by the
+    /// loop in `install`).
+    fn drain_interrupts(self: &Arc<Shared>, proc: &mut ProcCtx) {
+        loop {
+            let req = {
+                let mut st = self.st.lock();
+                if st.cpu_transfer {
+                    // Another dispatcher is mid-handshake; the stack
+                    // unwind will replay pending requests.
+                    None
+                } else {
+                    Self::next_deliverable(&mut st)
+                }
+            };
+            let Some(req) = req else { return };
+            // Take the CPU.
+            {
+                let mut st = self.st.lock();
+                st.cpu_transfer = true;
+            }
+            self.freeze_occupant(proc);
+            let activate = {
+                let mut st = self.st.lock();
+                st.cpu_transfer = false;
+                Self::mount_isr_frame(&mut st, req, proc.now())
+            };
+            if let Some(ev) = activate {
+                self.h.notify(ev);
+            }
+        }
+    }
+
+    /// Picks the first pending interrupt that may be delivered now:
+    /// the CPU must be unlocked, the kernel booted, and the request's
+    /// level strictly above the current interrupt level (8051 two-level
+    /// nesting rule; anything is deliverable when no handler is active).
+    pub(crate) fn next_deliverable(st: &mut KernelState) -> Option<IntRequest> {
+        if !st.booted || st.cpu_locked {
+            return None;
+        }
+        let current = st.current_int_level();
+        let pos = st.pending_ints.iter().position(|req| {
+            st.isrs.contains_key(&req.intno)
+                && match current {
+                    None => true,
+                    Some(l) => req.level > l,
+                }
+        })?;
+        st.pending_ints.remove(pos)
+    }
+
+    /// Pushes an ISR frame and returns its activation event.
+    pub(crate) fn mount_isr_frame(
+        st: &mut KernelState,
+        req: IntRequest,
+        now: sysc::SimTime,
+    ) -> Option<EventId> {
+        let who = ThreadRef::Isr(req.intno);
+        if !st.threads.contains_key(&who) {
+            return None;
+        }
+        st.int_stack.push(who);
+        st.int_levels.push(req.level);
+        let rec = st.thread_mut(who);
+        rec.parked = false;
+        rec.marking = ExecContext::Handler;
+        rec.stats.sigma.fire(TThreadEvent::Es);
+        let activate_ev = rec.activate_ev;
+        Shared::update_idle(st, now);
+        Some(activate_ev)
+    }
+
+    /// Common continuation after any interrupt-stack frame is popped:
+    /// chain into the next pending interrupt, resume the interrupted
+    /// frame below, replay a pended tick, or perform the delayed
+    /// dispatch.
+    pub(crate) fn after_frame_pop(self: &Arc<Shared>, proc: &mut ProcCtx) {
+        let now = proc.now();
+        enum Next {
+            Activate(EventId),
+            ResumeLower(EventId),
+            ReplayTick(EventId),
+            Dispatch,
+        }
+        let next = {
+            let mut st = self.st.lock();
+            if let Some(req) = Self::next_deliverable(&mut st) {
+                // Everything below is parked; mount without a handshake.
+                match Self::mount_isr_frame(&mut st, req, now) {
+                    Some(ev) => Next::Activate(ev),
+                    None => Next::Dispatch,
+                }
+            } else if let Some(&lower) = st.int_stack.last() {
+                let rec = st.thread_mut(lower);
+                rec.cpu_granted = true;
+                Next::ResumeLower(rec.resume_ev)
+            } else if st.tick_pending {
+                st.tick_pending = false;
+                Next::ReplayTick(st.tick_ev.expect("central installed"))
+            } else {
+                Next::Dispatch
+            }
+        };
+        match next {
+            Next::Activate(ev) | Next::ResumeLower(ev) | Next::ReplayTick(ev) => {
+                self.h.notify(ev);
+            }
+            Next::Dispatch => self.dispatch_from_scheduler(now),
+        }
+    }
+}

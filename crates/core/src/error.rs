@@ -1,0 +1,140 @@
+//! µ-ITRON / T-Kernel error codes.
+//!
+//! T-Kernel service calls return `E_OK` (0) on success and a negative
+//! error code otherwise. This module models the subset of codes the
+//! kernel simulation model produces, with the standard numeric values
+//! from the µ-ITRON 4.0 specification so DS listings look authentic.
+
+use std::error::Error;
+use std::fmt;
+
+/// A µ-ITRON/T-Kernel error code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErCode {
+    /// System error (internal inconsistency).
+    Sys,
+    /// Unsupported function.
+    NoSpt,
+    /// Reserved attribute used.
+    RsAtr,
+    /// Parameter error.
+    Par,
+    /// Invalid ID number.
+    Id,
+    /// Context error (call not allowed from this context).
+    Ctx,
+    /// Memory access violation.
+    Macv,
+    /// Object access violation.
+    Oacv,
+    /// Illegal service call use (e.g. unlocking a mutex one doesn't own).
+    IlUse,
+    /// Insufficient memory.
+    NoMem,
+    /// Limit exceeded (e.g. too many objects).
+    Limit,
+    /// Object state error (e.g. starting a non-dormant task).
+    Obj,
+    /// Non-existent object.
+    NoExs,
+    /// Queueing overflow (e.g. wakeup-count or semaphore ceiling).
+    QOvr,
+    /// Forced release from waiting (`tk_rel_wai`).
+    RlWai,
+    /// Timeout.
+    Tmout,
+    /// Waited object was deleted.
+    Dlt,
+    /// Wait disabled.
+    DisWai,
+}
+
+impl ErCode {
+    /// The standard numeric value (negative, as in the specification).
+    pub const fn code(self) -> i32 {
+        match self {
+            ErCode::Sys => -5,
+            ErCode::NoSpt => -9,
+            ErCode::RsAtr => -11,
+            ErCode::Par => -17,
+            ErCode::Id => -18,
+            ErCode::Ctx => -25,
+            ErCode::Macv => -26,
+            ErCode::Oacv => -27,
+            ErCode::IlUse => -28,
+            ErCode::NoMem => -33,
+            ErCode::Limit => -34,
+            ErCode::Obj => -41,
+            ErCode::NoExs => -42,
+            ErCode::QOvr => -43,
+            ErCode::RlWai => -49,
+            ErCode::Tmout => -50,
+            ErCode::Dlt => -51,
+            ErCode::DisWai => -52,
+        }
+    }
+
+    /// The specification mnemonic, e.g. `E_TMOUT`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ErCode::Sys => "E_SYS",
+            ErCode::NoSpt => "E_NOSPT",
+            ErCode::RsAtr => "E_RSATR",
+            ErCode::Par => "E_PAR",
+            ErCode::Id => "E_ID",
+            ErCode::Ctx => "E_CTX",
+            ErCode::Macv => "E_MACV",
+            ErCode::Oacv => "E_OACV",
+            ErCode::IlUse => "E_ILUSE",
+            ErCode::NoMem => "E_NOMEM",
+            ErCode::Limit => "E_LIMIT",
+            ErCode::Obj => "E_OBJ",
+            ErCode::NoExs => "E_NOEXS",
+            ErCode::QOvr => "E_QOVR",
+            ErCode::RlWai => "E_RLWAI",
+            ErCode::Tmout => "E_TMOUT",
+            ErCode::Dlt => "E_DLT",
+            ErCode::DisWai => "E_DISWAI",
+        }
+    }
+}
+
+impl fmt::Display for ErCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.mnemonic(), self.code())
+    }
+}
+
+impl Error for ErCode {}
+
+/// Result of a T-Kernel service call.
+pub type KResult<T> = Result<T, ErCode>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_the_specification() {
+        assert_eq!(ErCode::Tmout.code(), -50);
+        assert_eq!(ErCode::RlWai.code(), -49);
+        assert_eq!(ErCode::QOvr.code(), -43);
+        assert_eq!(ErCode::Obj.code(), -41);
+        assert_eq!(ErCode::Ctx.code(), -25);
+        assert_eq!(ErCode::IlUse.code(), -28);
+        assert_eq!(ErCode::NoExs.code(), -42);
+    }
+
+    #[test]
+    fn display_shows_mnemonic_and_code() {
+        assert_eq!(ErCode::Tmout.to_string(), "E_TMOUT (-50)");
+        assert_eq!(ErCode::Id.to_string(), "E_ID (-18)");
+    }
+
+    #[test]
+    fn is_a_real_error_type() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ErCode::Par);
+    }
+}

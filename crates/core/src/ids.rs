@@ -1,0 +1,166 @@
+//! Kernel object identifiers.
+//!
+//! T-Kernel identifies every object by a small positive integer ID,
+//! unique per object class. These newtypes keep the classes statically
+//! distinct (handing a semaphore ID to `tk_wai_flg` is a compile error
+//! here, where the real kernel would return `E_ID` at runtime).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! object_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw T-Kernel ID number (positive, dense per class).
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Builds an ID from a raw number (e.g. read from a DS
+            /// listing). Invalid IDs are rejected by the services with
+            /// `E_NOEXS`.
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+object_id!(
+    /// Task ID.
+    TaskId,
+    "tsk"
+);
+object_id!(
+    /// Semaphore ID.
+    SemId,
+    "sem"
+);
+object_id!(
+    /// Event-flag ID.
+    FlgId,
+    "flg"
+);
+object_id!(
+    /// Mailbox ID.
+    MbxId,
+    "mbx"
+);
+object_id!(
+    /// Message-buffer ID.
+    MbfId,
+    "mbf"
+);
+object_id!(
+    /// Mutex ID.
+    MtxId,
+    "mtx"
+);
+object_id!(
+    /// Fixed-size memory-pool ID.
+    MpfId,
+    "mpf"
+);
+object_id!(
+    /// Variable-size memory-pool ID.
+    MplId,
+    "mpl"
+);
+object_id!(
+    /// Cyclic-handler ID.
+    CycId,
+    "cyc"
+);
+object_id!(
+    /// Alarm-handler ID.
+    AlmId,
+    "alm"
+);
+
+/// External interrupt number (vector index into the interrupt controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IntNo(pub u32);
+
+impl fmt::Display for IntNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "int{}", self.0)
+    }
+}
+
+/// Identifies any T-THREAD (a task or one of the handler kinds) for
+/// tracing and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreadRef {
+    /// An application task.
+    Task(TaskId),
+    /// A cyclic handler.
+    Cyclic(CycId),
+    /// An alarm handler.
+    Alarm(AlmId),
+    /// An external interrupt service routine.
+    Isr(IntNo),
+    /// The kernel's timer handler (runs on every system tick).
+    Timer,
+}
+
+impl fmt::Display for ThreadRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadRef::Task(id) => write!(f, "{id}"),
+            ThreadRef::Cyclic(id) => write!(f, "{id}"),
+            ThreadRef::Alarm(id) => write!(f, "{id}"),
+            ThreadRef::Isr(no) => write!(f, "{no}"),
+            ThreadRef::Timer => write!(f, "timer"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_class_prefix() {
+        assert_eq!(TaskId(1).to_string(), "tsk1");
+        assert_eq!(SemId(2).to_string(), "sem2");
+        assert_eq!(FlgId(3).to_string(), "flg3");
+        assert_eq!(MbxId(4).to_string(), "mbx4");
+        assert_eq!(MbfId(5).to_string(), "mbf5");
+        assert_eq!(MtxId(6).to_string(), "mtx6");
+        assert_eq!(MpfId(7).to_string(), "mpf7");
+        assert_eq!(MplId(8).to_string(), "mpl8");
+        assert_eq!(CycId(9).to_string(), "cyc9");
+        assert_eq!(AlmId(10).to_string(), "alm10");
+        assert_eq!(IntNo(0).to_string(), "int0");
+    }
+
+    #[test]
+    fn thread_ref_display() {
+        assert_eq!(ThreadRef::Task(TaskId(1)).to_string(), "tsk1");
+        assert_eq!(ThreadRef::Cyclic(CycId(2)).to_string(), "cyc2");
+        assert_eq!(ThreadRef::Alarm(AlmId(1)).to_string(), "alm1");
+        assert_eq!(ThreadRef::Isr(IntNo(4)).to_string(), "int4");
+        assert_eq!(ThreadRef::Timer.to_string(), "timer");
+    }
+
+    #[test]
+    fn ids_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(TaskId(1));
+        s.insert(TaskId(1));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Interrupt management (`tk_def_int`; `tk_ret_int` is implicit when the
+//! handler body returns).
+//!
+//! External interrupts are raised by hardware models through
+//! [`crate::IntPort`]; the central module's Interrupt Dispatch process
+//! identifies them and activates the defined interrupt service routine
+//! as a T-THREAD, with two-level 8051-style nesting (a level-1 request
+//! preempts a level-0 handler; equal levels queue).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cost::ServiceClass;
+use crate::error::{ErCode, KResult};
+use crate::ids::{IntNo, ThreadRef};
+use crate::rtos::Sys;
+use crate::state::HandlerBody;
+use crate::tthread::TThreadKind;
+
+/// Interrupt-handler definition record.
+pub struct IsrRec {
+    pub(crate) name: String,
+    pub(crate) level: u8,
+    pub(crate) count: u64,
+    pub(crate) body: Arc<Mutex<Box<HandlerBody>>>,
+}
+
+impl std::fmt::Debug for IsrRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IsrRec")
+            .field("name", &self.name)
+            .field("level", &self.level)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+/// Snapshot returned by [`Sys::tk_ref_int`].
+#[derive(Debug, Clone)]
+pub struct RefInt {
+    /// Handler name.
+    pub name: String,
+    /// Hardware priority level the handler was defined at.
+    pub level: u8,
+    /// Completed activations.
+    pub count: u64,
+}
+
+impl<'a> Sys<'a> {
+    /// `tk_def_int` — defines the interrupt service routine for
+    /// interrupt number `intno` at hardware priority `level`.
+    ///
+    /// # Errors
+    ///
+    /// `E_OBJ` if a handler is already defined for `intno`.
+    pub fn tk_def_int<F>(&mut self, intno: IntNo, level: u8, name: &str, body: F) -> KResult<()>
+    where
+        F: FnMut(&mut Sys<'_>) + Send + 'static,
+    {
+        self.service_cost(ServiceClass::Interrupt, "tk_def_int");
+        let r = {
+            let mut st = self.shared.st.lock();
+            if st.isrs.contains_key(&intno) {
+                Err(ErCode::Obj)
+            } else {
+                st.isrs.insert(
+                    intno,
+                    IsrRec {
+                        name: name.to_string(),
+                        level,
+                        count: 0,
+                        body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
+                    },
+                );
+                drop(st);
+                self.shared.register_thread(
+                    ThreadRef::Isr(intno),
+                    name,
+                    TThreadKind::InterruptHandler,
+                );
+                self.shared.spawn_handler_thread(ThreadRef::Isr(intno));
+                Ok(())
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_ref_int` (extension) — reference an interrupt handler
+    /// definition.
+    pub fn tk_ref_int(&mut self, intno: IntNo) -> KResult<RefInt> {
+        self.service_cost(ServiceClass::Interrupt, "tk_ref_int");
+        let r = {
+            let st = self.shared.st.lock();
+            st.isrs
+                .get(&intno)
+                .map(|i| RefInt {
+                    name: i.name.clone(),
+                    level: i.level,
+                    count: i.count,
+                })
+                .ok_or(ErCode::NoExs)
+        };
+        self.service_exit();
+        r
+    }
+}

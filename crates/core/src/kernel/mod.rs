@@ -1,0 +1,136 @@
+//! The T-Kernel/OS simulation model: object tables and `tk_*` services.
+//!
+//! Each submodule implements one service family of the µ-ITRON / T-Kernel
+//! specification surface described in the paper (§2): task management and
+//! synchronisation, semaphores, event flags, mailboxes, message buffers,
+//! mutexes, fixed/variable memory pools, time management (system time,
+//! cyclic and alarm handlers), interrupt management and system
+//! management.
+
+pub mod flag;
+pub mod int;
+pub mod mbf;
+pub mod mbx;
+pub mod mpf;
+pub mod mpl;
+pub mod mtx;
+pub mod sem;
+pub mod sysmgmt;
+pub mod task;
+pub mod time;
+pub(crate) mod waitq;
+
+use crate::error::ErCode;
+use crate::ids::TaskId;
+use crate::state::{KernelState, WaitObj};
+
+/// Removes `tid` from whatever wait queue it is blocked on (timeout,
+/// forced release, termination). Mutex waits additionally trigger a
+/// priority-inheritance recomputation on the owner.
+pub(crate) fn detach_waiter(st: &mut KernelState, tid: TaskId) {
+    let Some(wait) = st.tcb(tid).ok().and_then(|t| t.wait) else {
+        return;
+    };
+    match wait {
+        WaitObj::Sleep | WaitObj::Delay => {}
+        WaitObj::Sem(id, _) => {
+            if let Some(Some(s)) = st.sems.get_mut(id.0 as usize - 1) {
+                s.waitq.remove(tid);
+            }
+        }
+        WaitObj::Flag(id, _, _) => {
+            if let Some(Some(f)) = st.flags.get_mut(id.0 as usize - 1) {
+                f.waitq.remove(tid);
+            }
+        }
+        WaitObj::Mbx(id) => {
+            if let Some(Some(m)) = st.mbxs.get_mut(id.0 as usize - 1) {
+                m.waitq.remove(tid);
+            }
+        }
+        WaitObj::MbfSend(id, _) => {
+            if let Some(Some(m)) = st.mbfs.get_mut(id.0 as usize - 1) {
+                m.send_q.remove(tid);
+            }
+        }
+        WaitObj::MbfRecv(id) => {
+            if let Some(Some(m)) = st.mbfs.get_mut(id.0 as usize - 1) {
+                m.recv_q.remove(tid);
+            }
+        }
+        WaitObj::Mtx(id) => {
+            let owner = if let Some(Some(m)) = st.mtxs.get_mut(id.0 as usize - 1) {
+                m.waitq.remove(tid);
+                m.owner
+            } else {
+                None
+            };
+            if let Some(owner) = owner {
+                mtx::recompute_priority(st, owner, 0);
+            }
+        }
+        WaitObj::Mpf(id) => {
+            if let Some(Some(p)) = st.mpfs.get_mut(id.0 as usize - 1) {
+                p.waitq.remove(tid);
+            }
+        }
+        WaitObj::Mpl(id, _) => {
+            if let Some(Some(p)) = st.mpls.get_mut(id.0 as usize - 1) {
+                p.waitq.remove(tid);
+            }
+        }
+    }
+}
+
+/// Looks up a slot in an object table (`id` is 1-based).
+pub(crate) fn table_get<T>(table: &[Option<T>], raw: u32) -> Result<&T, ErCode> {
+    table
+        .get(raw as usize - 1)
+        .and_then(|s| s.as_ref())
+        .ok_or(ErCode::NoExs)
+}
+
+/// Mutable variant of [`table_get`].
+pub(crate) fn table_get_mut<T>(table: &mut [Option<T>], raw: u32) -> Result<&mut T, ErCode> {
+    table
+        .get_mut(raw as usize - 1)
+        .and_then(|s| s.as_mut())
+        .ok_or(ErCode::NoExs)
+}
+
+/// Inserts into the first free slot of an object table; returns the
+/// 1-based ID.
+pub(crate) fn table_insert<T>(table: &mut Vec<Option<T>>, value: T) -> u32 {
+    for (i, slot) in table.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some(value);
+            return i as u32 + 1;
+        }
+    }
+    table.push(Some(value));
+    table.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_insert_reuses_free_slots() {
+        let mut t: Vec<Option<u32>> = Vec::new();
+        assert_eq!(table_insert(&mut t, 10), 1);
+        assert_eq!(table_insert(&mut t, 20), 2);
+        t[0] = None;
+        assert_eq!(table_insert(&mut t, 30), 1);
+        assert_eq!(*table_get(&t, 1).unwrap(), 30);
+        assert_eq!(*table_get(&t, 2).unwrap(), 20);
+    }
+
+    #[test]
+    fn table_get_missing_is_noexs() {
+        let t: Vec<Option<u32>> = vec![None];
+        assert_eq!(table_get(&t, 1).unwrap_err(), ErCode::NoExs);
+        let mut t2 = t;
+        assert_eq!(table_get_mut(&mut t2, 1).unwrap_err(), ErCode::NoExs);
+    }
+}

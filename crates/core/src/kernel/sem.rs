@@ -1,0 +1,218 @@
+//! Semaphores (`tk_cre_sem`, `tk_del_sem`, `tk_sig_sem`, `tk_wai_sem`,
+//! `tk_ref_sem`).
+//!
+//! µ-ITRON counting semaphores with a maximum count, FIFO or priority
+//! wait queues, and strict queue ordering on release: returned counts
+//! wake waiters from the head while their requests can be satisfied and
+//! stop at the first waiter that cannot (no barging).
+
+use crate::cost::ServiceClass;
+use crate::error::{ErCode, KResult};
+use crate::ids::{SemId, TaskId};
+use crate::rtos::Sys;
+use crate::state::{Delivered, QueueOrder, Shared, Timeout, WaitObj};
+
+use super::waitq::WaitQueue;
+
+/// Semaphore control block.
+#[derive(Debug)]
+pub struct Sem {
+    pub(crate) name: String,
+    pub(crate) count: u32,
+    pub(crate) max: u32,
+    pub(crate) waitq: WaitQueue,
+}
+
+/// Snapshot returned by `tk_ref_sem`.
+#[derive(Debug, Clone)]
+pub struct RefSem {
+    /// Semaphore name.
+    pub name: String,
+    /// Current count.
+    pub count: u32,
+    /// Maximum count.
+    pub max: u32,
+    /// Number of waiting tasks.
+    pub waiting: usize,
+    /// The first waiting task, if any.
+    pub first_waiter: Option<TaskId>,
+}
+
+impl<'a> Sys<'a> {
+    /// `tk_cre_sem` — creates a semaphore with initial count `init` and
+    /// ceiling `max`.
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` if `max == 0` or `init > max`.
+    pub fn tk_cre_sem(
+        &mut self,
+        name: &str,
+        init: u32,
+        max: u32,
+        order: QueueOrder,
+    ) -> KResult<SemId> {
+        self.service_cost(ServiceClass::Semaphore, "tk_cre_sem");
+        let r = {
+            if max == 0 || init > max {
+                Err(ErCode::Par)
+            } else {
+                let mut st = self.shared.st.lock();
+                let raw = super::table_insert(
+                    &mut st.sems,
+                    Sem {
+                        name: name.to_string(),
+                        count: init,
+                        max,
+                        waitq: WaitQueue::new(order),
+                    },
+                );
+                Ok(SemId(raw))
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_del_sem` — deletes a semaphore; waiters are released with
+    /// `E_DLT`.
+    pub fn tk_del_sem(&mut self, id: SemId) -> KResult<()> {
+        self.service_cost(ServiceClass::Semaphore, "tk_del_sem");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let now = self.proc.now();
+            match super::table_get_mut(&mut st.sems, id.0) {
+                Err(e) => Err(e),
+                Ok(sem) => {
+                    let waiters = sem.waitq.drain();
+                    st.sems[id.0 as usize - 1] = None;
+                    for tid in waiters {
+                        Shared::make_ready(&mut st, now, tid, Err(ErCode::Dlt), Delivered::None);
+                    }
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_sig_sem` — returns `cnt` counts to the semaphore, waking
+    /// waiters in queue order while their requests are satisfiable.
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` if `cnt == 0`; `E_QOVR` if the count would exceed the
+    /// maximum.
+    pub fn tk_sig_sem(&mut self, id: SemId, cnt: u32) -> KResult<()> {
+        self.service_cost(ServiceClass::Semaphore, "tk_sig_sem");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let now = self.proc.now();
+            if cnt == 0 {
+                Err(ErCode::Par)
+            } else {
+                match super::table_get_mut(&mut st.sems, id.0) {
+                    Err(e) => Err(e),
+                    Ok(sem) => {
+                        if sem.count.checked_add(cnt).is_none_or(|v| v > sem.max) {
+                            Err(ErCode::QOvr)
+                        } else {
+                            sem.count += cnt;
+                            // Wake satisfiable waiters from the head.
+                            let mut to_wake = Vec::new();
+                            loop {
+                                let front = {
+                                    let sem = super::table_get(&st.sems, id.0)
+                                        .expect("still exists");
+                                    let Some(front) = sem.waitq.front() else {
+                                        break;
+                                    };
+                                    front
+                                };
+                                let req = match st.tcb(front).ok().and_then(|t| t.wait) {
+                                    Some(WaitObj::Sem(_, req)) => req,
+                                    _ => 1,
+                                };
+                                let sem = super::table_get_mut(&mut st.sems, id.0)
+                                    .expect("still exists");
+                                if sem.count >= req {
+                                    sem.count -= req;
+                                    sem.waitq.pop();
+                                    to_wake.push(front);
+                                } else {
+                                    break;
+                                }
+                            }
+                            for tid in to_wake {
+                                Shared::make_ready(&mut st, now, tid, Ok(()), Delivered::None);
+                            }
+                            Ok(())
+                        }
+                    }
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_wai_sem` — acquires `cnt` counts, waiting if necessary.
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` for a zero or unsatisfiable request, `E_CTX` from
+    /// non-blockable contexts, `E_TMOUT`, `E_RLWAI`, `E_DLT`.
+    pub fn tk_wai_sem(&mut self, id: SemId, cnt: u32, tmo: Timeout) -> KResult<()> {
+        self.service_cost(ServiceClass::Semaphore, "tk_wai_sem");
+        let r = (|| {
+            let tid = self.check_blockable()?;
+            let decision = {
+                let mut st = self.shared.st.lock();
+                let pri = st.tcb(tid)?.cur_pri;
+                let sem = super::table_get_mut(&mut st.sems, id.0)?;
+                if cnt == 0 || cnt > sem.max {
+                    return Err(ErCode::Par);
+                }
+                if sem.waitq.is_empty() && sem.count >= cnt {
+                    sem.count -= cnt;
+                    Ok(())
+                } else if tmo == Timeout::Poll {
+                    Err(ErCode::Tmout)
+                } else {
+                    sem.waitq.enqueue(tid, pri);
+                    Err(ErCode::Sys) // sentinel: must block
+                }
+            };
+            match decision {
+                Ok(()) => Ok(()),
+                Err(ErCode::Sys) => {
+                    let shared = std::sync::Arc::clone(&self.shared);
+                    let (res, _) =
+                        shared.block_current(self.proc, tid, WaitObj::Sem(id, cnt), tmo);
+                    res
+                }
+                Err(e) => Err(e),
+            }
+        })();
+        self.service_exit();
+        r
+    }
+
+    /// `tk_ref_sem` — reference semaphore state.
+    pub fn tk_ref_sem(&mut self, id: SemId) -> KResult<RefSem> {
+        self.service_cost(ServiceClass::Semaphore, "tk_ref_sem");
+        let r = {
+            let st = self.shared.st.lock();
+            super::table_get(&st.sems, id.0).map(|s| RefSem {
+                name: s.name.clone(),
+                count: s.count,
+                max: s.max,
+                waiting: s.waitq.len(),
+                first_waiter: s.waitq.front(),
+            })
+        };
+        self.service_exit();
+        r
+    }
+}

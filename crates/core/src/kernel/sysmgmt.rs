@@ -1,0 +1,207 @@
+//! System management (`tk_ref_ver`, `tk_ref_sys`, dispatch and CPU-lock
+//! control).
+
+use crate::cost::ServiceClass;
+use crate::error::{ErCode, KResult};
+use crate::ids::TaskId;
+use crate::rtos::Sys;
+
+/// System state reported by `tk_ref_sys` (`TSS_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysState {
+    /// Normal task context.
+    Task,
+    /// Task context with dispatching disabled.
+    DisabledDispatch,
+    /// Task context with interrupts locked (`tk_loc_cpu`).
+    Locked,
+    /// Task-independent context (handler running).
+    TaskIndependent,
+}
+
+impl SysState {
+    /// Specification mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            SysState::Task => "TSS_TSK",
+            SysState::DisabledDispatch => "TSS_DDSP",
+            SysState::Locked => "TSS_LOC",
+            SysState::TaskIndependent => "TSS_INDP",
+        }
+    }
+}
+
+/// Snapshot returned by `tk_ref_sys`.
+#[derive(Debug, Clone)]
+pub struct RefSys {
+    /// Current system state.
+    pub sysstat: SysState,
+    /// The running task, if any.
+    pub runtskid: Option<TaskId>,
+    /// The task that would be scheduled next (head of the ready queue).
+    pub schedtskid: Option<TaskId>,
+    /// Interrupt nesting depth (incl. the timer frame).
+    pub int_nest: usize,
+    /// Ticks since boot.
+    pub ticks: u64,
+}
+
+/// Snapshot returned by `tk_ref_ver`.
+#[derive(Debug, Clone)]
+pub struct RefVer {
+    /// Maker code.
+    pub maker: &'static str,
+    /// Product identifier.
+    pub prid: &'static str,
+    /// Specification version modeled.
+    pub spver: &'static str,
+    /// Product version.
+    pub prver: &'static str,
+}
+
+impl<'a> Sys<'a> {
+    /// `tk_ref_ver` — kernel version information.
+    pub fn tk_ref_ver(&mut self) -> KResult<RefVer> {
+        self.service_cost(ServiceClass::System, "tk_ref_ver");
+        self.service_exit();
+        Ok(RefVer {
+            maker: "rtk-spec-tron (reproduction)",
+            prid: "RTK-Spec TRON",
+            spver: "uITRON 4.0 / T-Kernel 1.0 (subset)",
+            prver: env!("CARGO_PKG_VERSION"),
+        })
+    }
+
+    /// `tk_ref_sys` — reference system status.
+    pub fn tk_ref_sys(&mut self) -> KResult<RefSys> {
+        self.service_cost(ServiceClass::System, "tk_ref_sys");
+        let r = {
+            let st = self.shared.st.lock();
+            let sysstat = if !st.int_stack.is_empty() {
+                SysState::TaskIndependent
+            } else if st.cpu_locked {
+                SysState::Locked
+            } else if st.dispatch_disabled {
+                SysState::DisabledDispatch
+            } else {
+                SysState::Task
+            };
+            RefSys {
+                sysstat,
+                runtskid: st.running,
+                schedtskid: st.scheduler.peek(),
+                int_nest: st.int_stack.len(),
+                ticks: st.ticks,
+            }
+        };
+        self.service_exit();
+        Ok(r)
+    }
+
+    /// `tk_dis_dsp` — disables task dispatching.
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context.
+    pub fn tk_dis_dsp(&mut self) -> KResult<()> {
+        self.service_cost(ServiceClass::System, "tk_dis_dsp");
+        let r = {
+            let tid = self.require_task();
+            match tid {
+                Err(e) => Err(e),
+                Ok(_) => {
+                    self.shared.st.lock().dispatch_disabled = true;
+                    Ok(())
+                }
+            }
+        };
+        // Note: no preemption point — dispatching is disabled.
+        r
+    }
+
+    /// `tk_ena_dsp` — re-enables task dispatching; a deferred dispatch
+    /// request takes effect immediately.
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context.
+    pub fn tk_ena_dsp(&mut self) -> KResult<()> {
+        self.service_cost(ServiceClass::System, "tk_ena_dsp");
+        let r = {
+            let tid = self.require_task();
+            match tid {
+                Err(e) => Err(e),
+                Ok(_) => {
+                    self.shared.st.lock().dispatch_disabled = false;
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_loc_cpu` — locks the CPU: interrupts are not delivered and
+    /// dispatching is disabled until [`Sys::tk_unl_cpu`].
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context.
+    pub fn tk_loc_cpu(&mut self) -> KResult<()> {
+        self.service_cost(ServiceClass::System, "tk_loc_cpu");
+        let r = {
+            match self.require_task() {
+                Err(e) => Err(e),
+                Ok(_) => {
+                    let mut st = self.shared.st.lock();
+                    st.cpu_locked = true;
+                    st.dispatch_disabled = true;
+                    Ok(())
+                }
+            }
+        };
+        r
+    }
+
+    /// `tk_unl_cpu` — unlocks the CPU; pended interrupts are delivered.
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context.
+    pub fn tk_unl_cpu(&mut self) -> KResult<()> {
+        self.service_cost(ServiceClass::System, "tk_unl_cpu");
+        let r = match self.require_task() {
+            Err(e) => Err(e),
+            Ok(_) => {
+                let kick = {
+                    let mut st = self.shared.st.lock();
+                    st.cpu_locked = false;
+                    st.dispatch_disabled = false;
+                    if st.pending_ints.is_empty() {
+                        None
+                    } else {
+                        st.int_req_ev
+                    }
+                };
+                if let Some(ev) = kick {
+                    self.shared.h.notify(ev);
+                }
+                Ok(())
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// Returns `E_CTX` if the caller may not block (handler context,
+    /// dispatch disabled, or CPU locked). Used by all waiting services.
+    pub(crate) fn check_blockable(&self) -> KResult<TaskId> {
+        let tid = self.require_task()?;
+        let st = self.shared.st.lock();
+        if st.dispatch_disabled || st.cpu_locked {
+            Err(ErCode::Ctx)
+        } else {
+            Ok(tid)
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! Task management and task-attached synchronisation
+//! (`tk_cre_tsk` … `tk_ref_tsk`, `tk_slp_tsk`/`tk_wup_tsk`,
+//! suspend/resume, delay, forced wait release).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sysc::{ProcCtx, SpawnMode};
+
+use crate::config::Priority;
+use crate::cost::ServiceClass;
+use crate::error::{ErCode, KResult};
+use crate::ids::{TaskId, ThreadRef};
+use crate::rtos::Sys;
+use crate::state::{
+    Delivered, ResumeKind, Shared, TaskBody, TaskState, Tcb, Timeout, WaitObj,
+};
+use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
+use crate::trace::TraceKind;
+
+/// Snapshot returned by `tk_ref_tsk`.
+#[derive(Debug, Clone)]
+pub struct RefTsk {
+    /// Task name.
+    pub name: String,
+    /// Current task state.
+    pub state: TaskState,
+    /// Base (assigned) priority.
+    pub base_pri: Priority,
+    /// Current priority (after mutex inheritance/ceiling).
+    pub cur_pri: Priority,
+    /// Queued wakeup requests.
+    pub wupcnt: u32,
+    /// Nested suspend count.
+    pub suscnt: u32,
+    /// What the task is waiting on, if waiting.
+    pub wait: Option<WaitObj>,
+    /// Number of activations so far.
+    pub activations: u64,
+}
+
+impl<'a> Sys<'a> {
+    /// `tk_cre_tsk` — creates a task in the DORMANT state.
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` if the priority is out of range.
+    pub fn tk_cre_tsk<F>(&mut self, name: &str, pri: Priority, body: F) -> KResult<TaskId>
+    where
+        F: FnMut(&mut Sys<'_>, i32) + Send + 'static,
+    {
+        self.service_cost(ServiceClass::Task, "tk_cre_tsk");
+        let r = self.shared.create_task_raw(name, pri, Box::new(body));
+        self.service_exit();
+        r
+    }
+
+    /// `tk_del_tsk` — deletes a DORMANT task.
+    ///
+    /// # Errors
+    ///
+    /// `E_NOEXS` if the task does not exist; `E_OBJ` if it is not
+    /// DORMANT.
+    pub fn tk_del_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.service_cost(ServiceClass::Task, "tk_del_tsk");
+        let r = {
+            let mut st = self.shared.st.lock();
+            match st.tcb(tid) {
+                Err(e) => Err(e),
+                Ok(tcb) if tcb.state != TaskState::Dormant => Err(ErCode::Obj),
+                Ok(_) => {
+                    st.tasks[tid.0 as usize - 1] = None;
+                    st.threads.remove(&ThreadRef::Task(tid));
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_sta_tsk` — starts a DORMANT task with start code `stacd`.
+    ///
+    /// # Errors
+    ///
+    /// `E_NOEXS` / `E_OBJ` as per the specification.
+    pub fn tk_sta_tsk(&mut self, tid: TaskId, stacd: i32) -> KResult<()> {
+        self.service_cost(ServiceClass::Task, "tk_sta_tsk");
+        let r = self.shared.start_task(tid, stacd, self.proc.now());
+        self.service_exit();
+        r
+    }
+
+    /// `tk_ext_tsk` — ends the calling task (returns it to DORMANT).
+    /// Never returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from handler context (a real kernel would fall
+    /// into a system error; `E_CTX` cannot be returned from a diverging
+    /// call).
+    pub fn tk_ext_tsk(&mut self) -> ! {
+        let tid = self
+            .require_task()
+            .expect("tk_ext_tsk must be called from task context");
+        let shared = Arc::clone(&self.shared);
+        shared.task_exit_bookkeeping(tid, self.proc.now(), false);
+        self.proc.exit()
+    }
+
+    /// `tk_exd_tsk` — ends and deletes the calling task. Never returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from handler context.
+    pub fn tk_exd_tsk(&mut self) -> ! {
+        let tid = self
+            .require_task()
+            .expect("tk_exd_tsk must be called from task context");
+        let shared = Arc::clone(&self.shared);
+        shared.task_exit_bookkeeping(tid, self.proc.now(), true);
+        self.proc.exit()
+    }
+
+    /// `tk_ter_tsk` — forcibly terminates another task (to DORMANT).
+    ///
+    /// # Errors
+    ///
+    /// `E_OBJ` if the target is DORMANT or is the caller itself.
+    pub fn tk_ter_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.service_cost(ServiceClass::Task, "tk_ter_tsk");
+        let r = {
+            if self.who == ThreadRef::Task(tid) {
+                Err(ErCode::Obj)
+            } else {
+                self.shared.terminate_task(tid, self.proc.now())
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_chg_pri` — changes a task's base priority (`pri == 0` resets
+    /// to the creation priority, `TPRI_INI`).
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` for out-of-range priorities, `E_NOEXS`/`E_OBJ` for bad
+    /// targets, `E_ILUSE` if the new priority violates a held ceiling
+    /// mutex.
+    pub fn tk_chg_pri(&mut self, tid: TaskId, pri: Priority) -> KResult<()> {
+        self.service_cost(ServiceClass::Task, "tk_chg_pri");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let max = st.cfg.max_priority;
+            match st.tcb(tid) {
+                Err(e) => Err(e),
+                Ok(tcb) if tcb.state == TaskState::Dormant => Err(ErCode::Obj),
+                Ok(tcb) => {
+                    let new_base = if pri == 0 { tcb.base_pri } else { pri };
+                    if pri > max {
+                        Err(ErCode::Par)
+                    } else if super::mtx::violates_ceiling(&st, tid, new_base) {
+                        Err(ErCode::IlUse)
+                    } else {
+                        let tcb = st.tcb_mut(tid).expect("checked above");
+                        tcb.base_pri = new_base;
+                        super::mtx::recompute_priority(&mut st, tid, 0);
+                        Ok(())
+                    }
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_rot_rdq` — rotates the ready queue of priority `pri`
+    /// (`pri == 0`: the caller's current priority).
+    pub fn tk_rot_rdq(&mut self, pri: Priority) -> KResult<()> {
+        self.service_cost(ServiceClass::Task, "tk_rot_rdq");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let pri = if pri == 0 {
+                match self.who {
+                    ThreadRef::Task(tid) => st.tcb(tid)?.cur_pri,
+                    _ => return Err(ErCode::Ctx),
+                }
+            } else if pri > st.cfg.max_priority {
+                return Err(ErCode::Par);
+            } else {
+                pri
+            };
+            st.scheduler.rotate(pri);
+            Ok(())
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_get_tid` — the calling task's ID (`None` from handler
+    /// context, the specification's `TSK_NONE`).
+    pub fn tk_get_tid(&self) -> Option<TaskId> {
+        match self.who {
+            ThreadRef::Task(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `tk_ref_tsk` — reference task state.
+    ///
+    /// # Errors
+    ///
+    /// `E_NOEXS` if the task does not exist.
+    pub fn tk_ref_tsk(&mut self, tid: TaskId) -> KResult<RefTsk> {
+        self.service_cost(ServiceClass::Task, "tk_ref_tsk");
+        let r = {
+            let st = self.shared.st.lock();
+            st.tcb(tid).map(|tcb| RefTsk {
+                name: tcb.name.clone(),
+                state: tcb.state,
+                base_pri: tcb.base_pri,
+                cur_pri: tcb.cur_pri,
+                wupcnt: tcb.wupcnt,
+                suscnt: tcb.suscnt,
+                wait: tcb.wait,
+                activations: tcb.activations,
+            })
+        };
+        self.service_exit();
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Task-attached synchronisation
+    // ------------------------------------------------------------------
+
+    /// `tk_slp_tsk` — sleeps until `tk_wup_tsk` (or timeout). A queued
+    /// wakeup request is consumed immediately.
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context or while dispatching is disabled;
+    /// `E_TMOUT` / `E_RLWAI` per the specification.
+    pub fn tk_slp_tsk(&mut self, tmo: Timeout) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_slp_tsk");
+        let tid = self.require_task()?;
+        let r = {
+            let mut st = self.shared.st.lock();
+            if st.dispatch_disabled || st.cpu_locked {
+                drop(st);
+                Err(ErCode::Ctx)
+            } else {
+                let tcb = st.tcb_mut(tid).expect("caller exists");
+                if tcb.wupcnt > 0 {
+                    tcb.wupcnt -= 1;
+                    drop(st);
+                    Ok(())
+                } else if tmo == Timeout::Poll {
+                    drop(st);
+                    Err(ErCode::Tmout)
+                } else {
+                    drop(st);
+                    let shared = Arc::clone(&self.shared);
+                    let (res, _) = shared.block_current(self.proc, tid, WaitObj::Sleep, tmo);
+                    res.map_err(|e| e)
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_wup_tsk` — wakes a sleeping task or queues the wakeup.
+    ///
+    /// # Errors
+    ///
+    /// `E_OBJ` for DORMANT targets or self, `E_QOVR` if the wakeup queue
+    /// overflows.
+    pub fn tk_wup_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_wup_tsk");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let now = self.proc.now();
+            if self.who == ThreadRef::Task(tid) {
+                Err(ErCode::Obj)
+            } else {
+                match st.tcb(tid) {
+                    Err(e) => Err(e),
+                    Ok(tcb) if tcb.state == TaskState::Dormant => Err(ErCode::Obj),
+                    Ok(tcb) => {
+                        let sleeping = matches!(
+                            (tcb.state, tcb.wait),
+                            (TaskState::Wait | TaskState::WaitSuspend, Some(WaitObj::Sleep))
+                        );
+                        if sleeping {
+                            Shared::make_ready(&mut st, now, tid, Ok(()), Delivered::None);
+                            Ok(())
+                        } else {
+                            let max = st.cfg.max_wakeup_count;
+                            let tcb = st.tcb_mut(tid).expect("checked above");
+                            if tcb.wupcnt >= max {
+                                Err(ErCode::QOvr)
+                            } else {
+                                tcb.wupcnt += 1;
+                                Ok(())
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_can_wup` — returns and clears the queued wakeup count.
+    pub fn tk_can_wup(&mut self, tid: TaskId) -> KResult<u32> {
+        self.service_cost(ServiceClass::TaskSync, "tk_can_wup");
+        let r = {
+            let mut st = self.shared.st.lock();
+            match st.tcb_mut(tid) {
+                Err(e) => Err(e),
+                Ok(tcb) if tcb.state == TaskState::Dormant => Err(ErCode::Obj),
+                Ok(tcb) => {
+                    let n = tcb.wupcnt;
+                    tcb.wupcnt = 0;
+                    Ok(n)
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_dly_tsk` — delays the calling task for at least `d`
+    /// (releasable only by `tk_rel_wai`).
+    ///
+    /// # Errors
+    ///
+    /// `E_CTX` from handler context; `E_RLWAI` on forced release.
+    pub fn tk_dly_tsk(&mut self, d: sysc::SimTime) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_dly_tsk");
+        let tid = self.require_task()?;
+        let r = {
+            let st = self.shared.st.lock();
+            if st.dispatch_disabled || st.cpu_locked {
+                Err(ErCode::Ctx)
+            } else if d.is_zero() {
+                Ok(())
+            } else {
+                drop(st);
+                let shared = Arc::clone(&self.shared);
+                let (res, _) =
+                    shared.block_current(self.proc, tid, WaitObj::Delay, Timeout::Finite(d));
+                // Normal delay completion is reported as success.
+                match res {
+                    Err(ErCode::Tmout) | Ok(()) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_rel_wai` — forcibly releases another task from waiting (it
+    /// completes with `E_RLWAI`).
+    ///
+    /// # Errors
+    ///
+    /// `E_OBJ` if the target is not waiting.
+    pub fn tk_rel_wai(&mut self, tid: TaskId) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_rel_wai");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let now = self.proc.now();
+            match st.tcb(tid) {
+                Err(e) => Err(e),
+                Ok(tcb)
+                    if !matches!(tcb.state, TaskState::Wait | TaskState::WaitSuspend) =>
+                {
+                    Err(ErCode::Obj)
+                }
+                Ok(_) => {
+                    super::detach_waiter(&mut st, tid);
+                    Shared::make_ready(&mut st, now, tid, Err(ErCode::RlWai), Delivered::None);
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_sus_tsk` — suspends another task (nested).
+    ///
+    /// # Errors
+    ///
+    /// `E_OBJ` for DORMANT targets or self; `E_QOVR` on suspend-count
+    /// overflow.
+    pub fn tk_sus_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_sus_tsk");
+        let r = {
+            let mut st = self.shared.st.lock();
+            if self.who == ThreadRef::Task(tid) {
+                Err(ErCode::Obj)
+            } else {
+                match st.tcb(tid) {
+                    Err(e) => Err(e),
+                    Ok(tcb) if tcb.state == TaskState::Dormant => Err(ErCode::Obj),
+                    Ok(tcb) if tcb.suscnt >= st.cfg.max_suspend_count => {
+                        let _ = tcb;
+                        Err(ErCode::QOvr)
+                    }
+                    Ok(_) => {
+                        let tcb = st.tcb_mut(tid).expect("checked above");
+                        tcb.suscnt += 1;
+                        match tcb.state {
+                            TaskState::Ready => {
+                                tcb.state = TaskState::Suspend;
+                                st.scheduler.remove(tid);
+                            }
+                            TaskState::Wait => tcb.state = TaskState::WaitSuspend,
+                            TaskState::Running => {
+                                // Only reachable from handler context (the
+                                // frozen running task). Demote it.
+                                tcb.state = TaskState::Suspend;
+                                st.running = None;
+                                let rec = st.thread_mut(ThreadRef::Task(tid));
+                                rec.resume_as = ResumeKind::Preempted;
+                                rec.marking = ExecContext::Preempted;
+                            }
+                            _ => {}
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_rsm_tsk` — resumes a suspended task (one nesting level).
+    pub fn tk_rsm_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.resume_task_inner(tid, false)
+    }
+
+    /// `tk_frsm_tsk` — forcibly resumes a suspended task (all levels).
+    pub fn tk_frsm_tsk(&mut self, tid: TaskId) -> KResult<()> {
+        self.resume_task_inner(tid, true)
+    }
+
+    fn resume_task_inner(&mut self, tid: TaskId, force: bool) -> KResult<()> {
+        self.service_cost(ServiceClass::TaskSync, "tk_rsm_tsk");
+        let r = {
+            let mut st = self.shared.st.lock();
+            match st.tcb(tid) {
+                Err(e) => Err(e),
+                Ok(tcb)
+                    if !matches!(tcb.state, TaskState::Suspend | TaskState::WaitSuspend) =>
+                {
+                    Err(ErCode::Obj)
+                }
+                Ok(_) => {
+                    let tcb = st.tcb_mut(tid).expect("checked above");
+                    tcb.suscnt = if force { 0 } else { tcb.suscnt - 1 };
+                    if tcb.suscnt == 0 {
+                        match tcb.state {
+                            TaskState::Suspend => {
+                                tcb.state = TaskState::Ready;
+                                let pri = tcb.cur_pri;
+                                st.scheduler.enqueue(tid, pri, false);
+                            }
+                            TaskState::WaitSuspend => tcb.state = TaskState::Wait,
+                            _ => unreachable!("state checked above"),
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+}
+
+impl Shared {
+    /// Creates a task control block in the DORMANT state and registers
+    /// its T-THREAD. Shared by `tk_cre_tsk` and the Boot module (which
+    /// creates the initialization task).
+    pub(crate) fn create_task_raw(
+        &self,
+        name: &str,
+        pri: Priority,
+        body: Box<TaskBody>,
+    ) -> KResult<TaskId> {
+        let tid = {
+            let mut st = self.st.lock();
+            if pri < 1 || pri > st.cfg.max_priority {
+                return Err(ErCode::Par);
+            }
+            let idx = st
+                .tasks
+                .iter()
+                .position(|t| t.is_none())
+                .unwrap_or_else(|| {
+                    st.tasks.push(None);
+                    st.tasks.len() - 1
+                });
+            let tid = TaskId(idx as u32 + 1);
+            st.tasks[idx] = Some(Tcb {
+                id: tid,
+                name: name.to_string(),
+                base_pri: pri,
+                cur_pri: pri,
+                state: TaskState::Dormant,
+                wupcnt: 0,
+                suscnt: 0,
+                wait: None,
+                wait_gen: 0,
+                wait_result: None,
+                held_mutexes: Vec::new(),
+                body: Arc::new(Mutex::new(body)),
+                stacd: 0,
+                preempted: false,
+                activations: 0,
+            });
+            tid
+        };
+        self.register_thread(ThreadRef::Task(tid), name, TThreadKind::Task);
+        Ok(tid)
+    }
+
+    /// Implements `tk_sta_tsk`: DORMANT → READY plus spawning the
+    /// activation process.
+    pub(crate) fn start_task(&self, tid: TaskId, stacd: i32, now: sysc::SimTime) -> KResult<()> {
+        let mut st = self.st.lock();
+        match st.tcb(tid) {
+            Err(e) => return Err(e),
+            Ok(tcb) if tcb.state != TaskState::Dormant => return Err(ErCode::Obj),
+            Ok(_) => {}
+        }
+        let tcb = st.tcb_mut(tid).expect("checked above");
+        tcb.stacd = stacd;
+        tcb.state = TaskState::Ready;
+        tcb.cur_pri = tcb.base_pri;
+        tcb.preempted = false;
+        tcb.activations += 1;
+        let pri = tcb.cur_pri;
+        let name = tcb.name.clone();
+        st.scheduler.enqueue(tid, pri, false);
+        let who = ThreadRef::Task(tid);
+        let (resume_ev, _) = {
+            let rec = st.thread_mut(who);
+            rec.resume_as = ResumeKind::Start;
+            rec.marking = ExecContext::Startup;
+            (rec.resume_ev, ())
+        };
+        Shared::trace_point(&st, now, who, TraceKind::Startup);
+        // Spawn the per-activation process, parked until dispatched.
+        let shared = self.owner_arc();
+        let pid = self.h.spawn_thread(&name, SpawnMode::WaitEvent(resume_ev), move |proc| {
+            shared.run_task_activation(proc, tid);
+        });
+        st.thread_mut(who).proc = Some(pid);
+        Ok(())
+    }
+
+    /// The body wrapper of one task activation.
+    fn run_task_activation(self: Arc<Shared>, proc: &mut ProcCtx, tid: TaskId) {
+        let who = ThreadRef::Task(tid);
+        // The spawn wait was satisfied by a dispatch notification, but the
+        // grant may have been revoked by a same-delta interrupt; wait for
+        // an actual CPU grant.
+        self.park_until_granted(proc, who);
+        let (body, stacd) = {
+            let mut st = self.st.lock();
+            let now = proc.now();
+            let rec = st.thread_mut(who);
+            rec.stats.sigma.fire(TThreadEvent::Es);
+            rec.marking = ExecContext::TaskBody;
+            rec.prev_marking = ExecContext::TaskBody;
+            let tcb = st.tcb(tid).expect("started task exists");
+            let _ = now;
+            (Arc::clone(&tcb.body), tcb.stacd)
+        };
+        {
+            let mut body = body.lock();
+            let mut sys = Sys {
+                shared: Arc::clone(&self),
+                proc,
+                who,
+            };
+            (body)(&mut sys, stacd);
+        }
+        // Implicit tk_ext_tsk when the body returns.
+        self.task_exit_bookkeeping(tid, proc.now(), false);
+        // The sysc process ends by returning (no need to unwind).
+    }
+
+    /// DORMANT bookkeeping shared by `tk_ext_tsk`, `tk_exd_tsk` and the
+    /// implicit exit when a task body returns.
+    pub(crate) fn task_exit_bookkeeping(&self, tid: TaskId, now: sysc::SimTime, delete: bool) {
+        let who = ThreadRef::Task(tid);
+        let (frozen_ev, next_resume) = {
+            let mut st = self.st.lock();
+            super::mtx::release_all_held(&mut st, tid, now);
+            let tcb = st.tcb_mut(tid).expect("exiting task exists");
+            tcb.state = TaskState::Dormant;
+            tcb.wupcnt = 0;
+            tcb.suscnt = 0;
+            tcb.wait = None;
+            tcb.preempted = false;
+            debug_assert_eq!(st.running, Some(tid), "only the running task can exit");
+            st.running = None;
+            let rec = st.thread_mut(who);
+            rec.marking = ExecContext::Dormant;
+            rec.stats.cycles += 1;
+            rec.proc = None;
+            rec.parked = true;
+            rec.cpu_granted = false;
+            let frozen_ev = rec.ctrl_pending.take().map(|_| rec.frozen_ev);
+            Shared::trace_point(&st, now, who, TraceKind::Exit);
+            if delete {
+                st.tasks[tid.0 as usize - 1] = None;
+                st.threads.remove(&who);
+            }
+            let next_resume = if frozen_ev.is_none() {
+                Shared::pick_and_switch(&mut st, now)
+            } else {
+                None
+            };
+            Shared::update_idle(&mut st, now);
+            (frozen_ev, next_resume)
+        };
+        if let Some(ev) = frozen_ev {
+            self.h.notify(ev);
+        }
+        if let Some(ev) = next_resume {
+            self.h.notify(ev);
+        }
+    }
+
+    /// Implements `tk_ter_tsk`.
+    pub(crate) fn terminate_task(&self, tid: TaskId, now: sysc::SimTime) -> KResult<()> {
+        let who = ThreadRef::Task(tid);
+        let proc = {
+            let mut st = self.st.lock();
+            match st.tcb(tid) {
+                Err(e) => return Err(e),
+                Ok(tcb) if tcb.state == TaskState::Dormant => return Err(ErCode::Obj),
+                Ok(_) => {}
+            }
+            super::mtx::release_all_held(&mut st, tid, now);
+            super::detach_waiter(&mut st, tid);
+            let was_running = st.running == Some(tid);
+            if was_running {
+                st.running = None;
+            } else {
+                st.scheduler.remove(tid);
+            }
+            let tcb = st.tcb_mut(tid).expect("checked above");
+            tcb.state = TaskState::Dormant;
+            tcb.wupcnt = 0;
+            tcb.suscnt = 0;
+            tcb.wait = None;
+            tcb.preempted = false;
+            let rec = st.thread_mut(who);
+            rec.marking = ExecContext::Dormant;
+            rec.stats.cycles += 1;
+            rec.ctrl_pending = None;
+            rec.parked = true;
+            rec.cpu_granted = false;
+            let proc = rec.proc.take();
+            Shared::trace_point(&st, now, who, TraceKind::Exit);
+            Shared::update_idle(&mut st, now);
+            proc
+        };
+        if let Some(pid) = proc {
+            self.h.kill(pid);
+        }
+        Ok(())
+    }
+}

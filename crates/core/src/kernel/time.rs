@@ -1,0 +1,482 @@
+//! Time management: system time, cyclic handlers and alarm handlers
+//! (`tk_set_tim`, `tk_cre_cyc` …, `tk_cre_alm` …).
+//!
+//! Cyclic and alarm handlers are T-THREADs activated by the timer
+//! handler inside the Thread Dispatch tick sequence (paper Fig. 3:
+//! "the timer handler updates the system clock, checks for cyclic,
+//! alarm events, or task resuming events in the timer queue").
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sysc::{ProcCtx, SimTime, SpawnMode};
+
+use crate::cost::ServiceClass;
+use crate::error::{ErCode, KResult};
+use crate::ids::{AlmId, CycId, ThreadRef};
+use crate::rtos::Sys;
+use crate::state::{HandlerBody, Shared, TimerAction};
+use crate::tthread::{ExecContext, TThreadKind};
+
+/// Cyclic handler control block.
+pub struct Cyc {
+    pub(crate) name: String,
+    /// Period in ticks.
+    pub(crate) cyctim_ticks: u64,
+    /// Initial phase in ticks.
+    pub(crate) cycphs_ticks: u64,
+    pub(crate) active: bool,
+    /// Bumped on start/stop; stale timer entries are ignored.
+    pub(crate) gen: u64,
+    /// Completed activations.
+    pub(crate) count: u64,
+    pub(crate) body: Arc<Mutex<Box<HandlerBody>>>,
+}
+
+impl std::fmt::Debug for Cyc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cyc")
+            .field("name", &self.name)
+            .field("period_ticks", &self.cyctim_ticks)
+            .field("active", &self.active)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+/// Alarm handler control block.
+pub struct Alm {
+    pub(crate) name: String,
+    pub(crate) active: bool,
+    pub(crate) gen: u64,
+    pub(crate) count: u64,
+    pub(crate) body: Arc<Mutex<Box<HandlerBody>>>,
+}
+
+impl std::fmt::Debug for Alm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Alm")
+            .field("name", &self.name)
+            .field("active", &self.active)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+/// Snapshot returned by `tk_ref_cyc`.
+#[derive(Debug, Clone)]
+pub struct RefCyc {
+    /// Handler name.
+    pub name: String,
+    /// Whether the cyclic handler is active (`TCYC_STA`).
+    pub active: bool,
+    /// Period in ticks.
+    pub period_ticks: u64,
+    /// Completed activations.
+    pub count: u64,
+}
+
+/// Snapshot returned by `tk_ref_alm`.
+#[derive(Debug, Clone)]
+pub struct RefAlm {
+    /// Handler name.
+    pub name: String,
+    /// Whether the alarm is armed.
+    pub active: bool,
+    /// Completed activations.
+    pub count: u64,
+}
+
+impl<'a> Sys<'a> {
+    /// `tk_set_tim` — sets the system time (milliseconds since an
+    /// arbitrary epoch).
+    pub fn tk_set_tim(&mut self, ms: u64) -> KResult<()> {
+        self.service_cost(ServiceClass::Time, "tk_set_tim");
+        self.shared.st.lock().systim_ms = ms;
+        self.service_exit();
+        Ok(())
+    }
+
+    /// `tk_get_tim` — reads the system time in milliseconds.
+    pub fn tk_get_tim(&mut self) -> KResult<u64> {
+        self.service_cost(ServiceClass::Time, "tk_get_tim");
+        let v = self.shared.st.lock().systim_ms;
+        self.service_exit();
+        Ok(v)
+    }
+
+    /// `tk_get_otm` — operating time since boot.
+    pub fn tk_get_otm(&mut self) -> KResult<SimTime> {
+        self.service_cost(ServiceClass::Time, "tk_get_otm");
+        let v = self.now();
+        self.service_exit();
+        Ok(v)
+    }
+
+    /// `tk_cre_cyc` — creates a cyclic handler with period `cyctim` and
+    /// phase `cycphs`; `auto_start` is the `TA_STA` attribute.
+    ///
+    /// # Errors
+    ///
+    /// `E_PAR` if the period is zero.
+    pub fn tk_cre_cyc<F>(
+        &mut self,
+        name: &str,
+        cyctim: SimTime,
+        cycphs: SimTime,
+        auto_start: bool,
+        body: F,
+    ) -> KResult<CycId>
+    where
+        F: FnMut(&mut Sys<'_>) + Send + 'static,
+    {
+        self.service_cost(ServiceClass::Time, "tk_cre_cyc");
+        let r = {
+            let mut st = self.shared.st.lock();
+            if cyctim.is_zero() {
+                Err(ErCode::Par)
+            } else {
+                let tick = st.cfg.tick;
+                let to_ticks = |d: SimTime| (d.as_ps() + tick.as_ps() - 1) / tick.as_ps();
+                let cyc = Cyc {
+                    name: name.to_string(),
+                    cyctim_ticks: to_ticks(cyctim).max(1),
+                    cycphs_ticks: to_ticks(cycphs),
+                    active: auto_start,
+                    gen: 0,
+                    count: 0,
+                    body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
+                };
+                let raw = super::table_insert(&mut st.cycs, cyc);
+                let id = CycId(raw);
+                if auto_start {
+                    let c = super::table_get(&st.cycs, raw).expect("just inserted");
+                    let first = if c.cycphs_ticks > 0 {
+                        c.cycphs_ticks
+                    } else {
+                        c.cyctim_ticks
+                    };
+                    let gen = c.gen;
+                    let at = st.ticks + first;
+                    st.push_timer(at, TimerAction::CyclicFire { id, gen });
+                }
+                drop(st);
+                self.shared
+                    .register_thread(ThreadRef::Cyclic(id), name, TThreadKind::CyclicHandler);
+                self.shared.spawn_handler_thread(ThreadRef::Cyclic(id));
+                Ok(id)
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_sta_cyc` — (re)starts a cyclic handler; the next activation
+    /// is one period from now.
+    pub fn tk_sta_cyc(&mut self, id: CycId) -> KResult<()> {
+        self.service_cost(ServiceClass::Time, "tk_sta_cyc");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let ticks = st.ticks;
+            match super::table_get_mut(&mut st.cycs, id.0) {
+                Err(e) => Err(e),
+                Ok(c) => {
+                    c.active = true;
+                    c.gen += 1;
+                    let gen = c.gen;
+                    let at = ticks + c.cyctim_ticks;
+                    st.push_timer(at, TimerAction::CyclicFire { id, gen });
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_stp_cyc` — stops a cyclic handler.
+    pub fn tk_stp_cyc(&mut self, id: CycId) -> KResult<()> {
+        self.service_cost(ServiceClass::Time, "tk_stp_cyc");
+        let r = {
+            let mut st = self.shared.st.lock();
+            super::table_get_mut(&mut st.cycs, id.0).map(|c| {
+                c.active = false;
+                c.gen += 1;
+            })
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_ref_cyc` — reference cyclic-handler state.
+    pub fn tk_ref_cyc(&mut self, id: CycId) -> KResult<RefCyc> {
+        self.service_cost(ServiceClass::Time, "tk_ref_cyc");
+        let r = {
+            let st = self.shared.st.lock();
+            super::table_get(&st.cycs, id.0).map(|c| RefCyc {
+                name: c.name.clone(),
+                active: c.active,
+                period_ticks: c.cyctim_ticks,
+                count: c.count,
+            })
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_cre_alm` — creates an (unarmed) alarm handler.
+    pub fn tk_cre_alm<F>(&mut self, name: &str, body: F) -> KResult<AlmId>
+    where
+        F: FnMut(&mut Sys<'_>) + Send + 'static,
+    {
+        self.service_cost(ServiceClass::Time, "tk_cre_alm");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let alm = Alm {
+                name: name.to_string(),
+                active: false,
+                gen: 0,
+                count: 0,
+                body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
+            };
+            let raw = super::table_insert(&mut st.alms, alm);
+            drop(st);
+            let id = AlmId(raw);
+            self.shared
+                .register_thread(ThreadRef::Alarm(id), name, TThreadKind::AlarmHandler);
+            self.shared.spawn_handler_thread(ThreadRef::Alarm(id));
+            Ok(id)
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_sta_alm` — arms the alarm to fire `almtim` from now.
+    pub fn tk_sta_alm(&mut self, id: AlmId, almtim: SimTime) -> KResult<()> {
+        self.service_cost(ServiceClass::Time, "tk_sta_alm");
+        let r = {
+            let mut st = self.shared.st.lock();
+            let deadline = st.deadline_ticks(almtim);
+            match super::table_get_mut(&mut st.alms, id.0) {
+                Err(e) => Err(e),
+                Ok(a) => {
+                    a.active = true;
+                    a.gen += 1;
+                    let gen = a.gen;
+                    st.push_timer(deadline, TimerAction::AlarmFire { id, gen });
+                    Ok(())
+                }
+            }
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_stp_alm` — disarms the alarm.
+    pub fn tk_stp_alm(&mut self, id: AlmId) -> KResult<()> {
+        self.service_cost(ServiceClass::Time, "tk_stp_alm");
+        let r = {
+            let mut st = self.shared.st.lock();
+            super::table_get_mut(&mut st.alms, id.0).map(|a| {
+                a.active = false;
+                a.gen += 1;
+            })
+        };
+        self.service_exit();
+        r
+    }
+
+    /// `tk_ref_alm` — reference alarm-handler state.
+    pub fn tk_ref_alm(&mut self, id: AlmId) -> KResult<RefAlm> {
+        self.service_cost(ServiceClass::Time, "tk_ref_alm");
+        let r = {
+            let st = self.shared.st.lock();
+            super::table_get(&st.alms, id.0).map(|a| RefAlm {
+                name: a.name.clone(),
+                active: a.active,
+                count: a.count,
+            })
+        };
+        self.service_exit();
+        r
+    }
+}
+
+impl Shared {
+    /// Spawns the persistent handler thread for a cyclic/alarm/ISR
+    /// T-THREAD: it loops forever, running the body once per activation
+    /// and signalling completion.
+    pub(crate) fn spawn_handler_thread(&self, who: ThreadRef) {
+        let (activate_ev, name) = {
+            let st = self.st.lock();
+            let rec = st.thread(who);
+            (rec.activate_ev, rec.name.clone())
+        };
+        let shared = self.owner_arc();
+        let pid = self
+            .h
+            .spawn_thread(&name, SpawnMode::WaitEvent(activate_ev), move |proc| loop {
+                shared.run_handler_activation(proc, who);
+                proc.wait_event(activate_ev);
+            });
+        self.st.lock().thread_mut(who).proc = Some(pid);
+    }
+
+    /// One handler activation: entry cost, body, exit cost, completion.
+    fn run_handler_activation(self: &Arc<Shared>, proc: &mut ProcCtx, who: ThreadRef) {
+        let (entry_cost, exit_cost, body, done_ev, is_isr) = {
+            let st = self.st.lock();
+            let body = match who {
+                ThreadRef::Cyclic(id) => {
+                    Arc::clone(&super::table_get(&st.cycs, id.0).expect("cyclic exists").body)
+                }
+                ThreadRef::Alarm(id) => {
+                    Arc::clone(&super::table_get(&st.alms, id.0).expect("alarm exists").body)
+                }
+                ThreadRef::Isr(no) => {
+                    Arc::clone(&st.isrs.get(&no).expect("isr defined").body)
+                }
+                _ => unreachable!("only handlers run here"),
+            };
+            let rec = st.thread(who);
+            (
+                st.cfg.cost.int_entry,
+                st.cfg.cost.int_exit,
+                body,
+                rec.done_ev,
+                matches!(who, ThreadRef::Isr(_)),
+            )
+        };
+        if !entry_cost.is_zero() {
+            self.sim_wait_atomic(proc, who, ExecContext::Handler, "int_entry", entry_cost);
+        }
+        {
+            let mut body = body.lock();
+            let mut sys = Sys {
+                shared: Arc::clone(self),
+                proc,
+                who,
+            };
+            (body)(&mut sys);
+        }
+        if !exit_cost.is_zero() {
+            self.sim_wait_atomic(proc, who, ExecContext::Handler, "int_exit", exit_cost);
+        }
+        {
+            let mut st = self.st.lock();
+            let rec = st.thread_mut(who);
+            rec.marking = ExecContext::Dormant;
+            rec.stats.cycles += 1;
+        }
+        if is_isr {
+            // ISRs pop their own frame and continue the delivery chain
+            // (implicit tk_ret_int).
+            {
+                let mut st = self.st.lock();
+                let top = st.int_stack.pop();
+                st.int_levels.pop();
+                debug_assert_eq!(top, Some(who), "ISR must be top of the SIM_Stack");
+                let rec = st.thread_mut(who);
+                rec.parked = true;
+                if let ThreadRef::Isr(no) = who {
+                    if let Some(isr) = st.isrs.get_mut(&no) {
+                        isr.count += 1;
+                    }
+                }
+            }
+            self.after_frame_pop(proc);
+        } else {
+            // Cyclic/alarm handlers: the timer handler coordinates the
+            // frame; just signal completion.
+            self.h.notify(done_ev);
+        }
+    }
+
+    /// Recovers the owning `Arc<Shared>` from a `&self` receiver.
+    pub(crate) fn owner_arc(&self) -> Arc<Shared> {
+        self.self_arc
+            .lock()
+            .upgrade()
+            .expect("Shared self-pointer must be initialised")
+    }
+}
+
+/// Timer-handler side of a cyclic activation (runs on the Thread
+/// Dispatch thread inside the tick sequence).
+pub(crate) fn fire_cyclic(shared: &Arc<Shared>, proc: &mut ProcCtx, id: CycId, gen: u64) {
+    let who = ThreadRef::Cyclic(id);
+    let evs = {
+        let mut st = shared.st.lock();
+        let ticks = st.ticks;
+        let valid = match super::table_get_mut(&mut st.cycs, id.0) {
+            Ok(c) if c.active && c.gen == gen => {
+                c.count += 1;
+                // Schedule the next period before running the body so a
+                // long handler does not drift the schedule.
+                let at = ticks + c.cyctim_ticks;
+                let gen = c.gen;
+                st.push_timer(at, TimerAction::CyclicFire { id, gen });
+                true
+            }
+            _ => false,
+        };
+        if valid && st.threads.contains_key(&who) {
+            let lvl = *st.int_levels.last().expect("inside the timer frame");
+            st.int_stack.push(who);
+            st.int_levels.push(lvl);
+            let rec = st.thread_mut(who);
+            rec.parked = false;
+            rec.marking = ExecContext::Handler;
+            rec.stats.sigma.fire(crate::tthread::TThreadEvent::Es);
+            Some((rec.activate_ev, rec.done_ev))
+        } else {
+            None
+        }
+    };
+    if let Some((activate, done)) = evs {
+        shared.h.notify(activate);
+        proc.wait_event(done);
+        let mut st = shared.st.lock();
+        let top = st.int_stack.pop();
+        st.int_levels.pop();
+        debug_assert_eq!(top, Some(who));
+        st.thread_mut(who).parked = true;
+    }
+}
+
+/// Timer-handler side of an alarm activation.
+pub(crate) fn fire_alarm(shared: &Arc<Shared>, proc: &mut ProcCtx, id: AlmId, gen: u64) {
+    let who = ThreadRef::Alarm(id);
+    let evs = {
+        let mut st = shared.st.lock();
+        let valid = match super::table_get_mut(&mut st.alms, id.0) {
+            Ok(a) if a.active && a.gen == gen => {
+                a.active = false; // one-shot
+                a.count += 1;
+                true
+            }
+            _ => false,
+        };
+        if valid && st.threads.contains_key(&who) {
+            let lvl = *st.int_levels.last().expect("inside the timer frame");
+            st.int_stack.push(who);
+            st.int_levels.push(lvl);
+            let rec = st.thread_mut(who);
+            rec.parked = false;
+            rec.marking = ExecContext::Handler;
+            rec.stats.sigma.fire(crate::tthread::TThreadEvent::Es);
+            Some((rec.activate_ev, rec.done_ev))
+        } else {
+            None
+        }
+    };
+    if let Some((activate, done)) = evs {
+        shared.h.notify(activate);
+        proc.wait_event(done);
+        let mut st = shared.st.lock();
+        let top = st.int_stack.pop();
+        st.int_levels.pop();
+        debug_assert_eq!(top, Some(who));
+        st.thread_mut(who).parked = true;
+    }
+}

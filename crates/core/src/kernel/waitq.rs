@@ -1,0 +1,159 @@
+//! Wait queues with `TA_TFIFO` / `TA_TPRI` ordering.
+
+use crate::config::Priority;
+use crate::ids::TaskId;
+use crate::state::QueueOrder;
+
+/// An ordered queue of waiting tasks attached to a kernel object.
+#[derive(Debug, Default)]
+pub(crate) struct WaitQueue {
+    order: QueueOrder,
+    /// `(tid, priority-at-enqueue)`, maintained in queue order.
+    entries: Vec<(TaskId, Priority)>,
+}
+
+impl WaitQueue {
+    pub(crate) fn new(order: QueueOrder) -> Self {
+        WaitQueue {
+            order,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a task. For priority queues the task goes behind equal
+    /// priorities (FIFO within a level).
+    pub(crate) fn enqueue(&mut self, tid: TaskId, pri: Priority) {
+        match self.order {
+            QueueOrder::Fifo => self.entries.push((tid, pri)),
+            QueueOrder::Priority => {
+                let pos = self
+                    .entries
+                    .iter()
+                    .position(|&(_, p)| p > pri)
+                    .unwrap_or(self.entries.len());
+                self.entries.insert(pos, (tid, pri));
+            }
+        }
+    }
+
+    /// Removes a specific task (timeout / forced release); returns
+    /// whether it was present.
+    pub(crate) fn remove(&mut self, tid: TaskId) -> bool {
+        match self.entries.iter().position(|&(t, _)| t == tid) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The task at the head, if any.
+    pub(crate) fn front(&self) -> Option<TaskId> {
+        self.entries.first().map(|&(t, _)| t)
+    }
+
+    /// Pops the head task.
+    pub(crate) fn pop(&mut self) -> Option<TaskId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).0)
+        }
+    }
+
+    /// Re-sorts one task after a priority change (priority queues only).
+    pub(crate) fn reprioritize(&mut self, tid: TaskId, new_pri: Priority) {
+        if self.remove(tid) {
+            self.enqueue(tid, new_pri);
+        }
+    }
+
+    /// Number of waiting tasks.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no task waits.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the waiting tasks in queue order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.entries.iter().map(|&(t, _)| t)
+    }
+
+    /// Drains every waiter (object deletion: all released with `E_DLT`).
+    pub(crate) fn drain(&mut self) -> Vec<TaskId> {
+        self.entries.drain(..).map(|(t, _)| t).collect()
+    }
+
+    /// Highest waiter priority (for priority inheritance).
+    pub(crate) fn highest_pri(&self) -> Option<Priority> {
+        self.entries.iter().map(|&(_, p)| p).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> TaskId {
+        TaskId(n)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = WaitQueue::new(QueueOrder::Fifo);
+        q.enqueue(t(1), 9);
+        q.enqueue(t(2), 1);
+        q.enqueue(t(3), 5);
+        assert_eq!(q.pop(), Some(t(1)));
+        assert_eq!(q.pop(), Some(t(2)));
+        assert_eq!(q.pop(), Some(t(3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_order_with_fifo_ties() {
+        let mut q = WaitQueue::new(QueueOrder::Priority);
+        q.enqueue(t(1), 5);
+        q.enqueue(t(2), 3);
+        q.enqueue(t(3), 5);
+        q.enqueue(t(4), 3);
+        let order: Vec<TaskId> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![t(2), t(4), t(1), t(3)]);
+    }
+
+    #[test]
+    fn remove_and_reprioritize() {
+        let mut q = WaitQueue::new(QueueOrder::Priority);
+        q.enqueue(t(1), 5);
+        q.enqueue(t(2), 6);
+        assert!(q.remove(t(1)));
+        assert!(!q.remove(t(1)));
+        assert_eq!(q.len(), 1);
+        q.enqueue(t(3), 7);
+        q.reprioritize(t(3), 1);
+        assert_eq!(q.front(), Some(t(3)));
+    }
+
+    #[test]
+    fn drain_returns_all_in_order() {
+        let mut q = WaitQueue::new(QueueOrder::Fifo);
+        q.enqueue(t(1), 1);
+        q.enqueue(t(2), 2);
+        assert_eq!(q.drain(), vec![t(1), t(2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn highest_pri_for_inheritance() {
+        let mut q = WaitQueue::new(QueueOrder::Fifo);
+        assert_eq!(q.highest_pri(), None);
+        q.enqueue(t(1), 9);
+        q.enqueue(t(2), 3);
+        assert_eq!(q.highest_pri(), Some(3));
+    }
+}

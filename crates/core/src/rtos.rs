@@ -1,0 +1,321 @@
+//! The RTK-Spec TRON facade: building and running a kernel simulation.
+//!
+//! [`Rtos::new`] assembles the full simulation model of Fig. 1/Fig. 3:
+//! the sysc engine, the central module (Boot, Thread Dispatch, Interrupt
+//! Dispatch), and the T-Kernel/OS object tables. The user supplies a
+//! *main entry* closure which runs as the initialization task — exactly
+//! the paper's boot sequence, where Boot "start[s] the initialization
+//! task, that will consequently call the user main entry to create &
+//! start tasks, handlers and allocate application resources".
+//!
+//! Inside task and handler bodies, the [`Sys`] context exposes the
+//! T-Kernel service calls (`tk_*`), annotated execution
+//! ([`Sys::exec`]), and BFM access hooks.
+
+use std::sync::Arc;
+
+use sysc::{ProcCtx, RunOutcome, SimHandle, SimTime, Simulation};
+
+use crate::config::KernelConfig;
+use crate::cost::{Cost, Energy, ServiceClass};
+use crate::error::{ErCode, KResult};
+use crate::ids::{IntNo, TaskId, ThreadRef};
+use crate::sim_api::scheduler::{PriorityScheduler, Scheduler};
+use crate::state::{IntRequest, KernelState, Shared};
+use crate::trace::TraceSink;
+use crate::tthread::{ExecContext, TThreadInfo};
+
+/// A fully assembled RTK-Spec TRON kernel simulation.
+///
+/// # Examples
+///
+/// ```
+/// use rtk_core::{KernelConfig, Rtos, Timeout};
+/// use sysc::SimTime;
+///
+/// let mut rtos = Rtos::new(KernelConfig::zero_cost(), |sys, _| {
+///     let tid = sys
+///         .tk_cre_tsk("worker", 10, |sys, _| {
+///             sys.exec(SimTime::from_us(100));
+///         })
+///         .unwrap();
+///     sys.tk_sta_tsk(tid, 0).unwrap();
+/// });
+/// rtos.run_for(SimTime::from_ms(10));
+/// ```
+pub struct Rtos {
+    sim: Simulation,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Rtos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rtos").field("now", &self.sim.now()).finish()
+    }
+}
+
+impl Rtos {
+    /// Builds a kernel with the default priority-preemptive scheduler
+    /// (the T-Kernel policy) and the given user main entry.
+    pub fn new<F>(cfg: KernelConfig, main: F) -> Self
+    where
+        F: FnMut(&mut Sys<'_>, i32) + Send + 'static,
+    {
+        Self::with_scheduler(
+            cfg.clone(),
+            Box::new(PriorityScheduler::new(cfg.max_priority)),
+            main,
+        )
+    }
+
+    /// Builds a kernel with an explicit scheduler plug-in (the paper's
+    /// "external schedulers"; used by RTK-Spec I/II).
+    pub fn with_scheduler<F>(cfg: KernelConfig, scheduler: Box<dyn Scheduler>, main: F) -> Self
+    where
+        F: FnMut(&mut Sys<'_>, i32) + Send + 'static,
+    {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let shared = Arc::new(Shared {
+            st: parking_lot::Mutex::new(KernelState::new(cfg, scheduler)),
+            h,
+            self_arc: parking_lot::Mutex::new(std::sync::Weak::new()),
+        });
+        *shared.self_arc.lock() = Arc::downgrade(&shared);
+        crate::central::install(&shared, Box::new(main));
+        Rtos { sim, shared }
+    }
+
+    /// Attaches a trace sink (Gantt / energy analysis).
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.shared.st.lock().sink = sink;
+    }
+
+    /// The underlying sysc simulation handle.
+    pub fn sim_handle(&self) -> SimHandle {
+        self.sim.handle()
+    }
+
+    /// Attaches a sysc engine tracer (signal/waveform probing).
+    pub fn set_sim_tracer(&self, tracer: Arc<dyn sysc::Tracer>) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs the co-simulation until `limit`.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        self.sim.run_until(limit)
+    }
+
+    /// Runs the co-simulation for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimTime) -> RunOutcome {
+        self.sim.run_for(d)
+    }
+
+    /// Advances one system tick (the paper's *step mode*).
+    pub fn step(&mut self) -> RunOutcome {
+        let tick = self.shared.st.lock().cfg.tick;
+        self.sim.run_for(tick)
+    }
+
+    /// A handle through which external hardware models (the BFM's
+    /// interrupt controller) raise interrupts.
+    pub fn int_port(&self) -> IntPort {
+        IntPort {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Snapshot of every registered T-THREAD (SIM_HashTB contents).
+    pub fn threads(&self) -> Vec<TThreadInfo> {
+        let st = self.shared.st.lock();
+        st.threads
+            .values()
+            .map(|rec| TThreadInfo {
+                who: rec.who,
+                name: rec.name.clone(),
+                kind: rec.kind,
+                marking: rec.marking,
+                stats: rec.stats.clone(),
+            })
+            .collect()
+    }
+
+    /// Accumulated CPU idle time and idle energy.
+    pub fn idle_stats(&self) -> (SimTime, Energy) {
+        let mut st = self.shared.st.lock();
+        // Close any open idle span up to "now" for accurate reporting.
+        let now = self.sim.now();
+        if st.idle_since.is_some() {
+            st.leave_idle(now);
+            st.enter_idle(now);
+        }
+        (st.idle_time, st.idle_energy)
+    }
+
+    /// The debugger-support interface (T-Kernel/DS).
+    pub fn ds(&self) -> crate::ds::Ds {
+        crate::ds::Ds::new(Arc::clone(&self.shared))
+    }
+
+    /// sysc kernel statistics (event counts etc.).
+    pub fn engine_stats(&self) -> sysc::KernelStats {
+        self.sim.stats()
+    }
+}
+
+/// Handle used by hardware models to raise external interrupts into the
+/// kernel's Interrupt Dispatch module.
+#[derive(Clone)]
+pub struct IntPort {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for IntPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntPort").finish_non_exhaustive()
+    }
+}
+
+impl IntPort {
+    /// Queues an interrupt request; the Interrupt Dispatch process picks
+    /// it up in the current delta cycle.
+    pub fn raise(&self, intno: IntNo, level: u8) {
+        let ev = {
+            let mut st = self.shared.st.lock();
+            st.pending_ints.push_back(IntRequest { intno, level });
+            crate::central::int_request_event(&st)
+        };
+        if let Some(ev) = ev {
+            self.shared.h.notify(ev);
+        }
+    }
+}
+
+/// Service-call context passed to task bodies, handler bodies and the
+/// user main entry. All T-Kernel services (`tk_*`) are methods on this
+/// type, implemented across the `kernel` submodules.
+pub struct Sys<'a> {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) proc: &'a mut ProcCtx,
+    pub(crate) who: ThreadRef,
+}
+
+impl std::fmt::Debug for Sys<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sys").field("who", &self.who).finish_non_exhaustive()
+    }
+}
+
+impl<'a> Sys<'a> {
+    /// Identity of the calling T-THREAD.
+    pub fn whoami(&self) -> ThreadRef {
+        self.who
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.proc.now()
+    }
+
+    /// `true` when called from task context (vs. handler context).
+    pub fn in_task_context(&self) -> bool {
+        matches!(self.who, ThreadRef::Task(_))
+    }
+
+    /// The calling task's ID, or `E_CTX` from handler context.
+    pub(crate) fn require_task(&self) -> KResult<TaskId> {
+        match self.who {
+            ThreadRef::Task(t) => Ok(t),
+            _ => Err(ErCode::Ctx),
+        }
+    }
+
+    /// Consumes the configured cost of a service call (service-call
+    /// atomicity: the cost is uninterruptible).
+    pub(crate) fn service_cost(&mut self, class: ServiceClass, name: &'static str) {
+        let cost = {
+            let st = self.shared.st.lock();
+            st.cfg.cost.service(class)
+        };
+        if !cost.is_zero() {
+            let shared = Arc::clone(&self.shared);
+            shared.sim_wait_atomic(self.proc, self.who, ExecContext::ServiceCall, name, cost);
+        }
+    }
+
+    /// Service-call epilogue: the preemption point at which a dispatch
+    /// request raised during the (atomic) service takes effect.
+    pub(crate) fn service_exit(&mut self) {
+        if let ThreadRef::Task(tid) = self.who {
+            let shared = Arc::clone(&self.shared);
+            shared.preemption_point(self.proc, tid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Annotated execution (the "C source level" timing model)
+    // ------------------------------------------------------------------
+
+    /// Executes an application basic block of the given duration
+    /// (preemptible; energy follows the active-power rating).
+    pub fn exec(&mut self, time: SimTime) {
+        self.exec_cost("block", Cost::time(time));
+    }
+
+    /// Executes an application basic block with an explicit ETM/EEM
+    /// annotation and a label (shown in the Fig. 6 trace).
+    pub fn exec_cost(&mut self, label: &str, cost: Cost) {
+        let ctx = match self.who {
+            ThreadRef::Task(_) => ExecContext::TaskBody,
+            _ => ExecContext::Handler,
+        };
+        let shared = Arc::clone(&self.shared);
+        shared.sim_wait(self.proc, self.who, ctx, label, cost);
+    }
+
+    /// Performs a BFM access: an uninterruptible bus transaction with a
+    /// cycle budget and an energy estimate (paper §5.1 — "each BFM call
+    /// will be associated with a cycle budget ... and an estimation on
+    /// the energy consumed during that BFM access").
+    pub fn bfm_access(&mut self, label: &str, cost: Cost) {
+        let shared = Arc::clone(&self.shared);
+        shared.sim_wait_atomic(self.proc, self.who, ExecContext::BfmAccess, label, cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_runs_main_entry() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ran = Arc::new(AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, stacd| {
+            assert_eq!(stacd, 0);
+            assert!(sys.in_task_context());
+            r2.store(true, Ordering::SeqCst);
+        });
+        rtos.run_for(SimTime::from_ms(5));
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exec_consumes_simulated_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let at = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&at);
+        let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+            sys.exec(SimTime::from_us(250));
+            a2.store(sys.now().as_ps(), Ordering::SeqCst);
+        });
+        rtos.run_for(SimTime::from_ms(5));
+        assert_eq!(at.load(Ordering::SeqCst), SimTime::from_us(250).as_ps());
+    }
+}

@@ -1,0 +1,558 @@
+//! SIM_API — the simulation library that extends the sysc engine with
+//! RTOS execution semantics (paper §4, Table 1).
+//!
+//! The paper's SIM_API keeps a thread hash table (`SIM_HashTB`, here
+//! `KernelState::threads`), a stack for nested interrupts (`SIM_Stack`,
+//! here `KernelState::int_stack`), and provides the programming
+//! constructs used by kernel simulation models:
+//!
+//! | Paper construct            | Here |
+//! |----------------------------|------|
+//! | `SIM_RegisterThread`       | `Shared::register_thread` |
+//! | `SIM_Wait`                 | `Shared::sim_wait` (preemptible) / `Shared::sim_wait_atomic` |
+//! | `SIM_Sleep` / `SIM_Wakeup` | `Shared::block_current` / `Shared::make_ready` |
+//! | `SIM_Preempt`              | `Shared::freeze_occupant` + scheduler demotion |
+//! | `SIM_Dispatch`             | `Shared::dispatch_from_scheduler` / `Shared::preemption_point` |
+//! | delayed dispatching        | dispatch deferred until the interrupt stack empties |
+//! | service call atomicity     | service costs consumed via `sim_wait_atomic` |
+//!
+//! # The single-CPU protocol
+//!
+//! Only one T-THREAD consumes modeled execution time at any simulated
+//! instant. Two mechanisms guarantee this:
+//!
+//! * **Freeze handshake.** To take the CPU from the executing occupant, a
+//!   dispatcher sets the occupant's `ctrl_pending` flag, notifies its
+//!   `ctrl_ev` and waits on `frozen_ev`. The occupant — woken mid-slice
+//!   from the interruptible wait inside `Shared::sim_wait`, or on
+//!   reaching its next preemption point — accounts the time actually
+//!   executed, acknowledges via `frozen_ev` and parks. If the occupant
+//!   is inside an *atomic* section (service-call atomicity, a BFM bus
+//!   transaction), the acknowledgment is delayed until the section
+//!   completes — which models interrupt latency.
+//! * **Grant tokens.** A parked thread only resumes execution when a
+//!   dispatcher has set its `cpu_granted` token (and then notified
+//!   `resume_ev`). A freezer that finds the occupant already parked
+//!   simply revokes the token, so a thread that was granted the CPU but
+//!   not yet scheduled by the sysc engine re-parks instead of running
+//!   concurrently with a handler.
+//!
+//! Dispatchers themselves serialize through the `cpu_transfer` flag: the
+//! tick and an external interrupt arriving in the same delta cannot both
+//! mount a frame at once — the loser defers and is replayed when the
+//! interrupt stack unwinds.
+
+pub mod scheduler;
+
+use sysc::{EventId, ProcCtx, SimTime, WaitOutcome};
+
+use crate::cost::Cost;
+use crate::error::ErCode;
+use crate::ids::{TaskId, ThreadRef};
+use crate::state::{
+    CtrlRequest, Delivered, KernelState, ResumeKind, Shared, TaskState, TThreadRec, Timeout,
+    TimerAction, WaitObj,
+};
+use crate::trace::{TraceKind, TraceRecord};
+use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
+
+impl Shared {
+    // ------------------------------------------------------------------
+    // Registration and tracing
+    // ------------------------------------------------------------------
+
+    /// Registers a T-THREAD in the SIM_HashTB (paper: every T-THREAD is
+    /// recorded at creation and its entry is updated on state changes).
+    pub(crate) fn register_thread(&self, who: ThreadRef, name: &str, kind: TThreadKind) {
+        let mut st = self.st.lock();
+        let rec = TThreadRec::new(&self.h, who, name, kind);
+        st.threads.insert(who, rec);
+    }
+
+    /// Emits a zero-width trace record for `who`.
+    pub(crate) fn trace_point(st: &KernelState, now: SimTime, who: ThreadRef, kind: TraceKind) {
+        let name = st.thread(who).name.clone();
+        st.sink.record(TraceRecord {
+            start: now,
+            end: now,
+            who,
+            name,
+            kind,
+            energy: crate::cost::Energy::ZERO,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // SIM_Wait — consuming modeled execution time and energy
+    // ------------------------------------------------------------------
+
+    /// Consumes `cost` of execution time/energy in context `ctx`,
+    /// preemptibly: an interrupt freeze request takes effect mid-slice
+    /// with exact elapsed-time accounting.
+    ///
+    /// This is the paper's `SIM_Wait`: it inherits `sc_wait`'s time
+    /// modeling, extends it with energy, and performs the
+    /// interruption/preemption check.
+    pub(crate) fn sim_wait(
+        &self,
+        proc: &mut ProcCtx,
+        who: ThreadRef,
+        ctx: ExecContext,
+        label: &str,
+        cost: Cost,
+    ) {
+        self.sim_wait_inner(proc, who, ctx, label, cost, true);
+    }
+
+    /// Like [`Shared::sim_wait`] but uninterruptible: the whole time
+    /// budget is consumed before any pending freeze is acknowledged.
+    /// Used for service-call atomicity and BFM bus transactions.
+    pub(crate) fn sim_wait_atomic(
+        &self,
+        proc: &mut ProcCtx,
+        who: ThreadRef,
+        ctx: ExecContext,
+        label: &str,
+        cost: Cost,
+    ) {
+        self.sim_wait_inner(proc, who, ctx, label, cost, false);
+    }
+
+    fn sim_wait_inner(
+        &self,
+        proc: &mut ProcCtx,
+        who: ThreadRef,
+        ctx: ExecContext,
+        label: &str,
+        cost: Cost,
+        preemptible: bool,
+    ) {
+        let mut remaining = cost.time;
+        let mut explicit_pending = cost.energy;
+        loop {
+            self.check_ctrl_and_park(proc, who);
+            if remaining.is_zero() {
+                break;
+            }
+            let (ctrl_ev, power) = {
+                let mut st = self.st.lock();
+                let active = st.cfg.cost.active_power;
+                let rec = st.thread_mut(who);
+                rec.marking = ctx;
+                rec.prev_marking = ctx;
+                (rec.ctrl_ev, active)
+            };
+            let start = proc.now();
+            let consumed = if preemptible {
+                match proc.wait_event_timeout(ctrl_ev, remaining) {
+                    WaitOutcome::TimedOut => remaining,
+                    WaitOutcome::Fired => proc.now() - start,
+                }
+            } else {
+                proc.wait_time(remaining);
+                remaining
+            };
+            remaining -= consumed;
+            let end = proc.now();
+            let mut st = self.st.lock();
+            let mut energy = power.energy_over(consumed);
+            if remaining.is_zero() {
+                // Attribute the explicit EEM annotation to the final slice.
+                energy += explicit_pending;
+                explicit_pending = crate::cost::Energy::ZERO;
+            }
+            let rec = st.thread_mut(who);
+            rec.stats.consume(ctx, consumed, energy);
+            if remaining.is_zero() {
+                rec.stats.sigma.fire(TThreadEvent::Ec);
+            }
+            let name = rec.name.clone();
+            st.sink.record(TraceRecord {
+                start,
+                end,
+                who,
+                name,
+                kind: TraceKind::Slice {
+                    context: ctx,
+                    label: label.to_string(),
+                },
+                energy,
+            });
+        }
+        // Zero-time annotations still record their explicit energy.
+        if !explicit_pending.is_zero() {
+            let now = proc.now();
+            let mut st = self.st.lock();
+            let rec = st.thread_mut(who);
+            rec.stats.consume(ctx, SimTime::ZERO, explicit_pending);
+            rec.stats.sigma.fire(TThreadEvent::Ec);
+            let name = rec.name.clone();
+            st.sink.record(TraceRecord {
+                start: now,
+                end: now,
+                who,
+                name,
+                kind: TraceKind::Slice {
+                    context: ctx,
+                    label: label.to_string(),
+                },
+                energy: explicit_pending,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parking and granting
+    // ------------------------------------------------------------------
+
+    /// Parks the calling thread until a dispatcher grants it the CPU,
+    /// then records the resume transition (`Ei`/`Ex`). The caller must
+    /// already have marked the thread parked (under the state lock).
+    pub(crate) fn park_until_granted(&self, proc: &mut ProcCtx, who: ThreadRef) {
+        loop {
+            let (granted, resume_ev) = {
+                let mut st = self.st.lock();
+                let rec = st.thread_mut(who);
+                if rec.cpu_granted {
+                    rec.parked = false;
+                    (true, rec.resume_ev)
+                } else {
+                    (false, rec.resume_ev)
+                }
+            };
+            if granted {
+                break;
+            }
+            proc.wait_event(resume_ev);
+        }
+        self.record_resume(proc.now(), who);
+    }
+
+    /// If a freeze request is pending against `who`, acknowledge it and
+    /// park until granted again. Loops because a freshly resumed thread
+    /// can be frozen again immediately (back-to-back interrupts).
+    pub(crate) fn check_ctrl_and_park(&self, proc: &mut ProcCtx, who: ThreadRef) {
+        loop {
+            let frozen_ev = {
+                let mut st = self.st.lock();
+                let now = proc.now();
+                let rec = st.thread_mut(who);
+                if rec.ctrl_pending.take().is_some() {
+                    rec.prev_marking = rec.marking;
+                    rec.marking = ExecContext::Interrupted;
+                    rec.resume_as = ResumeKind::Interrupted;
+                    rec.parked = true;
+                    rec.cpu_granted = false;
+                    rec.stats.interruptions += 1;
+                    let ev = rec.frozen_ev;
+                    Shared::trace_point(&st, now, who, TraceKind::InterruptEnter);
+                    Some(ev)
+                } else {
+                    None
+                }
+            };
+            let Some(frozen_ev) = frozen_ev else {
+                return;
+            };
+            self.h.notify(frozen_ev);
+            self.park_until_granted(proc, who);
+        }
+    }
+
+    /// Records the Petri-net transition for a thread that was just handed
+    /// the CPU back, based on why it had lost it.
+    pub(crate) fn record_resume(&self, now: SimTime, who: ThreadRef) {
+        let mut st = self.st.lock();
+        let rec = st.thread_mut(who);
+        rec.marking = rec.prev_marking;
+        let kind = match rec.resume_as {
+            ResumeKind::Interrupted => {
+                rec.stats.sigma.fire(TThreadEvent::Ei);
+                Some(TraceKind::ResumeFromInterrupt)
+            }
+            ResumeKind::Preempted => {
+                rec.stats.sigma.fire(TThreadEvent::Ex);
+                Some(TraceKind::ResumeFromPreempt)
+            }
+            ResumeKind::Wakeup | ResumeKind::Start => None,
+        };
+        if let Some(kind) = kind {
+            Shared::trace_point(&st, now, who, kind);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Freeze protocol
+    // ------------------------------------------------------------------
+
+    /// Freezes the current CPU occupant (if any) and ensures it is
+    /// parked. Zero simulated time unless the occupant is inside an
+    /// atomic section (modeled interrupt latency). The caller must hold
+    /// the `cpu_transfer` token.
+    pub(crate) fn freeze_occupant(&self, proc: &mut ProcCtx) -> Option<ThreadRef> {
+        let (who, handshake) = {
+            let mut st = self.st.lock();
+            let occ = st.occupant()?;
+            let rec = st.thread_mut(occ);
+            if rec.parked {
+                // Already off-CPU (e.g. granted but not yet run, or
+                // frozen earlier). Revoke any grant so it re-parks.
+                rec.cpu_granted = false;
+                (occ, None)
+            } else {
+                debug_assert!(
+                    rec.ctrl_pending.is_none(),
+                    "freeze already pending against {occ}"
+                );
+                rec.ctrl_pending = Some(CtrlRequest);
+                (occ, Some((rec.ctrl_ev, rec.frozen_ev)))
+            }
+        };
+        if let Some((ctrl_ev, frozen_ev)) = handshake {
+            self.h.notify(ctrl_ev);
+            proc.wait_event(frozen_ev);
+        }
+        Some(who)
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatching
+    // ------------------------------------------------------------------
+
+    /// Scheduler-context dispatch (`SIM_Dispatch` after delayed
+    /// dispatching): no task thread is executing; decide who gets the
+    /// CPU next and hand it over. Called when the interrupt stack
+    /// unwinds to empty and by the boot sequence.
+    pub(crate) fn dispatch_from_scheduler(&self, now: SimTime) {
+        let resume = {
+            let mut st = self.st.lock();
+            let resume = Self::pick_and_switch(&mut st, now);
+            Self::update_idle(&mut st, now);
+            resume
+        };
+        if let Some(ev) = resume {
+            self.h.notify(ev);
+        }
+    }
+
+    /// Core scheduling decision; returns the resume event to notify.
+    /// Grants the CPU token to the chosen task.
+    pub(crate) fn pick_and_switch(st: &mut KernelState, now: SimTime) -> Option<EventId> {
+        if st.dispatch_disabled || !st.int_stack.is_empty() {
+            return None;
+        }
+        match st.running {
+            Some(r) => {
+                let r_pri = st.tcb(r).expect("running task exists").cur_pri;
+                if st.scheduler.should_preempt(r_pri) {
+                    Self::demote_running(st, now);
+                    Some(Self::start_next(st, now))
+                } else {
+                    // The (frozen) running task keeps the CPU: re-grant.
+                    let rec = st.thread_mut(ThreadRef::Task(r));
+                    rec.cpu_granted = true;
+                    Some(rec.resume_ev)
+                }
+            }
+            None => {
+                if st.scheduler.peek().is_some() {
+                    Some(Self::start_next(st, now))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Demotes the (parked) running task to ready-at-head, recording the
+    /// preemption.
+    pub(crate) fn demote_running(st: &mut KernelState, now: SimTime) {
+        let r = st.running.take().expect("a running task to demote");
+        let tcb = st.tcb_mut(r).expect("running task exists");
+        tcb.state = TaskState::Ready;
+        tcb.preempted = true;
+        let pri = tcb.cur_pri;
+        st.scheduler.enqueue(r, pri, true);
+        let rec = st.thread_mut(ThreadRef::Task(r));
+        rec.resume_as = ResumeKind::Preempted;
+        rec.marking = ExecContext::Preempted;
+        rec.cpu_granted = false;
+        rec.stats.preemptions += 1;
+        Shared::trace_point(st, now, ThreadRef::Task(r), TraceKind::Preempt);
+    }
+
+    /// Pops the scheduler's head, marks it running, grants it the CPU
+    /// and returns its resume event.
+    pub(crate) fn start_next(st: &mut KernelState, now: SimTime) -> EventId {
+        let next = st.scheduler.pop().expect("caller checked non-empty");
+        let tcb = st.tcb_mut(next).expect("ready task exists");
+        tcb.state = TaskState::Running;
+        tcb.preempted = false;
+        st.running = Some(next);
+        let rec = st.thread_mut(ThreadRef::Task(next));
+        rec.cpu_granted = true;
+        let resume_ev = rec.resume_ev;
+        Shared::trace_point(st, now, ThreadRef::Task(next), TraceKind::Dispatch);
+        resume_ev
+    }
+
+    /// Recomputes idle bookkeeping after an occupancy change.
+    pub(crate) fn update_idle(st: &mut KernelState, now: SimTime) {
+        if !st.booted {
+            return;
+        }
+        let busy = st.occupant().is_some();
+        match (busy, st.idle_since.is_some()) {
+            (true, true) => st.leave_idle(now),
+            (false, false) => st.enter_idle(now),
+            _ => {}
+        }
+    }
+
+    /// Preemption point at the exit of a service call executed from task
+    /// context: if a strictly higher-priority task is ready (and
+    /// dispatching is allowed), self-preempt.
+    pub(crate) fn preemption_point(&self, proc: &mut ProcCtx, tid: TaskId) {
+        let who = ThreadRef::Task(tid);
+        // An interrupt may have requested a freeze during our atomic
+        // section; honour it first (its return will re-dispatch us).
+        self.check_ctrl_and_park(proc, who);
+        let next_resume = {
+            let mut st = self.st.lock();
+            let now = proc.now();
+            if st.dispatch_disabled || !st.int_stack.is_empty() || st.running != Some(tid) {
+                None
+            } else {
+                let my_pri = st.tcb(tid).expect("current task exists").cur_pri;
+                if st.scheduler.should_preempt(my_pri) {
+                    Self::demote_running(&mut st, now);
+                    let rec = st.thread_mut(who);
+                    rec.parked = true;
+                    Some(Self::start_next(&mut st, now))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(next_resume) = next_resume {
+            self.h.notify(next_resume);
+            self.park_until_granted(proc, who);
+            self.check_ctrl_and_park(proc, who);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking and waking (SIM_Sleep / SIM_Wakeup)
+    // ------------------------------------------------------------------
+
+    /// Blocks the current task on `waitobj` with `timeout`, dispatching
+    /// the next ready task, and parks until the wait completes. Returns
+    /// the wait result and any delivered payload.
+    ///
+    /// The caller must already have enqueued the task on the object's
+    /// wait queue and checked `E_CTX` conditions.
+    pub(crate) fn block_current(
+        &self,
+        proc: &mut ProcCtx,
+        tid: TaskId,
+        waitobj: WaitObj,
+        timeout: Timeout,
+    ) -> (Result<(), ErCode>, Delivered) {
+        let who = ThreadRef::Task(tid);
+        let (frozen_ev, next_resume) = {
+            let mut st = self.st.lock();
+            let now = proc.now();
+            debug_assert_eq!(st.running, Some(tid), "only the running task can block");
+            let tcb = st.tcb_mut(tid).expect("current task exists");
+            tcb.state = TaskState::Wait;
+            tcb.wait = Some(waitobj);
+            tcb.wait_gen += 1;
+            tcb.wait_result = None;
+            let wait_gen = tcb.wait_gen;
+            if let Timeout::Finite(d) = timeout {
+                let deadline = st.deadline_ticks(d);
+                let action = match waitobj {
+                    WaitObj::Delay => TimerAction::DelayEnd { tid, wait_gen },
+                    _ => TimerAction::TaskTimeout { tid, wait_gen },
+                };
+                st.push_timer(deadline, action);
+            }
+            let rec = st.thread_mut(who);
+            rec.prev_marking = ExecContext::ServiceCall;
+            rec.marking = ExecContext::Sleeping;
+            rec.resume_as = ResumeKind::Wakeup;
+            rec.parked = true;
+            rec.cpu_granted = false;
+            Shared::trace_point(&st, now, who, TraceKind::Sleep);
+            st.running = None;
+            // Delayed dispatching: if an interrupt freeze is pending
+            // against us, the interrupt machinery owns the next dispatch
+            // decision — we only acknowledge and park.
+            let rec = st.thread_mut(who);
+            let frozen_ev = rec.ctrl_pending.take().map(|_| rec.frozen_ev);
+            let next_resume = if frozen_ev.is_none() {
+                Self::pick_and_switch(&mut st, now)
+            } else {
+                None
+            };
+            Self::update_idle(&mut st, now);
+            (frozen_ev, next_resume)
+        };
+        if let Some(ev) = frozen_ev {
+            self.h.notify(ev);
+        }
+        if let Some(ev) = next_resume {
+            self.h.notify(ev);
+        }
+        self.park_until_granted(proc, who);
+        self.check_ctrl_and_park(proc, who);
+        let mut st = self.st.lock();
+        let tcb = st.tcb_mut(tid).expect("current task exists");
+        tcb.wait_result
+            .take()
+            .expect("woken task must have a wait result")
+    }
+
+    /// Completes `tid`'s wait with `result`/`delivered` and makes it
+    /// ready (µ-ITRON wait-release). Fires the `Ew` transition. The
+    /// caller decides when to dispatch (a preemption point from task
+    /// context, delayed dispatching from handler context).
+    ///
+    /// If the task was WAIT-SUSPENDED it transitions to SUSPENDED and is
+    /// *not* enqueued.
+    pub(crate) fn make_ready(
+        st: &mut KernelState,
+        now: SimTime,
+        tid: TaskId,
+        result: Result<(), ErCode>,
+        delivered: Delivered,
+    ) {
+        let tcb = st.tcb_mut(tid).expect("waiting task exists");
+        debug_assert!(
+            matches!(tcb.state, TaskState::Wait | TaskState::WaitSuspend),
+            "make_ready on non-waiting task {tid}"
+        );
+        tcb.wait = None;
+        tcb.wait_gen += 1; // invalidate any pending timeout
+        tcb.wait_result = Some((result, delivered));
+        let enqueue = match tcb.state {
+            TaskState::Wait => {
+                tcb.state = TaskState::Ready;
+                true
+            }
+            _ => {
+                tcb.state = TaskState::Suspend;
+                false
+            }
+        };
+        let pri = tcb.cur_pri;
+        if enqueue {
+            st.scheduler.enqueue(tid, pri, false);
+        }
+        let who = ThreadRef::Task(tid);
+        let rec = st.thread_mut(who);
+        rec.stats.sigma.fire(TThreadEvent::Ew);
+        rec.resume_as = ResumeKind::Wakeup;
+        Shared::trace_point(st, now, who, TraceKind::Wakeup);
+    }
+}

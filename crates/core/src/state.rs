@@ -1,0 +1,580 @@
+//! Shared kernel state: the SIM_HashTB thread table, the task/object
+//! tables, the ready queue, the interrupt stack and the timer queue.
+//!
+//! Everything lives behind one mutex ([`Shared`]); the sysc kernel's
+//! one-process-at-a-time guarantee means the lock is uncontended and
+//! purely a Rust-safety device. Methods on [`Shared`] are spread across
+//! the `sim_api` and `kernel` modules by concern.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sysc::{EventId, ProcId, SimHandle, SimTime};
+
+use crate::config::{KernelConfig, Priority};
+use crate::cost::Energy;
+use crate::error::ErCode;
+use crate::ids::*;
+use crate::sim_api::scheduler::Scheduler;
+use crate::trace::{NullSink, TraceSink};
+use crate::tthread::{ExecContext, TThreadKind, TThreadStats};
+
+/// Timeout of a blocking service call (µ-ITRON `TMO`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timeout {
+    /// `TMO_POL`: fail immediately with `E_TMOUT` instead of waiting.
+    Poll,
+    /// `TMO_FEVR`: wait forever.
+    Forever,
+    /// Wait at most this long (rounded up to whole ticks).
+    Finite(SimTime),
+}
+
+impl Timeout {
+    /// Convenience: a finite timeout in milliseconds.
+    pub fn ms(v: u64) -> Self {
+        Timeout::Finite(SimTime::from_ms(v))
+    }
+}
+
+/// Wait-queue ordering attribute (`TA_TFIFO` / `TA_TPRI`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrder {
+    /// First-in first-out.
+    #[default]
+    Fifo,
+    /// Task-priority order (ties FIFO).
+    Priority,
+}
+
+/// Task state (µ-ITRON task state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Created but not started.
+    Dormant,
+    /// Eligible to run, waiting for the processor.
+    Ready,
+    /// Currently owns the processor.
+    Running,
+    /// Blocked on a wait object / sleep / delay.
+    Wait,
+    /// Forcibly suspended.
+    Suspend,
+    /// Both waiting and suspended.
+    WaitSuspend,
+}
+
+impl TaskState {
+    /// Specification mnemonic (`TTS_RUN`, ...).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            TaskState::Dormant => "TTS_DMT",
+            TaskState::Ready => "TTS_RDY",
+            TaskState::Running => "TTS_RUN",
+            TaskState::Wait => "TTS_WAI",
+            TaskState::Suspend => "TTS_SUS",
+            TaskState::WaitSuspend => "TTS_WAS",
+        }
+    }
+}
+
+/// What a waiting task is blocked on (for DS listings and wait release).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitObj {
+    /// `tk_slp_tsk`.
+    Sleep,
+    /// `tk_dly_tsk`.
+    Delay,
+    /// Semaphore acquire of `n` counts.
+    Sem(SemId, u32),
+    /// Event-flag wait for a pattern.
+    Flag(FlgId, u32, FlagWaitMode),
+    /// Mailbox receive.
+    Mbx(MbxId),
+    /// Message-buffer send of a given size.
+    MbfSend(MbfId, usize),
+    /// Message-buffer receive.
+    MbfRecv(MbfId),
+    /// Mutex lock.
+    Mtx(MtxId),
+    /// Fixed-pool block acquire.
+    Mpf(MpfId),
+    /// Variable-pool allocation of a given size.
+    Mpl(MplId, usize),
+}
+
+impl WaitObj {
+    /// Short description for DS listings, e.g. `sem1`.
+    pub fn describe(&self) -> String {
+        match self {
+            WaitObj::Sleep => "slp".into(),
+            WaitObj::Delay => "dly".into(),
+            WaitObj::Sem(id, _) => id.to_string(),
+            WaitObj::Flag(id, _, _) => id.to_string(),
+            WaitObj::Mbx(id) => id.to_string(),
+            WaitObj::MbfSend(id, _) => format!("{id}(s)"),
+            WaitObj::MbfRecv(id) => format!("{id}(r)"),
+            WaitObj::Mtx(id) => id.to_string(),
+            WaitObj::Mpf(id) => id.to_string(),
+            WaitObj::Mpl(id, _) => id.to_string(),
+        }
+    }
+}
+
+/// Event-flag wait mode (`TWF_ANDW`/`TWF_ORW` plus clear options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagWaitMode {
+    /// `true`: all requested bits must be set (`TWF_ANDW`);
+    /// `false`: any requested bit suffices (`TWF_ORW`).
+    pub and: bool,
+    /// Clear the whole flag on release (`TWF_CLR`).
+    pub clear_all: bool,
+    /// Clear only the released bits (`TWF_BITCLR`).
+    pub clear_bits: bool,
+}
+
+impl FlagWaitMode {
+    /// `TWF_ANDW` without clearing.
+    pub const AND: FlagWaitMode = FlagWaitMode {
+        and: true,
+        clear_all: false,
+        clear_bits: false,
+    };
+    /// `TWF_ORW` without clearing.
+    pub const OR: FlagWaitMode = FlagWaitMode {
+        and: false,
+        clear_all: false,
+        clear_bits: false,
+    };
+
+    /// Adds `TWF_CLR` (clear whole flag on release).
+    pub const fn with_clear(mut self) -> Self {
+        self.clear_all = true;
+        self
+    }
+
+    /// Adds `TWF_BITCLR` (clear released bits on release).
+    pub const fn with_bitclear(mut self) -> Self {
+        self.clear_bits = true;
+        self
+    }
+}
+
+/// Payload delivered to a task when its wait completes.
+#[derive(Debug, Clone, Default)]
+pub enum Delivered {
+    /// Nothing (plain wakeups).
+    #[default]
+    None,
+    /// Mailbox message.
+    Msg(crate::kernel::mbx::MsgPacket),
+    /// Event-flag pattern at release time.
+    FlagPattern(u32),
+    /// Message-buffer message bytes.
+    MbfMsg(Vec<u8>),
+    /// Fixed-pool block index.
+    MpfBlock(usize),
+    /// Variable-pool block address (offset into the pool arena).
+    MplBlock(usize),
+}
+
+/// Why a parked T-THREAD is being resumed (what transition to record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResumeKind {
+    /// First dispatch after activation (record `Es` already done).
+    Start,
+    /// Wait completed and the task was dispatched (wait path).
+    Wakeup,
+    /// Was preempted; resuming records `Ex`.
+    Preempted,
+    /// Was frozen by an interrupt; resuming records `Ei`.
+    Interrupted,
+}
+
+/// A pending freeze request against the running T-THREAD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CtrlRequest;
+
+/// Control record of one T-THREAD in the SIM_HashTB.
+pub(crate) struct TThreadRec {
+    pub who: ThreadRef,
+    pub name: String,
+    pub kind: TThreadKind,
+    pub marking: ExecContext,
+    pub prev_marking: ExecContext,
+    pub stats: TThreadStats,
+    /// Notified to hand the thread the CPU (dispatch / nested resume).
+    pub resume_ev: EventId,
+    /// Notified to ask the thread to yield the CPU at its next
+    /// preemption point.
+    pub ctrl_ev: EventId,
+    /// Notified by the thread once it has parked after a ctrl request.
+    pub frozen_ev: EventId,
+    /// Handlers: notified to start one activation.
+    pub activate_ev: EventId,
+    /// Handlers: notified when one activation completes.
+    pub done_ev: EventId,
+    /// Outstanding freeze request.
+    pub ctrl_pending: Option<CtrlRequest>,
+    /// What to record when `resume_ev` next fires.
+    pub resume_as: ResumeKind,
+    /// `true` while the thread is parked (not consuming CPU). A parked
+    /// occupant can be "frozen" without a handshake.
+    pub parked: bool,
+    /// CPU grant token: set by a dispatcher right before notifying
+    /// `resume_ev`; the thread only leaves its park loop when set. A
+    /// freezer revokes the token of a parked-but-granted thread.
+    pub cpu_granted: bool,
+    /// Live sysc process backing this thread, if any.
+    pub proc: Option<ProcId>,
+}
+
+impl TThreadRec {
+    pub(crate) fn new(
+        h: &SimHandle,
+        who: ThreadRef,
+        name: &str,
+        kind: TThreadKind,
+    ) -> Self {
+        TThreadRec {
+            who,
+            name: name.to_string(),
+            kind,
+            marking: ExecContext::Dormant,
+            prev_marking: ExecContext::Dormant,
+            stats: TThreadStats::default(),
+            resume_ev: h.create_event(&format!("{name}.resume")),
+            ctrl_ev: h.create_event(&format!("{name}.ctrl")),
+            frozen_ev: h.create_event(&format!("{name}.frozen")),
+            activate_ev: h.create_event(&format!("{name}.activate")),
+            done_ev: h.create_event(&format!("{name}.done")),
+            ctrl_pending: None,
+            resume_as: ResumeKind::Start,
+            parked: true,
+            cpu_granted: false,
+            proc: None,
+        }
+    }
+}
+
+/// Task body signature: the task receives its service-call context and
+/// the start code passed to `tk_sta_tsk`.
+pub type TaskBody = dyn FnMut(&mut crate::rtos::Sys<'_>, i32) + Send;
+
+/// Handler body signature (cyclic, alarm and interrupt handlers).
+pub type HandlerBody = dyn FnMut(&mut crate::rtos::Sys<'_>) + Send;
+
+/// Task control block.
+pub(crate) struct Tcb {
+    pub id: TaskId,
+    pub name: String,
+    pub base_pri: Priority,
+    pub cur_pri: Priority,
+    pub state: TaskState,
+    pub wupcnt: u32,
+    pub suscnt: u32,
+    pub wait: Option<WaitObj>,
+    /// Bumped on every wait registration; timer entries carry the
+    /// generation so stale timeouts are ignored.
+    pub wait_gen: u64,
+    pub wait_result: Option<(Result<(), ErCode>, Delivered)>,
+    pub held_mutexes: Vec<MtxId>,
+    pub body: Arc<Mutex<Box<TaskBody>>>,
+    /// Start code of the current activation.
+    pub stacd: i32,
+    /// `true` if the task is in the ready queue because it was preempted
+    /// (it re-enters at the head of its priority level).
+    pub preempted: bool,
+    /// Total number of activations.
+    pub activations: u64,
+}
+
+/// An entry in the kernel's tick-driven timer queue.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TimerAction {
+    /// Wait timeout of a task (with wait generation).
+    TaskTimeout { tid: TaskId, wait_gen: u64 },
+    /// Wake a `tk_dly_tsk` delay (also guarded by generation).
+    DelayEnd { tid: TaskId, wait_gen: u64 },
+    /// Fire a cyclic handler (with activation generation).
+    CyclicFire { id: CycId, gen: u64 },
+    /// Fire an alarm handler (with activation generation).
+    AlarmFire { id: AlmId, gen: u64 },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct TimerEntry {
+    /// Absolute deadline in ticks since boot.
+    pub at_tick: u64,
+    pub seq: u64,
+    pub action: TimerAction,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_tick, self.seq).cmp(&(other.at_tick, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An external interrupt request queued for delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntRequest {
+    /// Interrupt number.
+    pub intno: IntNo,
+    /// Priority level; higher values preempt lower ones (the 8051 has
+    /// two levels, 0 and 1; the timer tick is modeled above both).
+    pub level: u8,
+}
+
+/// The whole mutable kernel state.
+pub(crate) struct KernelState {
+    pub cfg: KernelConfig,
+    /// Milliseconds since the epoch set by `tk_set_tim`.
+    pub systim_ms: u64,
+    /// Ticks since boot.
+    pub ticks: u64,
+    /// SIM_HashTB: every registered T-THREAD.
+    pub threads: BTreeMap<ThreadRef, TThreadRec>,
+    pub tasks: Vec<Option<Tcb>>,
+    pub scheduler: Box<dyn Scheduler>,
+    pub running: Option<TaskId>,
+    /// SIM_Stack: nested handler contexts; the top (last) entry owns the
+    /// CPU when non-empty.
+    pub int_stack: Vec<ThreadRef>,
+    /// Priority level of each active handler frame (parallel to
+    /// `int_stack`; the timer frame is level `u8::MAX`).
+    pub int_levels: Vec<u8>,
+    pub pending_ints: VecDeque<IntRequest>,
+    pub cpu_locked: bool,
+    pub dispatch_disabled: bool,
+    /// The system-tick event (created by the central module).
+    pub tick_ev: Option<EventId>,
+    /// The interrupt-request event that wakes Interrupt Dispatch.
+    pub int_req_ev: Option<EventId>,
+    /// A tick fired while the CPU was not preemptible by the tick level;
+    /// it is replayed when the interrupt stack unwinds.
+    pub tick_pending: bool,
+    /// A dispatcher is mid-handshake taking the CPU; other dispatchers
+    /// must defer until the new frame is mounted.
+    pub cpu_transfer: bool,
+    /// Interrupt level of the system tick (8051 default: low level 0).
+    pub tick_int_level: u8,
+    pub sems: Vec<Option<crate::kernel::sem::Sem>>,
+    pub flags: Vec<Option<crate::kernel::flag::Flag>>,
+    pub mbxs: Vec<Option<crate::kernel::mbx::Mbx>>,
+    pub mbfs: Vec<Option<crate::kernel::mbf::Mbf>>,
+    pub mtxs: Vec<Option<crate::kernel::mtx::Mtx>>,
+    pub mpfs: Vec<Option<crate::kernel::mpf::Mpf>>,
+    pub mpls: Vec<Option<crate::kernel::mpl::Mpl>>,
+    pub cycs: Vec<Option<crate::kernel::time::Cyc>>,
+    pub alms: Vec<Option<crate::kernel::time::Alm>>,
+    pub isrs: BTreeMap<IntNo, crate::kernel::int::IsrRec>,
+    pub timeq: BinaryHeap<Reverse<TimerEntry>>,
+    pub timer_seq: u64,
+    pub sink: Arc<dyn TraceSink>,
+    /// Accumulated CPU idle time and its energy (idle power draw).
+    pub idle_time: SimTime,
+    pub idle_energy: Energy,
+    /// When the CPU last became idle, if it is idle now.
+    pub idle_since: Option<SimTime>,
+    /// Wall-clock start of the simulation run (set by the facade; used by
+    /// the Table 2 speed harness).
+    pub booted: bool,
+}
+
+impl KernelState {
+    pub(crate) fn new(cfg: KernelConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        KernelState {
+            cfg,
+            systim_ms: 0,
+            ticks: 0,
+            threads: BTreeMap::new(),
+            tasks: Vec::new(),
+            scheduler,
+            running: None,
+            int_stack: Vec::new(),
+            int_levels: Vec::new(),
+            pending_ints: VecDeque::new(),
+            cpu_locked: false,
+            dispatch_disabled: false,
+            tick_ev: None,
+            int_req_ev: None,
+            tick_pending: false,
+            cpu_transfer: false,
+            tick_int_level: 0,
+            sems: Vec::new(),
+            flags: Vec::new(),
+            mbxs: Vec::new(),
+            mbfs: Vec::new(),
+            mtxs: Vec::new(),
+            mpfs: Vec::new(),
+            mpls: Vec::new(),
+            cycs: Vec::new(),
+            alms: Vec::new(),
+            isrs: BTreeMap::new(),
+            timeq: BinaryHeap::new(),
+            timer_seq: 0,
+            sink: Arc::new(NullSink),
+            idle_time: SimTime::ZERO,
+            idle_energy: Energy::ZERO,
+            idle_since: None,
+            booted: false,
+        }
+    }
+
+    /// The T-THREAD currently occupying the CPU: the top nested handler,
+    /// else the running task.
+    pub(crate) fn occupant(&self) -> Option<ThreadRef> {
+        self.int_stack
+            .last()
+            .copied()
+            .or(self.running.map(ThreadRef::Task))
+    }
+
+    /// Priority level of the CPU's current interrupt frame (None when no
+    /// handler is active).
+    pub(crate) fn current_int_level(&self) -> Option<u8> {
+        self.int_levels.last().copied()
+    }
+
+    pub(crate) fn tcb(&self, tid: TaskId) -> Result<&Tcb, ErCode> {
+        self.tasks
+            .get(tid.0 as usize - 1)
+            .and_then(|t| t.as_ref())
+            .ok_or(ErCode::NoExs)
+    }
+
+    pub(crate) fn tcb_mut(&mut self, tid: TaskId) -> Result<&mut Tcb, ErCode> {
+        self.tasks
+            .get_mut(tid.0 as usize - 1)
+            .and_then(|t| t.as_mut())
+            .ok_or(ErCode::NoExs)
+    }
+
+    pub(crate) fn thread(&self, who: ThreadRef) -> &TThreadRec {
+        self.threads.get(&who).expect("unregistered T-THREAD")
+    }
+
+    pub(crate) fn thread_mut(&mut self, who: ThreadRef) -> &mut TThreadRec {
+        self.threads.get_mut(&who).expect("unregistered T-THREAD")
+    }
+
+    /// Pushes a timer-queue entry expiring at `at_tick`.
+    pub(crate) fn push_timer(&mut self, at_tick: u64, action: TimerAction) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timeq.push(Reverse(TimerEntry {
+            at_tick,
+            seq,
+            action,
+        }));
+    }
+
+    /// Converts a timeout duration to an absolute deadline tick
+    /// (rounded up; at least one tick in the future).
+    pub(crate) fn deadline_ticks(&self, d: SimTime) -> u64 {
+        let tick = self.cfg.tick;
+        let n = (d.as_ps() + tick.as_ps() - 1) / tick.as_ps();
+        self.ticks + n.max(1)
+    }
+
+    /// Marks the CPU idle starting now (idle-power accounting).
+    pub(crate) fn enter_idle(&mut self, now: SimTime) {
+        debug_assert!(self.idle_since.is_none());
+        self.idle_since = Some(now);
+    }
+
+    /// Marks the CPU busy again, accumulating the idle span.
+    pub(crate) fn leave_idle(&mut self, now: SimTime) {
+        if let Some(since) = self.idle_since.take() {
+            let span = now - since;
+            self.idle_time += span;
+            self.idle_energy += self.cfg.cost.idle_power.energy_over(span);
+        }
+    }
+}
+
+/// The shared kernel: state plus the sysc handle. All SIM_API and
+/// T-Kernel service implementations are methods on this type.
+pub struct Shared {
+    pub(crate) st: Mutex<KernelState>,
+    pub(crate) h: SimHandle,
+    /// Weak self-pointer so `&self` methods can hand owning clones to
+    /// spawned process closures.
+    pub(crate) self_arc: Mutex<std::sync::Weak<Shared>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_constructors() {
+        assert_eq!(Timeout::ms(5), Timeout::Finite(SimTime::from_ms(5)));
+    }
+
+    #[test]
+    fn task_state_mnemonics() {
+        assert_eq!(TaskState::Running.mnemonic(), "TTS_RUN");
+        assert_eq!(TaskState::Dormant.mnemonic(), "TTS_DMT");
+        assert_eq!(TaskState::WaitSuspend.mnemonic(), "TTS_WAS");
+    }
+
+    #[test]
+    fn flag_wait_mode_builders() {
+        let m = FlagWaitMode::AND.with_clear();
+        assert!(m.and && m.clear_all && !m.clear_bits);
+        let m = FlagWaitMode::OR.with_bitclear();
+        assert!(!m.and && !m.clear_all && m.clear_bits);
+    }
+
+    #[test]
+    fn wait_obj_descriptions() {
+        assert_eq!(WaitObj::Sleep.describe(), "slp");
+        assert_eq!(WaitObj::Sem(SemId(1), 2).describe(), "sem1");
+        assert_eq!(WaitObj::MbfSend(MbfId(2), 8).describe(), "mbf2(s)");
+    }
+
+    #[test]
+    fn timer_entry_ordering() {
+        let a = TimerEntry {
+            at_tick: 5,
+            seq: 0,
+            action: TimerAction::DelayEnd {
+                tid: TaskId(1),
+                wait_gen: 0,
+            },
+        };
+        let b = TimerEntry {
+            at_tick: 5,
+            seq: 1,
+            action: TimerAction::DelayEnd {
+                tid: TaskId(2),
+                wait_gen: 0,
+            },
+        };
+        let c = TimerEntry {
+            at_tick: 6,
+            seq: 2,
+            action: TimerAction::DelayEnd {
+                tid: TaskId(3),
+                wait_gen: 0,
+            },
+        };
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,150 @@
+//! RTOS-level execution trace.
+//!
+//! Every slice of consumed execution time/energy, every dispatch,
+//! preemption and interrupt transition is reported as a [`TraceRecord`]
+//! to an attached [`TraceSink`]. The `rtk-analysis` crate renders these
+//! into the paper's Fig. 6 Gantt chart and Fig. 7 energy distribution.
+
+use serde::{Deserialize, Serialize};
+use sysc::SimTime;
+
+use crate::cost::Energy;
+use crate::ids::ThreadRef;
+use crate::tthread::ExecContext;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A T-THREAD consumed execution time in some context (a Gantt bar).
+    Slice {
+        /// Execution context of the slice (pattern in the Gantt chart).
+        context: ExecContext,
+        /// What was being executed, e.g. a service-call or BFM-call name.
+        label: String,
+    },
+    /// A T-THREAD was dispatched (given the CPU).
+    Dispatch,
+    /// A T-THREAD was preempted by a higher-priority T-THREAD.
+    Preempt,
+    /// A T-THREAD resumed after preemption (event `Ex`).
+    ResumeFromPreempt,
+    /// Interrupt entry: the T-THREAD was frozen by an interrupt.
+    InterruptEnter,
+    /// A T-THREAD resumed after an interrupt returned (event `Ei`).
+    ResumeFromInterrupt,
+    /// The T-THREAD voluntarily started waiting (event `Ew` pending).
+    Sleep,
+    /// The T-THREAD's wait was satisfied (event `Ew` delivered).
+    Wakeup,
+    /// Task startup (event `Es`).
+    Startup,
+    /// Task exit (returned to DORMANT).
+    Exit,
+}
+
+/// A timed trace record attributed to one T-THREAD.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Slice start (for point events, the event time).
+    #[serde(with = "simtime_ps")]
+    pub start: SimTime,
+    /// Slice end (equal to `start` for point events).
+    #[serde(with = "simtime_ps")]
+    pub end: SimTime,
+    /// Which T-THREAD.
+    pub who: ThreadRef,
+    /// Thread name (human-readable, stable for rendering).
+    pub name: String,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Energy consumed during the slice (zero for point events).
+    pub energy: Energy,
+}
+
+impl TraceRecord {
+    /// Duration of the record (zero for point events).
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Picosecond-integer serde representation for [`SimTime`] fields
+/// (the `sysc` crate has no serde dependency).
+mod simtime_ps {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use sysc::SimTime;
+
+    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(t.as_ps())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
+        Ok(SimTime::from_ps(u64::deserialize(d)?))
+    }
+}
+
+/// Consumer of trace records. Implementations must be cheap and must not
+/// call back into the kernel.
+pub trait TraceSink: Send + Sync {
+    /// Receives one record.
+    fn record(&self, rec: TraceRecord);
+}
+
+/// A sink that discards everything (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _rec: TraceRecord) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+
+    #[test]
+    fn duration_of_point_and_slice() {
+        let rec = TraceRecord {
+            start: SimTime::from_us(10),
+            end: SimTime::from_us(25),
+            who: ThreadRef::Task(TaskId(1)),
+            name: "lcd".into(),
+            kind: TraceKind::Slice {
+                context: ExecContext::TaskBody,
+                label: "block".into(),
+            },
+            energy: Energy::from_nj(3),
+        };
+        assert_eq!(rec.duration(), SimTime::from_us(15));
+        let point = TraceRecord {
+            start: SimTime::from_us(10),
+            end: SimTime::from_us(10),
+            who: ThreadRef::Timer,
+            name: "timer".into(),
+            kind: TraceKind::Dispatch,
+            energy: Energy::ZERO,
+        };
+        assert_eq!(point.duration(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn null_sink_accepts_records() {
+        let s = NullSink;
+        s.record(TraceRecord {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            who: ThreadRef::Timer,
+            name: "timer".into(),
+            kind: TraceKind::Startup,
+            energy: Energy::ZERO,
+        });
+    }
+
+    #[test]
+    fn records_are_serializable() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<TraceRecord>();
+        assert_serde::<TraceKind>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Lightweight identifier newtypes for kernel objects.
+
+use std::fmt;
+
+/// Identifies a process (thread or method) inside one [`crate::Simulation`].
+///
+/// Ids are dense indices assigned in creation order and are never reused
+/// within a simulation, so they are safe to store in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// Raw index value (creation order).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies an event inside one [`crate::Simulation`].
+///
+/// Like [`ProcId`], event ids are dense creation-order indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Raw index value (creation order).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(EventId(7).to_string(), "E7");
+        assert_eq!(ProcId(3).index(), 3);
+        assert_eq!(EventId(7).index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_creation_order() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(EventId(0) < EventId(9));
+    }
+}

@@ -1,0 +1,1110 @@
+//! The discrete-event scheduler: evaluate → update → delta-notify →
+//! advance-time, exactly mirroring the SystemC 2.0 simulation cycle that
+//! the reproduced paper builds on.
+//!
+//! # Lock discipline
+//!
+//! All kernel state lives behind one mutex. The lock is **never** held
+//! while a process body runs: the kernel releases it before handing the
+//! baton to a thread process or invoking a method callback, so process
+//! bodies are free to call any [`SimHandle`] API.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::ids::{EventId, ProcId};
+use crate::process::{reply_from_panic, raise_terminate, Cmd, ProcShared, Reply, WaitSpec, WakeReason};
+use crate::signal::UpdateTarget;
+use crate::time::SimTime;
+use crate::trace::{KernelStats, Tracer};
+
+/// Why a call to [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No future activity exists: every process is waiting with nothing
+    /// pending (event starvation), or all processes finished.
+    Starved,
+    /// The requested time limit was reached; activity remains pending.
+    ReachedLimit,
+    /// The per-timestep delta-cycle limit was exceeded (a combinational
+    /// loop or a zero-delay oscillation).
+    DeltaLimitExceeded,
+}
+
+/// Outcome of a `wait_event_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The event fired before the timeout.
+    Fired,
+    /// The timeout elapsed first.
+    TimedOut,
+}
+
+/// How a newly spawned thread process starts.
+#[derive(Debug, Clone, Copy)]
+pub enum SpawnMode {
+    /// Runnable immediately (current/initial evaluation phase).
+    Immediate,
+    /// Parked until the given event fires for the first time.
+    WaitEvent(EventId),
+}
+
+/// What a process is currently waiting for (bookkeeping for wake-ups).
+#[derive(Debug)]
+enum WaitKind {
+    None,
+    Time,
+    Event,
+    EventTimeout,
+    Any,
+    All { remaining: Vec<EventId> },
+    Yield,
+}
+
+enum ProcBody {
+    Thread {
+        shared: Arc<ProcShared>,
+        join: Option<JoinHandle<()>>,
+    },
+    Method {
+        callback: Option<Box<dyn FnMut(&mut MethodCtx) + Send>>,
+        queued: bool,
+        trigger: Option<EventId>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    Running,
+    Waiting,
+    Finished,
+}
+
+struct ProcEntry {
+    name: String,
+    body: ProcBody,
+    state: ProcState,
+    wait_kind: WaitKind,
+    /// Bumped on every registration and wake; stale registrations carry
+    /// an older generation and are ignored.
+    wait_gen: u64,
+    pending_reason: WakeReason,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    None,
+    Delta,
+    At(SimTime),
+}
+
+struct EventEntry {
+    name: String,
+    /// Thread processes dynamically waiting on this event: `(proc, gen)`.
+    waiters: Vec<(ProcId, u64)>,
+    /// Method processes statically sensitive to this event.
+    method_subs: Vec<ProcId>,
+    pending: Pending,
+    /// Bumped on fire/cancel/renotify; stale heap entries are ignored.
+    gen: u64,
+    /// If set, the event re-notifies itself this long after each firing
+    /// (periodic clock support).
+    auto_renotify: Option<SimTime>,
+    fire_count: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum TimedAction {
+    FireEvent { event: EventId, gen: u64 },
+    WakeProc { proc: ProcId, gen: u64 },
+}
+
+#[derive(PartialEq, Eq)]
+struct TimedEntry {
+    at: SimTime,
+    seq: u64,
+    action: TimedAction,
+}
+
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct KState {
+    now: SimTime,
+    procs: Vec<ProcEntry>,
+    events: Vec<EventEntry>,
+    runnable: VecDeque<ProcId>,
+    /// Processes that yielded and become runnable at the next delta.
+    next_delta_runnable: VecDeque<ProcId>,
+    timed: BinaryHeap<Reverse<TimedEntry>>,
+    /// Events with a pending delta notification.
+    delta_notified: Vec<EventId>,
+    updates: Vec<Arc<dyn UpdateTarget>>,
+    tracer: Option<Arc<dyn Tracer>>,
+    stats: KernelStats,
+    current: Option<ProcId>,
+    seq: u64,
+    in_run: bool,
+    max_deltas_per_timestep: u64,
+}
+
+pub(crate) struct Kernel {
+    st: Mutex<KState>,
+}
+
+impl Kernel {
+    fn new() -> Self {
+        Kernel {
+            st: Mutex::new(KState {
+                now: SimTime::ZERO,
+                procs: Vec::new(),
+                events: Vec::new(),
+                runnable: VecDeque::new(),
+                next_delta_runnable: VecDeque::new(),
+                timed: BinaryHeap::new(),
+                delta_notified: Vec::new(),
+                updates: Vec::new(),
+                tracer: None,
+                stats: KernelStats::default(),
+                current: None,
+                seq: 0,
+                in_run: false,
+                max_deltas_per_timestep: 1_000_000,
+            }),
+        }
+    }
+}
+
+impl KState {
+    fn push_timed(&mut self, at: SimTime, action: TimedAction) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timed.push(Reverse(TimedEntry { at, seq, action }));
+    }
+
+    /// Makes a waiting process runnable with the given wake reason and
+    /// invalidates its other registrations.
+    fn wake(&mut self, p: ProcId, reason: WakeReason) {
+        let e = &mut self.procs[p.index()];
+        debug_assert_eq!(e.state, ProcState::Waiting);
+        e.wait_gen += 1;
+        e.wait_kind = WaitKind::None;
+        e.pending_reason = reason;
+        e.state = ProcState::Ready;
+        self.runnable.push_back(p);
+    }
+
+    /// Delivers one event firing: wakes dynamic waiters, queues sensitive
+    /// methods, and re-arms auto-renotify clocks.
+    fn fire_event(&mut self, id: EventId) {
+        let now = self.now;
+        self.stats.events_fired += 1;
+        let (waiters, subs, renotify) = {
+            let ev = &mut self.events[id.index()];
+            ev.pending = Pending::None;
+            ev.gen += 1;
+            ev.fire_count += 1;
+            (
+                std::mem::take(&mut ev.waiters),
+                ev.method_subs.clone(),
+                ev.auto_renotify,
+            )
+        };
+        if let Some(t) = &self.tracer {
+            let name = self.events[id.index()].name.clone();
+            t.event_fired(now, id, &name);
+        }
+        if let Some(period) = renotify {
+            let gen = self.events[id.index()].gen;
+            self.events[id.index()].pending = Pending::At(now + period);
+            self.push_timed(now + period, TimedAction::FireEvent { event: id, gen });
+        }
+        for (p, gen) in waiters {
+            if self.procs[p.index()].wait_gen != gen
+                || self.procs[p.index()].state != ProcState::Waiting
+            {
+                continue;
+            }
+            let wake_all = match &mut self.procs[p.index()].wait_kind {
+                WaitKind::All { remaining } => {
+                    remaining.retain(|x| *x != id);
+                    remaining.is_empty()
+                }
+                _ => {
+                    self.wake(p, WakeReason::Fired(id));
+                    continue;
+                }
+            };
+            if wake_all {
+                self.wake(p, WakeReason::AllFired);
+            }
+        }
+        for m in subs {
+            let entry = &mut self.procs[m.index()];
+            if entry.state == ProcState::Finished {
+                continue;
+            }
+            if let ProcBody::Method { queued, trigger, .. } = &mut entry.body {
+                if !*queued {
+                    *queued = true;
+                    *trigger = Some(id);
+                    self.runnable.push_back(m);
+                }
+            }
+        }
+    }
+
+    /// Registers the wait request of a just-suspended thread process.
+    fn register_wait(&mut self, p: ProcId, spec: WaitSpec) {
+        let now = self.now;
+        let gen = {
+            let e = &mut self.procs[p.index()];
+            e.state = ProcState::Waiting;
+            e.wait_gen += 1;
+            e.wait_gen
+        };
+        match spec {
+            WaitSpec::Time(d) if d.is_zero() => {
+                self.procs[p.index()].wait_kind = WaitKind::Yield;
+                self.next_delta_runnable.push_back(p);
+            }
+            WaitSpec::Time(d) => {
+                self.procs[p.index()].wait_kind = WaitKind::Time;
+                self.push_timed(now + d, TimedAction::WakeProc { proc: p, gen });
+            }
+            WaitSpec::Event(e) => {
+                self.procs[p.index()].wait_kind = WaitKind::Event;
+                self.events[e.index()].waiters.push((p, gen));
+            }
+            WaitSpec::EventTimeout(e, d) => {
+                self.procs[p.index()].wait_kind = WaitKind::EventTimeout;
+                self.events[e.index()].waiters.push((p, gen));
+                self.push_timed(now + d, TimedAction::WakeProc { proc: p, gen });
+            }
+            WaitSpec::AnyEvent(list) => {
+                self.procs[p.index()].wait_kind = WaitKind::Any;
+                for e in list {
+                    self.events[e.index()].waiters.push((p, gen));
+                }
+            }
+            WaitSpec::AllEvents(mut list) => {
+                list.sort_unstable();
+                list.dedup();
+                if list.is_empty() {
+                    self.procs[p.index()].wait_kind = WaitKind::Yield;
+                    self.next_delta_runnable.push_back(p);
+                    return;
+                }
+                for e in &list {
+                    self.events[e.index()].waiters.push((p, gen));
+                }
+                self.procs[p.index()].wait_kind = WaitKind::All { remaining: list };
+            }
+            WaitSpec::YieldDelta => {
+                self.procs[p.index()].wait_kind = WaitKind::Yield;
+                self.next_delta_runnable.push_back(p);
+            }
+        }
+    }
+
+    fn finish_proc(&mut self, p: ProcId) {
+        let e = &mut self.procs[p.index()];
+        e.state = ProcState::Finished;
+        e.wait_gen += 1;
+        e.wait_kind = WaitKind::None;
+    }
+}
+
+/// The simulation owner: spawns processes, runs the scheduler, and tears
+/// everything down on drop.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Simulation, SimTime};
+///
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let done = h.create_event("done");
+/// h.spawn_thread("worker", sysc::SpawnMode::Immediate, move |ctx| {
+///     ctx.wait_time(SimTime::from_us(5));
+///     ctx.handle().notify(done);
+/// });
+/// let outcome = sim.run_until(SimTime::from_ms(1));
+/// assert_eq!(outcome, sysc::RunOutcome::Starved);
+/// assert_eq!(sim.handle().event_fire_count(done), 1);
+/// ```
+pub struct Simulation {
+    k: Arc<Kernel>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation").field("now", &self.now()).finish()
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            k: Arc::new(Kernel::new()),
+        }
+    }
+
+    /// A cloneable handle for creating events/processes and notifying.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            k: Arc::clone(&self.k),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.st.lock().now
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.k.st.lock().stats
+    }
+
+    /// Attaches a tracer (replacing any previous one).
+    pub fn set_tracer(&self, tracer: Arc<dyn Tracer>) {
+        self.k.st.lock().tracer = Some(tracer);
+    }
+
+    /// Removes the tracer.
+    pub fn clear_tracer(&self) {
+        self.k.st.lock().tracer = None;
+    }
+
+    /// Sets the delta-cycle limit per timestep (oscillation guard).
+    pub fn set_max_deltas_per_timestep(&self, limit: u64) {
+        self.k.st.lock().max_deltas_per_timestep = limit;
+    }
+
+    /// Runs until simulated time reaches `limit` (inclusive of activity
+    /// scheduled exactly at `limit`) or no activity remains.
+    ///
+    /// On [`RunOutcome::ReachedLimit`] the simulation time is left at
+    /// `limit` and the remaining activity stays pending, so `run_until`
+    /// may be called again with a later limit (step mode).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic that occurred inside a process body.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        run_kernel(&self.k, limit)
+    }
+
+    /// Runs for `d` more simulated time (see [`Simulation::run_until`]).
+    pub fn run_for(&mut self, d: SimTime) -> RunOutcome {
+        let limit = self.now().saturating_add(d);
+        self.run_until(limit)
+    }
+
+    /// Runs until event starvation (or the delta guard trips).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Earliest pending timed activity, if any (may include cancelled
+    /// entries; intended for step-mode heuristics only).
+    pub fn next_activity_at(&self) -> Option<SimTime> {
+        self.k.st.lock().timed.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Terminate every live thread process, then reap the OS threads.
+        let mut joins = Vec::new();
+        let mut shareds = Vec::new();
+        {
+            let mut st = self.k.st.lock();
+            for p in st.procs.iter_mut() {
+                if let ProcBody::Thread { shared, join } = &mut p.body {
+                    if p.state != ProcState::Finished {
+                        p.state = ProcState::Finished;
+                        shareds.push(Arc::clone(shared));
+                    }
+                    if let Some(j) = join.take() {
+                        joins.push(j);
+                    }
+                }
+            }
+        }
+        for s in shareds {
+            // The reply is Finished (cooperative unwind) or Panicked if a
+            // Drop impl inside the process misbehaved; either way we are
+            // tearing down and must not panic here.
+            let _ = s.resume(Cmd::Terminate);
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Cloneable handle to a simulation: event/process creation and
+/// notification. Usable from the embedding code and from inside process
+/// bodies.
+#[derive(Clone)]
+pub struct SimHandle {
+    k: Arc<Kernel>,
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle").finish_non_exhaustive()
+    }
+}
+
+impl SimHandle {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.st.lock().now
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.k.st.lock().stats
+    }
+
+    /// Creates a named event.
+    pub fn create_event(&self, name: &str) -> EventId {
+        let mut st = self.k.st.lock();
+        let id = EventId(st.events.len() as u32);
+        st.events.push(EventEntry {
+            name: name.to_string(),
+            waiters: Vec::new(),
+            method_subs: Vec::new(),
+            pending: Pending::None,
+            gen: 0,
+            auto_renotify: None,
+            fire_count: 0,
+        });
+        id
+    }
+
+    /// Immediate notification: fires now, waking waiters into the current
+    /// evaluation phase. Overrides (cancels) any pending notification.
+    pub fn notify(&self, e: EventId) {
+        let mut st = self.k.st.lock();
+        st.events[e.index()].gen += 1; // invalidate pending timed entry
+        st.events[e.index()].pending = Pending::None;
+        st.fire_event(e);
+    }
+
+    /// Delta notification: fires in the next delta cycle. Overrides a
+    /// pending timed notification; keeps an existing delta notification.
+    pub fn notify_delta(&self, e: EventId) {
+        let mut st = self.k.st.lock();
+        let ev = &mut st.events[e.index()];
+        match ev.pending {
+            Pending::Delta => {}
+            _ => {
+                ev.gen += 1;
+                ev.pending = Pending::Delta;
+                st.delta_notified.push(e);
+            }
+        }
+    }
+
+    /// Timed notification after `delay`. Follows the `sc_event` override
+    /// rule: an earlier pending notification wins; a later one is
+    /// replaced. A zero delay degenerates to a delta notification.
+    pub fn notify_after(&self, e: EventId, delay: SimTime) {
+        if delay.is_zero() {
+            return self.notify_delta(e);
+        }
+        let mut st = self.k.st.lock();
+        let at = st.now + delay;
+        let ev = &mut st.events[e.index()];
+        match ev.pending {
+            Pending::Delta => return,
+            Pending::At(t) if t <= at => return,
+            _ => {}
+        }
+        ev.gen += 1;
+        let gen = ev.gen;
+        ev.pending = Pending::At(at);
+        st.push_timed(at, TimedAction::FireEvent { event: e, gen });
+    }
+
+    /// Cancels any pending (delta or timed) notification.
+    pub fn cancel(&self, e: EventId) {
+        let mut st = self.k.st.lock();
+        let ev = &mut st.events[e.index()];
+        ev.gen += 1;
+        ev.pending = Pending::None;
+    }
+
+    /// Turns the event into a periodic clock: after each firing it
+    /// re-notifies itself `period` later. The first firing is scheduled
+    /// `first_after` from now.
+    pub fn make_periodic(&self, e: EventId, period: SimTime, first_after: SimTime) {
+        assert!(!period.is_zero(), "periodic event needs a non-zero period");
+        {
+            let mut st = self.k.st.lock();
+            st.events[e.index()].auto_renotify = Some(period);
+        }
+        self.notify_after(e, first_after);
+    }
+
+    /// Stops the periodic re-notification of an event (the currently
+    /// pending firing, if any, still happens unless cancelled).
+    pub fn stop_periodic(&self, e: EventId) {
+        self.k.st.lock().events[e.index()].auto_renotify = None;
+    }
+
+    /// Number of times the event has fired.
+    pub fn event_fire_count(&self, e: EventId) -> u64 {
+        self.k.st.lock().events[e.index()].fire_count
+    }
+
+    /// The event's name.
+    pub fn event_name(&self, e: EventId) -> String {
+        self.k.st.lock().events[e.index()].name.clone()
+    }
+
+    /// The process's name.
+    pub fn proc_name(&self, p: ProcId) -> String {
+        self.k.st.lock().procs[p.index()].name.clone()
+    }
+
+    /// Whether the process has finished (returned or been killed).
+    pub fn is_finished(&self, p: ProcId) -> bool {
+        self.k.st.lock().procs[p.index()].state == ProcState::Finished
+    }
+
+    /// Spawns a thread process. The body runs on its own OS thread under
+    /// the baton protocol; it may suspend anywhere via [`ProcCtx`].
+    pub fn spawn_thread<F>(&self, name: &str, mode: SpawnMode, body: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        let shared = Arc::new(ProcShared::new());
+        let id;
+        {
+            let mut st = self.k.st.lock();
+            id = ProcId(st.procs.len() as u32);
+            st.procs.push(ProcEntry {
+                name: name.to_string(),
+                body: ProcBody::Thread {
+                    shared: Arc::clone(&shared),
+                    join: None,
+                },
+                state: ProcState::Ready,
+                wait_kind: WaitKind::None,
+                wait_gen: 0,
+                pending_reason: WakeReason::Start,
+            });
+        }
+        let handle = self.clone();
+        let shared2 = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("sysc:{name}"))
+            .stack_size(1 << 20)
+            .spawn(move || match shared2.await_turn() {
+                Cmd::Terminate => shared2.finish(Reply::Finished),
+                Cmd::Run(reason) => {
+                    let mut ctx = ProcCtx {
+                        handle,
+                        shared: Arc::clone(&shared2),
+                        id,
+                        last_reason: reason,
+                    };
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                    let reply = match result {
+                        Ok(()) => Reply::Finished,
+                        Err(p) => reply_from_panic(p),
+                    };
+                    shared2.finish(reply);
+                }
+            })
+            .expect("failed to spawn process thread");
+        let mut st = self.k.st.lock();
+        if let ProcBody::Thread { join: j, .. } = &mut st.procs[id.index()].body {
+            *j = Some(join);
+        }
+        match mode {
+            SpawnMode::Immediate => st.runnable.push_back(id),
+            SpawnMode::WaitEvent(e) => {
+                let gen = {
+                    let pe = &mut st.procs[id.index()];
+                    pe.state = ProcState::Waiting;
+                    pe.wait_kind = WaitKind::Event;
+                    pe.wait_gen += 1;
+                    pe.wait_gen
+                };
+                st.events[e.index()].waiters.push((id, gen));
+            }
+        }
+        id
+    }
+
+    /// Spawns a method process statically sensitive to `sensitivity`.
+    /// The callback runs on the kernel thread (no stack switch); it must
+    /// not block. If `run_at_start`, it is also queued once immediately.
+    pub fn spawn_method<F>(
+        &self,
+        name: &str,
+        sensitivity: &[EventId],
+        run_at_start: bool,
+        callback: F,
+    ) -> ProcId
+    where
+        F: FnMut(&mut MethodCtx) + Send + 'static,
+    {
+        let mut st = self.k.st.lock();
+        let id = ProcId(st.procs.len() as u32);
+        st.procs.push(ProcEntry {
+            name: name.to_string(),
+            body: ProcBody::Method {
+                callback: Some(Box::new(callback)),
+                queued: run_at_start,
+                trigger: None,
+            },
+            state: ProcState::Ready,
+            wait_kind: WaitKind::None,
+            wait_gen: 0,
+            pending_reason: WakeReason::Start,
+        });
+        for e in sensitivity {
+            st.events[e.index()].method_subs.push(id);
+        }
+        if run_at_start {
+            st.runnable.push_back(id);
+        }
+        id
+    }
+
+    /// Terminates another process: its stack unwinds (running `Drop`
+    /// impls) and it never runs again. Method processes are simply
+    /// descheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is the currently running process — a process exits
+    /// itself with [`ProcCtx::exit`] instead.
+    pub fn kill(&self, p: ProcId) {
+        let shared = {
+            let mut st = self.k.st.lock();
+            if st.procs[p.index()].state == ProcState::Finished {
+                return;
+            }
+            assert!(
+                st.current != Some(p),
+                "a process cannot kill itself; use ProcCtx::exit"
+            );
+            st.finish_proc(p);
+            match &st.procs[p.index()].body {
+                ProcBody::Thread { shared, .. } => Some(Arc::clone(shared)),
+                ProcBody::Method { .. } => None,
+            }
+        };
+        if let Some(s) = shared {
+            // Cooperative unwind; reply is Finished (or Panicked from a
+            // misbehaving Drop, which we surface).
+            match s.resume(Cmd::Terminate) {
+                Reply::Panicked(payload) => panic::resume_unwind(payload),
+                _ => {}
+            }
+        }
+    }
+
+    /// Queues an update target for the next update phase (signal
+    /// infrastructure; see [`crate::Signal`]).
+    pub(crate) fn request_update(&self, target: Arc<dyn UpdateTarget>) {
+        self.k.st.lock().updates.push(target);
+    }
+}
+
+/// Per-process context passed to thread-process bodies; provides the wait
+/// primitives (the only way a process may consume simulated time).
+pub struct ProcCtx {
+    handle: SimHandle,
+    shared: Arc<ProcShared>,
+    id: ProcId,
+    last_reason: WakeReason,
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcCtx")
+            .field("id", &self.id)
+            .field("last_reason", &self.last_reason)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProcCtx {
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// The simulation handle (notify, spawn, ...).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The reason the most recent wait completed.
+    pub fn last_wake_reason(&self) -> WakeReason {
+        self.last_reason
+    }
+
+    fn suspend(&mut self, spec: WaitSpec) -> WakeReason {
+        match self.shared.yield_to_kernel(Reply::Yielded(spec)) {
+            Cmd::Run(reason) => {
+                self.last_reason = reason;
+                reason
+            }
+            Cmd::Terminate => raise_terminate(),
+        }
+    }
+
+    /// Suspends for a duration of simulated time. A zero duration waits
+    /// one delta cycle (SystemC `wait(SC_ZERO_TIME)`).
+    pub fn wait_time(&mut self, d: SimTime) {
+        self.suspend(WaitSpec::Time(d));
+    }
+
+    /// Suspends until `e` fires.
+    pub fn wait_event(&mut self, e: EventId) {
+        self.suspend(WaitSpec::Event(e));
+    }
+
+    /// Suspends until `e` fires or `timeout` elapses.
+    pub fn wait_event_timeout(&mut self, e: EventId, timeout: SimTime) -> WaitOutcome {
+        match self.suspend(WaitSpec::EventTimeout(e, timeout)) {
+            WakeReason::Fired(_) => WaitOutcome::Fired,
+            WakeReason::TimedOut => WaitOutcome::TimedOut,
+            other => unreachable!("unexpected wake reason {other:?} for event-timeout wait"),
+        }
+    }
+
+    /// Suspends until any of `events` fires; returns the one that did.
+    pub fn wait_any(&mut self, events: &[EventId]) -> EventId {
+        match self.suspend(WaitSpec::AnyEvent(events.to_vec())) {
+            WakeReason::Fired(e) => e,
+            other => unreachable!("unexpected wake reason {other:?} for any-event wait"),
+        }
+    }
+
+    /// Suspends until every one of `events` has fired at least once.
+    /// An empty list degenerates to one delta cycle.
+    pub fn wait_all(&mut self, events: &[EventId]) {
+        self.suspend(WaitSpec::AllEvents(events.to_vec()));
+    }
+
+    /// Gives up the processor until the next delta cycle.
+    pub fn yield_delta(&mut self) {
+        self.suspend(WaitSpec::YieldDelta);
+    }
+
+    /// Ends this process immediately, unwinding its stack (running
+    /// `Drop` impls on the way out).
+    pub fn exit(&mut self) -> ! {
+        raise_terminate()
+    }
+}
+
+/// Context passed to method-process callbacks.
+pub struct MethodCtx {
+    handle: SimHandle,
+    id: ProcId,
+    triggered_by: Option<EventId>,
+}
+
+impl std::fmt::Debug for MethodCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodCtx")
+            .field("id", &self.id)
+            .field("triggered_by", &self.triggered_by)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MethodCtx {
+    /// This method process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// The simulation handle (notify, spawn, ...).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The event that triggered this activation (`None` for the initial
+    /// run-at-start activation).
+    pub fn triggered_by(&self) -> Option<EventId> {
+        self.triggered_by
+    }
+}
+
+enum Runner {
+    Thread(Arc<ProcShared>, WakeReason),
+    Method(Box<dyn FnMut(&mut MethodCtx) + Send>, Option<EventId>),
+    Skip,
+}
+
+/// The scheduler main loop.
+fn run_kernel(k: &Arc<Kernel>, limit: SimTime) -> RunOutcome {
+    {
+        let mut st = k.st.lock();
+        assert!(!st.in_run, "Simulation::run_* is not reentrant");
+        st.in_run = true;
+    }
+    let outcome = run_kernel_inner(k, limit);
+    k.st.lock().in_run = false;
+    match outcome {
+        Ok(o) => o,
+        Err(payload) => {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn run_kernel_inner(
+    k: &Arc<Kernel>,
+    limit: SimTime,
+) -> Result<RunOutcome, Box<dyn std::any::Any + Send>> {
+    let mut deltas_this_step: u64 = 0;
+    loop {
+        // ---- Evaluate phase -------------------------------------------------
+        loop {
+            let (pid, runner) = {
+                let mut st = k.st.lock();
+                let Some(pid) = st.runnable.pop_front() else {
+                    break;
+                };
+                let entry = &mut st.procs[pid.index()];
+                let runner = match (&mut entry.body, entry.state) {
+                    (_, ProcState::Finished) => Runner::Skip,
+                    (ProcBody::Thread { shared, .. }, ProcState::Ready) => {
+                        entry.state = ProcState::Running;
+                        let reason = entry.pending_reason;
+                        Runner::Thread(Arc::clone(shared), reason)
+                    }
+                    (
+                        ProcBody::Method {
+                            callback,
+                            queued,
+                            trigger,
+                        },
+                        _,
+                    ) => {
+                        *queued = false;
+                        let trig = trigger.take();
+                        match callback.take() {
+                            Some(cb) => Runner::Method(cb, trig),
+                            None => Runner::Skip,
+                        }
+                    }
+                    _ => Runner::Skip,
+                };
+                if !matches!(runner, Runner::Skip) {
+                    st.current = Some(pid);
+                    st.stats.process_runs += 1;
+                    if let Some(t) = &st.tracer {
+                        let name = st.procs[pid.index()].name.clone();
+                        t.process_dispatched(st.now, pid, &name);
+                    }
+                }
+                (pid, runner)
+            };
+            match runner {
+                Runner::Skip => continue,
+                Runner::Thread(shared, reason) => {
+                    let reply = shared.resume(Cmd::Run(reason));
+                    let mut st = k.st.lock();
+                    st.current = None;
+                    if let Some(t) = &st.tracer {
+                        t.process_suspended(st.now, pid);
+                    }
+                    match reply {
+                        Reply::Yielded(spec) => {
+                            // The process may have been killed while running
+                            // (not possible from another process, but a
+                            // method it notified could conceptually do so);
+                            // only re-register if still marked Running.
+                            if st.procs[pid.index()].state == ProcState::Running {
+                                st.register_wait(pid, spec);
+                            }
+                        }
+                        Reply::Finished => st.finish_proc(pid),
+                        Reply::Panicked(payload) => {
+                            st.finish_proc(pid);
+                            return Err(payload);
+                        }
+                    }
+                }
+                Runner::Method(mut cb, trig) => {
+                    let mut ctx = MethodCtx {
+                        handle: SimHandle { k: Arc::clone(k) },
+                        id: pid,
+                        triggered_by: trig,
+                    };
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| cb(&mut ctx)));
+                    let mut st = k.st.lock();
+                    st.current = None;
+                    if let Some(t) = &st.tracer {
+                        t.process_suspended(st.now, pid);
+                    }
+                    if st.procs[pid.index()].state != ProcState::Finished {
+                        if let ProcBody::Method { callback, .. } = &mut st.procs[pid.index()].body
+                        {
+                            *callback = Some(cb);
+                        }
+                    }
+                    if let Err(payload) = result {
+                        return Err(payload);
+                    }
+                }
+            }
+        }
+
+        // ---- Update phase ---------------------------------------------------
+        let updates = std::mem::take(&mut k.st.lock().updates);
+        for u in &updates {
+            if let Some(changed) = u.apply_update() {
+                let mut st = k.st.lock();
+                st.stats.signal_updates += 1;
+                if let Some(t) = &st.tracer {
+                    let (name, value) = u.describe();
+                    t.signal_changed(st.now, &name, &value);
+                }
+                // Schedule the value-changed event for the delta-notify
+                // phase (SystemC: signal updates notify in the next delta).
+                let ev = &mut st.events[changed.index()];
+                if ev.pending != Pending::Delta {
+                    ev.gen += 1;
+                    ev.pending = Pending::Delta;
+                    st.delta_notified.push(changed);
+                }
+            }
+        }
+
+        // ---- Delta-notify phase ---------------------------------------------
+        {
+            let mut st = k.st.lock();
+            let evs = std::mem::take(&mut st.delta_notified);
+            for e in evs {
+                if st.events[e.index()].pending == Pending::Delta {
+                    st.fire_event(e);
+                }
+            }
+            while let Some(p) = st.next_delta_runnable.pop_front() {
+                if st.procs[p.index()].state == ProcState::Waiting {
+                    st.wake(p, WakeReason::Yielded);
+                }
+            }
+            if !st.runnable.is_empty() {
+                st.stats.delta_cycles += 1;
+                deltas_this_step += 1;
+                if let Some(t) = &st.tracer {
+                    t.delta_cycle(st.now, deltas_this_step);
+                }
+                if deltas_this_step > st.max_deltas_per_timestep {
+                    return Ok(RunOutcome::DeltaLimitExceeded);
+                }
+                continue;
+            }
+        }
+
+        // ---- Advance-time phase ---------------------------------------------
+        {
+            let mut st = k.st.lock();
+            deltas_this_step = 0;
+            let at = loop {
+                match st.timed.peek() {
+                    None => {
+                        return Ok(RunOutcome::Starved);
+                    }
+                    Some(Reverse(entry)) => {
+                        if entry.at > limit {
+                            let old = st.now;
+                            st.now = limit;
+                            if old != limit {
+                                st.stats.time_advances += 1;
+                                if let Some(t) = &st.tracer {
+                                    t.time_advanced(old, limit);
+                                }
+                            }
+                            return Ok(RunOutcome::ReachedLimit);
+                        }
+                        break entry.at;
+                    }
+                }
+            };
+            let old = st.now;
+            st.now = at;
+            if old != at {
+                st.stats.time_advances += 1;
+                if let Some(t) = &st.tracer {
+                    t.time_advanced(old, at);
+                }
+            }
+            // Deliver every action scheduled for this timestamp.
+            while let Some(Reverse(entry)) = st.timed.peek() {
+                if entry.at != at {
+                    break;
+                }
+                let Reverse(entry) = st.timed.pop().expect("peeked entry exists");
+                match entry.action {
+                    TimedAction::FireEvent { event, gen } => {
+                        if st.events[event.index()].gen == gen {
+                            st.fire_event(event);
+                        }
+                    }
+                    TimedAction::WakeProc { proc, gen } => {
+                        let pe = &st.procs[proc.index()];
+                        if pe.wait_gen == gen && pe.state == ProcState::Waiting {
+                            let reason = match pe.wait_kind {
+                                WaitKind::EventTimeout => WakeReason::TimedOut,
+                                _ => WakeReason::TimeElapsed,
+                            };
+                            st.wake(proc, reason);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

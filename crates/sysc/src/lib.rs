@@ -1,0 +1,69 @@
+//! # sysc — a SystemC-inspired discrete-event simulation kernel
+//!
+//! This crate is the simulation substrate of the RTK-Spec TRON
+//! reproduction (DATE 2005). The paper builds its RTOS simulation model
+//! on SystemC 2.0; since no SystemC exists for Rust, `sysc` reimplements
+//! the subset the paper depends on:
+//!
+//! * **Thread processes** (`SC_THREAD`): coroutine-style bodies that can
+//!   suspend anywhere via [`ProcCtx::wait_time`], [`ProcCtx::wait_event`]
+//!   and friends. Implemented as OS threads under a strict baton
+//!   protocol — exactly one process executes at any instant, so the
+//!   simulation is deterministic like SystemC's evaluator.
+//! * **Method processes** (`SC_METHOD`): non-blocking callbacks with
+//!   static sensitivity, run on the kernel thread (no stack switch) —
+//!   used for clocked hardware models where handoff cost would dominate.
+//! * **Events** with immediate, delta and timed notification, the
+//!   `sc_event` single-pending-notification override rule, cancellation,
+//!   and periodic auto-renotification (clocks).
+//! * **Delta cycles** with the evaluate → update → delta-notify →
+//!   advance-time loop, and [`Signal`]s with request-update/update
+//!   semantics.
+//! * **Dynamic sensitivity**: `wait(t)`, `wait(event)`,
+//!   `wait(event, timeout)`, `wait_any`, `wait_all`, delta yield.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sysc::{Simulation, SimTime, SpawnMode};
+//!
+//! let mut sim = Simulation::new();
+//! let h = sim.handle();
+//! let ping = h.create_event("ping");
+//! let pong = h.create_event("pong");
+//!
+//! h.spawn_thread("ping", SpawnMode::Immediate, move |ctx| {
+//!     for _ in 0..3 {
+//!         ctx.wait_time(SimTime::from_us(10));
+//!         ctx.handle().notify(ping);
+//!         ctx.wait_event(pong);
+//!     }
+//! });
+//! let h2 = sim.handle();
+//! h2.spawn_thread("pong", SpawnMode::WaitEvent(ping), move |ctx| {
+//!     loop {
+//!         ctx.handle().notify_after(pong, SimTime::from_us(5));
+//!         ctx.wait_event(ping);
+//!     }
+//! });
+//!
+//! sim.run_until(SimTime::from_ms(1));
+//! assert_eq!(sim.handle().event_fire_count(ping), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ids;
+mod kernel;
+mod process;
+mod signal;
+mod time;
+mod trace;
+
+pub use ids::{EventId, ProcId};
+pub use kernel::{MethodCtx, ProcCtx, RunOutcome, SimHandle, Simulation, SpawnMode, WaitOutcome};
+pub use process::WakeReason;
+pub use signal::{Clock, Signal, SignalValue};
+pub use time::SimTime;
+pub use trace::{KernelStats, Tracer};

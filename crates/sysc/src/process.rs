@@ -1,0 +1,210 @@
+//! Thread-process plumbing: the baton handoff protocol.
+//!
+//! SystemC `SC_THREAD`s are stackful coroutines. Stable Rust has no
+//! native coroutines, so each thread process runs on its own OS thread
+//! under a strict *baton* protocol: at any instant either the kernel or
+//! exactly one process owns the baton, which makes the simulation fully
+//! deterministic (equivalent to SystemC's co-operative evaluator) while
+//! letting user code suspend anywhere in its call stack.
+
+use std::any::Any;
+use std::panic;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ids::EventId;
+use crate::time::SimTime;
+
+/// Why a suspended process was resumed; returned by the wait primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// First activation of the process.
+    Start,
+    /// A `wait_time` completed.
+    TimeElapsed,
+    /// The awaited event (or one of a `wait_any` set) fired.
+    Fired(EventId),
+    /// A `wait_event_timeout` expired before the event fired.
+    TimedOut,
+    /// Every event of a `wait_all` set has fired.
+    AllFired,
+    /// A `yield_delta` completed (next delta cycle reached).
+    Yielded,
+}
+
+/// What a process asks the kernel to do when it suspends.
+#[derive(Debug, Clone)]
+pub(crate) enum WaitSpec {
+    /// Sleep for a duration of simulated time.
+    Time(SimTime),
+    /// Sleep until an event fires.
+    Event(EventId),
+    /// Sleep until an event fires or a timeout elapses, whichever is first.
+    EventTimeout(EventId, SimTime),
+    /// Sleep until any of the listed events fires.
+    AnyEvent(Vec<EventId>),
+    /// Sleep until all of the listed events have fired at least once.
+    AllEvents(Vec<EventId>),
+    /// Give up the processor until the next delta cycle.
+    YieldDelta,
+}
+
+/// Kernel-to-process command.
+pub(crate) enum Cmd {
+    /// Continue execution; carries the reason the wait completed.
+    Run(WakeReason),
+    /// Unwind and exit (process kill / simulation teardown).
+    Terminate,
+}
+
+/// Process-to-kernel reply.
+pub(crate) enum Reply {
+    /// The process suspended with the given wait request.
+    Yielded(WaitSpec),
+    /// The process body returned (or was terminated cooperatively).
+    Finished,
+    /// The process body panicked; payload to be re-thrown by the kernel.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Panic payload used to unwind a process stack on termination.
+///
+/// The wrapper installed by the kernel catches this payload and converts
+/// it into a clean [`Reply::Finished`], so user `Drop` impls still run.
+pub(crate) struct TerminateSignal;
+
+/// Whose turn it is to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Kernel,
+    Process,
+}
+
+struct Baton {
+    turn: Turn,
+    cmd: Option<Cmd>,
+    reply: Option<Reply>,
+}
+
+/// Shared rendezvous state between the kernel and one process thread.
+pub(crate) struct ProcShared {
+    mu: Mutex<Baton>,
+    cv: Condvar,
+}
+
+impl ProcShared {
+    pub(crate) fn new() -> Self {
+        ProcShared {
+            mu: Mutex::new(Baton {
+                turn: Turn::Kernel,
+                cmd: None,
+                reply: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Kernel side: hand the baton to the process with `cmd` and block
+    /// until the process hands it back with a reply.
+    pub(crate) fn resume(&self, cmd: Cmd) -> Reply {
+        let mut b = self.mu.lock();
+        debug_assert!(b.cmd.is_none(), "resume while a command is pending");
+        b.cmd = Some(cmd);
+        b.turn = Turn::Process;
+        self.cv.notify_all();
+        while b.turn != Turn::Kernel {
+            self.cv.wait(&mut b);
+        }
+        b.reply.take().expect("process returned baton without a reply")
+    }
+
+    /// Process side: block until the kernel hands over the baton; returns
+    /// the command to execute.
+    pub(crate) fn await_turn(&self) -> Cmd {
+        let mut b = self.mu.lock();
+        while b.turn != Turn::Process {
+            self.cv.wait(&mut b);
+        }
+        b.cmd.take().expect("kernel gave turn without a command")
+    }
+
+    /// Process side: hand the baton back with `reply` and block until the
+    /// kernel resumes us again. Returns the next command.
+    pub(crate) fn yield_to_kernel(&self, reply: Reply) -> Cmd {
+        let mut b = self.mu.lock();
+        b.reply = Some(reply);
+        b.turn = Turn::Kernel;
+        self.cv.notify_all();
+        while b.turn != Turn::Process {
+            self.cv.wait(&mut b);
+        }
+        b.cmd.take().expect("kernel gave turn without a command")
+    }
+
+    /// Process side: final reply when the body has finished; does not
+    /// wait for another turn.
+    pub(crate) fn finish(&self, reply: Reply) {
+        let mut b = self.mu.lock();
+        b.reply = Some(reply);
+        b.turn = Turn::Kernel;
+        self.cv.notify_all();
+    }
+}
+
+/// Converts a caught panic payload into a reply, recognising cooperative
+/// termination.
+pub(crate) fn reply_from_panic(payload: Box<dyn Any + Send>) -> Reply {
+    if payload.is::<TerminateSignal>() {
+        Reply::Finished
+    } else {
+        Reply::Panicked(payload)
+    }
+}
+
+/// Unwinds the current process stack as a cooperative termination.
+pub(crate) fn raise_terminate() -> ! {
+    panic::resume_unwind(Box::new(TerminateSignal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn baton_round_trip() {
+        let shared = Arc::new(ProcShared::new());
+        let s2 = Arc::clone(&shared);
+        let t = thread::spawn(move || {
+            // Process: wait for first turn, yield once, then finish.
+            match s2.await_turn() {
+                Cmd::Run(r) => assert_eq!(r, WakeReason::Start),
+                Cmd::Terminate => panic!("unexpected terminate"),
+            }
+            match s2.yield_to_kernel(Reply::Yielded(WaitSpec::YieldDelta)) {
+                Cmd::Run(r) => assert_eq!(r, WakeReason::Yielded),
+                Cmd::Terminate => panic!("unexpected terminate"),
+            }
+            s2.finish(Reply::Finished);
+        });
+
+        match shared.resume(Cmd::Run(WakeReason::Start)) {
+            Reply::Yielded(WaitSpec::YieldDelta) => {}
+            _ => panic!("expected yield"),
+        }
+        match shared.resume(Cmd::Run(WakeReason::Yielded)) {
+            Reply::Finished => {}
+            _ => panic!("expected finish"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn terminate_payload_is_recognised() {
+        let r = reply_from_panic(Box::new(TerminateSignal));
+        assert!(matches!(r, Reply::Finished));
+        let r = reply_from_panic(Box::new("boom"));
+        assert!(matches!(r, Reply::Panicked(_)));
+    }
+}

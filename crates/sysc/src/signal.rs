@@ -1,0 +1,312 @@
+//! Signals and clocks with SystemC update-phase semantics.
+//!
+//! A [`Signal`] holds a current value readable by any process. Writes go
+//! to a *next* slot and are applied in the kernel's update phase; if the
+//! value actually changed, the signal's `value_changed_event` is notified
+//! in the following delta cycle. This is exactly `sc_signal`'s
+//! request-update/update protocol, which the paper's BFM relies on for
+//! race-free hardware modeling.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ids::EventId;
+use crate::kernel::SimHandle;
+use crate::time::SimTime;
+
+/// Values that can live in a [`Signal`].
+///
+/// The `vcd_value` rendering is used by waveform tracers (Fig. 4 of the
+/// paper); the default renders via `Debug`.
+pub trait SignalValue: Clone + PartialEq + Debug + Send + 'static {
+    /// VCD-style value rendering (e.g. `1`/`0` for bool, `b1010` for
+    /// integers).
+    fn vcd_value(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+impl SignalValue for bool {
+    fn vcd_value(&self) -> String {
+        if *self { "1" } else { "0" }.to_string()
+    }
+}
+
+macro_rules! impl_signal_value_int {
+    ($($t:ty),*) => {$(
+        impl SignalValue for $t {
+            fn vcd_value(&self) -> String {
+                format!("b{:b}", self)
+            }
+        }
+    )*};
+}
+
+impl_signal_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SignalValue for char {}
+impl SignalValue for String {}
+
+/// Type-erased hook the kernel calls during the update phase.
+pub(crate) trait UpdateTarget: Send + Sync {
+    /// Applies the pending write; returns the value-changed event if the
+    /// value actually changed.
+    fn apply_update(&self) -> Option<EventId>;
+    /// `(name, current value)` for tracing, called only after a change.
+    fn describe(&self) -> (String, String);
+}
+
+struct SignalInner<T: SignalValue> {
+    name: String,
+    current: Mutex<T>,
+    next: Mutex<Option<T>>,
+    changed_event: EventId,
+}
+
+impl<T: SignalValue> UpdateTarget for SignalInner<T> {
+    fn apply_update(&self) -> Option<EventId> {
+        let next = self.next.lock().take();
+        if let Some(v) = next {
+            let mut cur = self.current.lock();
+            if *cur != v {
+                *cur = v;
+                return Some(self.changed_event);
+            }
+        }
+        None
+    }
+
+    fn describe(&self) -> (String, String) {
+        (self.name.clone(), self.current.lock().vcd_value())
+    }
+}
+
+/// A `sc_signal`-like channel: read anywhere, writes take effect in the
+/// next update phase, changes notify an event one delta later.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Simulation, Signal, SimTime, SpawnMode};
+///
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let sig: Signal<u32> = Signal::new(&h, "bus", 0);
+/// let watcher_saw = h.create_event("saw");
+/// let s = sig.clone();
+/// h.spawn_thread("watch", SpawnMode::Immediate, move |ctx| {
+///     ctx.wait_event(s.value_changed_event());
+///     assert_eq!(s.read(), 42);
+///     ctx.handle().notify(watcher_saw);
+/// });
+/// let s2 = sig.clone();
+/// h.spawn_thread("drive", SpawnMode::Immediate, move |ctx| {
+///     ctx.wait_time(SimTime::from_ns(10));
+///     s2.write(42);
+/// });
+/// sim.run_to_completion();
+/// assert_eq!(sim.handle().event_fire_count(watcher_saw), 1);
+/// ```
+pub struct Signal<T: SignalValue> {
+    inner: Arc<SignalInner<T>>,
+    handle: SimHandle,
+}
+
+impl<T: SignalValue> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        Signal {
+            inner: Arc::clone(&self.inner),
+            handle: self.handle.clone(),
+        }
+    }
+}
+
+impl<T: SignalValue> Debug for Signal<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal")
+            .field("name", &self.inner.name)
+            .field("value", &*self.inner.current.lock())
+            .finish()
+    }
+}
+
+impl<T: SignalValue> Signal<T> {
+    /// Creates a signal with an initial value.
+    pub fn new(handle: &SimHandle, name: &str, init: T) -> Self {
+        let changed_event = handle.create_event(&format!("{name}.changed"));
+        Signal {
+            inner: Arc::new(SignalInner {
+                name: name.to_string(),
+                current: Mutex::new(init),
+                next: Mutex::new(None),
+                changed_event,
+            }),
+            handle: handle.clone(),
+        }
+    }
+
+    /// The signal's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Current value (as of the last completed update phase).
+    pub fn read(&self) -> T {
+        self.inner.current.lock().clone()
+    }
+
+    /// Schedules a write for the next update phase.
+    pub fn write(&self, value: T) {
+        let mut next = self.inner.next.lock();
+        let first_request = next.is_none();
+        *next = Some(value);
+        drop(next);
+        if first_request {
+            self.handle
+                .request_update(Arc::clone(&self.inner) as Arc<dyn UpdateTarget>);
+        }
+    }
+
+    /// Event notified (one delta after the update phase) whenever the
+    /// value changes.
+    pub fn value_changed_event(&self) -> EventId {
+        self.inner.changed_event
+    }
+}
+
+/// A periodic clock built on an auto-renotifying event.
+///
+/// `tick_event` fires every `period`, starting `first_after` from the
+/// moment of creation. The paper's BFM uses one of these as the real-time
+/// clock driving the kernel's central module (1 ms default resolution).
+#[derive(Debug, Clone)]
+pub struct Clock {
+    tick: EventId,
+    period: SimTime,
+    name: String,
+}
+
+impl Clock {
+    /// Creates and starts a periodic clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(handle: &SimHandle, name: &str, period: SimTime, first_after: SimTime) -> Self {
+        let tick = handle.create_event(&format!("{name}.tick"));
+        handle.make_periodic(tick, period, first_after);
+        Clock {
+            tick,
+            period,
+            name: name.to_string(),
+        }
+    }
+
+    /// The event that fires once per period.
+    pub fn tick_event(&self) -> EventId {
+        self.tick
+    }
+
+    /// The clock period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// The clock's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stops the clock (no further ticks after any pending one).
+    pub fn stop(&self, handle: &SimHandle) {
+        handle.stop_periodic(self.tick);
+        handle.cancel(self.tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Simulation, SpawnMode};
+
+    #[test]
+    fn signal_updates_in_update_phase_not_immediately() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sig: Signal<u32> = Signal::new(&h, "s", 7);
+        let s = sig.clone();
+        let checked = h.create_event("checked");
+        h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+            s.write(9);
+            // Write not visible until the update phase.
+            assert_eq!(s.read(), 7);
+            ctx.yield_delta();
+            assert_eq!(s.read(), 9);
+            ctx.handle().notify(checked);
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.handle().event_fire_count(checked), 1);
+    }
+
+    #[test]
+    fn last_write_in_a_delta_wins() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sig: Signal<u32> = Signal::new(&h, "s", 0);
+        let s = sig.clone();
+        h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+            s.write(1);
+            s.write(2);
+            s.write(3);
+            ctx.yield_delta();
+            assert_eq!(s.read(), 3);
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn no_change_no_event() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sig: Signal<bool> = Signal::new(&h, "s", true);
+        let s = sig.clone();
+        h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+            s.write(true); // same value: no value-changed notification
+            ctx.wait_time(SimTime::from_ns(5));
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.handle().event_fire_count(sig.value_changed_event()), 0);
+    }
+
+    #[test]
+    fn clock_ticks_periodically() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let clk = Clock::new(&h, "clk", SimTime::from_ms(1), SimTime::from_ms(1));
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(sim.handle().event_fire_count(clk.tick_event()), 10);
+        assert_eq!(clk.period(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn clock_stop_halts_ticks() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let clk = Clock::new(&h, "clk", SimTime::from_ms(1), SimTime::from_ms(1));
+        sim.run_until(SimTime::from_ms(3));
+        clk.stop(&sim.handle());
+        sim.run_until(SimTime::from_ms(10));
+        assert_eq!(sim.handle().event_fire_count(clk.tick_event()), 3);
+    }
+
+    #[test]
+    fn vcd_value_renderings() {
+        assert_eq!(true.vcd_value(), "1");
+        assert_eq!(false.vcd_value(), "0");
+        assert_eq!(5u8.vcd_value(), "b101");
+        assert_eq!(10u32.vcd_value(), "b1010");
+        assert_eq!('x'.vcd_value(), "'x'");
+    }
+}

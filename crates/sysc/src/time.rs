@@ -1,0 +1,326 @@
+//! Simulation time.
+//!
+//! [`SimTime`] is the single time type of the kernel, used both for points
+//! in simulated time and for durations, mirroring SystemC's `sc_time`. The
+//! internal resolution is one picosecond stored in a `u64`, which gives a
+//! maximum representable time of roughly 213 days — far beyond any RTOS
+//! co-simulation session.
+//!
+//! Picoseconds were chosen so that every period used by the reproduced
+//! paper is exact: a 12 MHz i8051 oscillator yields a 1 µs machine cycle
+//! (1_000_000 ps) and the kernel tick is 1 ms (10^9 ps).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in simulated time or a duration, with picosecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::SimTime;
+///
+/// let tick = SimTime::from_ms(1);
+/// let cycle = SimTime::from_us(1);
+/// assert_eq!(tick / cycle, 1000);
+/// assert_eq!(tick + cycle, SimTime::from_ns(1_001_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero (also the zero-length duration).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time (~213 days).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_ms(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000_000
+    }
+
+    /// Time as fractional seconds (for reporting; not for scheduling math).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// `true` if this is [`SimTime::ZERO`].
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<SimTime> for u64 {
+    type Output = SimTime;
+    fn mul(self, rhs: SimTime) -> SimTime {
+        SimTime(self * rhs.0)
+    }
+}
+
+/// Integer ratio of two times (how many `rhs` fit in `self`).
+impl Div<SimTime> for SimTime {
+    type Output = u64;
+    fn div(self, rhs: SimTime) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Scales a time down by an integer factor.
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+/// Remainder of one time modulo another (phase within a period).
+impl Rem<SimTime> for SimTime {
+    type Output = SimTime;
+    fn rem(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Renders with the coarsest unit that divides the value exactly,
+    /// e.g. `1 ms`, `250 us`, `1500 ps`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            return write!(f, "0 s");
+        }
+        const UNITS: [(u64, &str); 5] = [
+            (1_000_000_000_000, "s"),
+            (1_000_000_000, "ms"),
+            (1_000_000, "us"),
+            (1_000, "ns"),
+            (1, "ps"),
+        ];
+        for (scale, unit) in UNITS {
+            if ps % scale == 0 {
+                return write!(f, "{} {}", ps / scale, unit);
+            }
+        }
+        unreachable!("scale 1 always divides")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_scale() {
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn machine_cycle_and_tick_are_exact() {
+        // 12 MHz oscillator, 12 clocks per machine cycle => 1 us exactly.
+        let cycle = SimTime::from_us(1);
+        assert_eq!(cycle.as_ps(), 1_000_000);
+        let tick = SimTime::from_ms(1);
+        assert_eq!(tick / cycle, 1_000);
+        assert_eq!(tick % cycle, SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(3);
+        let b = SimTime::from_us(2);
+        assert_eq!(a + b, SimTime::from_us(5));
+        assert_eq!(a - b, SimTime::from_us(1));
+        assert_eq!(a * 4, SimTime::from_us(12));
+        assert_eq!(4 * a, SimTime::from_us(12));
+        assert_eq!(a / b, 1);
+        assert_eq!(a % b, SimTime::from_us(1));
+        assert_eq!(a / 3, SimTime::from_us(1));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(5));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn checked_and_saturating() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
+        assert_eq!(SimTime::ZERO.checked_sub(SimTime::from_ps(1)), None);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_ps(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_ps(1)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::from_us(5).checked_sub(SimTime::from_us(2)),
+            Some(SimTime::from_us(3))
+        );
+    }
+
+    #[test]
+    fn ordering_min_max() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(20);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(!a.is_zero());
+        assert!(SimTime::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_picks_exact_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+        assert_eq!(SimTime::from_ms(1).to_string(), "1 ms");
+        assert_eq!(SimTime::from_us(250).to_string(), "250 us");
+        assert_eq!(SimTime::from_ps(1_500).to_string(), "1500 ps");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2 s");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(SimTime::from_us).sum();
+        assert_eq!(total, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn as_secs_f64_reporting() {
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

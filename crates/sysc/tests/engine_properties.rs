@@ -1,0 +1,136 @@
+//! Property-based tests of the discrete-event engine: temporal ordering,
+//! determinism, and notification-rule invariants under random inputs.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use sysc::{RunOutcome, SimTime, Simulation, SpawnMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timed notifications fire in non-decreasing time order regardless
+    /// of the order they were scheduled in, and every distinct event
+    /// fires exactly once.
+    #[test]
+    fn timed_events_fire_in_time_order(delays in proptest::collection::vec(1u64..10_000, 1..40)) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let fired: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for (i, d) in delays.iter().enumerate() {
+            let e = h.create_event(&format!("e{i}"));
+            let f = Arc::clone(&fired);
+            h.spawn_thread(&format!("w{i}"), SpawnMode::WaitEvent(e), move |ctx| {
+                f.lock().unwrap().push((ctx.now().as_us(), i));
+            });
+            h.notify_after(e, SimTime::from_us(*d));
+        }
+        prop_assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+        let fired = fired.lock().unwrap().clone();
+        prop_assert_eq!(fired.len(), delays.len());
+        // Times non-decreasing.
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "out of order: {w:?}");
+        }
+        // Each waiter woke at its own delay.
+        for (t, i) in &fired {
+            prop_assert_eq!(*t, delays[*i]);
+        }
+    }
+
+    /// The engine is deterministic: the same random program produces the
+    /// same execution log twice.
+    #[test]
+    fn random_programs_are_deterministic(
+        procs in proptest::collection::vec((1u64..500, 1u8..5), 2..8),
+    ) {
+        fn run(procs: &[(u64, u8)]) -> Vec<String> {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let sync = h.create_event("sync");
+            for (i, (delay, rounds)) in procs.iter().enumerate() {
+                let (delay, rounds) = (*delay, *rounds);
+                let l = Arc::clone(&log);
+                h.spawn_thread(&format!("p{i}"), SpawnMode::Immediate, move |ctx| {
+                    for r in 0..rounds {
+                        ctx.wait_time(SimTime::from_us(delay));
+                        l.lock().unwrap().push(format!("p{i}r{r}@{}", ctx.now()));
+                        if i == 0 {
+                            ctx.handle().notify(sync);
+                        }
+                    }
+                });
+            }
+            sim.run_to_completion();
+            let out = log.lock().unwrap().clone();
+            out
+        }
+        prop_assert_eq!(run(&procs), run(&procs));
+    }
+
+    /// The sc_event override rule: of several timed notifications on the
+    /// SAME event, the earliest pending one wins and the event fires
+    /// exactly once per notification "generation".
+    #[test]
+    fn earliest_pending_notification_wins(delays in proptest::collection::vec(1u64..1000, 2..12)) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let e = h.create_event("e");
+        let fired_at: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let f = Arc::clone(&fired_at);
+        h.spawn_method("m", &[e], false, move |ctx| {
+            f.lock().unwrap().push(ctx.now().as_us());
+        });
+        for d in &delays {
+            h.notify_after(e, SimTime::from_us(*d));
+        }
+        sim.run_to_completion();
+        let fired = fired_at.lock().unwrap().clone();
+        let min = *delays.iter().min().unwrap();
+        prop_assert_eq!(fired, vec![min]);
+    }
+
+    /// Periodic events tick exactly floor(horizon/period) times.
+    #[test]
+    fn periodic_events_tick_exactly(period_us in 10u64..500, horizon_ms in 1u64..20) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let e = h.create_event("clk");
+        h.make_periodic(e, SimTime::from_us(period_us), SimTime::from_us(period_us));
+        sim.run_until(SimTime::from_ms(horizon_ms));
+        let expected = SimTime::from_ms(horizon_ms) / SimTime::from_us(period_us);
+        prop_assert_eq!(sim.handle().event_fire_count(e), expected);
+    }
+
+    /// Killing random subsets of processes never deadlocks the engine
+    /// and the survivors finish.
+    #[test]
+    fn kill_any_subset_is_safe(kill_mask in 0u32..256) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let done = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let d = Arc::clone(&done);
+            let pid = h.spawn_thread(&format!("p{i}"), SpawnMode::Immediate, move |ctx| {
+                ctx.wait_time(SimTime::from_ms(5));
+                d.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            ids.push(pid);
+        }
+        sim.run_until(SimTime::from_ms(1));
+        let mut killed = 0;
+        for (i, pid) in ids.iter().enumerate() {
+            if kill_mask & (1 << i) != 0 {
+                sim.handle().kill(*pid);
+                killed += 1;
+            }
+        }
+        prop_assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+        prop_assert_eq!(
+            done.load(std::sync::atomic::Ordering::SeqCst),
+            8 - killed
+        );
+    }
+}

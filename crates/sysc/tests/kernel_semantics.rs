@@ -1,0 +1,601 @@
+//! Semantic tests for the sysc discrete-event kernel: scheduling order,
+//! notification rules, delta cycles, waits, kills and panics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sysc::{
+    ProcId, RunOutcome, SimTime, Simulation, SpawnMode, Tracer, WaitOutcome, WakeReason,
+};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_ms(v)
+}
+fn us(v: u64) -> SimTime {
+    SimTime::from_us(v)
+}
+
+/// Shared log used to assert deterministic ordering.
+#[derive(Clone, Default)]
+struct Log(Arc<Mutex<Vec<String>>>);
+
+impl Log {
+    fn push(&self, s: impl Into<String>) {
+        self.0.lock().unwrap().push(s.into());
+    }
+    fn take(&self) -> Vec<String> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+#[test]
+fn empty_simulation_starves_immediately() {
+    let mut sim = Simulation::new();
+    assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+    assert_eq!(sim.now(), SimTime::ZERO);
+}
+
+#[test]
+fn wait_time_advances_clock() {
+    let mut sim = Simulation::new();
+    let log = Log::default();
+    let l = log.clone();
+    sim.handle()
+        .spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+            l.push(format!("start@{}", ctx.now()));
+            ctx.wait_time(us(100));
+            l.push(format!("mid@{}", ctx.now()));
+            ctx.wait_time(us(250));
+            l.push(format!("end@{}", ctx.now()));
+        });
+    assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+    assert_eq!(log.take(), vec!["start@0 s", "mid@100 us", "end@350 us"]);
+    assert_eq!(sim.now(), us(350));
+}
+
+#[test]
+fn run_until_pauses_and_resumes() {
+    let mut sim = Simulation::new();
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    sim.handle()
+        .spawn_thread("p", SpawnMode::Immediate, move |ctx| loop {
+            ctx.wait_time(ms(1));
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    assert_eq!(sim.run_until(ms(5)), RunOutcome::ReachedLimit);
+    assert_eq!(counter.load(Ordering::SeqCst), 5);
+    assert_eq!(sim.now(), ms(5));
+    assert_eq!(sim.run_until(ms(12)), RunOutcome::ReachedLimit);
+    assert_eq!(counter.load(Ordering::SeqCst), 12);
+}
+
+#[test]
+fn processes_run_in_spawn_order_within_a_phase() {
+    let mut sim = Simulation::new();
+    let log = Log::default();
+    for i in 0..5 {
+        let l = log.clone();
+        sim.handle()
+            .spawn_thread(&format!("p{i}"), SpawnMode::Immediate, move |_ctx| {
+                l.push(format!("p{i}"));
+            });
+    }
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["p0", "p1", "p2", "p3", "p4"]);
+}
+
+#[test]
+fn immediate_notification_wakes_in_same_eval_phase() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+
+    let l = log.clone();
+    h.spawn_thread("waiter", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_event(e);
+        l.push(format!("woken@{}", ctx.now()));
+    });
+    let l = log.clone();
+    h.spawn_thread("notifier", SpawnMode::Immediate, move |ctx| {
+        ctx.handle().notify(e);
+        l.push("notified".to_string());
+    });
+    sim.run_to_completion();
+    // Waiter runs first (spawn order), waits; notifier fires immediately;
+    // waiter wakes within the same evaluation phase at time zero.
+    assert_eq!(log.take(), vec!["notified", "woken@0 s"]);
+}
+
+#[test]
+fn delta_notification_wakes_one_delta_later() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+
+    let l = log.clone();
+    h.spawn_thread("waiter", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_event(e);
+        l.push("woken".to_string());
+    });
+    let l = log.clone();
+    h.spawn_thread("notifier", SpawnMode::Immediate, move |ctx| {
+        ctx.handle().notify_delta(e);
+        l.push("posted".to_string());
+        ctx.yield_delta();
+        l.push("after-delta".to_string());
+    });
+    sim.run_to_completion();
+    let entries = log.take();
+    assert_eq!(entries[0], "posted");
+    // Both wake in the next delta; waiter was registered first.
+    assert_eq!(entries[1], "woken");
+    assert_eq!(entries[2], "after-delta");
+}
+
+#[test]
+fn timed_notification_fires_at_the_right_time() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("waiter", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_event(e);
+        l.push(format!("woken@{}", ctx.now()));
+    });
+    h.notify_after(e, us(777));
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["woken@777 us"]);
+}
+
+#[test]
+fn earlier_timed_notification_overrides_later() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    h.notify_after(e, us(500));
+    h.notify_after(e, us(100)); // earlier wins
+    h.notify_after(e, us(900)); // ignored: later than pending
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("waiter", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_event(e);
+        l.push(format!("woken@{}", ctx.now()));
+    });
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["woken@100 us"]);
+    assert_eq!(sim.handle().event_fire_count(e), 1);
+}
+
+#[test]
+fn cancel_removes_pending_notification() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    h.notify_after(e, us(100));
+    h.cancel(e);
+    assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+    assert_eq!(sim.handle().event_fire_count(e), 0);
+}
+
+#[test]
+fn wait_event_timeout_fires_and_times_out() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+
+    let l = log.clone();
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        // First: event arrives before timeout.
+        ctx.handle().notify_after(e, us(10));
+        let r = ctx.wait_event_timeout(e, us(100));
+        l.push(format!("{r:?}@{}", ctx.now()));
+        // Second: timeout elapses first.
+        let r = ctx.wait_event_timeout(e, us(50));
+        l.push(format!("{r:?}@{}", ctx.now()));
+    });
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["Fired@10 us", "TimedOut@60 us"]);
+}
+
+#[test]
+fn timeout_cancellation_does_not_wake_later() {
+    // After the event fires first, the stale timeout must not wake the
+    // process out of its next wait.
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        ctx.handle().notify_after(e, us(10));
+        let r = ctx.wait_event_timeout(e, us(1000));
+        assert_eq!(r, WaitOutcome::Fired);
+        // Now sleep over the stale timeout's expiry (t=1000us).
+        ctx.wait_time(us(5000));
+        l.push(format!("woke@{}", ctx.now()));
+    });
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["woke@5010 us"]);
+}
+
+#[test]
+fn wait_any_returns_the_fired_event() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e1 = h.create_event("e1");
+    let e2 = h.create_event("e2");
+    let e3 = h.create_event("e3");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        let fired = ctx.wait_any(&[e1, e2, e3]);
+        l.push(format!("fired={}", ctx.handle().event_name(fired)));
+    });
+    h.notify_after(e2, us(5));
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["fired=e2"]);
+}
+
+#[test]
+fn wait_all_requires_every_event() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e1 = h.create_event("e1");
+    let e2 = h.create_event("e2");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_all(&[e1, e2]);
+        l.push(format!("all@{}", ctx.now()));
+        assert_eq!(ctx.last_wake_reason(), WakeReason::AllFired);
+    });
+    h.notify_after(e1, us(10));
+    h.notify_after(e2, us(30));
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["all@30 us"]);
+}
+
+#[test]
+fn spawn_waiting_on_event_starts_parked() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let start = h.create_event("start");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("task", SpawnMode::WaitEvent(start), move |ctx| {
+        l.push(format!("started@{}", ctx.now()));
+    });
+    // Nothing happens until the start event; with no timed activity the
+    // run starves at time zero (SystemC semantics: `now` stays at the
+    // last activity).
+    assert_eq!(sim.run_until(ms(1)), RunOutcome::Starved);
+    assert!(log.take().is_empty());
+    assert_eq!(sim.now(), SimTime::ZERO);
+    sim.handle().notify_after(start, us(500));
+    sim.run_until(ms(3));
+    assert_eq!(log.take(), vec!["started@500 us"]);
+}
+
+#[test]
+fn dynamic_spawn_from_running_process() {
+    let mut sim = Simulation::new();
+    let log = Log::default();
+    let l = log.clone();
+    sim.handle()
+        .spawn_thread("parent", SpawnMode::Immediate, move |ctx| {
+            ctx.wait_time(us(10));
+            let l2 = l.clone();
+            ctx.handle()
+                .spawn_thread("child", SpawnMode::Immediate, move |cctx| {
+                    l2.push(format!("child@{}", cctx.now()));
+                    cctx.wait_time(us(5));
+                    l2.push(format!("child-done@{}", cctx.now()));
+                });
+            l.push(format!("parent@{}", ctx.now()));
+        });
+    sim.run_to_completion();
+    // Child becomes runnable in the same eval phase, after parent yields.
+    assert_eq!(
+        log.take(),
+        vec!["parent@10 us", "child@10 us", "child-done@15 us"]
+    );
+}
+
+#[test]
+fn kill_unwinds_target_and_runs_drops() {
+    struct Guard(Log);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            self.0.push("dropped");
+        }
+    }
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let log = Log::default();
+    let l = log.clone();
+    let victim = h.spawn_thread("victim", SpawnMode::Immediate, move |ctx| {
+        let _g = Guard(l.clone());
+        ctx.wait_time(SimTime::from_secs(100));
+        l.push("should never run");
+    });
+    let l = log.clone();
+    h.spawn_thread("killer", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_time(us(10));
+        ctx.handle().kill(victim);
+        l.push("killed");
+    });
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["dropped", "killed"]);
+    assert!(sim.handle().is_finished(victim));
+}
+
+#[test]
+fn kill_is_idempotent() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let victim = h.spawn_thread("victim", SpawnMode::Immediate, |ctx| {
+        ctx.wait_time(SimTime::from_secs(100));
+    });
+    sim.run_until(us(1));
+    sim.handle().kill(victim);
+    sim.handle().kill(victim); // no-op
+    assert!(sim.handle().is_finished(victim));
+}
+
+#[test]
+fn exit_terminates_early_with_drops() {
+    struct Guard(Log);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            self.0.push("dropped");
+        }
+    }
+    let mut sim = Simulation::new();
+    let log = Log::default();
+    let l = log.clone();
+    sim.handle()
+        .spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+            let _g = Guard(l.clone());
+            l.push("before-exit");
+            ctx.exit();
+        });
+    sim.run_to_completion();
+    assert_eq!(log.take(), vec!["before-exit", "dropped"]);
+}
+
+#[test]
+#[should_panic(expected = "process boom")]
+fn process_panic_propagates_to_run() {
+    let mut sim = Simulation::new();
+    sim.handle()
+        .spawn_thread("p", SpawnMode::Immediate, |_ctx| {
+            panic!("process boom");
+        });
+    sim.run_to_completion();
+}
+
+#[test]
+fn method_process_triggered_by_events() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let count = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&count);
+    h.spawn_method("m", &[e], false, move |ctx| {
+        assert_eq!(ctx.triggered_by(), Some(e));
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    h.make_periodic(e, ms(1), ms(1));
+    sim.run_until(ms(7));
+    assert_eq!(count.load(Ordering::SeqCst), 7);
+}
+
+#[test]
+fn method_run_at_start_runs_once_without_trigger() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let count = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&count);
+    h.spawn_method("m", &[e], true, move |ctx| {
+        assert_eq!(ctx.triggered_by(), None);
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    sim.run_to_completion();
+    assert_eq!(count.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn method_triggered_once_per_delta_even_with_multiple_events() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e1 = h.create_event("e1");
+    let e2 = h.create_event("e2");
+    let count = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&count);
+    h.spawn_method("m", &[e1, e2], false, move |_ctx| {
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    // Both events in the same delta.
+    h.notify_after(e1, us(10));
+    h.notify_after(e2, us(10));
+    sim.run_to_completion();
+    assert_eq!(count.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn zero_time_wait_is_one_delta() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("a", SpawnMode::Immediate, move |ctx| {
+        l.push("a1");
+        ctx.wait_time(SimTime::ZERO);
+        l.push("a2");
+    });
+    let l = log.clone();
+    h.spawn_thread("b", SpawnMode::Immediate, move |_ctx| {
+        l.push("b");
+    });
+    sim.run_to_completion();
+    // a's second half runs in the next delta, after b.
+    assert_eq!(log.take(), vec!["a1", "b", "a2"]);
+}
+
+#[test]
+fn delta_limit_guard_catches_oscillation() {
+    let mut sim = Simulation::new();
+    sim.set_max_deltas_per_timestep(100);
+    let h = sim.handle();
+    let e = h.create_event("e");
+    h.spawn_thread("osc", SpawnMode::Immediate, move |ctx| loop {
+        ctx.handle().notify_delta(e);
+        ctx.wait_event(e);
+    });
+    assert_eq!(sim.run_to_completion(), RunOutcome::DeltaLimitExceeded);
+}
+
+#[test]
+fn stats_are_counted() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    h.make_periodic(e, ms(1), ms(1));
+    let _p = h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        for _ in 0..5 {
+            ctx.wait_event(e);
+        }
+    });
+    sim.run_until(ms(10));
+    let stats = sim.stats();
+    assert_eq!(stats.events_fired, 10);
+    assert!(stats.process_runs >= 6); // 1 initial + 5 wakes
+    assert!(stats.time_advances >= 10);
+}
+
+#[test]
+fn tracer_sees_dispatches_and_time() {
+    #[derive(Default)]
+    struct T {
+        dispatches: AtomicU64,
+        advances: AtomicU64,
+        fires: AtomicU64,
+    }
+    impl Tracer for T {
+        fn process_dispatched(&self, _now: SimTime, _p: ProcId, _name: &str) {
+            self.dispatches.fetch_add(1, Ordering::SeqCst);
+        }
+        fn time_advanced(&self, _from: SimTime, _to: SimTime) {
+            self.advances.fetch_add(1, Ordering::SeqCst);
+        }
+        fn event_fired(&self, _now: SimTime, _e: sysc::EventId, _name: &str) {
+            self.fires.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let mut sim = Simulation::new();
+    let tracer = Arc::new(T::default());
+    sim.set_tracer(Arc::clone(&tracer) as Arc<dyn Tracer>);
+    let h = sim.handle();
+    let e = h.create_event("e");
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_time(us(10));
+        ctx.handle().notify(e);
+        ctx.wait_time(us(10));
+    });
+    sim.run_to_completion();
+    assert!(tracer.dispatches.load(Ordering::SeqCst) >= 3);
+    assert_eq!(tracer.fires.load(Ordering::SeqCst), 1);
+    assert_eq!(tracer.advances.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn drop_terminates_live_processes_cleanly() {
+    let log = Log::default();
+    struct Guard(Log);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            self.0.push("cleaned");
+        }
+    }
+    {
+        let mut sim = Simulation::new();
+        let l = log.clone();
+        sim.handle()
+            .spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+                let _g = Guard(l.clone());
+                loop {
+                    ctx.wait_time(ms(1));
+                }
+            });
+        sim.run_until(ms(3));
+        // sim dropped here with p still waiting.
+    }
+    assert_eq!(log.take(), vec!["cleaned"]);
+}
+
+#[test]
+fn two_identical_runs_produce_identical_logs() {
+    fn run_once() -> Vec<String> {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let log = Log::default();
+        let e = h.create_event("sync");
+        for i in 0..4 {
+            let l = log.clone();
+            h.spawn_thread(&format!("w{i}"), SpawnMode::Immediate, move |ctx| {
+                for round in 0..10 {
+                    ctx.wait_time(us(10 * (i + 1)));
+                    l.push(format!("w{i}r{round}@{}", ctx.now()));
+                    if i == 0 {
+                        ctx.handle().notify(e);
+                    }
+                }
+            });
+        }
+        sim.run_to_completion();
+        log.take()
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn many_processes_scale() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let counter = Arc::new(AtomicU64::new(0));
+    for i in 0..100 {
+        let c = Arc::clone(&counter);
+        h.spawn_thread(&format!("p{i}"), SpawnMode::Immediate, move |ctx| {
+            for _ in 0..10 {
+                ctx.wait_time(us(i + 1));
+            }
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    sim.run_to_completion();
+    assert_eq!(counter.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn notify_between_runs_is_delivered_on_next_run() {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let e = h.create_event("e");
+    let log = Log::default();
+    let l = log.clone();
+    h.spawn_thread("p", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_event(e);
+        l.push(format!("woken@{}", ctx.now()));
+    });
+    assert_eq!(sim.run_until(ms(1)), RunOutcome::Starved);
+    assert!(log.take().is_empty());
+    sim.handle().notify(e); // immediate notify while paused (still t=0)
+    sim.run_until(ms(2));
+    assert_eq!(log.take(), vec!["woken@0 s"]);
+}

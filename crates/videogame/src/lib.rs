@@ -1,0 +1,24 @@
+//! # rtk-videogame — the paper's case-study application
+//!
+//! "We programmed a video game application that maps into four
+//! communicating tasks: {LCD:T1, Key pad:T2, SSD:T3, IDLE:T4} and two
+//! handlers {Cyclic:H1, Alarm:H2}" (paper §5.2). This crate implements
+//! that application on RTK-Spec TRON and the 8051 BFM: a paddle-and-ball
+//! game rendered on the LCD, scored on the seven-segment display, with
+//! keypad input arriving through the external-interrupt path, serial
+//! logging through a message buffer, and every other kernel primitive
+//! exercised along the way.
+//!
+//! [`install`] wires everything from the user main entry; a simulated
+//! [`player`] presses keys so runs are fully autonomous and
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod game;
+pub mod player;
+
+pub use cosim::{build_cosim, Cosim, Gui};
+pub use game::{install, GameConfig, GameState, VideoGame};
+pub use player::{install_player, PlayerSkill};

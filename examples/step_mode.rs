@@ -1,0 +1,36 @@
+//! Step mode (paper §5): advance the co-simulation one system tick at a
+//! time and watch the kernel state evolve — the mode the paper uses for
+//! the Gantt/waveform widgets.
+//!
+//! Run with: `cargo run --example step_mode`
+
+use rtk_spec_tron::core::KernelConfig;
+use rtk_spec_tron::sysc::SimTime;
+use rtk_spec_tron::videogame::{build_cosim, GameConfig, Gui, PlayerSkill};
+
+fn main() {
+    let mut cosim = build_cosim(
+        KernelConfig::paper(),
+        GameConfig {
+            frame_period: SimTime::from_ms(5),
+            ..GameConfig::default()
+        },
+        PlayerSkill::Perfect,
+        Gui::Off,
+    );
+
+    for step in 1..=20 {
+        cosim.rtos.step(); // one 1 ms tick
+        let (running, ready, nest, ticks) = cosim.rtos.ds().td_ref_sys();
+        println!(
+            "tick {step:>2}: t={:<6} running={:<6} ready={} int_nest={} ticks={}",
+            cosim.rtos.now().to_string(),
+            running.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            ready,
+            nest,
+            ticks,
+        );
+    }
+    println!();
+    println!("{}", cosim.rtos.ds().dump_listing());
+}

@@ -1,0 +1,39 @@
+//! # rtk-spec-tron — umbrella crate of the RTK-Spec TRON reproduction
+//!
+//! Re-exports the five subsystems of the workspace (see README.md for
+//! the architecture and DESIGN.md for the paper mapping):
+//!
+//! * [`sysc`] — the SystemC-like discrete-event simulation kernel;
+//! * [`core`] — T-THREAD, SIM_API, the T-Kernel/OS model, T-Kernel/DS,
+//!   and the RTK-Spec I/II mini-kernels;
+//! * [`bfm`] — the i8051 bus functional model and peripherals;
+//! * [`analysis`] — Gantt, energy/battery, VCD and speed instruments;
+//! * [`videogame`] — the paper's case-study application.
+//!
+//! # Example
+//!
+//! Run the paper's full co-simulation for 100 ms and inspect the kernel:
+//!
+//! ```
+//! use rtk_spec_tron::core::KernelConfig;
+//! use rtk_spec_tron::sysc::SimTime;
+//! use rtk_spec_tron::videogame::{build_cosim, GameConfig, Gui, PlayerSkill};
+//!
+//! let mut cosim = build_cosim(
+//!     KernelConfig::paper(),
+//!     GameConfig::default(),
+//!     PlayerSkill::Perfect,
+//!     Gui::Off,
+//! );
+//! cosim.rtos.run_until(SimTime::from_ms(100));
+//! let listing = cosim.rtos.ds().dump_listing();
+//! assert!(listing.contains("T-Kernel/DS"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rtk_analysis as analysis;
+pub use rtk_bfm as bfm;
+pub use rtk_core as core;
+pub use rtk_videogame as videogame;
+pub use sysc;

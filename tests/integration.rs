@@ -1,0 +1,165 @@
+//! Workspace-level integration tests: the umbrella crate's re-exports,
+//! the paper cost model's timing behaviour, and the full
+//! trace → Gantt → energy → VCD analysis pipeline across crates.
+
+use std::sync::Arc;
+
+use rtk_spec_tron::analysis::{Battery, EnergyReport, GanttChart, GanttConfig, TraceRecorder, WaveProbe};
+use rtk_spec_tron::bfm::Bfm;
+use rtk_spec_tron::core::{
+    CostModel, ExecContext, KernelConfig, QueueOrder, Rtos, ServiceClass, Timeout,
+};
+use rtk_spec_tron::sysc::SimTime;
+use rtk_spec_tron::videogame::{build_cosim, GameConfig, Gui, PlayerSkill};
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_ms(v)
+}
+
+#[test]
+fn paper_cost_model_charges_service_calls() {
+    // With the 8051 cost model, each service call consumes its class
+    // budget; a semaphore signal+wait pair costs 2 x 25 machine cycles.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let elapsed = Arc::new(AtomicU64::new(0));
+    let e = Arc::clone(&elapsed);
+    let cfg = KernelConfig::paper();
+    let sem_cost = cfg.cost.service(ServiceClass::Semaphore).time;
+    let mut rtos = Rtos::new(cfg, move |sys, _| {
+        let sem = sys.tk_cre_sem("s", 1, 2, QueueOrder::Fifo).unwrap();
+        let t0 = sys.now();
+        sys.tk_sig_sem(sem, 1).unwrap();
+        sys.tk_wai_sem(sem, 1, Timeout::Poll).unwrap();
+        e.store((sys.now() - t0).as_ps(), Ordering::SeqCst);
+    });
+    rtos.run_for(ms(20));
+    assert_eq!(
+        elapsed.load(std::sync::atomic::Ordering::SeqCst),
+        (sem_cost * 2).as_ps()
+    );
+}
+
+#[test]
+fn timer_tick_overhead_accumulates_on_timer_thread() {
+    let cfg = KernelConfig::paper();
+    let tick_cost = cfg.cost.timer_tick.time;
+    let mut rtos = Rtos::new(cfg, |sys, _| {
+        sys.tk_slp_tsk(Timeout::ms(80)).ok();
+    });
+    rtos.run_until(ms(100));
+    let threads = rtos.threads();
+    let timer = threads
+        .iter()
+        .find(|t| t.name == "timer")
+        .expect("timer thread registered");
+    // ~100 ticks, each consuming the tick budget in Handler context.
+    let cet = timer.stats.cet(ExecContext::Handler);
+    assert!(
+        cet >= tick_cost * 90 && cet <= tick_cost * 101,
+        "timer CET = {cet}"
+    );
+    assert!(timer.stats.cycles >= 90);
+}
+
+#[test]
+fn zero_cost_model_makes_services_free() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let elapsed = Arc::new(AtomicU64::new(1));
+    let e = Arc::clone(&elapsed);
+    let cfg = KernelConfig::paper().with_cost(CostModel::zero());
+    let mut rtos = Rtos::new(cfg, move |sys, _| {
+        let sem = sys.tk_cre_sem("s", 1, 2, QueueOrder::Fifo).unwrap();
+        let t0 = sys.now();
+        for _ in 0..100 {
+            sys.tk_sig_sem(sem, 1).unwrap();
+            sys.tk_wai_sem(sem, 1, Timeout::Poll).unwrap();
+        }
+        e.store((sys.now() - t0).as_ps(), Ordering::SeqCst);
+    });
+    rtos.run_for(ms(20));
+    assert_eq!(elapsed.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+#[test]
+fn full_analysis_pipeline_over_the_case_study() {
+    let mut cosim = build_cosim(
+        KernelConfig::paper(),
+        GameConfig::default(),
+        PlayerSkill::Perfect,
+        Gui::Off,
+    );
+    let recorder = Arc::new(TraceRecorder::new());
+    cosim.rtos.set_trace_sink(recorder.clone());
+    let probe = Arc::new(WaveProbe::new());
+    cosim.rtos.set_sim_tracer(probe.clone());
+
+    cosim.rtos.run_until(ms(400));
+
+    // Gantt renders with all the context patterns present.
+    let chart = GanttChart::new(GanttConfig {
+        width: 80,
+        show_markers: true,
+    });
+    let gantt = chart.render(&recorder.snapshot(), SimTime::ZERO, ms(400));
+    assert!(gantt.contains('#'), "handler pattern missing:\n{gantt}");
+    assert!(gantt.contains('B'), "bfm pattern missing:\n{gantt}");
+    assert!(gantt.contains('$'), "service pattern missing:\n{gantt}");
+    assert!(gantt.contains('='), "task pattern missing:\n{gantt}");
+
+    // Energy report: CET totals are consistent with elapsed time (the
+    // idle task makes the CPU ~100% busy).
+    let report = EnergyReport::build(
+        &cosim.rtos.threads(),
+        cosim.rtos.idle_stats(),
+        ms(400),
+        Battery::ten_watt_hours(),
+    );
+    let total = report.total_cet;
+    assert!(
+        total >= ms(360) && total <= ms(401),
+        "total CET {total} vs elapsed 400 ms"
+    );
+    assert!(report.battery.remaining_fraction() > 0.99);
+
+    // The kernel consumed energy; the busiest threads ranked first.
+    assert!(!report.rows.is_empty());
+    assert!(report.rows[0].cee >= report.rows.last().unwrap().cee);
+
+    // Waveform probe saw the BFM port signals (ALE handshake etc.).
+    // (The LCD path uses dedicated driver calls; port probing is
+    // exercised via the serial/ports example; accept zero-or-more here
+    // but the VCD must be syntactically valid.)
+    let vcd = probe.to_vcd();
+    assert!(vcd.contains("$enddefinitions"));
+}
+
+#[test]
+fn bfm_and_kernel_share_one_timeline() {
+    // A task that mixes kernel services, BFM accesses and plain
+    // execution: every time source must agree (sysc now == kernel otm).
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let diff = Arc::new(AtomicU64::new(u64::MAX));
+    let d = Arc::clone(&diff);
+    let (tx, rx) = std::sync::mpsc::channel::<Bfm>();
+    let mut rtos = Rtos::new(KernelConfig::paper(), move |sys, _| {
+        let bfm = rx.recv().unwrap();
+        bfm.lcd.write_line(sys, 0, "hello");
+        sys.exec(SimTime::from_us(777));
+        let otm = sys.tk_get_otm().unwrap();
+        d.store((sys.now() - otm).as_ps(), Ordering::SeqCst);
+    });
+    let bfm = Bfm::new(&rtos);
+    tx.send(bfm).unwrap();
+    rtos.run_for(ms(50));
+    assert_eq!(diff.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The facade crate exposes all five subsystems.
+    let _ = rtk_spec_tron::core::KernelConfig::paper();
+    let _ = rtk_spec_tron::analysis::Battery::ten_watt_hours();
+    let _ = rtk_spec_tron::bfm::BusTiming::mcu_8051_12mhz();
+    let _ = rtk_spec_tron::videogame::GameConfig::default();
+    let _ = rtk_spec_tron::sysc::SimTime::from_ms(1);
+}
