@@ -1,0 +1,4 @@
+// Root-package forwarding target so `cargo bench --bench sim_engine`
+// works from the workspace root; the benchmark itself lives in
+// `crates/bench/benches/sim_engine.rs`.
+include!("../crates/bench/benches/sim_engine.rs");

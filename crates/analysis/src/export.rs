@@ -1,5 +1,4 @@
-//! CSV export of traces and reports — for spreadsheet/plotting tools,
-//! complementing the serde `Serialize` impls on the record types.
+//! CSV export of traces and reports — for spreadsheet/plotting tools.
 //!
 //! Fields are escaped per RFC 4180 (quotes doubled, fields containing
 //! separators quoted); times are exported in microseconds and energies

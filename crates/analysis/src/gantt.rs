@@ -94,18 +94,15 @@ impl GanttChart {
                     let c0 = col_of(r.start.max(from));
                     let c1 = col_of(r.end.min(to));
                     let pat = context_pattern(*context);
-                    for col in c0..=c1 {
-                        bars[lane][col] = pat;
-                    }
+                    bars[lane][c0..=c1].fill(pat);
                 }
                 TraceKind::Dispatch => marks[lane][col_of(r.start)] = '^',
                 TraceKind::Preempt => marks[lane][col_of(r.start)] = 'x',
                 TraceKind::InterruptEnter => marks[lane][col_of(r.start)] = '!',
-                TraceKind::Wakeup => {
-                    if marks[lane][col_of(r.start)] == ' ' {
+                TraceKind::Wakeup
+                    if marks[lane][col_of(r.start)] == ' ' => {
                         marks[lane][col_of(r.start)] = 'w';
                     }
-                }
                 _ => {}
             }
         }

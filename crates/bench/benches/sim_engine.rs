@@ -1,10 +1,21 @@
-//! Microbenchmarks of the sysc discrete-event engine: raw event
-//! throughput for thread processes (baton handoff) vs method processes
-//! (plain callbacks) — quantifying the paper's host-code-execution
-//! speed argument.
+// Microbenchmarks of the sysc discrete-event engine, quantifying the
+// paper's host-code-execution speed argument along the axes the
+// phase-structured scheduler optimizes:
+//
+// * raw event throughput for thread processes (baton handoff) vs
+//   method processes (lock-free fast-path callbacks);
+// * the timed-notification path through the hierarchical timing wheel,
+//   including the periodic-clock re-arm that used to be a heap push
+//   per tick;
+// * the timing wheel vs a reference `BinaryHeap` as a bare data
+//   structure (insert + pop-in-order);
+// * batched (`notify_many`) vs one-lock-per-event notification.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sysc::{SimTime, Simulation, SpawnMode};
+use sysc::{SimTime, Simulation, SpawnMode, TimingWheel};
 
 fn thread_pingpong(events: u64) {
     let mut sim = Simulation::new();
@@ -42,6 +53,90 @@ fn method_cascade(events: u64) {
     sim.run_to_completion();
 }
 
+/// `n` one-shot timed notifications at spread-out delays: exercises
+/// wheel insert + advance across several levels.
+fn timed_spread(n: u64) {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let events: Vec<_> = (0..n)
+        .map(|i| {
+            let e = h.create_event(&format!("e{i}"));
+            // Delays from 1 us to ~0.5 s, deterministically scattered.
+            let d = 1 + (i * 2_654_435_761) % 500_000;
+            h.notify_after(e, SimTime::from_us(d));
+            e
+        })
+        .collect();
+    sim.run_to_completion();
+    assert!(events.iter().all(|e| h.event_fire_count(*e) == 1));
+}
+
+/// One periodic clock over `ticks` periods: the re-arm hot path that
+/// used to re-insert into a global heap on every tick.
+fn periodic_clock(ticks: u64) {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let clk = h.create_event("clk");
+    h.make_periodic(clk, SimTime::from_us(1), SimTime::from_us(1));
+    sim.run_until(SimTime::from_us(ticks));
+    assert_eq!(h.event_fire_count(clk), ticks);
+}
+
+/// Reference model of the old timed queue: `(at, seq)`-ordered heap.
+fn heap_insert_pop(n: u64) -> u64 {
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let at = 1 + (i * 2_654_435_761) % 500_000_000;
+        heap.push(Reverse((at, i)));
+    }
+    while let Some(Reverse((at, _))) = heap.pop() {
+        acc = acc.wrapping_add(at);
+    }
+    acc
+}
+
+/// The same workload through the hierarchical timing wheel.
+fn wheel_insert_pop(n: u64) -> u64 {
+    let mut wheel: TimingWheel<()> = TimingWheel::new();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let at = 1 + (i * 2_654_435_761) % 500_000_000;
+        wheel.insert(at, ());
+    }
+    let mut due = Vec::new();
+    while let Some(at) = wheel.next_at() {
+        due.clear();
+        wheel.advance_to(at, &mut due);
+        for e in &due {
+            acc = acc.wrapping_add(e.at);
+        }
+    }
+    acc
+}
+
+/// `rounds` bursts of 16 notifications, one kernel lock per event.
+fn notify_singles(rounds: u64) {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let events: Vec<_> = (0..16).map(|i| h.create_event(&format!("e{i}"))).collect();
+    for _ in 0..rounds {
+        for e in &events {
+            h.notify(*e);
+        }
+    }
+}
+
+/// The same bursts through `notify_many`: one kernel lock per burst.
+fn notify_batched(rounds: u64) {
+    let sim = Simulation::new();
+    let h = sim.handle();
+    let events: Vec<_> = (0..16).map(|i| h.create_event(&format!("e{i}"))).collect();
+    for _ in 0..rounds {
+        h.notify_many(&events);
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine");
     group.sample_size(10);
@@ -51,8 +146,38 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("method_events_x10k", |b| {
         b.iter(|| method_cascade(std::hint::black_box(10_000)))
     });
+    group.bench_function("timed_spread_x10k", |b| {
+        b.iter(|| timed_spread(std::hint::black_box(10_000)))
+    });
+    group.bench_function("periodic_clock_x100k", |b| {
+        b.iter(|| periodic_clock(std::hint::black_box(100_000)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn bench_timed_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_queue");
+    group.sample_size(10);
+    group.bench_function("heap_insert_pop_x100k", |b| {
+        b.iter(|| heap_insert_pop(std::hint::black_box(100_000)))
+    });
+    group.bench_function("wheel_insert_pop_x100k", |b| {
+        b.iter(|| wheel_insert_pop(std::hint::black_box(100_000)))
+    });
+    group.finish();
+}
+
+fn bench_notify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notify_batching");
+    group.sample_size(10);
+    group.bench_function("notify_single_16x10k", |b| {
+        b.iter(|| notify_singles(std::hint::black_box(10_000)))
+    });
+    group.bench_function("notify_many_16x10k", |b| {
+        b.iter(|| notify_batched(std::hint::black_box(10_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_timed_queue, bench_notify);
 criterion_main!(benches);

@@ -10,8 +10,8 @@ fn main() {
     println!("Table 1: RTOS Modeling APIs (SIM_API library)");
     println!("{}", "=".repeat(100));
     println!(
-        "{:<22} {:<42} {}",
-        "SIM_API construct", "this reproduction", "semantics"
+        "{:<22} {:<42} semantics",
+        "SIM_API construct", "this reproduction"
     );
     println!("{}", "-".repeat(100));
     let rows = [

@@ -156,27 +156,30 @@ impl IntController {
         }
     }
 
-    /// Delivers latched requests that have become deliverable.
+    /// Delivers latched requests that have become deliverable, as one
+    /// batch: a single kernel-lock acquisition and a single Interrupt
+    /// Dispatch wake-up however many sources flush.
     fn flush_pending(&self) {
-        let mut to_send = Vec::new();
-        {
+        let (port, to_send) = {
             let mut inner = self.inner.lock();
             if !inner.global_enable {
                 return;
             }
             let port = inner.port.clone();
+            let mut to_send = Vec::new();
             for src in IntSource::ALL {
                 let s = &mut inner.sources[src.index()];
                 if s.pending && s.enabled {
                     s.pending = false;
-                    if let Some(p) = &port {
-                        to_send.push((src.vector(), u8::from(s.high_priority), p.clone()));
+                    if port.is_some() {
+                        to_send.push((src.vector(), u8::from(s.high_priority)));
                     }
                 }
             }
-        }
-        for (no, level, port) in to_send {
-            port.raise(no, level);
+            (port, to_send)
+        };
+        if let Some(port) = port {
+            port.raise_many(&to_send);
         }
     }
 

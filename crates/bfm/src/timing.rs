@@ -93,6 +93,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn budgets_are_ordered_sensibly() {
         assert!(cycles::IRAM < cycles::XRAM);
         assert!(cycles::LCD_DATA > cycles::LCD_CMD);

@@ -94,11 +94,9 @@ pub fn calibrate(base: &CostModel, profile: &ReferenceProfile) -> CostModel {
             factor_count += 1;
         }
     }
-    let avg_ppm = if factor_count > 0 {
-        factor_ppm_sum / factor_count
-    } else {
-        1_000_000
-    };
+    let avg_ppm = factor_ppm_sum
+        .checked_div(factor_count)
+        .unwrap_or(1_000_000);
     let scale = |t: SimTime| -> SimTime {
         SimTime::from_ps((t.as_ps() as u128 * avg_ppm / 1_000_000) as u64)
     };

@@ -169,20 +169,11 @@ impl Shared {
                 Shared::trace_point(&st, now, ThreadRef::Task(r), crate::trace::TraceKind::Preempt);
             }
         }
-        // Expire timer-queue entries due at this tick.
+        // Expire timer-queue entries due at this tick (drained from the
+        // timing wheel one action at a time: handler activations below
+        // can block on their completion events in between).
         loop {
-            let action = {
-                let mut st = self.st.lock();
-                let due = st
-                    .timeq
-                    .peek()
-                    .is_some_and(|std::cmp::Reverse(e)| e.at_tick <= st.ticks);
-                if due {
-                    st.timeq.pop().map(|std::cmp::Reverse(e)| e.action)
-                } else {
-                    None
-                }
-            };
+            let action = self.st.lock().pop_due_timer();
             let Some(action) = action else { break };
             match action {
                 TimerAction::TaskTimeout { tid, wait_gen }

@@ -7,7 +7,6 @@
 //! [`CostModel`] with documented defaults calibrated to a 1-MIPS,
 //! ~30 mW 8051-class MCU, fully overridable via the builder methods.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -18,9 +17,7 @@ use sysc::SimTime;
 ///
 /// 1 pJ granularity lets a 10 Wh battery (3.6 × 10¹⁶ pJ — the Fig. 7
 /// scenario) fit comfortably in a `u64`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Energy(u64);
 
 impl Energy {
@@ -141,7 +138,7 @@ impl fmt::Display for Energy {
             (1, "pJ"),
         ];
         for (scale, unit) in UNITS {
-            if pj % scale == 0 {
+            if pj.is_multiple_of(scale) {
                 return write!(f, "{} {}", pj / scale, unit);
             }
         }
@@ -150,9 +147,7 @@ impl fmt::Display for Energy {
 }
 
 /// Electrical power, stored in microwatts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Power(u64);
 
 impl Power {
@@ -196,7 +191,7 @@ impl fmt::Display for Power {
         }
         const UNITS: [(u64, &str); 3] = [(1_000_000, "W"), (1_000, "mW"), (1, "uW")];
         for (scale, unit) in UNITS {
-            if uw % scale == 0 {
+            if uw.is_multiple_of(scale) {
                 return write!(f, "{} {}", uw / scale, unit);
             }
         }

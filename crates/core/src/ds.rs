@@ -212,8 +212,8 @@ impl Ds {
         let _ = writeln!(out, "--- tasks ---");
         let _ = writeln!(
             out,
-            "{:<6} {:<14} {:<8} {:>4} {:>4} {:>6} {:>6}  {}",
-            "id", "name", "state", "bpri", "cpri", "wupcnt", "actcnt", "waitobj"
+            "{:<6} {:<14} {:<8} {:>4} {:>4} {:>6} {:>6}  waitobj",
+            "id", "name", "state", "bpri", "cpri", "wupcnt", "actcnt"
         );
         for tcb in st.tasks.iter().flatten() {
             let run = if st.running == Some(tcb.id) && tcb.state == TaskState::Running {

@@ -5,15 +5,12 @@
 //! distinct (handing a semaphore ID to `tk_wai_flg` is a compile error
 //! here, where the real kernel would return `E_ID` at runtime).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! object_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub(crate) u32);
 
         impl $name {
@@ -90,7 +87,7 @@ object_id!(
 );
 
 /// External interrupt number (vector index into the interrupt controller).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IntNo(pub u32);
 
 impl fmt::Display for IntNo {
@@ -101,7 +98,7 @@ impl fmt::Display for IntNo {
 
 /// Identifies any T-THREAD (a task or one of the handler kinds) for
 /// tracing and statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ThreadRef {
     /// An application task.
     Task(TaskId),

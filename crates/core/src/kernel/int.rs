@@ -61,18 +61,13 @@ impl<'a> Sys<'a> {
         self.service_cost(ServiceClass::Interrupt, "tk_def_int");
         let r = {
             let mut st = self.shared.st.lock();
-            if st.isrs.contains_key(&intno) {
-                Err(ErCode::Obj)
-            } else {
-                st.isrs.insert(
-                    intno,
-                    IsrRec {
+            if let std::collections::btree_map::Entry::Vacant(e) = st.isrs.entry(intno) {
+                e.insert(IsrRec {
                         name: name.to_string(),
                         level,
                         count: 0,
                         body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
-                    },
-                );
+                    });
                 drop(st);
                 self.shared.register_thread(
                     ThreadRef::Isr(intno),
@@ -81,6 +76,8 @@ impl<'a> Sys<'a> {
                 );
                 self.shared.spawn_handler_thread(ThreadRef::Isr(intno));
                 Ok(())
+            } else {
+                Err(ErCode::Obj)
             }
         };
         self.service_exit();

@@ -275,7 +275,7 @@ impl<'a> Sys<'a> {
                     let shared = std::sync::Arc::clone(&self.shared);
                     let (res, delivered) =
                         shared.block_current(self.proc, tid, WaitObj::MbfRecv(id), tmo);
-                    res.and_then(|()| match delivered {
+                    res.and(match delivered {
                         Delivered::MbfMsg(m) => Ok(m),
                         _ => Err(ErCode::Sys),
                     })

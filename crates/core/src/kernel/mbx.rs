@@ -6,7 +6,6 @@
 //! priority ordering with `TA_MPRI`, FIFO otherwise) without modeling
 //! target memory.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cost::ServiceClass;
 use crate::error::{ErCode, KResult};
@@ -17,7 +16,7 @@ use crate::state::{Delivered, QueueOrder, Shared, Timeout, WaitObj};
 use super::waitq::WaitQueue;
 
 /// A mailbox message: a priority header plus a payload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgPacket {
     /// Message priority (smaller = more urgent; used with `TA_MPRI`).
     pub pri: u8,
@@ -166,7 +165,7 @@ impl<'a> Sys<'a> {
                     let shared = std::sync::Arc::clone(&self.shared);
                     let (res, delivered) =
                         shared.block_current(self.proc, tid, WaitObj::Mbx(id), tmo);
-                    res.and_then(|()| match delivered {
+                    res.and(match delivered {
                         Delivered::Msg(m) => Ok(m),
                         _ => Err(ErCode::Sys),
                     })

@@ -127,7 +127,7 @@ impl<'a> Sys<'a> {
                     let shared = std::sync::Arc::clone(&self.shared);
                     let (res, delivered) =
                         shared.block_current(self.proc, tid, WaitObj::Mpf(id), tmo);
-                    res.and_then(|()| match delivered {
+                    res.and(match delivered {
                         Delivered::MpfBlock(b) => Ok(b),
                         _ => Err(ErCode::Sys),
                     })

@@ -214,7 +214,7 @@ impl<'a> Sys<'a> {
                     let shared = std::sync::Arc::clone(&self.shared);
                     let (res, delivered) =
                         shared.block_current(self.proc, tid, WaitObj::Mpl(id, sz), tmo);
-                    res.and_then(|()| match delivered {
+                    res.and(match delivered {
                         Delivered::MplBlock(off) => Ok(off),
                         _ => Err(ErCode::Sys),
                     })

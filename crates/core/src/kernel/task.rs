@@ -263,7 +263,7 @@ impl<'a> Sys<'a> {
                     drop(st);
                     let shared = Arc::clone(&self.shared);
                     let (res, _) = shared.block_current(self.proc, tid, WaitObj::Sleep, tmo);
-                    res.map_err(|e| e)
+                    res
                 }
             }
         };

@@ -137,7 +137,7 @@ impl<'a> Sys<'a> {
                 Err(ErCode::Par)
             } else {
                 let tick = st.cfg.tick;
-                let to_ticks = |d: SimTime| (d.as_ps() + tick.as_ps() - 1) / tick.as_ps();
+                let to_ticks = |d: SimTime| d.as_ps().div_ceil(tick.as_ps());
                 let cyc = Cyc {
                     name: name.to_string(),
                     cyctim_ticks: to_ticks(cyctim).max(1),

@@ -185,9 +185,21 @@ impl IntPort {
     /// Queues an interrupt request; the Interrupt Dispatch process picks
     /// it up in the current delta cycle.
     pub fn raise(&self, intno: IntNo, level: u8) {
+        self.raise_many(&[(intno, level)]);
+    }
+
+    /// Queues a burst of interrupt requests under a single kernel-state
+    /// lock and a single Interrupt Dispatch wake-up — the fast path for
+    /// hardware models that deliver several latched requests at once
+    /// (e.g. the interrupt controller flushing on a global enable).
+    pub fn raise_many(&self, requests: &[(IntNo, u8)]) {
+        if requests.is_empty() {
+            return;
+        }
         let ev = {
             let mut st = self.shared.st.lock();
-            st.pending_ints.push_back(IntRequest { intno, level });
+            st.pending_ints
+                .extend(requests.iter().map(|&(intno, level)| IntRequest { intno, level }));
             crate::central::int_request_event(&st)
         };
         if let Some(ev) = ev {

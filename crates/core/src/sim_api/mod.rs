@@ -498,11 +498,12 @@ impl Shared {
             Self::update_idle(&mut st, now);
             (frozen_ev, next_resume)
         };
-        if let Some(ev) = frozen_ev {
-            self.h.notify(ev);
-        }
-        if let Some(ev) = next_resume {
-            self.h.notify(ev);
+        // Publish the handshake/dispatch notifications as one batch
+        // (single engine-lock acquisition however many fire).
+        match (frozen_ev, next_resume) {
+            (Some(a), Some(b)) => self.h.notify_many(&[a, b]),
+            (Some(ev), None) | (None, Some(ev)) => self.h.notify(ev),
+            (None, None) => {}
         }
         self.park_until_granted(proc, who);
         self.check_ctrl_and_park(proc, who);

@@ -6,12 +6,11 @@
 //! purely a Rust-safety device. Methods on [`Shared`] are spread across
 //! the `sim_api` and `kernel` modules by concern.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sysc::{EventId, ProcId, SimHandle, SimTime};
+use sysc::{EventId, ProcId, SimHandle, SimTime, TimingWheel};
 
 use crate::config::{KernelConfig, Priority};
 use crate::cost::Energy;
@@ -304,26 +303,6 @@ pub(crate) enum TimerAction {
     AlarmFire { id: AlmId, gen: u64 },
 }
 
-#[derive(Debug, PartialEq, Eq)]
-pub(crate) struct TimerEntry {
-    /// Absolute deadline in ticks since boot.
-    pub at_tick: u64,
-    pub seq: u64,
-    pub action: TimerAction,
-}
-
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at_tick, self.seq).cmp(&(other.at_tick, other.seq))
-    }
-}
-
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// An external interrupt request queued for delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IntRequest {
@@ -377,8 +356,15 @@ pub(crate) struct KernelState {
     pub cycs: Vec<Option<crate::kernel::time::Cyc>>,
     pub alms: Vec<Option<crate::kernel::time::Alm>>,
     pub isrs: BTreeMap<IntNo, crate::kernel::int::IsrRec>,
-    pub timeq: BinaryHeap<Reverse<TimerEntry>>,
-    pub timer_seq: u64,
+    /// Tick-granular timer queue, on the same hierarchical timing wheel
+    /// the sysc event core uses (deadline unit: ticks since boot), so
+    /// arming a cyclic/alarm/timeout is O(1) instead of a heap push.
+    pub timeq: TimingWheel<TimerAction>,
+    /// Timer actions already due at the current tick, drained one at a
+    /// time by the Thread Dispatch tick sequence.
+    due_timers: VecDeque<TimerAction>,
+    /// Reused scratch buffer for wheel drains (per-tick hot path).
+    due_scratch: Vec<sysc::TimedEntry<TimerAction>>,
     pub sink: Arc<dyn TraceSink>,
     /// Accumulated CPU idle time and its energy (idle power draw).
     pub idle_time: SimTime,
@@ -420,8 +406,9 @@ impl KernelState {
             cycs: Vec::new(),
             alms: Vec::new(),
             isrs: BTreeMap::new(),
-            timeq: BinaryHeap::new(),
-            timer_seq: 0,
+            timeq: TimingWheel::new(),
+            due_timers: VecDeque::new(),
+            due_scratch: Vec::new(),
             sink: Arc::new(NullSink),
             idle_time: SimTime::ZERO,
             idle_energy: Energy::ZERO,
@@ -467,22 +454,28 @@ impl KernelState {
         self.threads.get_mut(&who).expect("unregistered T-THREAD")
     }
 
-    /// Pushes a timer-queue entry expiring at `at_tick`.
+    /// Files a timer-queue entry expiring at `at_tick` (O(1)).
     pub(crate) fn push_timer(&mut self, at_tick: u64, action: TimerAction) {
-        let seq = self.timer_seq;
-        self.timer_seq += 1;
-        self.timeq.push(Reverse(TimerEntry {
-            at_tick,
-            seq,
-            action,
-        }));
+        self.timeq.insert(at_tick, action);
+    }
+
+    /// Takes the next timer action due at or before the current tick,
+    /// in deadline-then-arming order. Refills the due buffer from the
+    /// wheel when it runs dry.
+    pub(crate) fn pop_due_timer(&mut self) -> Option<TimerAction> {
+        if self.due_timers.is_empty() && self.timeq.next_at().is_some_and(|at| at <= self.ticks) {
+            self.timeq.advance_to(self.ticks, &mut self.due_scratch);
+            self.due_timers
+                .extend(self.due_scratch.drain(..).map(|e| e.action));
+        }
+        self.due_timers.pop_front()
     }
 
     /// Converts a timeout duration to an absolute deadline tick
     /// (rounded up; at least one tick in the future).
     pub(crate) fn deadline_ticks(&self, d: SimTime) -> u64 {
         let tick = self.cfg.tick;
-        let n = (d.as_ps() + tick.as_ps() - 1) / tick.as_ps();
+        let n = d.as_ps().div_ceil(tick.as_ps());
         self.ticks + n.max(1)
     }
 
@@ -550,31 +543,25 @@ mod tests {
     }
 
     #[test]
-    fn timer_entry_ordering() {
-        let a = TimerEntry {
-            at_tick: 5,
-            seq: 0,
-            action: TimerAction::DelayEnd {
-                tid: TaskId(1),
-                wait_gen: 0,
-            },
+    fn timer_wheel_pops_in_tick_then_arming_order() {
+        let mut st = KernelState::new(
+            KernelConfig::zero_cost(),
+            Box::new(crate::sim_api::scheduler::PriorityScheduler::new(16)),
+        );
+        let act = |n: u32| TimerAction::DelayEnd {
+            tid: TaskId(n),
+            wait_gen: 0,
         };
-        let b = TimerEntry {
-            at_tick: 5,
-            seq: 1,
-            action: TimerAction::DelayEnd {
-                tid: TaskId(2),
-                wait_gen: 0,
-            },
-        };
-        let c = TimerEntry {
-            at_tick: 6,
-            seq: 2,
-            action: TimerAction::DelayEnd {
-                tid: TaskId(3),
-                wait_gen: 0,
-            },
-        };
-        assert!(a < b && b < c);
+        st.push_timer(6, act(3));
+        st.push_timer(5, act(1));
+        st.push_timer(5, act(2));
+        assert_eq!(st.pop_due_timer(), None); // nothing due at tick 0
+        st.ticks = 5;
+        assert_eq!(st.pop_due_timer(), Some(act(1)));
+        assert_eq!(st.pop_due_timer(), Some(act(2)));
+        assert_eq!(st.pop_due_timer(), None);
+        st.ticks = 7;
+        assert_eq!(st.pop_due_timer(), Some(act(3)));
+        assert_eq!(st.pop_due_timer(), None);
     }
 }

@@ -5,7 +5,6 @@
 //! to an attached [`TraceSink`]. The `rtk-analysis` crate renders these
 //! into the paper's Fig. 6 Gantt chart and Fig. 7 energy distribution.
 
-use serde::{Deserialize, Serialize};
 use sysc::SimTime;
 
 use crate::cost::Energy;
@@ -13,7 +12,7 @@ use crate::ids::ThreadRef;
 use crate::tthread::ExecContext;
 
 /// One trace entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
     /// A T-THREAD consumed execution time in some context (a Gantt bar).
     Slice {
@@ -43,13 +42,11 @@ pub enum TraceKind {
 }
 
 /// A timed trace record attributed to one T-THREAD.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Slice start (for point events, the event time).
-    #[serde(with = "simtime_ps")]
     pub start: SimTime,
     /// Slice end (equal to `start` for point events).
-    #[serde(with = "simtime_ps")]
     pub end: SimTime,
     /// Which T-THREAD.
     pub who: ThreadRef,
@@ -65,21 +62,6 @@ impl TraceRecord {
     /// Duration of the record (zero for point events).
     pub fn duration(&self) -> SimTime {
         self.end - self.start
-    }
-}
-
-/// Picosecond-integer serde representation for [`SimTime`] fields
-/// (the `sysc` crate has no serde dependency).
-mod simtime_ps {
-    use serde::{Deserialize, Deserializer, Serializer};
-    use sysc::SimTime;
-
-    pub fn serialize<S: Serializer>(t: &SimTime, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(t.as_ps())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<SimTime, D::Error> {
-        Ok(SimTime::from_ps(u64::deserialize(d)?))
     }
 }
 
@@ -142,9 +124,9 @@ mod tests {
     }
 
     #[test]
-    fn records_are_serializable() {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<TraceRecord>();
-        assert_serde::<TraceKind>();
+    fn records_are_cloneable_and_comparable() {
+        fn assert_value_type<T: Clone + PartialEq + std::fmt::Debug>() {}
+        assert_value_type::<TraceRecord>();
+        assert_value_type::<TraceKind>();
     }
 }

@@ -20,7 +20,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use sysc::SimTime;
 
 use crate::cost::Energy;
@@ -29,7 +28,7 @@ use crate::ids::ThreadRef;
 /// The Petri-net *places* a T-THREAD token can mark: the context in which
 /// the thread is currently executing (or parked). The Gantt widget of
 /// Fig. 6 assigns each context a distinct pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum ExecContext {
     /// Kernel startup / task activation prologue.
@@ -70,7 +69,7 @@ impl ExecContext {
 }
 
 /// The RTOS event alphabet of the T-THREAD Petri net (paper Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TThreadEvent {
     /// `Es` — startup event after kernel initialization; always
     /// associated with the source transition `T0`.
@@ -109,7 +108,7 @@ impl TThreadEvent {
 
 /// The characteristic vector `σ(S)` of a firing sequence: how many times
 /// each transition (keyed by its enabling event) fired.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CharacteristicVector {
     counts: [u64; 5],
 }
@@ -144,10 +143,10 @@ impl CharacteristicVector {
 /// Accumulated statistics of one T-THREAD: the consumed execution time
 /// (`CET`) and consumed execution energy (`CEE`) per place, the
 /// characteristic vector, and activation counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TThreadStats {
     /// Per-place `(CET, CEE)` accumulators.
-    per_context: BTreeMap<ExecContext, (SimTimeSerde, Energy)>,
+    per_context: BTreeMap<ExecContext, (SimTime, Energy)>,
     /// Transition firing counts.
     pub sigma: CharacteristicVector,
     /// Number of completed activation cycles (task activations or handler
@@ -159,30 +158,14 @@ pub struct TThreadStats {
     pub interruptions: u64,
 }
 
-/// `SimTime` wrapper with serde support (sysc has no serde dependency).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
-pub struct SimTimeSerde(pub SimTime);
-
-impl Serialize for SimTimeSerde {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.0.as_ps())
-    }
-}
-
-impl<'de> Deserialize<'de> for SimTimeSerde {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(SimTimeSerde(SimTime::from_ps(u64::deserialize(d)?)))
-    }
-}
-
 impl TThreadStats {
     /// Adds a consumed execution slice to a place.
     pub fn consume(&mut self, ctx: ExecContext, time: SimTime, energy: Energy) {
         let entry = self
             .per_context
             .entry(ctx)
-            .or_insert((SimTimeSerde(SimTime::ZERO), Energy::ZERO));
-        entry.0 .0 += time;
+            .or_insert((SimTime::ZERO, Energy::ZERO));
+        entry.0 += time;
         entry.1 += energy;
     }
 
@@ -190,7 +173,7 @@ impl TThreadStats {
     pub fn cet(&self, ctx: ExecContext) -> SimTime {
         self.per_context
             .get(&ctx)
-            .map(|(t, _)| t.0)
+            .map(|(t, _)| *t)
             .unwrap_or(SimTime::ZERO)
     }
 
@@ -204,7 +187,7 @@ impl TThreadStats {
 
     /// Total consumed execution time over all places.
     pub fn total_cet(&self) -> SimTime {
-        self.per_context.values().map(|(t, _)| t.0).sum()
+        self.per_context.values().map(|(t, _)| *t).sum()
     }
 
     /// Total consumed execution energy over all places.
@@ -214,12 +197,12 @@ impl TThreadStats {
 
     /// Iterates `(place, CET, CEE)` in stable order.
     pub fn iter(&self) -> impl Iterator<Item = (ExecContext, SimTime, Energy)> + '_ {
-        self.per_context.iter().map(|(c, (t, e))| (*c, t.0, *e))
+        self.per_context.iter().map(|(c, (t, e))| (*c, *t, *e))
     }
 }
 
 /// The kind of T-THREAD (what it wraps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TThreadKind {
     /// An application task.
     Task,

@@ -1,0 +1,350 @@
+//! [`SimHandle`] — the cloneable notification/creation handle — and
+//! the batched-notification APIs ([`SimHandle::notify_many`],
+//! [`NotifyBatch`]).
+
+use std::panic;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::ids::{EventId, ProcId};
+use crate::process::{reply_from_panic, Cmd, ProcShared, Reply};
+use crate::signal::UpdateTarget;
+use crate::time::SimTime;
+use crate::trace::KernelStats;
+
+use super::procs::{MethodSlot, ProcBody, ProcEntry, ProcState, WaitKind};
+use super::sched::{EventEntry, Pending};
+use super::{Kernel, MethodCtx, ProcCtx, SpawnMode};
+
+/// Cloneable handle to a simulation: event/process creation and
+/// notification. Usable from the embedding code and from inside process
+/// bodies.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) k: Arc<Kernel>,
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle").finish_non_exhaustive()
+    }
+}
+
+impl SimHandle {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.st.lock().now
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.k.st.lock().stats
+    }
+
+    /// Creates a named event.
+    pub fn create_event(&self, name: &str) -> EventId {
+        let mut st = self.k.st.lock();
+        let id = EventId(st.events.len() as u32);
+        st.events.push(EventEntry::new(name));
+        id
+    }
+
+    /// Immediate notification: fires now, waking waiters into the current
+    /// evaluation phase. Overrides (cancels) any pending notification.
+    pub fn notify(&self, e: EventId) {
+        self.k.st.lock().notify_now_locked(e);
+    }
+
+    /// Immediately notifies several events under a single kernel-lock
+    /// acquisition, in order. Equivalent to calling
+    /// [`SimHandle::notify`] for each, minus the per-event locking —
+    /// the dispatch fast path for models that fan one hardware action
+    /// out to several events.
+    pub fn notify_many(&self, events: &[EventId]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut st = self.k.st.lock();
+        for &e in events {
+            st.notify_now_locked(e);
+        }
+    }
+
+    /// Starts a deferred notification batch: notifications recorded on
+    /// the batch are published by [`NotifyBatch::commit`] (or drop)
+    /// under one kernel-lock acquisition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sysc::{Simulation, SimTime};
+    ///
+    /// let sim = Simulation::new();
+    /// let h = sim.handle();
+    /// let a = h.create_event("a");
+    /// let b = h.create_event("b");
+    /// let mut batch = h.batch();
+    /// batch.notify(a);
+    /// batch.notify_after(b, SimTime::from_us(10));
+    /// batch.commit();
+    /// assert_eq!(h.event_fire_count(a), 1);
+    /// ```
+    pub fn batch(&self) -> NotifyBatch {
+        NotifyBatch {
+            h: self.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Delta notification: fires in the next delta cycle. Overrides a
+    /// pending timed notification; keeps an existing delta notification.
+    pub fn notify_delta(&self, e: EventId) {
+        self.k.st.lock().notify_delta_locked(e);
+    }
+
+    /// Timed notification after `delay`. Follows the `sc_event` override
+    /// rule: an earlier pending notification wins; a later one is
+    /// replaced. A zero delay degenerates to a delta notification.
+    pub fn notify_after(&self, e: EventId, delay: SimTime) {
+        self.k.st.lock().notify_after_locked(e, delay);
+    }
+
+    /// Cancels any pending (delta or timed) notification.
+    pub fn cancel(&self, e: EventId) {
+        let mut st = self.k.st.lock();
+        let ev = &mut st.events[e.index()];
+        ev.gen += 1;
+        ev.pending = Pending::None;
+    }
+
+    /// Turns the event into a periodic clock: after each firing it
+    /// re-notifies itself `period` later. The first firing is scheduled
+    /// `first_after` from now. Re-arming is an O(1) timing-wheel
+    /// insert, not a heap push.
+    pub fn make_periodic(&self, e: EventId, period: SimTime, first_after: SimTime) {
+        assert!(!period.is_zero(), "periodic event needs a non-zero period");
+        let mut st = self.k.st.lock();
+        st.events[e.index()].auto_renotify = Some(period);
+        st.notify_after_locked(e, first_after);
+    }
+
+    /// Stops the periodic re-notification of an event (the currently
+    /// pending firing, if any, still happens unless cancelled).
+    pub fn stop_periodic(&self, e: EventId) {
+        self.k.st.lock().events[e.index()].auto_renotify = None;
+    }
+
+    /// Number of times the event has fired.
+    pub fn event_fire_count(&self, e: EventId) -> u64 {
+        self.k.st.lock().events[e.index()].fire_count
+    }
+
+    /// The event's name.
+    pub fn event_name(&self, e: EventId) -> String {
+        self.k.st.lock().events[e.index()].name.clone()
+    }
+
+    /// The process's name.
+    pub fn proc_name(&self, p: ProcId) -> String {
+        self.k.st.lock().procs.get(p).name.clone()
+    }
+
+    /// Whether the process has finished (returned or been killed).
+    pub fn is_finished(&self, p: ProcId) -> bool {
+        self.k.st.lock().procs.get(p).state == ProcState::Finished
+    }
+
+    /// Spawns a thread process. The body runs on its own OS thread under
+    /// the baton protocol; it may suspend anywhere via [`ProcCtx`].
+    pub fn spawn_thread<F>(&self, name: &str, mode: SpawnMode, body: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'static,
+    {
+        let shared = Arc::new(ProcShared::new());
+        let id = {
+            let mut st = self.k.st.lock();
+            st.procs.push(ProcEntry::new_thread(name, Arc::clone(&shared)))
+        };
+        let handle = self.clone();
+        let shared2 = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("sysc:{name}"))
+            .stack_size(1 << 20)
+            .spawn(move || match shared2.await_turn() {
+                Cmd::Terminate => shared2.finish(Reply::Finished),
+                Cmd::Run(reason) => {
+                    let mut ctx = ProcCtx {
+                        handle,
+                        shared: Arc::clone(&shared2),
+                        id,
+                        last_reason: reason,
+                    };
+                    let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
+                    let reply = match result {
+                        Ok(()) => Reply::Finished,
+                        Err(p) => reply_from_panic(p),
+                    };
+                    shared2.finish(reply);
+                }
+            })
+            .expect("failed to spawn process thread");
+        let mut st = self.k.st.lock();
+        if let ProcBody::Thread { join: j, .. } = &mut st.procs.get_mut(id).body {
+            *j = Some(join);
+        }
+        match mode {
+            SpawnMode::Immediate => st.dq.runnable.push_back(id),
+            SpawnMode::WaitEvent(e) => {
+                let gen = {
+                    let pe = st.procs.get_mut(id);
+                    pe.state = ProcState::Waiting;
+                    pe.wait_kind = WaitKind::Event;
+                    pe.wait_gen += 1;
+                    pe.wait_gen
+                };
+                st.events[e.index()].waiters.push((id, gen));
+            }
+        }
+        id
+    }
+
+    /// Spawns a method process statically sensitive to `sensitivity`.
+    /// The callback runs on the kernel thread (no stack switch); it must
+    /// not block. If `run_at_start`, it is also queued once immediately.
+    pub fn spawn_method<F>(
+        &self,
+        name: &str,
+        sensitivity: &[EventId],
+        run_at_start: bool,
+        callback: F,
+    ) -> ProcId
+    where
+        F: FnMut(&mut MethodCtx) + Send + 'static,
+    {
+        let slot = MethodSlot::new(Box::new(callback));
+        let mut st = self.k.st.lock();
+        let id = st.procs.push(ProcEntry::new_method(name, slot, run_at_start));
+        for e in sensitivity {
+            st.events[e.index()].method_subs.push(id);
+        }
+        if run_at_start {
+            st.dq.runnable.push_back(id);
+        }
+        id
+    }
+
+    /// Terminates another process: its stack unwinds (running `Drop`
+    /// impls) and it never runs again. Method processes are simply
+    /// descheduled (their callback is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is the currently running process — a process exits
+    /// itself with [`ProcCtx::exit`] instead.
+    pub fn kill(&self, p: ProcId) {
+        assert!(
+            self.k.current.load(Ordering::Relaxed) != p.index() as u32,
+            "a process cannot kill itself; use ProcCtx::exit"
+        );
+        enum Victim {
+            Thread(Arc<ProcShared>),
+            Method(Arc<MethodSlot>),
+        }
+        let victim = {
+            let mut st = self.k.st.lock();
+            if st.procs.get(p).state == ProcState::Finished {
+                return;
+            }
+            st.procs.get_mut(p).finish();
+            match &st.procs.get(p).body {
+                ProcBody::Thread { shared, .. } => Victim::Thread(Arc::clone(shared)),
+                ProcBody::Method { slot, .. } => Victim::Method(Arc::clone(slot)),
+            }
+        };
+        match victim {
+            Victim::Thread(s) => {
+                // Cooperative unwind; reply is Finished (or Panicked from
+                // a misbehaving Drop, which we surface).
+                if let Reply::Panicked(payload) = s.resume(Cmd::Terminate) {
+                    panic::resume_unwind(payload)
+                }
+            }
+            // Drop the callback so a queued activation is a no-op.
+            Victim::Method(slot) => drop(slot.cb.lock().take()),
+        }
+    }
+
+    /// Queues an update target for the next update phase (signal
+    /// infrastructure; see [`crate::Signal`]).
+    pub(crate) fn request_update(&self, target: Arc<dyn UpdateTarget>) {
+        self.k.st.lock().dq.updates.push(target);
+    }
+}
+
+/// A deferred notification buffer: records notifications locally and
+/// publishes them all under a single kernel-lock acquisition on
+/// [`NotifyBatch::commit`] (or when dropped). Built by
+/// [`SimHandle::batch`]; used by peripheral models that emit several
+/// notifications per hardware action.
+#[derive(Debug)]
+pub struct NotifyBatch {
+    h: SimHandle,
+    ops: Vec<(EventId, BatchedNotify)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BatchedNotify {
+    Now,
+    Delta,
+    After(SimTime),
+}
+
+impl NotifyBatch {
+    /// Records an immediate notification.
+    pub fn notify(&mut self, e: EventId) {
+        self.ops.push((e, BatchedNotify::Now));
+    }
+
+    /// Records a delta notification.
+    pub fn notify_delta(&mut self, e: EventId) {
+        self.ops.push((e, BatchedNotify::Delta));
+    }
+
+    /// Records a timed notification (`sc_event` override rule applies
+    /// at commit time).
+    pub fn notify_after(&mut self, e: EventId, delay: SimTime) {
+        self.ops.push((e, BatchedNotify::After(delay)));
+    }
+
+    /// Number of recorded, uncommitted notifications.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Publishes all recorded notifications, in recording order, under
+    /// one kernel-lock acquisition. The batch can be reused afterwards.
+    pub fn commit(&mut self) {
+        if self.ops.is_empty() {
+            return;
+        }
+        let mut st = self.h.k.st.lock();
+        for (e, op) in self.ops.drain(..) {
+            match op {
+                BatchedNotify::Now => st.notify_now_locked(e),
+                BatchedNotify::Delta => st.notify_delta_locked(e),
+                BatchedNotify::After(d) => st.notify_after_locked(e, d),
+            }
+        }
+    }
+}
+
+impl Drop for NotifyBatch {
+    fn drop(&mut self) {
+        self.commit();
+    }
+}

@@ -1,0 +1,363 @@
+//! The discrete-event kernel, split by phase responsibility:
+//!
+//! * [`sched`] — the event core and the evaluate → update →
+//!   delta-notify → advance-time scheduler loop;
+//! * [`wheel`] — the hierarchical timing wheel holding timed and
+//!   periodic notifications (O(1) insert on the clock-tick hot path);
+//! * [`delta`] — the per-delta queues (runnable, yields, delta
+//!   notifications, signal updates);
+//! * [`procs`] — the process table and the method-process fast path.
+//!
+//! This module keeps the public surface: [`Simulation`], [`SimHandle`]
+//! (including the batched [`SimHandle::notify_many`] /
+//! [`NotifyBatch`] APIs), [`ProcCtx`] and [`MethodCtx`].
+
+mod delta;
+mod handle;
+mod procs;
+mod sched;
+pub(crate) mod wheel;
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ids::{EventId, ProcId};
+use crate::process::{raise_terminate, Cmd, ProcShared, Reply, WaitSpec, WakeReason};
+use crate::time::SimTime;
+use crate::trace::{KernelStats, Tracer};
+
+pub(crate) use delta::DeltaQueues;
+pub use handle::{NotifyBatch, SimHandle};
+use procs::{ProcBody, ProcState};
+use sched::KState;
+
+/// Sentinel for "no process currently executing".
+pub(crate) const CURRENT_NONE: u32 = u32::MAX;
+
+/// Why a call to [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No future activity exists: every process is waiting with nothing
+    /// pending (event starvation), or all processes finished.
+    Starved,
+    /// The requested time limit was reached; activity remains pending.
+    ReachedLimit,
+    /// The per-timestep delta-cycle limit was exceeded (a combinational
+    /// loop or a zero-delay oscillation).
+    DeltaLimitExceeded,
+}
+
+/// Outcome of a `wait_event_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The event fired before the timeout.
+    Fired,
+    /// The timeout elapsed first.
+    TimedOut,
+}
+
+/// How a newly spawned thread process starts.
+#[derive(Debug, Clone, Copy)]
+pub enum SpawnMode {
+    /// Runnable immediately (current/initial evaluation phase).
+    Immediate,
+    /// Parked until the given event fires for the first time.
+    WaitEvent(EventId),
+}
+
+pub(crate) struct Kernel {
+    pub(crate) st: Mutex<KState>,
+    /// Index of the currently executing process (`CURRENT_NONE` when
+    /// the scheduler itself runs); outside the lock so the method fast
+    /// path never re-locks just for bookkeeping.
+    pub(crate) current: AtomicU32,
+    /// Mirrors `st.tracer.is_some()` so hot paths can skip tracing
+    /// without taking the lock.
+    pub(crate) tracing: AtomicBool,
+}
+
+impl Kernel {
+    fn new() -> Self {
+        Kernel {
+            st: Mutex::new(KState::new()),
+            current: AtomicU32::new(CURRENT_NONE),
+            tracing: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The simulation owner: spawns processes, runs the scheduler, and tears
+/// everything down on drop.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Simulation, SimTime};
+///
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let done = h.create_event("done");
+/// h.spawn_thread("worker", sysc::SpawnMode::Immediate, move |ctx| {
+///     ctx.wait_time(SimTime::from_us(5));
+///     ctx.handle().notify(done);
+/// });
+/// let outcome = sim.run_until(SimTime::from_ms(1));
+/// assert_eq!(outcome, sysc::RunOutcome::Starved);
+/// assert_eq!(sim.handle().event_fire_count(done), 1);
+/// ```
+pub struct Simulation {
+    k: Arc<Kernel>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation").field("now", &self.now()).finish()
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            k: Arc::new(Kernel::new()),
+        }
+    }
+
+    /// A cloneable handle for creating events/processes and notifying.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            k: Arc::clone(&self.k),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.st.lock().now
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.k.st.lock().stats
+    }
+
+    /// Attaches a tracer (replacing any previous one).
+    pub fn set_tracer(&self, tracer: Arc<dyn Tracer>) {
+        self.k.st.lock().tracer = Some(tracer);
+        self.k.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes the tracer.
+    pub fn clear_tracer(&self) {
+        self.k.st.lock().tracer = None;
+        self.k.tracing.store(false, Ordering::Relaxed);
+    }
+
+    /// Sets the delta-cycle limit per timestep (oscillation guard).
+    pub fn set_max_deltas_per_timestep(&self, limit: u64) {
+        self.k.st.lock().max_deltas_per_timestep = limit;
+    }
+
+    /// Runs until simulated time reaches `limit` (inclusive of activity
+    /// scheduled exactly at `limit`) or no activity remains.
+    ///
+    /// On [`RunOutcome::ReachedLimit`] the simulation time is left at
+    /// `limit` and the remaining activity stays pending, so `run_until`
+    /// may be called again with a later limit (step mode).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic that occurred inside a process body.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        sched::run_kernel(&self.k, limit)
+    }
+
+    /// Runs for `d` more simulated time (see [`Simulation::run_until`]).
+    pub fn run_for(&mut self, d: SimTime) -> RunOutcome {
+        let limit = self.now().saturating_add(d);
+        self.run_until(limit)
+    }
+
+    /// Runs until event starvation (or the delta guard trips).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Earliest pending timed activity, if any (may include cancelled
+    /// entries; intended for step-mode heuristics only).
+    pub fn next_activity_at(&self) -> Option<SimTime> {
+        self.k.st.lock().wheel.next_at().map(SimTime::from_ps)
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Terminate every live thread process, then reap the OS threads.
+        let mut joins = Vec::new();
+        let mut shareds = Vec::new();
+        {
+            let mut st = self.k.st.lock();
+            for p in st.procs.iter_mut() {
+                if let ProcBody::Thread { shared, join } = &mut p.body {
+                    if p.state != ProcState::Finished {
+                        p.state = ProcState::Finished;
+                        shareds.push(Arc::clone(shared));
+                    }
+                    if let Some(j) = join.take() {
+                        joins.push(j);
+                    }
+                }
+            }
+        }
+        for s in shareds {
+            // The reply is Finished (cooperative unwind) or Panicked if a
+            // Drop impl inside the process misbehaved; either way we are
+            // tearing down and must not panic here.
+            let _ = s.resume(Cmd::Terminate);
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Per-process context passed to thread-process bodies; provides the wait
+/// primitives (the only way a process may consume simulated time).
+pub struct ProcCtx {
+    handle: SimHandle,
+    shared: Arc<ProcShared>,
+    id: ProcId,
+    last_reason: WakeReason,
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcCtx")
+            .field("id", &self.id)
+            .field("last_reason", &self.last_reason)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProcCtx {
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// The simulation handle (notify, spawn, ...).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The reason the most recent wait completed.
+    pub fn last_wake_reason(&self) -> WakeReason {
+        self.last_reason
+    }
+
+    fn suspend(&mut self, spec: WaitSpec) -> WakeReason {
+        match self.shared.yield_to_kernel(Reply::Yielded(spec)) {
+            Cmd::Run(reason) => {
+                self.last_reason = reason;
+                reason
+            }
+            Cmd::Terminate => raise_terminate(),
+        }
+    }
+
+    /// Suspends for a duration of simulated time. A zero duration waits
+    /// one delta cycle (SystemC `wait(SC_ZERO_TIME)`).
+    pub fn wait_time(&mut self, d: SimTime) {
+        self.suspend(WaitSpec::Time(d));
+    }
+
+    /// Suspends until `e` fires.
+    pub fn wait_event(&mut self, e: EventId) {
+        self.suspend(WaitSpec::Event(e));
+    }
+
+    /// Suspends until `e` fires or `timeout` elapses.
+    pub fn wait_event_timeout(&mut self, e: EventId, timeout: SimTime) -> WaitOutcome {
+        match self.suspend(WaitSpec::EventTimeout(e, timeout)) {
+            WakeReason::Fired(_) => WaitOutcome::Fired,
+            WakeReason::TimedOut => WaitOutcome::TimedOut,
+            other => unreachable!("unexpected wake reason {other:?} for event-timeout wait"),
+        }
+    }
+
+    /// Suspends until any of `events` fires; returns the one that did.
+    pub fn wait_any(&mut self, events: &[EventId]) -> EventId {
+        match self.suspend(WaitSpec::AnyEvent(events.to_vec())) {
+            WakeReason::Fired(e) => e,
+            other => unreachable!("unexpected wake reason {other:?} for any-event wait"),
+        }
+    }
+
+    /// Suspends until every one of `events` has fired at least once.
+    /// An empty list degenerates to one delta cycle.
+    pub fn wait_all(&mut self, events: &[EventId]) {
+        self.suspend(WaitSpec::AllEvents(events.to_vec()));
+    }
+
+    /// Gives up the processor until the next delta cycle.
+    pub fn yield_delta(&mut self) {
+        self.suspend(WaitSpec::YieldDelta);
+    }
+
+    /// Ends this process immediately, unwinding its stack (running
+    /// `Drop` impls on the way out).
+    pub fn exit(&mut self) -> ! {
+        raise_terminate()
+    }
+}
+
+/// Context passed to method-process callbacks.
+pub struct MethodCtx {
+    pub(crate) handle: SimHandle,
+    pub(crate) id: ProcId,
+    pub(crate) triggered_by: Option<EventId>,
+}
+
+impl std::fmt::Debug for MethodCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodCtx")
+            .field("id", &self.id)
+            .field("triggered_by", &self.triggered_by)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MethodCtx {
+    /// This method process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.handle.now()
+    }
+
+    /// The simulation handle (notify, spawn, ...).
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// The event that triggered this activation (`None` for the initial
+    /// run-at-start activation).
+    pub fn triggered_by(&self) -> Option<EventId> {
+        self.triggered_by
+    }
+}

@@ -1,0 +1,140 @@
+//! The process table: thread- and method-process bookkeeping.
+//!
+//! Thread processes run on OS threads under the baton protocol of
+//! [`crate::process`]; method processes are plain callbacks. For the
+//! method fast path, the callback box lives *outside* the kernel state
+//! in a per-process [`MethodSlot`], so the scheduler can pop a method
+//! from the runnable queue in one kernel-lock acquisition and then run
+//! the callback without re-locking the process table (the old design
+//! re-acquired the global lock after every callback just to put the
+//! box back).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ids::{EventId, ProcId};
+use crate::process::{ProcShared, WakeReason};
+
+use super::MethodCtx;
+
+/// What a process is currently waiting for (bookkeeping for wake-ups).
+#[derive(Debug)]
+pub(crate) enum WaitKind {
+    None,
+    Time,
+    Event,
+    EventTimeout,
+    Any,
+    All { remaining: Vec<EventId> },
+    Yield,
+}
+
+/// A boxed method-process callback.
+pub(crate) type MethodCallback = Box<dyn FnMut(&mut MethodCtx) + Send>;
+
+/// The boxed method callback, outside the kernel lock. Empty while the
+/// callback is running and after the process is killed.
+pub(crate) struct MethodSlot {
+    pub(crate) cb: Mutex<Option<MethodCallback>>,
+}
+
+impl MethodSlot {
+    pub(crate) fn new(cb: MethodCallback) -> Arc<Self> {
+        Arc::new(MethodSlot {
+            cb: Mutex::new(Some(cb)),
+        })
+    }
+}
+
+pub(crate) enum ProcBody {
+    Thread {
+        shared: Arc<ProcShared>,
+        join: Option<std::thread::JoinHandle<()>>,
+    },
+    Method {
+        slot: Arc<MethodSlot>,
+        queued: bool,
+        trigger: Option<EventId>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    Ready,
+    Running,
+    Waiting,
+    Finished,
+}
+
+pub(crate) struct ProcEntry {
+    pub(crate) name: String,
+    pub(crate) body: ProcBody,
+    pub(crate) state: ProcState,
+    pub(crate) wait_kind: WaitKind,
+    /// Bumped on every registration and wake; stale registrations carry
+    /// an older generation and are ignored.
+    pub(crate) wait_gen: u64,
+    pub(crate) pending_reason: WakeReason,
+}
+
+impl ProcEntry {
+    pub(crate) fn new_thread(name: &str, shared: Arc<ProcShared>) -> Self {
+        ProcEntry {
+            name: name.to_string(),
+            body: ProcBody::Thread { shared, join: None },
+            state: ProcState::Ready,
+            wait_kind: WaitKind::None,
+            wait_gen: 0,
+            pending_reason: WakeReason::Start,
+        }
+    }
+
+    pub(crate) fn new_method(name: &str, slot: Arc<MethodSlot>, queued: bool) -> Self {
+        ProcEntry {
+            name: name.to_string(),
+            body: ProcBody::Method {
+                slot,
+                queued,
+                trigger: None,
+            },
+            state: ProcState::Ready,
+            wait_kind: WaitKind::None,
+            wait_gen: 0,
+            pending_reason: WakeReason::Start,
+        }
+    }
+
+    /// Marks the process finished and invalidates its registrations.
+    pub(crate) fn finish(&mut self) {
+        self.state = ProcState::Finished;
+        self.wait_gen += 1;
+        self.wait_kind = WaitKind::None;
+    }
+}
+
+/// Dense table of all processes of one simulation.
+#[derive(Default)]
+pub(crate) struct ProcTable {
+    entries: Vec<ProcEntry>,
+}
+
+impl ProcTable {
+    pub(crate) fn push(&mut self, entry: ProcEntry) -> ProcId {
+        let id = ProcId(self.entries.len() as u32);
+        self.entries.push(entry);
+        id
+    }
+
+    pub(crate) fn get(&self, p: ProcId) -> &ProcEntry {
+        &self.entries[p.index()]
+    }
+
+    pub(crate) fn get_mut(&mut self, p: ProcId) -> &mut ProcEntry {
+        &mut self.entries[p.index()]
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut ProcEntry> {
+        self.entries.iter_mut()
+    }
+}

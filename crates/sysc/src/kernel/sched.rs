@@ -1,0 +1,495 @@
+//! The event core and the phase-structured scheduler loop:
+//! evaluate → update → delta-notify → advance-time, exactly mirroring
+//! the SystemC 2.0 simulation cycle the reproduced paper builds on.
+//!
+//! # Lock discipline
+//!
+//! All kernel state lives behind one mutex ([`Kernel::st`]). The lock
+//! is **never** held while a process body runs: the kernel releases it
+//! before handing the baton to a thread process or invoking a method
+//! callback, so process bodies are free to call any
+//! [`super::SimHandle`] API. Method callbacks additionally run off a
+//! per-process [`super::procs::MethodSlot`] so no second kernel-lock
+//! acquisition is needed per activation (the fast path), and tracer
+//! hooks are the only reason the slow path re-locks.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::ids::{EventId, ProcId};
+use crate::process::{Cmd, ProcShared, Reply, WaitSpec, WakeReason};
+use crate::time::SimTime;
+use crate::trace::{KernelStats, Tracer};
+
+use super::procs::{MethodSlot, ProcBody, ProcState, ProcTable, WaitKind};
+use super::wheel::{TimedEntry, TimingWheel};
+use super::{DeltaQueues, Kernel, MethodCtx, RunOutcome, SimHandle, CURRENT_NONE};
+
+/// What a pending notification of an event currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    None,
+    Delta,
+    At(SimTime),
+}
+
+/// Payload of a timing-wheel entry.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TimedAction {
+    FireEvent { event: EventId, gen: u64 },
+    WakeProc { proc: ProcId, gen: u64 },
+}
+
+pub(crate) struct EventEntry {
+    pub(crate) name: String,
+    /// Thread processes dynamically waiting on this event: `(proc, gen)`.
+    pub(crate) waiters: Vec<(ProcId, u64)>,
+    /// Method processes statically sensitive to this event.
+    pub(crate) method_subs: Vec<ProcId>,
+    pub(crate) pending: Pending,
+    /// Bumped on fire/cancel/renotify; stale wheel entries are ignored.
+    pub(crate) gen: u64,
+    /// If set, the event re-notifies itself this long after each firing
+    /// (periodic clock support; O(1) re-arm through the wheel).
+    pub(crate) auto_renotify: Option<SimTime>,
+    pub(crate) fire_count: u64,
+}
+
+impl EventEntry {
+    pub(crate) fn new(name: &str) -> Self {
+        EventEntry {
+            name: name.to_string(),
+            waiters: Vec::new(),
+            method_subs: Vec::new(),
+            pending: Pending::None,
+            gen: 0,
+            auto_renotify: None,
+            fire_count: 0,
+        }
+    }
+}
+
+/// The whole mutable kernel state (behind [`Kernel::st`]).
+pub(crate) struct KState {
+    pub(crate) now: SimTime,
+    pub(crate) procs: ProcTable,
+    pub(crate) events: Vec<EventEntry>,
+    pub(crate) dq: DeltaQueues,
+    pub(crate) wheel: TimingWheel<TimedAction>,
+    pub(crate) tracer: Option<Arc<dyn Tracer>>,
+    pub(crate) stats: KernelStats,
+    pub(crate) in_run: bool,
+    pub(crate) max_deltas_per_timestep: u64,
+    /// Reused buffer of due wheel entries (advance-time phase).
+    due: Vec<TimedEntry<TimedAction>>,
+}
+
+impl KState {
+    pub(crate) fn new() -> Self {
+        KState {
+            now: SimTime::ZERO,
+            procs: ProcTable::default(),
+            events: Vec::new(),
+            dq: DeltaQueues::new(),
+            wheel: TimingWheel::new(),
+            tracer: None,
+            stats: KernelStats::default(),
+            in_run: false,
+            max_deltas_per_timestep: 1_000_000,
+            due: Vec::new(),
+        }
+    }
+
+    /// Makes a waiting process runnable with the given wake reason and
+    /// invalidates its other registrations.
+    pub(crate) fn wake(&mut self, p: ProcId, reason: WakeReason) {
+        let e = self.procs.get_mut(p);
+        debug_assert_eq!(e.state, ProcState::Waiting);
+        e.wait_gen += 1;
+        e.wait_kind = WaitKind::None;
+        e.pending_reason = reason;
+        e.state = ProcState::Ready;
+        self.dq.runnable.push_back(p);
+    }
+
+    /// Delivers one event firing: wakes dynamic waiters, queues sensitive
+    /// methods, and re-arms auto-renotify clocks (O(1) wheel insert).
+    pub(crate) fn fire_event(&mut self, id: EventId) {
+        let now = self.now;
+        self.stats.events_fired += 1;
+        let (waiters, renotify) = {
+            let ev = &mut self.events[id.index()];
+            ev.pending = Pending::None;
+            ev.gen += 1;
+            ev.fire_count += 1;
+            (std::mem::take(&mut ev.waiters), ev.auto_renotify)
+        };
+        if let Some(t) = &self.tracer {
+            let name = self.events[id.index()].name.clone();
+            t.event_fired(now, id, &name);
+        }
+        if let Some(period) = renotify {
+            let gen = self.events[id.index()].gen;
+            self.events[id.index()].pending = Pending::At(now + period);
+            self.wheel
+                .insert((now + period).as_ps(), TimedAction::FireEvent { event: id, gen });
+        }
+        for (p, gen) in waiters {
+            let entry = self.procs.get_mut(p);
+            if entry.wait_gen != gen || entry.state != ProcState::Waiting {
+                continue;
+            }
+            let wake_all = match &mut entry.wait_kind {
+                WaitKind::All { remaining } => {
+                    remaining.retain(|x| *x != id);
+                    remaining.is_empty()
+                }
+                _ => {
+                    self.wake(p, WakeReason::Fired(id));
+                    continue;
+                }
+            };
+            if wake_all {
+                self.wake(p, WakeReason::AllFired);
+            }
+        }
+        // Queue statically-sensitive methods without cloning the
+        // subscription list (hot path: once per clock tick).
+        for i in 0..self.events[id.index()].method_subs.len() {
+            let m = self.events[id.index()].method_subs[i];
+            let entry = self.procs.get_mut(m);
+            if entry.state == ProcState::Finished {
+                continue;
+            }
+            if let ProcBody::Method { queued, trigger, .. } = &mut entry.body {
+                if !*queued {
+                    *queued = true;
+                    *trigger = Some(id);
+                    self.dq.runnable.push_back(m);
+                }
+            }
+        }
+    }
+
+    /// Registers the wait request of a just-suspended thread process.
+    pub(crate) fn register_wait(&mut self, p: ProcId, spec: WaitSpec) {
+        let now = self.now;
+        let gen = {
+            let e = self.procs.get_mut(p);
+            e.state = ProcState::Waiting;
+            e.wait_gen += 1;
+            e.wait_gen
+        };
+        match spec {
+            WaitSpec::Time(d) if d.is_zero() => {
+                self.procs.get_mut(p).wait_kind = WaitKind::Yield;
+                self.dq.next_delta_runnable.push_back(p);
+            }
+            WaitSpec::Time(d) => {
+                self.procs.get_mut(p).wait_kind = WaitKind::Time;
+                self.wheel
+                    .insert((now + d).as_ps(), TimedAction::WakeProc { proc: p, gen });
+            }
+            WaitSpec::Event(e) => {
+                self.procs.get_mut(p).wait_kind = WaitKind::Event;
+                self.events[e.index()].waiters.push((p, gen));
+            }
+            WaitSpec::EventTimeout(e, d) => {
+                self.procs.get_mut(p).wait_kind = WaitKind::EventTimeout;
+                self.events[e.index()].waiters.push((p, gen));
+                self.wheel
+                    .insert((now + d).as_ps(), TimedAction::WakeProc { proc: p, gen });
+            }
+            WaitSpec::AnyEvent(list) => {
+                self.procs.get_mut(p).wait_kind = WaitKind::Any;
+                for e in list {
+                    self.events[e.index()].waiters.push((p, gen));
+                }
+            }
+            WaitSpec::AllEvents(mut list) => {
+                list.sort_unstable();
+                list.dedup();
+                if list.is_empty() {
+                    self.procs.get_mut(p).wait_kind = WaitKind::Yield;
+                    self.dq.next_delta_runnable.push_back(p);
+                    return;
+                }
+                for e in &list {
+                    self.events[e.index()].waiters.push((p, gen));
+                }
+                self.procs.get_mut(p).wait_kind = WaitKind::All { remaining: list };
+            }
+            WaitSpec::YieldDelta => {
+                self.procs.get_mut(p).wait_kind = WaitKind::Yield;
+                self.dq.next_delta_runnable.push_back(p);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Notification primitives (callers hold the kernel lock; the batch
+    // API and `notify_many` amortize one lock over several of these).
+    // ------------------------------------------------------------------
+
+    /// Immediate notification: fires now, waking waiters into the
+    /// current evaluation phase. Overrides any pending notification.
+    pub(crate) fn notify_now_locked(&mut self, e: EventId) {
+        let ev = &mut self.events[e.index()];
+        ev.gen += 1; // invalidate any pending wheel entry
+        ev.pending = Pending::None;
+        self.fire_event(e);
+    }
+
+    /// Delta notification: fires in the next delta cycle. Overrides a
+    /// pending timed notification; keeps an existing delta one.
+    pub(crate) fn notify_delta_locked(&mut self, e: EventId) {
+        let ev = &mut self.events[e.index()];
+        match ev.pending {
+            Pending::Delta => {}
+            _ => {
+                ev.gen += 1;
+                ev.pending = Pending::Delta;
+                self.dq.delta_notified.push(e);
+            }
+        }
+    }
+
+    /// Timed notification after `delay` (`sc_event` override rule: an
+    /// earlier pending notification wins; a later one is replaced).
+    /// Zero delay degenerates to a delta notification.
+    pub(crate) fn notify_after_locked(&mut self, e: EventId, delay: SimTime) {
+        if delay.is_zero() {
+            return self.notify_delta_locked(e);
+        }
+        let at = self.now + delay;
+        let ev = &mut self.events[e.index()];
+        match ev.pending {
+            Pending::Delta => return,
+            Pending::At(t) if t <= at => return,
+            _ => {}
+        }
+        ev.gen += 1;
+        let gen = ev.gen;
+        ev.pending = Pending::At(at);
+        self.wheel
+            .insert(at.as_ps(), TimedAction::FireEvent { event: e, gen });
+    }
+}
+
+/// What the evaluate phase decided to run for one popped process.
+enum Runner {
+    Thread(Arc<ProcShared>, WakeReason),
+    Method(Arc<MethodSlot>, Option<EventId>),
+    Skip,
+}
+
+/// The scheduler entry point (used by `Simulation::run_until`).
+pub(crate) fn run_kernel(k: &Arc<Kernel>, limit: SimTime) -> RunOutcome {
+    {
+        let mut st = k.st.lock();
+        assert!(!st.in_run, "Simulation::run_* is not reentrant");
+        st.in_run = true;
+    }
+    let outcome = run_kernel_inner(k, limit);
+    k.st.lock().in_run = false;
+    match outcome {
+        Ok(o) => o,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+fn run_kernel_inner(
+    k: &Arc<Kernel>,
+    limit: SimTime,
+) -> Result<RunOutcome, Box<dyn std::any::Any + Send>> {
+    let mut deltas_this_step: u64 = 0;
+    loop {
+        // ---- Evaluate phase -------------------------------------------------
+        loop {
+            let (pid, runner) = {
+                let mut st = k.st.lock();
+                let Some(pid) = st.dq.runnable.pop_front() else {
+                    break;
+                };
+                let entry = st.procs.get_mut(pid);
+                let runner = match (&mut entry.body, entry.state) {
+                    (_, ProcState::Finished) => Runner::Skip,
+                    (ProcBody::Thread { shared, .. }, ProcState::Ready) => {
+                        entry.state = ProcState::Running;
+                        let reason = entry.pending_reason;
+                        Runner::Thread(Arc::clone(shared), reason)
+                    }
+                    (ProcBody::Method { slot, queued, trigger }, _) => {
+                        *queued = false;
+                        let trig = trigger.take();
+                        Runner::Method(Arc::clone(slot), trig)
+                    }
+                    _ => Runner::Skip,
+                };
+                if !matches!(runner, Runner::Skip) {
+                    k.current.store(pid.index() as u32, Ordering::Relaxed);
+                    st.stats.process_runs += 1;
+                    if let Some(t) = &st.tracer {
+                        let name = st.procs.get(pid).name.clone();
+                        t.process_dispatched(st.now, pid, &name);
+                    }
+                }
+                (pid, runner)
+            };
+            match runner {
+                Runner::Skip => continue,
+                Runner::Thread(shared, reason) => {
+                    let reply = shared.resume(Cmd::Run(reason));
+                    let mut st = k.st.lock();
+                    k.current.store(CURRENT_NONE, Ordering::Relaxed);
+                    if let Some(t) = &st.tracer {
+                        t.process_suspended(st.now, pid);
+                    }
+                    match reply {
+                        Reply::Yielded(spec) => {
+                            // Only re-register if still marked Running
+                            // (the body may have been torn down).
+                            if st.procs.get(pid).state == ProcState::Running {
+                                st.register_wait(pid, spec);
+                            }
+                        }
+                        Reply::Finished => st.procs.get_mut(pid).finish(),
+                        Reply::Panicked(payload) => {
+                            st.procs.get_mut(pid).finish();
+                            return Err(payload);
+                        }
+                    }
+                }
+                Runner::Method(slot, trig) => {
+                    // Fast path: the kernel lock is NOT held and NOT
+                    // re-acquired around the callback; the box stays in
+                    // its slot. `slot.cb` is empty if the method was
+                    // killed after being queued.
+                    let result = {
+                        let mut cb_guard = slot.cb.lock();
+                        match cb_guard.as_mut() {
+                            None => Ok(()),
+                            Some(cb) => {
+                                let mut ctx = MethodCtx {
+                                    handle: SimHandle { k: Arc::clone(k) },
+                                    id: pid,
+                                    triggered_by: trig,
+                                };
+                                panic::catch_unwind(AssertUnwindSafe(|| cb(&mut ctx)))
+                            }
+                        }
+                    };
+                    k.current.store(CURRENT_NONE, Ordering::Relaxed);
+                    // Slow path only for observability or failure.
+                    if k.tracing.load(Ordering::Relaxed) {
+                        let st = k.st.lock();
+                        if let Some(t) = &st.tracer {
+                            t.process_suspended(st.now, pid);
+                        }
+                    }
+                    if let Err(payload) = result {
+                        k.st.lock().procs.get_mut(pid).finish();
+                        return Err(payload);
+                    }
+                }
+            }
+        }
+
+        // ---- Update phase ---------------------------------------------------
+        let updates = std::mem::take(&mut k.st.lock().dq.updates);
+        for u in &updates {
+            if let Some(changed) = u.apply_update() {
+                let mut st = k.st.lock();
+                st.stats.signal_updates += 1;
+                if let Some(t) = &st.tracer {
+                    let (name, value) = u.describe();
+                    t.signal_changed(st.now, &name, &value);
+                }
+                // Schedule the value-changed event for the delta-notify
+                // phase (SystemC: signal updates notify the next delta).
+                st.notify_delta_locked(changed);
+            }
+        }
+
+        // ---- Delta-notify phase ---------------------------------------------
+        {
+            let mut st = k.st.lock();
+            let evs = std::mem::take(&mut st.dq.delta_notified);
+            for e in evs {
+                if st.events[e.index()].pending == Pending::Delta {
+                    st.fire_event(e);
+                }
+            }
+            while let Some(p) = st.dq.next_delta_runnable.pop_front() {
+                if st.procs.get(p).state == ProcState::Waiting {
+                    st.wake(p, WakeReason::Yielded);
+                }
+            }
+            if !st.dq.runnable.is_empty() {
+                st.stats.delta_cycles += 1;
+                deltas_this_step += 1;
+                if let Some(t) = &st.tracer {
+                    t.delta_cycle(st.now, deltas_this_step);
+                }
+                if deltas_this_step > st.max_deltas_per_timestep {
+                    return Ok(RunOutcome::DeltaLimitExceeded);
+                }
+                continue;
+            }
+        }
+
+        // ---- Advance-time phase ---------------------------------------------
+        {
+            let mut st = k.st.lock();
+            deltas_this_step = 0;
+            let at = match st.wheel.next_at().map(SimTime::from_ps) {
+                None => return Ok(RunOutcome::Starved),
+                Some(at) if at > limit => {
+                    let old = st.now;
+                    st.now = limit;
+                    if old != limit {
+                        st.stats.time_advances += 1;
+                        if let Some(t) = &st.tracer {
+                            t.time_advanced(old, limit);
+                        }
+                    }
+                    return Ok(RunOutcome::ReachedLimit);
+                }
+                Some(at) => at,
+            };
+            let old = st.now;
+            st.now = at;
+            if old != at {
+                st.stats.time_advances += 1;
+                if let Some(t) = &st.tracer {
+                    t.time_advanced(old, at);
+                }
+            }
+            // Deliver every action scheduled at-or-before this
+            // timestamp (in `(at, seq)` order: the wheel sorts).
+            let mut due = std::mem::take(&mut st.due);
+            st.wheel.advance_to(at.as_ps(), &mut due);
+            for entry in due.drain(..) {
+                match entry.action {
+                    TimedAction::FireEvent { event, gen } => {
+                        if st.events[event.index()].gen == gen {
+                            st.fire_event(event);
+                        }
+                    }
+                    TimedAction::WakeProc { proc, gen } => {
+                        let pe = st.procs.get(proc);
+                        if pe.wait_gen == gen && pe.state == ProcState::Waiting {
+                            let reason = match pe.wait_kind {
+                                WaitKind::EventTimeout => WakeReason::TimedOut,
+                                _ => WakeReason::TimeElapsed,
+                            };
+                            st.wake(proc, reason);
+                        }
+                    }
+                }
+            }
+            st.due = due;
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The hierarchical timing wheel backing the advance-time phase.
+//!
+//! Timed and periodic notifications used to live in one global
+//! `BinaryHeap`, costing O(log n) per insert — paid once per clock tick
+//! by every periodic event (the kernel systick, every BFM timer). The
+//! wheel makes insertion O(1): 11 levels of 64 slots each, level *k*
+//! covering spans of 64^(k+1) ps, which together cover the full `u64`
+//! picosecond range of [`SimTime`].
+//!
+//! Discrete-event specifics (vs. a tick-driven wheel à la Linux/tokio):
+//!
+//! * [`TimingWheel::next_at`] returns the *exact* earliest deadline —
+//!   the simulation jumps straight to it, so slot granularity never
+//!   rounds a firing time;
+//! * [`TimingWheel::advance_to`] pops everything due at-or-before the
+//!   target, cascading higher-level slots down as `elapsed` moves;
+//! * entries carry a monotonic sequence number so same-instant actions
+//!   fire in insertion order (the determinism guarantee the old heap
+//!   provided via its `(at, seq)` ordering);
+//! * cancellation stays O(1) and external: stale entries are filtered
+//!   by generation counters at delivery, exactly as with the heap.
+
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed so that `LEVELS * LEVEL_BITS >= 64`.
+const LEVELS: usize = 11;
+
+/// A scheduled entry: an exact deadline, an insertion sequence number
+/// (for same-instant FIFO ordering) and the caller's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEntry<T> {
+    /// Absolute deadline (in the wheel's deadline unit).
+    pub at: u64,
+    /// Insertion order; unique per wheel.
+    pub seq: u64,
+    /// Caller payload (what to do when due).
+    pub action: T,
+}
+
+/// A hierarchical timing wheel over absolute `u64` deadlines.
+///
+/// Deadline units are the caller's choice: the sysc event core uses
+/// picoseconds ([`crate::SimTime::as_ps`]), while the RTOS layer reuses
+/// the wheel for its tick-granular timer queue with tick counts as
+/// deadlines. Generic over the scheduled payload.
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// Current position; no entry may be inserted strictly before it.
+    elapsed: u64,
+    /// Per-level bitmap of non-empty slots.
+    occupied: [u64; LEVELS],
+    /// `LEVELS * SLOTS` buckets, row-major by level.
+    slots: Vec<Vec<TimedEntry<T>>>,
+    /// Minimum deadline per bucket (valid only while the occupancy bit
+    /// is set), so `next_at` never scans a bucket's entries.
+    slot_min: Vec<u64>,
+    /// Entries scheduled exactly at `elapsed` (zero-delta timeouts).
+    immediate: Vec<TimedEntry<T>>,
+    len: usize,
+    seq: u64,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// An empty wheel positioned at time zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            elapsed: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            slot_min: vec![u64::MAX; LEVELS * SLOTS],
+            immediate: Vec::new(),
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of pending entries (including ones a caller may consider
+    /// logically cancelled).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current position.
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// Schedules `action` at absolute time `at`, returning its sequence
+    /// number. O(1). Deadlines at or before the current position go to
+    /// an immediate bucket and are delivered by the next
+    /// [`TimingWheel::advance_to`].
+    pub fn insert(&mut self, at: u64, action: T) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.file(TimedEntry { at, seq, action });
+        self.len += 1;
+        seq
+    }
+
+    fn file(&mut self, entry: TimedEntry<T>) {
+        if entry.at <= self.elapsed {
+            self.immediate.push(entry);
+            return;
+        }
+        let (level, slot) = self.position(entry.at);
+        let idx = level * SLOTS + slot;
+        if self.occupied[level] & (1 << slot) == 0 {
+            self.occupied[level] |= 1 << slot;
+            self.slot_min[idx] = entry.at;
+        } else if entry.at < self.slot_min[idx] {
+            self.slot_min[idx] = entry.at;
+        }
+        self.slots[idx].push(entry);
+    }
+
+    /// `(level, slot)` for a strictly-future deadline: the level is the
+    /// highest bit group in which `at` differs from `elapsed`, so all
+    /// bits above it agree and the slot index within the level is
+    /// strictly ahead of the current position.
+    fn position(&self, at: u64) -> (usize, usize) {
+        debug_assert!(at > self.elapsed);
+        let diff = at ^ self.elapsed;
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        let slot = ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Absolute start time of an occupied slot (bits above the level are
+    /// shared with `elapsed`, bits below are zeroed).
+    fn slot_start(&self, level: usize, slot: usize) -> u64 {
+        let shift = LEVEL_BITS * level as u32;
+        let above = if level + 1 == LEVELS {
+            0
+        } else {
+            self.elapsed >> (shift + LEVEL_BITS) << (shift + LEVEL_BITS)
+        };
+        above | ((slot as u64) << shift)
+    }
+
+    /// The earliest occupied `(level, slot, slot_start)`, by start time.
+    fn earliest_slot(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let start = self.slot_start(level, slot);
+            if best.is_none_or(|(_, _, s)| start < s) {
+                best = Some((level, slot, start));
+            }
+        }
+        best
+    }
+
+    /// The exact earliest pending deadline, if any. May belong to an
+    /// entry the caller has logically cancelled (same contract as the
+    /// old heap's `peek`).
+    pub fn next_at(&self) -> Option<u64> {
+        let mut best = self.immediate.iter().map(|e| e.at).min();
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let slot_min = self.slot_min[level * SLOTS + slot];
+            if best.is_none_or(|b| slot_min < b) {
+                best = Some(slot_min);
+            }
+        }
+        best
+    }
+
+    /// Advances the wheel to `t`, appending every entry due at or
+    /// before `t` to `due` in `(at, seq)` order. Higher-level slots
+    /// entered along the way cascade down; not-yet-due entries are
+    /// re-filed at finer levels.
+    pub fn advance_to(&mut self, t: u64, due: &mut Vec<TimedEntry<T>>) {
+        debug_assert!(t >= self.elapsed);
+        let due_start = due.len();
+        due.append(&mut self.immediate);
+        while let Some((level, slot, start)) = self.earliest_slot() {
+            if start > t {
+                break;
+            }
+            self.occupied[level] &= !(1 << slot);
+            let entries = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            // Move into the slot's range so re-filed entries land at a
+            // finer level (or the immediate bucket when due).
+            self.elapsed = self.elapsed.max(start);
+            for e in entries {
+                if e.at <= t {
+                    due.push(e);
+                } else {
+                    self.file(e);
+                }
+            }
+        }
+        self.elapsed = self.elapsed.max(t);
+        let drained = &mut due[due_start..];
+        drained.sort_unstable_by_key(|e| (e.at, e.seq));
+        self.len -= drained.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_until<T>(w: &mut TimingWheel<T>, t: u64) -> Vec<(u64, T)> {
+        let mut due = Vec::new();
+        w.advance_to(t, &mut due);
+        due.into_iter().map(|e| (e.at, e.action)).collect()
+    }
+
+    #[test]
+    fn fires_in_time_then_insertion_order() {
+        let mut w = TimingWheel::new();
+        w.insert(500, "b");
+        w.insert(100, "a");
+        w.insert(500, "c");
+        assert_eq!(w.next_at(), Some(100));
+        assert_eq!(drain_until(&mut w, 100), vec![(100, "a")]);
+        assert_eq!(w.next_at(), Some(500));
+        assert_eq!(drain_until(&mut w, 500), vec![(500, "b"), (500, "c")]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_at(), None);
+    }
+
+    #[test]
+    fn wide_spread_of_deadlines_cascades_correctly() {
+        let mut w = TimingWheel::new();
+        // Deadlines spanning 9 orders of magnitude.
+        let times = [
+            3u64,
+            64,
+            65,
+            4_095,
+            4_097,
+            1_000_000,
+            999_999_999,
+            1_000_000_001,
+            u64::from(u32::MAX) + 17,
+        ];
+        for (i, t) in times.iter().enumerate() {
+            w.insert(*t, i);
+        }
+        let mut fired = Vec::new();
+        while let Some(at) = w.next_at() {
+            let batch = drain_until(&mut w, at);
+            assert!(batch.iter().all(|(t, _)| *t == at));
+            fired.extend(batch);
+        }
+        let mut expect = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect::<Vec<_>>();
+        expect.sort_unstable();
+        assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn at_or_before_elapsed_goes_to_immediate() {
+        let mut w = TimingWheel::new();
+        let mut due = Vec::new();
+        w.advance_to(1000, &mut due);
+        assert!(due.is_empty());
+        w.insert(1000, "now");
+        w.insert(400, "past");
+        assert_eq!(w.next_at(), Some(400));
+        assert_eq!(
+            drain_until(&mut w, 1000),
+            vec![(400, "past"), (1000, "now")]
+        );
+    }
+
+    #[test]
+    fn advance_into_middle_of_higher_level_slot() {
+        let mut w = TimingWheel::new();
+        // Both land in the same level-1 slot initially.
+        w.insert(70, "early");
+        w.insert(120, "late");
+        assert_eq!(drain_until(&mut w, 70), vec![(70, "early")]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_at(), Some(120));
+        assert_eq!(drain_until(&mut w, 200), vec![(120, "late")]);
+    }
+
+    #[test]
+    fn max_deadline_is_representable() {
+        let mut w = TimingWheel::new();
+        w.insert(u64::MAX, "end-of-time");
+        assert_eq!(w.next_at(), Some(u64::MAX));
+        assert_eq!(drain_until(&mut w, u64::MAX), vec![(u64::MAX, "end-of-time")]);
+    }
+}

@@ -62,7 +62,10 @@ mod time;
 mod trace;
 
 pub use ids::{EventId, ProcId};
-pub use kernel::{MethodCtx, ProcCtx, RunOutcome, SimHandle, Simulation, SpawnMode, WaitOutcome};
+pub use kernel::wheel::{TimedEntry, TimingWheel};
+pub use kernel::{
+    MethodCtx, NotifyBatch, ProcCtx, RunOutcome, SimHandle, Simulation, SpawnMode, WaitOutcome,
+};
 pub use process::WakeReason;
 pub use signal::{Clock, Signal, SignalValue};
 pub use time::SimTime;

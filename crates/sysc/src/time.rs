@@ -227,7 +227,7 @@ impl fmt::Display for SimTime {
             (1, "ps"),
         ];
         for (scale, unit) in UNITS {
-            if ps % scale == 0 {
+            if ps.is_multiple_of(scale) {
                 return write!(f, "{} {}", ps / scale, unit);
             }
         }

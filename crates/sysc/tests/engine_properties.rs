@@ -103,6 +103,111 @@ proptest! {
         prop_assert_eq!(sim.handle().event_fire_count(e), expected);
     }
 
+    /// The hierarchical timing wheel delivers exactly what a reference
+    /// `(at, seq)`-ordered binary heap delivers — same entries, same
+    /// order — under randomized interleavings of inserts and advances.
+    #[test]
+    fn wheel_matches_reference_heap(ops in proptest::collection::vec((0u64..50_000, 0u8..4), 1..200)) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: sysc::TimingWheel<u64> = sysc::TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut due = Vec::new();
+
+        let mut drain_to = |target: u64,
+                            wheel: &mut sysc::TimingWheel<u64>,
+                            heap: &mut BinaryHeap<Reverse<(u64, u64)>>|
+         -> Result<(), TestCaseError> {
+            let mut expect = Vec::new();
+            while heap.peek().is_some_and(|Reverse((at, _))| *at <= target) {
+                let Reverse(e) = heap.pop().expect("peeked");
+                expect.push(e);
+            }
+            due.clear();
+            wheel.advance_to(target, &mut due);
+            let got: Vec<(u64, u64)> = due.iter().map(|e| (e.at, e.action)).collect();
+            prop_assert_eq!(got, expect, "divergence advancing to {}", target);
+            Ok(())
+        };
+
+        for (delay, kind) in ops {
+            if kind == 0 && !heap.is_empty() {
+                // Advance to the earliest pending deadline (what the
+                // scheduler's advance-time phase does).
+                let target = heap.peek().map(|Reverse((at, _))| *at).expect("non-empty");
+                prop_assert_eq!(wheel.next_at(), Some(target));
+                drain_to(target, &mut wheel, &mut heap)?;
+                now = now.max(target);
+            } else {
+                let at = now + delay;
+                heap.push(Reverse((at, seq)));
+                wheel.insert(at, seq);
+                seq += 1;
+            }
+        }
+        // Drain everything left.
+        drain_to(u64::MAX, &mut wheel, &mut heap)?;
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Randomized `notify_after`/`cancel`/`make_periodic` schedules on
+    /// one event, run through the engine (and thus the wheel), fire at
+    /// exactly the times the `sc_event` rules predict: earliest pending
+    /// notification wins, cancel clears, a periodic event re-arms one
+    /// period after each firing.
+    #[test]
+    fn wheel_backed_notifications_match_sc_event_rules(
+        cmds in proptest::collection::vec((0u8..8, 1u64..2_000), 1..24),
+        period_us in 50u64..400,
+        periodic in proptest::any::<bool>(),
+    ) {
+        const HORIZON_US: u64 = 10_000;
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let e = h.create_event("e");
+        let fired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let f = Arc::clone(&fired);
+        h.spawn_method("rec", &[e], false, move |ctx| {
+            f.lock().unwrap().push(ctx.now().as_us());
+        });
+
+        // Reference model of the single-pending-notification rule.
+        let mut pending: Option<u64> = None;
+        for (kind, d) in &cmds {
+            if *kind == 0 {
+                h.cancel(e);
+                pending = None;
+            } else {
+                h.notify_after(e, SimTime::from_us(*d));
+                pending = Some(pending.map_or(*d, |p| p.min(*d)));
+            }
+        }
+        if periodic {
+            h.make_periodic(e, SimTime::from_us(period_us), SimTime::from_us(period_us));
+            pending = Some(pending.map_or(period_us, |p| p.min(period_us)));
+        }
+
+        sim.run_until(SimTime::from_us(HORIZON_US));
+
+        let mut expect = Vec::new();
+        if let Some(t0) = pending {
+            if periodic {
+                let mut t = t0;
+                while t <= HORIZON_US {
+                    expect.push(t);
+                    t += period_us;
+                }
+            } else if t0 <= HORIZON_US {
+                expect.push(t0);
+            }
+        }
+        let fired = fired.lock().unwrap().clone();
+        prop_assert_eq!(fired, expect);
+    }
+
     /// Killing random subsets of processes never deadlocks the engine
     /// and the survivors finish.
     #[test]

@@ -80,7 +80,7 @@ impl GameState {
         // (no horizontal motion on dip frames, so a tracking player has
         // a fair chance); otherwise it moves horizontally with wall
         // bounces, `speed` cells per frame.
-        self.ball_low = self.frames % 4 == 0;
+        self.ball_low = self.frames.is_multiple_of(4);
         if self.ball_low {
             let caught = self.paddle_col.abs_diff(self.ball_col) <= 1;
             if caught {
@@ -428,10 +428,12 @@ mod tests {
 
     #[test]
     fn missing_the_ball_costs_lives() {
-        let mut s = GameState::default();
-        s.paddle_col = 0;
-        s.ball_col = 10;
-        s.ball_dir = 1;
+        let mut s = GameState {
+            paddle_col: 0,
+            ball_col: 10,
+            ball_dir: 1,
+            ..Default::default()
+        };
         let mut steps = 0;
         while !s.game_over && steps < 100 {
             s.step();
@@ -468,9 +470,11 @@ mod tests {
 
     #[test]
     fn game_over_renders_score() {
-        let mut s = GameState::default();
-        s.game_over = true;
-        s.score = 42;
+        let s = GameState {
+            game_over: true,
+            score: 42,
+            ..Default::default()
+        };
         let (top, _) = s.render();
         assert!(top.contains("GAME OVER"));
         assert!(top.contains("42"));

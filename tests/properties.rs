@@ -222,7 +222,7 @@ proptest! {
         bufsz in 8usize..64,
         ops in proptest::collection::vec(
             prop_oneof![
-                (1usize..12).prop_map(|n| Some(n)),
+                (1usize..12).prop_map(Some),
                 Just(None),
             ],
             1..60,
