@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bfm_properties-1f3d03d43bad88ed.d: crates/bfm/tests/bfm_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfm_properties-1f3d03d43bad88ed.rmeta: crates/bfm/tests/bfm_properties.rs Cargo.toml
+
+crates/bfm/tests/bfm_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

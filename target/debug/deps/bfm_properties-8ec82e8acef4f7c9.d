@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfm_properties-8ec82e8acef4f7c9.d: crates/bfm/tests/bfm_properties.rs
+
+/root/repo/target/debug/deps/bfm_properties-8ec82e8acef4f7c9: crates/bfm/tests/bfm_properties.rs
+
+crates/bfm/tests/bfm_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosim-179648a48d61f595.d: crates/bfm/tests/cosim.rs
+
+/root/repo/target/debug/deps/cosim-179648a48d61f595: crates/bfm/tests/cosim.rs
+
+crates/bfm/tests/cosim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosim-73c8a022d0fc6237.d: crates/bfm/tests/cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosim-73c8a022d0fc6237.rmeta: crates/bfm/tests/cosim.rs Cargo.toml
+
+crates/bfm/tests/cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

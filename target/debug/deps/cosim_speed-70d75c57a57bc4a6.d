@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosim_speed-70d75c57a57bc4a6.d: crates/bench/benches/cosim_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosim_speed-70d75c57a57bc4a6.rmeta: crates/bench/benches/cosim_speed.rs Cargo.toml
+
+crates/bench/benches/cosim_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

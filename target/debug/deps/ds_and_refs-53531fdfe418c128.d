@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ds_and_refs-53531fdfe418c128.d: crates/core/tests/ds_and_refs.rs
+
+/root/repo/target/debug/deps/ds_and_refs-53531fdfe418c128: crates/core/tests/ds_and_refs.rs
+
+crates/core/tests/ds_and_refs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ds_and_refs-e077b320cb2ea6d2.d: crates/core/tests/ds_and_refs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libds_and_refs-e077b320cb2ea6d2.rmeta: crates/core/tests/ds_and_refs.rs Cargo.toml
+
+crates/core/tests/ds_and_refs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-f21dd258c5e3094b.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-f21dd258c5e3094b: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-73bde890fab4c502.d: crates/sysc/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-73bde890fab4c502: crates/sysc/tests/engine_properties.rs
+
+crates/sysc/tests/engine_properties.rs:

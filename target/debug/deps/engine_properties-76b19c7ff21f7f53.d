@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-76b19c7ff21f7f53.d: crates/sysc/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-76b19c7ff21f7f53.rmeta: crates/sysc/tests/engine_properties.rs Cargo.toml
+
+crates/sysc/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

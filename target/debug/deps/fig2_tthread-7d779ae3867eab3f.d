@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tthread-7d779ae3867eab3f.d: crates/bench/src/bin/fig2_tthread.rs
+
+/root/repo/target/debug/deps/fig2_tthread-7d779ae3867eab3f: crates/bench/src/bin/fig2_tthread.rs
+
+crates/bench/src/bin/fig2_tthread.rs:

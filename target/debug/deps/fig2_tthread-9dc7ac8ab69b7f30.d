@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tthread-9dc7ac8ab69b7f30.d: crates/bench/src/bin/fig2_tthread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tthread-9dc7ac8ab69b7f30.rmeta: crates/bench/src/bin/fig2_tthread.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tthread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tthread-f5963755a19c7626.d: crates/bench/src/bin/fig2_tthread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tthread-f5963755a19c7626.rmeta: crates/bench/src/bin/fig2_tthread.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tthread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_dynamics-3fea5b6cb656e1ca.d: crates/bench/src/bin/fig3_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_dynamics-3fea5b6cb656e1ca.rmeta: crates/bench/src/bin/fig3_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/fig3_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_dynamics-d6ce9e9e1016191e.d: crates/bench/src/bin/fig3_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_dynamics-d6ce9e9e1016191e.rmeta: crates/bench/src/bin/fig3_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/fig3_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

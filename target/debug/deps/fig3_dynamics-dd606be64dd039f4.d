@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_dynamics-dd606be64dd039f4.d: crates/bench/src/bin/fig3_dynamics.rs
+
+/root/repo/target/debug/deps/fig3_dynamics-dd606be64dd039f4: crates/bench/src/bin/fig3_dynamics.rs
+
+crates/bench/src/bin/fig3_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_waveform-9dfcf1ce592b3511.d: crates/bench/src/bin/fig4_waveform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_waveform-9dfcf1ce592b3511.rmeta: crates/bench/src/bin/fig4_waveform.rs Cargo.toml
+
+crates/bench/src/bin/fig4_waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_waveform-b4272258ca9a74e8.d: crates/bench/src/bin/fig4_waveform.rs
+
+/root/repo/target/debug/deps/fig4_waveform-b4272258ca9a74e8: crates/bench/src/bin/fig4_waveform.rs
+
+crates/bench/src/bin/fig4_waveform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_gantt-34580443afd5f106.d: crates/bench/src/bin/fig6_gantt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_gantt-34580443afd5f106.rmeta: crates/bench/src/bin/fig6_gantt.rs Cargo.toml
+
+crates/bench/src/bin/fig6_gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

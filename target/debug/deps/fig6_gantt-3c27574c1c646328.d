@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_gantt-3c27574c1c646328.d: crates/bench/src/bin/fig6_gantt.rs
+
+/root/repo/target/debug/deps/fig6_gantt-3c27574c1c646328: crates/bench/src/bin/fig6_gantt.rs
+
+crates/bench/src/bin/fig6_gantt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_energy-081cafaa66a5f30c.d: crates/bench/src/bin/fig7_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_energy-081cafaa66a5f30c.rmeta: crates/bench/src/bin/fig7_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig7_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_energy-600e5e6e69c15fd8.d: crates/bench/src/bin/fig7_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_energy-600e5e6e69c15fd8.rmeta: crates/bench/src/bin/fig7_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig7_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

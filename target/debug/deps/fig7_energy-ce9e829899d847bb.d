@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_energy-ce9e829899d847bb.d: crates/bench/src/bin/fig7_energy.rs
+
+/root/repo/target/debug/deps/fig7_energy-ce9e829899d847bb: crates/bench/src/bin/fig7_energy.rs
+
+crates/bench/src/bin/fig7_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ds_listing-7b0b67f87bfb69b8.d: crates/bench/src/bin/fig8_ds_listing.rs
+
+/root/repo/target/debug/deps/fig8_ds_listing-7b0b67f87bfb69b8: crates/bench/src/bin/fig8_ds_listing.rs
+
+crates/bench/src/bin/fig8_ds_listing.rs:

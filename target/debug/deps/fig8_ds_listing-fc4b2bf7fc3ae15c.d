@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_ds_listing-fc4b2bf7fc3ae15c.d: crates/bench/src/bin/fig8_ds_listing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ds_listing-fc4b2bf7fc3ae15c.rmeta: crates/bench/src/bin/fig8_ds_listing.rs Cargo.toml
+
+crates/bench/src/bin/fig8_ds_listing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

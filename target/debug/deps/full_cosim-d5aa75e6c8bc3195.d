@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_cosim-d5aa75e6c8bc3195.d: crates/videogame/tests/full_cosim.rs
+
+/root/repo/target/debug/deps/full_cosim-d5aa75e6c8bc3195: crates/videogame/tests/full_cosim.rs
+
+crates/videogame/tests/full_cosim.rs:

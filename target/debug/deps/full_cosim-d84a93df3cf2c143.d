@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_cosim-d84a93df3cf2c143.d: crates/videogame/tests/full_cosim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_cosim-d84a93df3cf2c143.rmeta: crates/videogame/tests/full_cosim.rs Cargo.toml
+
+crates/videogame/tests/full_cosim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_cosim-df3f2a192cf4b62e.d: crates/videogame/tests/full_cosim.rs
+
+/root/repo/target/debug/deps/full_cosim-df3f2a192cf4b62e: crates/videogame/tests/full_cosim.rs
+
+crates/videogame/tests/full_cosim.rs:

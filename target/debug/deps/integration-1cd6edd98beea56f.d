@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1cd6edd98beea56f.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-1cd6edd98beea56f: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-9198cef67818887a.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-9198cef67818887a: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interrupts-175d6a7cfbe9cd8b.d: crates/core/tests/interrupts.rs
+
+/root/repo/target/debug/deps/interrupts-175d6a7cfbe9cd8b: crates/core/tests/interrupts.rs
+
+crates/core/tests/interrupts.rs:

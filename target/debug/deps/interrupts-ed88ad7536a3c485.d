@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interrupts-ed88ad7536a3c485.d: crates/core/tests/interrupts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterrupts-ed88ad7536a3c485.rmeta: crates/core/tests/interrupts.rs Cargo.toml
+
+crates/core/tests/interrupts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

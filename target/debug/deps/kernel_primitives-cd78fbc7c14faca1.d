@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_primitives-cd78fbc7c14faca1.d: crates/bench/benches/kernel_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_primitives-cd78fbc7c14faca1.rmeta: crates/bench/benches/kernel_primitives.rs Cargo.toml
+
+crates/bench/benches/kernel_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_semantics-55bcd414f878d52c.d: crates/sysc/tests/kernel_semantics.rs
+
+/root/repo/target/debug/deps/kernel_semantics-55bcd414f878d52c: crates/sysc/tests/kernel_semantics.rs
+
+crates/sysc/tests/kernel_semantics.rs:

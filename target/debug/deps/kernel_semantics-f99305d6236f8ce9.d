@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_semantics-f99305d6236f8ce9.d: crates/sysc/tests/kernel_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_semantics-f99305d6236f8ce9.rmeta: crates/sysc/tests/kernel_semantics.rs Cargo.toml
+
+crates/sysc/tests/kernel_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_services-52aa740da1675c83.d: crates/core/tests/kernel_services.rs
+
+/root/repo/target/debug/deps/kernel_services-52aa740da1675c83: crates/core/tests/kernel_services.rs
+
+crates/core/tests/kernel_services.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_services-cffc5eceeaed08f5.d: crates/core/tests/kernel_services.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_services-cffc5eceeaed08f5.rmeta: crates/core/tests/kernel_services.rs Cargo.toml
+
+crates/core/tests/kernel_services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ddc5709d3d57420.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ddc5709d3d57420: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b392f0674c609af6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b392f0674c609af6: tests/properties.rs
+
+tests/properties.rs:

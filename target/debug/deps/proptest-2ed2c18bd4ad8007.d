@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2ed2c18bd4ad8007.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-2ed2c18bd4ad8007: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cb108afaf4a7ebcf.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rtk_analysis-79e9a48848932902.d: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_analysis-79e9a48848932902.rmeta: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/energy.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/gantt.rs:
+crates/analysis/src/speed.rs:
+crates/analysis/src/trace.rs:
+crates/analysis/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rtk_analysis-86e8cf56b7d5afa7.d: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/debug/deps/rtk_analysis-86e8cf56b7d5afa7: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/energy.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/gantt.rs:
+crates/analysis/src/speed.rs:
+crates/analysis/src/trace.rs:
+crates/analysis/src/vcd.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rtk_analysis-f3ba9bd99052cd0f.d: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/debug/deps/librtk_analysis-f3ba9bd99052cd0f.rlib: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/debug/deps/librtk_analysis-f3ba9bd99052cd0f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/energy.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/gantt.rs:
+crates/analysis/src/speed.rs:
+crates/analysis/src/trace.rs:
+crates/analysis/src/vcd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtk_bench-0544bf499995ed0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librtk_bench-0544bf499995ed0c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librtk_bench-0544bf499995ed0c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtk_bench-93c70d312a532d7b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_bench-93c70d312a532d7b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtk_bench-971c75c2416c6420.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rtk_bench-971c75c2416c6420: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rtk_bfm-434ef0aae69dcd83.d: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_bfm-434ef0aae69dcd83.rmeta: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs Cargo.toml
+
+crates/bfm/src/lib.rs:
+crates/bfm/src/intc.rs:
+crates/bfm/src/memory.rs:
+crates/bfm/src/mcu.rs:
+crates/bfm/src/peripherals.rs:
+crates/bfm/src/ports.rs:
+crates/bfm/src/serial.rs:
+crates/bfm/src/timers.rs:
+crates/bfm/src/timing.rs:
+crates/bfm/src/widgets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rtk_bfm-61439bd207e9a575.d: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+/root/repo/target/debug/deps/librtk_bfm-61439bd207e9a575.rlib: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+/root/repo/target/debug/deps/librtk_bfm-61439bd207e9a575.rmeta: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+crates/bfm/src/lib.rs:
+crates/bfm/src/intc.rs:
+crates/bfm/src/memory.rs:
+crates/bfm/src/mcu.rs:
+crates/bfm/src/peripherals.rs:
+crates/bfm/src/ports.rs:
+crates/bfm/src/serial.rs:
+crates/bfm/src/timers.rs:
+crates/bfm/src/timing.rs:
+crates/bfm/src/widgets.rs:

@@ -1,0 +1,37 @@
+/root/repo/target/debug/deps/rtk_core-6c1f8aaeb5605502.d: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/ds.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/flag.rs crates/core/src/kernel/int.rs crates/core/src/kernel/mbf.rs crates/core/src/kernel/mbx.rs crates/core/src/kernel/mpf.rs crates/core/src/kernel/mpl.rs crates/core/src/kernel/mtx.rs crates/core/src/kernel/sem.rs crates/core/src/kernel/sysmgmt.rs crates/core/src/kernel/task.rs crates/core/src/kernel/time.rs crates/core/src/kernel/waitq.rs crates/core/src/minikernels.rs crates/core/src/rtos.rs crates/core/src/sim_api/mod.rs crates/core/src/sim_api/scheduler.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/tthread.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_core-6c1f8aaeb5605502.rmeta: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/central.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/ds.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/kernel/mod.rs crates/core/src/kernel/flag.rs crates/core/src/kernel/int.rs crates/core/src/kernel/mbf.rs crates/core/src/kernel/mbx.rs crates/core/src/kernel/mpf.rs crates/core/src/kernel/mpl.rs crates/core/src/kernel/mtx.rs crates/core/src/kernel/sem.rs crates/core/src/kernel/sysmgmt.rs crates/core/src/kernel/task.rs crates/core/src/kernel/time.rs crates/core/src/kernel/waitq.rs crates/core/src/minikernels.rs crates/core/src/rtos.rs crates/core/src/sim_api/mod.rs crates/core/src/sim_api/scheduler.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/tthread.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/calibrate.rs:
+crates/core/src/central.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/ds.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/kernel/mod.rs:
+crates/core/src/kernel/flag.rs:
+crates/core/src/kernel/int.rs:
+crates/core/src/kernel/mbf.rs:
+crates/core/src/kernel/mbx.rs:
+crates/core/src/kernel/mpf.rs:
+crates/core/src/kernel/mpl.rs:
+crates/core/src/kernel/mtx.rs:
+crates/core/src/kernel/sem.rs:
+crates/core/src/kernel/sysmgmt.rs:
+crates/core/src/kernel/task.rs:
+crates/core/src/kernel/time.rs:
+crates/core/src/kernel/waitq.rs:
+crates/core/src/minikernels.rs:
+crates/core/src/rtos.rs:
+crates/core/src/sim_api/mod.rs:
+crates/core/src/sim_api/scheduler.rs:
+crates/core/src/state.rs:
+crates/core/src/trace.rs:
+crates/core/src/tthread.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

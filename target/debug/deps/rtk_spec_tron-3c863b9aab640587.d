@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtk_spec_tron-3c863b9aab640587.d: src/lib.rs
+
+/root/repo/target/debug/deps/rtk_spec_tron-3c863b9aab640587: src/lib.rs
+
+src/lib.rs:

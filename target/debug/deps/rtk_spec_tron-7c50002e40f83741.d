@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtk_spec_tron-7c50002e40f83741.d: src/lib.rs
+
+/root/repo/target/debug/deps/rtk_spec_tron-7c50002e40f83741: src/lib.rs
+
+src/lib.rs:

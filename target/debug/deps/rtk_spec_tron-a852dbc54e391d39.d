@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtk_spec_tron-a852dbc54e391d39.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_spec_tron-a852dbc54e391d39.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

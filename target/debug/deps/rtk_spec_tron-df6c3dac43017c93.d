@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtk_spec_tron-df6c3dac43017c93.d: src/lib.rs
+
+/root/repo/target/debug/deps/librtk_spec_tron-df6c3dac43017c93.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librtk_spec_tron-df6c3dac43017c93.rmeta: src/lib.rs
+
+src/lib.rs:

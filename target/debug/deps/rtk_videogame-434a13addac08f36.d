@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rtk_videogame-434a13addac08f36.d: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/debug/deps/rtk_videogame-434a13addac08f36: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+crates/videogame/src/lib.rs:
+crates/videogame/src/cosim.rs:
+crates/videogame/src/game.rs:
+crates/videogame/src/player.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rtk_videogame-7148aae5885e7721.d: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/debug/deps/librtk_videogame-7148aae5885e7721.rlib: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/debug/deps/librtk_videogame-7148aae5885e7721.rmeta: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+crates/videogame/src/lib.rs:
+crates/videogame/src/cosim.rs:
+crates/videogame/src/game.rs:
+crates/videogame/src/player.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rtk_videogame-c209eae2dfec5b16.d: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtk_videogame-c209eae2dfec5b16.rmeta: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs Cargo.toml
+
+crates/videogame/src/lib.rs:
+crates/videogame/src/cosim.rs:
+crates/videogame/src/game.rs:
+crates/videogame/src/player.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

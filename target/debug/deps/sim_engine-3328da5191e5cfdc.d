@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_engine-3328da5191e5cfdc.d: crates/bench/benches/sim_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_engine-3328da5191e5cfdc.rmeta: crates/bench/benches/sim_engine.rs Cargo.toml
+
+crates/bench/benches/sim_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim_engine-75bb3283a69fe48b.d: benches/sim_engine.rs benches/../crates/bench/benches/sim_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_engine-75bb3283a69fe48b.rmeta: benches/sim_engine.rs benches/../crates/bench/benches/sim_engine.rs Cargo.toml
+
+benches/sim_engine.rs:
+benches/../crates/bench/benches/sim_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sysc-3bcceba3b709fdf1.d: crates/sysc/src/lib.rs crates/sysc/src/ids.rs crates/sysc/src/kernel/mod.rs crates/sysc/src/kernel/delta.rs crates/sysc/src/kernel/handle.rs crates/sysc/src/kernel/procs.rs crates/sysc/src/kernel/sched.rs crates/sysc/src/kernel/wheel.rs crates/sysc/src/process.rs crates/sysc/src/signal.rs crates/sysc/src/time.rs crates/sysc/src/trace.rs
+
+/root/repo/target/debug/deps/libsysc-3bcceba3b709fdf1.rlib: crates/sysc/src/lib.rs crates/sysc/src/ids.rs crates/sysc/src/kernel/mod.rs crates/sysc/src/kernel/delta.rs crates/sysc/src/kernel/handle.rs crates/sysc/src/kernel/procs.rs crates/sysc/src/kernel/sched.rs crates/sysc/src/kernel/wheel.rs crates/sysc/src/process.rs crates/sysc/src/signal.rs crates/sysc/src/time.rs crates/sysc/src/trace.rs
+
+/root/repo/target/debug/deps/libsysc-3bcceba3b709fdf1.rmeta: crates/sysc/src/lib.rs crates/sysc/src/ids.rs crates/sysc/src/kernel/mod.rs crates/sysc/src/kernel/delta.rs crates/sysc/src/kernel/handle.rs crates/sysc/src/kernel/procs.rs crates/sysc/src/kernel/sched.rs crates/sysc/src/kernel/wheel.rs crates/sysc/src/process.rs crates/sysc/src/signal.rs crates/sysc/src/time.rs crates/sysc/src/trace.rs
+
+crates/sysc/src/lib.rs:
+crates/sysc/src/ids.rs:
+crates/sysc/src/kernel/mod.rs:
+crates/sysc/src/kernel/delta.rs:
+crates/sysc/src/kernel/handle.rs:
+crates/sysc/src/kernel/procs.rs:
+crates/sysc/src/kernel/sched.rs:
+crates/sysc/src/kernel/wheel.rs:
+crates/sysc/src/process.rs:
+crates/sysc/src/signal.rs:
+crates/sysc/src/time.rs:
+crates/sysc/src/trace.rs:

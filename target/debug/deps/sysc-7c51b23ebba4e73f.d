@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sysc-7c51b23ebba4e73f.d: crates/sysc/src/lib.rs crates/sysc/src/ids.rs crates/sysc/src/kernel/mod.rs crates/sysc/src/kernel/delta.rs crates/sysc/src/kernel/handle.rs crates/sysc/src/kernel/procs.rs crates/sysc/src/kernel/sched.rs crates/sysc/src/kernel/wheel.rs crates/sysc/src/process.rs crates/sysc/src/signal.rs crates/sysc/src/time.rs crates/sysc/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsysc-7c51b23ebba4e73f.rmeta: crates/sysc/src/lib.rs crates/sysc/src/ids.rs crates/sysc/src/kernel/mod.rs crates/sysc/src/kernel/delta.rs crates/sysc/src/kernel/handle.rs crates/sysc/src/kernel/procs.rs crates/sysc/src/kernel/sched.rs crates/sysc/src/kernel/wheel.rs crates/sysc/src/process.rs crates/sysc/src/signal.rs crates/sysc/src/time.rs crates/sysc/src/trace.rs Cargo.toml
+
+crates/sysc/src/lib.rs:
+crates/sysc/src/ids.rs:
+crates/sysc/src/kernel/mod.rs:
+crates/sysc/src/kernel/delta.rs:
+crates/sysc/src/kernel/handle.rs:
+crates/sysc/src/kernel/procs.rs:
+crates/sysc/src/kernel/sched.rs:
+crates/sysc/src/kernel/wheel.rs:
+crates/sysc/src/process.rs:
+crates/sysc/src/signal.rs:
+crates/sysc/src/time.rs:
+crates/sysc/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_api-62d5925eed8c201e.d: crates/bench/src/bin/table1_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_api-62d5925eed8c201e.rmeta: crates/bench/src/bin/table1_api.rs Cargo.toml
+
+crates/bench/src/bin/table1_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

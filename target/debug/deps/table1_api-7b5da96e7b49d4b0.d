@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_api-7b5da96e7b49d4b0.d: crates/bench/src/bin/table1_api.rs
+
+/root/repo/target/debug/deps/table1_api-7b5da96e7b49d4b0: crates/bench/src/bin/table1_api.rs
+
+crates/bench/src/bin/table1_api.rs:

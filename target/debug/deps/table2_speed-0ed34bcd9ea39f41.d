@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speed-0ed34bcd9ea39f41.d: crates/bench/src/bin/table2_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speed-0ed34bcd9ea39f41.rmeta: crates/bench/src/bin/table2_speed.rs Cargo.toml
+
+crates/bench/src/bin/table2_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_speed-98b214c09a7d5c70.d: crates/bench/src/bin/table2_speed.rs
+
+/root/repo/target/debug/deps/table2_speed-98b214c09a7d5c70: crates/bench/src/bin/table2_speed.rs
+
+crates/bench/src/bin/table2_speed.rs:

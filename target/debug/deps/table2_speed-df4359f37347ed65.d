@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_speed-df4359f37347ed65.d: crates/bench/src/bin/table2_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_speed-df4359f37347ed65.rmeta: crates/bench/src/bin/table2_speed.rs Cargo.toml
+
+crates/bench/src/bin/table2_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_lifespan-58bf636c2b2198d1.d: examples/battery_lifespan.rs
+
+/root/repo/target/debug/examples/battery_lifespan-58bf636c2b2198d1: examples/battery_lifespan.rs
+
+examples/battery_lifespan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/battery_lifespan-6d7bd7ad1e354fbd.d: examples/battery_lifespan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbattery_lifespan-6d7bd7ad1e354fbd.rmeta: examples/battery_lifespan.rs Cargo.toml
+
+examples/battery_lifespan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/battery_lifespan-ef12fbd46d634131.d: examples/battery_lifespan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbattery_lifespan-ef12fbd46d634131.rmeta: examples/battery_lifespan.rs Cargo.toml
+
+examples/battery_lifespan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_lifespan-f14ed298546ca74a.d: examples/battery_lifespan.rs
+
+/root/repo/target/debug/examples/battery_lifespan-f14ed298546ca74a: examples/battery_lifespan.rs
+
+examples/battery_lifespan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interrupt_nesting-3ca79e4dca856163.d: examples/interrupt_nesting.rs
+
+/root/repo/target/debug/examples/interrupt_nesting-3ca79e4dca856163: examples/interrupt_nesting.rs
+
+examples/interrupt_nesting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interrupt_nesting-7bb3deda2b5e0417.d: examples/interrupt_nesting.rs
+
+/root/repo/target/debug/examples/interrupt_nesting-7bb3deda2b5e0417: examples/interrupt_nesting.rs
+
+examples/interrupt_nesting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interrupt_nesting-c7ec8e53c0c876ee.d: examples/interrupt_nesting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterrupt_nesting-c7ec8e53c0c876ee.rmeta: examples/interrupt_nesting.rs Cargo.toml
+
+examples/interrupt_nesting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

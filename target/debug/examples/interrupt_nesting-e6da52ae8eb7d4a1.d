@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interrupt_nesting-e6da52ae8eb7d4a1.d: examples/interrupt_nesting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterrupt_nesting-e6da52ae8eb7d4a1.rmeta: examples/interrupt_nesting.rs Cargo.toml
+
+examples/interrupt_nesting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

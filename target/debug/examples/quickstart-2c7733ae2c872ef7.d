@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2c7733ae2c872ef7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2c7733ae2c872ef7: examples/quickstart.rs
+
+examples/quickstart.rs:

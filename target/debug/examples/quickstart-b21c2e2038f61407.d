@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b21c2e2038f61407.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b21c2e2038f61407: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/step_mode-325d94163dfdae92.d: examples/step_mode.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstep_mode-325d94163dfdae92.rmeta: examples/step_mode.rs Cargo.toml
+
+examples/step_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

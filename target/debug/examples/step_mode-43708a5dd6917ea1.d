@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/step_mode-43708a5dd6917ea1.d: examples/step_mode.rs
+
+/root/repo/target/debug/examples/step_mode-43708a5dd6917ea1: examples/step_mode.rs
+
+examples/step_mode.rs:

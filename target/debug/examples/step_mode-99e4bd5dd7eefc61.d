@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/step_mode-99e4bd5dd7eefc61.d: examples/step_mode.rs
+
+/root/repo/target/debug/examples/step_mode-99e4bd5dd7eefc61: examples/step_mode.rs
+
+examples/step_mode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/three_kernels-1764781f78e979a1.d: examples/three_kernels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthree_kernels-1764781f78e979a1.rmeta: examples/three_kernels.rs Cargo.toml
+
+examples/three_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

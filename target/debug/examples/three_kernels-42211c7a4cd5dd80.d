@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/three_kernels-42211c7a4cd5dd80.d: examples/three_kernels.rs
+
+/root/repo/target/debug/examples/three_kernels-42211c7a4cd5dd80: examples/three_kernels.rs
+
+examples/three_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/three_kernels-d315b2a7d288b6ff.d: examples/three_kernels.rs
+
+/root/repo/target/debug/examples/three_kernels-d315b2a7d288b6ff: examples/three_kernels.rs
+
+examples/three_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/videogame-0b252a00852c5960.d: examples/videogame.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideogame-0b252a00852c5960.rmeta: examples/videogame.rs Cargo.toml
+
+examples/videogame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

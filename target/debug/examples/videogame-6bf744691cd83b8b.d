@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/videogame-6bf744691cd83b8b.d: examples/videogame.rs
+
+/root/repo/target/debug/examples/videogame-6bf744691cd83b8b: examples/videogame.rs
+
+examples/videogame.rs:

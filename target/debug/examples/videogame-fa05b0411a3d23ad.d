@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/videogame-fa05b0411a3d23ad.d: examples/videogame.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvideogame-fa05b0411a3d23ad.rmeta: examples/videogame.rs Cargo.toml
+
+examples/videogame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/videogame-ff8e17d0e68c0e3e.d: examples/videogame.rs
+
+/root/repo/target/debug/examples/videogame-ff8e17d0e68c0e3e: examples/videogame.rs
+
+examples/videogame.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosim_speed-e2ca6d688eaca78a.d: crates/bench/benches/cosim_speed.rs
+
+/root/repo/target/release/deps/cosim_speed-e2ca6d688eaca78a: crates/bench/benches/cosim_speed.rs
+
+crates/bench/benches/cosim_speed.rs:

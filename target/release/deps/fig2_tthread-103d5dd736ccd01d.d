@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tthread-103d5dd736ccd01d.d: crates/bench/src/bin/fig2_tthread.rs
+
+/root/repo/target/release/deps/fig2_tthread-103d5dd736ccd01d: crates/bench/src/bin/fig2_tthread.rs
+
+crates/bench/src/bin/fig2_tthread.rs:

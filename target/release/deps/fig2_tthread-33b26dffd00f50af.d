@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tthread-33b26dffd00f50af.d: crates/bench/src/bin/fig2_tthread.rs
+
+/root/repo/target/release/deps/fig2_tthread-33b26dffd00f50af: crates/bench/src/bin/fig2_tthread.rs
+
+crates/bench/src/bin/fig2_tthread.rs:

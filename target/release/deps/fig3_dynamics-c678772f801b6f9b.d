@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_dynamics-c678772f801b6f9b.d: crates/bench/src/bin/fig3_dynamics.rs
+
+/root/repo/target/release/deps/fig3_dynamics-c678772f801b6f9b: crates/bench/src/bin/fig3_dynamics.rs
+
+crates/bench/src/bin/fig3_dynamics.rs:

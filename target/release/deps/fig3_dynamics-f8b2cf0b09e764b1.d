@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_dynamics-f8b2cf0b09e764b1.d: crates/bench/src/bin/fig3_dynamics.rs
+
+/root/repo/target/release/deps/fig3_dynamics-f8b2cf0b09e764b1: crates/bench/src/bin/fig3_dynamics.rs
+
+crates/bench/src/bin/fig3_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_waveform-187b93bf763995c4.d: crates/bench/src/bin/fig4_waveform.rs
+
+/root/repo/target/release/deps/fig4_waveform-187b93bf763995c4: crates/bench/src/bin/fig4_waveform.rs
+
+crates/bench/src/bin/fig4_waveform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_waveform-6ab7fa7cc7a803c1.d: crates/bench/src/bin/fig4_waveform.rs
+
+/root/repo/target/release/deps/fig4_waveform-6ab7fa7cc7a803c1: crates/bench/src/bin/fig4_waveform.rs
+
+crates/bench/src/bin/fig4_waveform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_waveform-da55a727a697ec65.d: crates/bench/src/bin/fig4_waveform.rs
+
+/root/repo/target/release/deps/fig4_waveform-da55a727a697ec65: crates/bench/src/bin/fig4_waveform.rs
+
+crates/bench/src/bin/fig4_waveform.rs:

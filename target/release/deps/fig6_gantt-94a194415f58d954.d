@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gantt-94a194415f58d954.d: crates/bench/src/bin/fig6_gantt.rs
+
+/root/repo/target/release/deps/fig6_gantt-94a194415f58d954: crates/bench/src/bin/fig6_gantt.rs
+
+crates/bench/src/bin/fig6_gantt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gantt-c6f5025e24c8f345.d: crates/bench/src/bin/fig6_gantt.rs
+
+/root/repo/target/release/deps/fig6_gantt-c6f5025e24c8f345: crates/bench/src/bin/fig6_gantt.rs
+
+crates/bench/src/bin/fig6_gantt.rs:

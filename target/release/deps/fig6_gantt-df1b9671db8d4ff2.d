@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gantt-df1b9671db8d4ff2.d: crates/bench/src/bin/fig6_gantt.rs
+
+/root/repo/target/release/deps/fig6_gantt-df1b9671db8d4ff2: crates/bench/src/bin/fig6_gantt.rs
+
+crates/bench/src/bin/fig6_gantt.rs:

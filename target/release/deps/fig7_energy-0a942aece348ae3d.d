@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_energy-0a942aece348ae3d.d: crates/bench/src/bin/fig7_energy.rs
+
+/root/repo/target/release/deps/fig7_energy-0a942aece348ae3d: crates/bench/src/bin/fig7_energy.rs
+
+crates/bench/src/bin/fig7_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_energy-1797eb8b36719a62.d: crates/bench/src/bin/fig7_energy.rs
+
+/root/repo/target/release/deps/fig7_energy-1797eb8b36719a62: crates/bench/src/bin/fig7_energy.rs
+
+crates/bench/src/bin/fig7_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ds_listing-020e70d70b3e611c.d: crates/bench/src/bin/fig8_ds_listing.rs
+
+/root/repo/target/release/deps/fig8_ds_listing-020e70d70b3e611c: crates/bench/src/bin/fig8_ds_listing.rs
+
+crates/bench/src/bin/fig8_ds_listing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ds_listing-2d2d15da51a3c336.d: crates/bench/src/bin/fig8_ds_listing.rs
+
+/root/repo/target/release/deps/fig8_ds_listing-2d2d15da51a3c336: crates/bench/src/bin/fig8_ds_listing.rs
+
+crates/bench/src/bin/fig8_ds_listing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_primitives-0154a60a3d1604c2.d: crates/bench/benches/kernel_primitives.rs
+
+/root/repo/target/release/deps/kernel_primitives-0154a60a3d1604c2: crates/bench/benches/kernel_primitives.rs
+
+crates/bench/benches/kernel_primitives.rs:

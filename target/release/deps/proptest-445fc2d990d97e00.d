@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-445fc2d990d97e00.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-445fc2d990d97e00.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-445fc2d990d97e00.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7bfc7db353859e48.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7bfc7db353859e48.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7bfc7db353859e48.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

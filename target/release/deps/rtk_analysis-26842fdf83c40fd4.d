@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rtk_analysis-26842fdf83c40fd4.d: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/release/deps/librtk_analysis-26842fdf83c40fd4.rlib: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/release/deps/librtk_analysis-26842fdf83c40fd4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/energy.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/gantt.rs:
+crates/analysis/src/speed.rs:
+crates/analysis/src/trace.rs:
+crates/analysis/src/vcd.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rtk_analysis-b4219c7405a46a1f.d: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/release/deps/librtk_analysis-b4219c7405a46a1f.rlib: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+/root/repo/target/release/deps/librtk_analysis-b4219c7405a46a1f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/energy.rs crates/analysis/src/export.rs crates/analysis/src/gantt.rs crates/analysis/src/speed.rs crates/analysis/src/trace.rs crates/analysis/src/vcd.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/energy.rs:
+crates/analysis/src/export.rs:
+crates/analysis/src/gantt.rs:
+crates/analysis/src/speed.rs:
+crates/analysis/src/trace.rs:
+crates/analysis/src/vcd.rs:

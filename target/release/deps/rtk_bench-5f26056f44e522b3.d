@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtk_bench-5f26056f44e522b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librtk_bench-5f26056f44e522b3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librtk_bench-5f26056f44e522b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

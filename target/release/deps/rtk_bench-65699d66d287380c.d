@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtk_bench-65699d66d287380c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/rtk_bench-65699d66d287380c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

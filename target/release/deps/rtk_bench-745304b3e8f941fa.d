@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtk_bench-745304b3e8f941fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librtk_bench-745304b3e8f941fa.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librtk_bench-745304b3e8f941fa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

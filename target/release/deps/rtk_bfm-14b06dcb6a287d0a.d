@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rtk_bfm-14b06dcb6a287d0a.d: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+/root/repo/target/release/deps/librtk_bfm-14b06dcb6a287d0a.rlib: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+/root/repo/target/release/deps/librtk_bfm-14b06dcb6a287d0a.rmeta: crates/bfm/src/lib.rs crates/bfm/src/intc.rs crates/bfm/src/memory.rs crates/bfm/src/mcu.rs crates/bfm/src/peripherals.rs crates/bfm/src/ports.rs crates/bfm/src/serial.rs crates/bfm/src/timers.rs crates/bfm/src/timing.rs crates/bfm/src/widgets.rs
+
+crates/bfm/src/lib.rs:
+crates/bfm/src/intc.rs:
+crates/bfm/src/memory.rs:
+crates/bfm/src/mcu.rs:
+crates/bfm/src/peripherals.rs:
+crates/bfm/src/ports.rs:
+crates/bfm/src/serial.rs:
+crates/bfm/src/timers.rs:
+crates/bfm/src/timing.rs:
+crates/bfm/src/widgets.rs:

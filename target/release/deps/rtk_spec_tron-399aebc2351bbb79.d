@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtk_spec_tron-399aebc2351bbb79.d: src/lib.rs
+
+/root/repo/target/release/deps/librtk_spec_tron-399aebc2351bbb79.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librtk_spec_tron-399aebc2351bbb79.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtk_spec_tron-6e45cfa24212fcba.d: src/lib.rs
+
+/root/repo/target/release/deps/librtk_spec_tron-6e45cfa24212fcba.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librtk_spec_tron-6e45cfa24212fcba.rmeta: src/lib.rs
+
+src/lib.rs:

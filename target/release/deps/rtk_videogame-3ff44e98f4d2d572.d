@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rtk_videogame-3ff44e98f4d2d572.d: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/release/deps/librtk_videogame-3ff44e98f4d2d572.rlib: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/release/deps/librtk_videogame-3ff44e98f4d2d572.rmeta: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+crates/videogame/src/lib.rs:
+crates/videogame/src/cosim.rs:
+crates/videogame/src/game.rs:
+crates/videogame/src/player.rs:

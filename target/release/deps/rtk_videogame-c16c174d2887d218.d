@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rtk_videogame-c16c174d2887d218.d: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/release/deps/librtk_videogame-c16c174d2887d218.rlib: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+/root/repo/target/release/deps/librtk_videogame-c16c174d2887d218.rmeta: crates/videogame/src/lib.rs crates/videogame/src/cosim.rs crates/videogame/src/game.rs crates/videogame/src/player.rs
+
+crates/videogame/src/lib.rs:
+crates/videogame/src/cosim.rs:
+crates/videogame/src/game.rs:
+crates/videogame/src/player.rs:

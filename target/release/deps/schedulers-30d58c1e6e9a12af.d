@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedulers-30d58c1e6e9a12af.d: crates/bench/benches/schedulers.rs
+
+/root/repo/target/release/deps/schedulers-30d58c1e6e9a12af: crates/bench/benches/schedulers.rs
+
+crates/bench/benches/schedulers.rs:

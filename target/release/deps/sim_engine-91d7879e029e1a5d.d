@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_engine-91d7879e029e1a5d.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/release/deps/sim_engine-91d7879e029e1a5d: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

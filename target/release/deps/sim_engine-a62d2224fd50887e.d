@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sim_engine-a62d2224fd50887e.d: benches/sim_engine.rs benches/../crates/bench/benches/sim_engine.rs
+
+/root/repo/target/release/deps/sim_engine-a62d2224fd50887e: benches/sim_engine.rs benches/../crates/bench/benches/sim_engine.rs
+
+benches/sim_engine.rs:
+benches/../crates/bench/benches/sim_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_api-992e800be1e4fe7e.d: crates/bench/src/bin/table1_api.rs
+
+/root/repo/target/release/deps/table1_api-992e800be1e4fe7e: crates/bench/src/bin/table1_api.rs
+
+crates/bench/src/bin/table1_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_api-f36aea1bcd9e3ac1.d: crates/bench/src/bin/table1_api.rs
+
+/root/repo/target/release/deps/table1_api-f36aea1bcd9e3ac1: crates/bench/src/bin/table1_api.rs
+
+crates/bench/src/bin/table1_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_speed-5b5b130d0abc3561.d: crates/bench/src/bin/table2_speed.rs
+
+/root/repo/target/release/deps/table2_speed-5b5b130d0abc3561: crates/bench/src/bin/table2_speed.rs
+
+crates/bench/src/bin/table2_speed.rs:

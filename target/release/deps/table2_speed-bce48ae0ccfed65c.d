@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_speed-bce48ae0ccfed65c.d: crates/bench/src/bin/table2_speed.rs
+
+/root/repo/target/release/deps/table2_speed-bce48ae0ccfed65c: crates/bench/src/bin/table2_speed.rs
+
+crates/bench/src/bin/table2_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_speed-e6e0599df319c3fd.d: crates/bench/src/bin/table2_speed.rs
+
+/root/repo/target/release/deps/table2_speed-e6e0599df319c3fd: crates/bench/src/bin/table2_speed.rs
+
+crates/bench/src/bin/table2_speed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/battery_lifespan-745e274a5602e9be.d: examples/battery_lifespan.rs
+
+/root/repo/target/release/examples/battery_lifespan-745e274a5602e9be: examples/battery_lifespan.rs
+
+examples/battery_lifespan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interrupt_nesting-9ecd43fdb8daa04b.d: examples/interrupt_nesting.rs
+
+/root/repo/target/release/examples/interrupt_nesting-9ecd43fdb8daa04b: examples/interrupt_nesting.rs
+
+examples/interrupt_nesting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-62f8828964ed5daa.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-62f8828964ed5daa: examples/quickstart.rs
+
+examples/quickstart.rs:

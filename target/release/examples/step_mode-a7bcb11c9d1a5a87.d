@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/step_mode-a7bcb11c9d1a5a87.d: examples/step_mode.rs
+
+/root/repo/target/release/examples/step_mode-a7bcb11c9d1a5a87: examples/step_mode.rs
+
+examples/step_mode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/three_kernels-cb6bc98488e5d776.d: examples/three_kernels.rs
+
+/root/repo/target/release/examples/three_kernels-cb6bc98488e5d776: examples/three_kernels.rs
+
+examples/three_kernels.rs:

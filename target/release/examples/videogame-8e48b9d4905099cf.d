@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/videogame-8e48b9d4905099cf.d: examples/videogame.rs
+
+/root/repo/target/release/examples/videogame-8e48b9d4905099cf: examples/videogame.rs
+
+examples/videogame.rs:
