@@ -25,9 +25,7 @@ pub fn trace_to_csv(records: &[TraceRecord]) -> String {
     let mut out = String::from("start_us,end_us,thread,kind,context,label,energy_nj\n");
     for r in records {
         let (kind, context, label) = match &r.kind {
-            TraceKind::Slice { context, label } => {
-                ("slice", context.label(), label.as_str())
-            }
+            TraceKind::Slice { context, label } => ("slice", context.label(), label.as_str()),
             TraceKind::Dispatch => ("dispatch", "", ""),
             TraceKind::Preempt => ("preempt", "", ""),
             TraceKind::ResumeFromPreempt => ("resume_ex", "", ""),
@@ -96,6 +94,27 @@ pub fn speed_to_csv(table: &SpeedTable) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON string literal (RFC 8259:
+/// quote, backslash and control characters). Used by the farm's report
+/// writer; kept here with the other export encoders.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +151,14 @@ mod tests {
         assert!(l1.starts_with("10,20,\"t,weird\"\"name\",slice,task,blk,5"));
         let l2 = lines.next().unwrap();
         assert!(l2.contains(",preempt,,,"));
+    }
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

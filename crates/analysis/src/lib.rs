@@ -16,13 +16,15 @@
 pub mod energy;
 pub mod export;
 pub mod gantt;
+pub mod percentile;
 pub mod speed;
 pub mod trace;
 pub mod vcd;
 
 pub use energy::{average_power, Battery, DistributionRow, EnergyReport};
-pub use export::{energy_to_csv, speed_to_csv, trace_to_csv};
+pub use export::{energy_to_csv, json_escape, speed_to_csv, trace_to_csv};
 pub use gantt::{context_pattern, GanttChart, GanttConfig};
+pub use percentile::Summary;
 pub use speed::{measure, SpeedRow, SpeedTable};
 pub use trace::TraceRecorder;
 pub use vcd::WaveProbe;

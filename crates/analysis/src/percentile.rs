@@ -1,0 +1,115 @@
+//! Percentile summaries over integer sample sets.
+//!
+//! The simulation farm aggregates thousands of per-scenario
+//! measurements (response latencies, context-switch counts, energy)
+//! into compact distribution summaries. Everything here is integer
+//! arithmetic over sorted samples — no floating point in the sample
+//! path — so a given sample multiset produces the identical summary on
+//! every host, which the farm relies on for byte-identical reports.
+
+/// Distribution summary of a set of `u64` samples.
+///
+/// Percentiles use the nearest-rank method on the sorted samples:
+/// `p(q) = sorted[ceil(q/100 · n) - 1]` — the conventional definition
+/// and exactly reproducible (no interpolation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sum of all samples (for exact mean reconstruction).
+    pub sum: u128,
+    /// Median (50th percentile, nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample set. The slice is sorted in place (callers
+    /// keep ownership to avoid an allocation per metric).
+    pub fn of(samples: &mut [u64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        Summary {
+            count: n as u64,
+            min: samples[0],
+            max: samples[n - 1],
+            sum: samples.iter().map(|&v| u128::from(v)).sum(),
+            p50: samples[nearest_rank(n, 50)],
+            p90: samples[nearest_rank(n, 90)],
+            p99: samples[nearest_rank(n, 99)],
+        }
+    }
+
+    /// Integer mean, rounded to nearest (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            ((self.sum + u128::from(self.count) / 2) / u128::from(self.count)) as u64
+        }
+    }
+}
+
+/// Index of the nearest-rank percentile `q` in a sorted slice of `n`
+/// samples (`n > 0`, `0 < q <= 100`).
+fn nearest_rank(n: usize, q: usize) -> usize {
+    // ceil(q·n / 100) - 1, computed without overflow for realistic n.
+    (q * n).div_ceil(100) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = Summary::of(&mut []);
+        assert_eq!(s, Summary::default());
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&mut [7]);
+        assert_eq!((s.count, s.min, s.max), (1, 7, 7));
+        assert_eq!((s.p50, s.p90, s.p99), (7, 7, 7));
+        assert_eq!(s.mean(), 7);
+    }
+
+    #[test]
+    fn nearest_rank_on_1_to_100() {
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        let s = Summary::of(&mut v);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.mean(), 51); // 50.5 rounds up
+    }
+
+    #[test]
+    fn order_independent() {
+        let mut a = vec![5, 1, 9, 3, 7];
+        let mut b = vec![9, 7, 5, 3, 1];
+        assert_eq!(Summary::of(&mut a), Summary::of(&mut b));
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_sum() {
+        let mut v = vec![u64::MAX, u64::MAX];
+        let s = Summary::of(&mut v);
+        assert_eq!(s.sum, 2 * u128::from(u64::MAX));
+        assert_eq!(s.mean(), u64::MAX);
+    }
+}

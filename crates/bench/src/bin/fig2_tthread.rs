@@ -37,6 +37,8 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(104));
-    println!("invariants: single token per T-THREAD (one marking); CET = sum over cycles of ETM(S);");
+    println!(
+        "invariants: single token per T-THREAD (one marking); CET = sum over cycles of ETM(S);"
+    );
     println!("            Ex fires once per preemption return, Ei once per interrupt return, Ew per wait release");
 }

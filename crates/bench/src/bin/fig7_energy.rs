@@ -28,7 +28,12 @@ fn main() {
     for t in sorted.iter().take(4) {
         println!("  {} [{:?}]", t.name, t.kind);
         for (ctx, cet, cee) in t.stats.iter() {
-            println!("    {:<12} CET={:<14} CEE={}", ctx.label(), cet.to_string(), cee);
+            println!(
+                "    {:<12} CET={:<14} CEE={}",
+                ctx.label(),
+                cet.to_string(),
+                cee
+            );
         }
     }
 }

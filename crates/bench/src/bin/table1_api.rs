@@ -15,22 +15,86 @@ fn main() {
     );
     println!("{}", "-".repeat(100));
     let rows = [
-        ("SIM_RegisterThread", "Shared::register_thread", "record a T-THREAD in SIM_HashTB at creation"),
-        ("SIM_StartThread", "Shared::start_task / handler activate", "fire startup event Es; first dispatch"),
-        ("SIM_Wait", "Shared::sim_wait", "consume time+energy; preemption points; Ec"),
-        ("SIM_WaitAtomic", "Shared::sim_wait_atomic", "service-call atomicity / BFM bus transaction"),
-        ("SIM_Sleep", "Shared::block_current", "park on wait object; Ew pending"),
-        ("SIM_Wakeup", "Shared::make_ready", "complete a wait; deliver Ew"),
-        ("SIM_Preempt", "Shared::freeze_occupant + demote", "freeze handshake; grant-token revocation"),
-        ("SIM_Dispatch", "Shared::dispatch_from_scheduler", "scheduler decision; grant CPU"),
-        ("SIM_DelayedDispatch", "Shared::after_frame_pop", "dispatch deferred until SIM_Stack empties"),
-        ("SIM_EnterInt", "Shared::mount_isr_frame", "push handler frame on SIM_Stack"),
-        ("SIM_ReturnInt", "handler wrapper epilogue", "pop frame; chain pendings; resume lower"),
-        ("SIM_SetScheduler", "Rtos::with_scheduler", "external scheduler plug-in (RR / priority)"),
-        ("SIM_HashTB", "KernelState::threads", "thread table updated on every state change"),
-        ("SIM_Stack", "KernelState::int_stack", "nested-interrupt context stack"),
-        ("SIM_Gantt", "rtk_analysis::GanttChart", "time GANTT chart debugging output"),
-        ("SIM_EnergyStats", "rtk_analysis::EnergyReport", "CET/CEE statistics per T-THREAD"),
+        (
+            "SIM_RegisterThread",
+            "Shared::register_thread",
+            "record a T-THREAD in SIM_HashTB at creation",
+        ),
+        (
+            "SIM_StartThread",
+            "Shared::start_task / handler activate",
+            "fire startup event Es; first dispatch",
+        ),
+        (
+            "SIM_Wait",
+            "Shared::sim_wait",
+            "consume time+energy; preemption points; Ec",
+        ),
+        (
+            "SIM_WaitAtomic",
+            "Shared::sim_wait_atomic",
+            "service-call atomicity / BFM bus transaction",
+        ),
+        (
+            "SIM_Sleep",
+            "Shared::block_current",
+            "park on wait object; Ew pending",
+        ),
+        (
+            "SIM_Wakeup",
+            "Shared::make_ready",
+            "complete a wait; deliver Ew",
+        ),
+        (
+            "SIM_Preempt",
+            "Shared::freeze_occupant + demote",
+            "freeze handshake; grant-token revocation",
+        ),
+        (
+            "SIM_Dispatch",
+            "Shared::dispatch_from_scheduler",
+            "scheduler decision; grant CPU",
+        ),
+        (
+            "SIM_DelayedDispatch",
+            "Shared::after_frame_pop",
+            "dispatch deferred until SIM_Stack empties",
+        ),
+        (
+            "SIM_EnterInt",
+            "Shared::mount_isr_frame",
+            "push handler frame on SIM_Stack",
+        ),
+        (
+            "SIM_ReturnInt",
+            "handler wrapper epilogue",
+            "pop frame; chain pendings; resume lower",
+        ),
+        (
+            "SIM_SetScheduler",
+            "Rtos::with_scheduler",
+            "external scheduler plug-in (RR / priority)",
+        ),
+        (
+            "SIM_HashTB",
+            "KernelState::threads",
+            "thread table updated on every state change",
+        ),
+        (
+            "SIM_Stack",
+            "KernelState::int_stack",
+            "nested-interrupt context stack",
+        ),
+        (
+            "SIM_Gantt",
+            "rtk_analysis::GanttChart",
+            "time GANTT chart debugging output",
+        ),
+        (
+            "SIM_EnergyStats",
+            "rtk_analysis::EnergyReport",
+            "CET/CEE statistics per T-THREAD",
+        ),
     ];
     for (api, rust, sem) in rows {
         println!("{api:<22} {rust:<42} {sem}");

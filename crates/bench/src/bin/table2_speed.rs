@@ -78,6 +78,8 @@ fn main() {
     }
 
     println!("{}", table.render());
-    println!("paper (PIII 1.4GHz): S/R = 0.2 without GUI; S/R = 0.1 with GUI @ 10 ms BFM-driven refresh");
+    println!(
+        "paper (PIII 1.4GHz): S/R = 0.2 without GUI; S/R = 0.1 with GUI @ 10 ms BFM-driven refresh"
+    );
     println!("shape check: S/R must fall monotonically as GUI refresh work rises");
 }

@@ -33,8 +33,8 @@
 #![warn(missing_docs)]
 
 pub mod intc;
-pub mod memory;
 pub mod mcu;
+pub mod memory;
 pub mod peripherals;
 pub mod ports;
 pub mod serial;
@@ -50,4 +50,6 @@ pub use ports::Ports;
 pub use serial::Serial;
 pub use timers::HwTimer;
 pub use timing::{cycles, BusTiming};
-pub use widgets::{GuiCost, KeypadWidget, LcdWidget, SerialWidget, SsdWidget, Widget, WidgetManager};
+pub use widgets::{
+    GuiCost, KeypadWidget, LcdWidget, SerialWidget, SsdWidget, Widget, WidgetManager,
+};

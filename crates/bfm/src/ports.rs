@@ -3,7 +3,7 @@
 //! ALE-multiplexed external peripheral bus.
 
 use rtk_core::Sys;
-use sysc::{SimHandle, Signal};
+use sysc::{Signal, SimHandle};
 
 use crate::timing::{cycles, BusTiming};
 

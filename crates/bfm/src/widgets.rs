@@ -85,9 +85,15 @@ impl Widget for KeypadWidget {
 }
 
 const SEG_ROWS: [[&str; 10]; 3] = [
-    [" _ ", "   ", " _ ", " _ ", "   ", " _ ", " _ ", " _ ", " _ ", " _ "],
-    ["| |", "  |", " _|", " _|", "|_|", "|_ ", "|_ ", "  |", "|_|", "|_|"],
-    ["|_|", "  |", "|_ ", " _|", "  |", " _|", "|_|", "  |", "|_|", " _|"],
+    [
+        " _ ", "   ", " _ ", " _ ", "   ", " _ ", " _ ", " _ ", " _ ", " _ ",
+    ],
+    [
+        "| |", "  |", " _|", " _|", "|_|", "|_ ", "|_ ", "  |", "|_|", "|_|",
+    ],
+    [
+        "|_|", "  |", "|_ ", " _|", "  |", " _|", "|_|", "  |", "|_|", " _|",
+    ],
 ];
 
 /// Renders the seven-segment display as ASCII segments.
@@ -142,7 +148,14 @@ impl Widget for SerialWidget {
 
     fn render(&self) -> String {
         let s = self.serial.tx_string();
-        let tail: String = s.chars().rev().take(64).collect::<String>().chars().rev().collect();
+        let tail: String = s
+            .chars()
+            .rev()
+            .take(64)
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
         format!("serial> {tail}\n")
     }
 }

@@ -186,11 +186,10 @@ mod tests {
 
     #[test]
     fn energy_scales_with_observed_time() {
-        let base = CostModel::mcu_8051()
-            .with_service(
-                ServiceClass::Mutex,
-                Cost::new(SimTime::from_us(10), crate::cost::Energy::from_nj(100)),
-            );
+        let base = CostModel::mcu_8051().with_service(
+            ServiceClass::Mutex,
+            Cost::new(SimTime::from_us(10), crate::cost::Energy::from_nj(100)),
+        );
         let mut p = ReferenceProfile::new();
         p.observe(ServiceClass::Mutex, SimTime::from_us(20));
         let out = calibrate(&base, &p);

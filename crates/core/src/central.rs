@@ -23,9 +23,7 @@ use sysc::{EventId, ProcCtx, SpawnMode};
 
 use crate::error::ErCode;
 use crate::ids::ThreadRef;
-use crate::state::{
-    Delivered, IntRequest, KernelState, Shared, TaskBody, TimerAction,
-};
+use crate::state::{Delivered, IntRequest, KernelState, Shared, TaskBody, TimerAction};
 use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
 
 /// The interrupt-request event, if the central module is installed.
@@ -131,8 +129,16 @@ impl Shared {
         let (tick_cost, tick_ms) = {
             let mut st = self.st.lock();
             st.int_stack.push(ThreadRef::Timer);
-            let lvl = st.tick_int_level;
-            st.int_levels.push(lvl);
+            // The timer frame sits above both 8051 interrupt levels
+            // (`tick_int_level` only governs whether the tick may
+            // *enter* over the current CPU holder). External requests
+            // arriving during the tick sequence — including cyclic and
+            // alarm handler activations, whose frames inherit this
+            // level — stay pending until the frame pops; delivering
+            // into the middle of the sequence could catch a handler
+            // between "activation done" and "frame popped", where
+            // nobody answers a freeze handshake.
+            st.int_levels.push(u8::MAX);
             st.cpu_transfer = false;
             st.ticks += 1;
             let tick_ms = st.cfg.tick.as_ms().max(1);
@@ -146,7 +152,13 @@ impl Shared {
         };
         let _ = tick_ms;
         if !tick_cost.is_zero() {
-            self.sim_wait_atomic(proc, ThreadRef::Timer, ExecContext::Handler, "tick", tick_cost);
+            self.sim_wait_atomic(
+                proc,
+                ThreadRef::Timer,
+                ExecContext::Handler,
+                "tick",
+                tick_cost,
+            );
         }
         // Round-robin style schedulers may request a time-slice
         // preemption of the running task.
@@ -166,7 +178,12 @@ impl Shared {
                 rec.marking = ExecContext::Preempted;
                 rec.cpu_granted = false;
                 rec.stats.preemptions += 1;
-                Shared::trace_point(&st, now, ThreadRef::Task(r), crate::trace::TraceKind::Preempt);
+                Shared::trace_point(
+                    &st,
+                    now,
+                    ThreadRef::Task(r),
+                    crate::trace::TraceKind::Preempt,
+                );
             }
         }
         // Expire timer-queue entries due at this tick (drained from the

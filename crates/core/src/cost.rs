@@ -348,7 +348,10 @@ impl CostModel {
 
     /// Cost of one service call in `class` (zero if unset).
     pub fn service(&self, class: ServiceClass) -> Cost {
-        self.service_costs.get(&class).copied().unwrap_or(Cost::ZERO)
+        self.service_costs
+            .get(&class)
+            .copied()
+            .unwrap_or(Cost::ZERO)
     }
 
     /// Overrides the cost of a service class (builder style).
@@ -395,7 +398,10 @@ mod tests {
         let e = Power::from_uw(1).energy_over(SimTime::from_secs(1));
         assert_eq!(e, Energy::from_uj(1));
         // Zero power consumes nothing.
-        assert_eq!(Power::ZERO.energy_over(SimTime::from_secs(10)), Energy::ZERO);
+        assert_eq!(
+            Power::ZERO.energy_over(SimTime::from_secs(10)),
+            Energy::ZERO
+        );
     }
 
     #[test]
@@ -441,10 +447,7 @@ mod tests {
         let m = CostModel::zero()
             .with_service(ServiceClass::Mailbox, Cost::time(SimTime::from_us(99)))
             .with_active_power(Power::from_mw(50));
-        assert_eq!(
-            m.service(ServiceClass::Mailbox).time,
-            SimTime::from_us(99)
-        );
+        assert_eq!(m.service(ServiceClass::Mailbox).time, SimTime::from_us(99));
         assert_eq!(m.active_power, Power::from_mw(50));
     }
 }

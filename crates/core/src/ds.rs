@@ -181,12 +181,7 @@ impl Ds {
     /// interrupt nesting depth, ticks).
     pub fn td_ref_sys(&self) -> (Option<TaskId>, usize, usize, u64) {
         let st = self.shared.st.lock();
-        (
-            st.running,
-            st.scheduler.len(),
-            st.int_stack.len(),
-            st.ticks,
-        )
+        (st.running, st.scheduler.len(), st.int_stack.len(), st.ticks)
     }
 
     /// `td_ref_tim` — system time in milliseconds.

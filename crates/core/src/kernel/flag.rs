@@ -122,8 +122,7 @@ impl<'a> Sys<'a> {
                             Some(WaitObj::Flag(_, p, m)) => (p, m),
                             _ => continue,
                         };
-                        let flag = super::table_get_mut(&mut st.flags, id.0)
-                            .expect("still exists");
+                        let flag = super::table_get_mut(&mut st.flags, id.0).expect("still exists");
                         if satisfied(flag.pattern, waiptn, mode) {
                             let released = flag.pattern;
                             apply_clear(&mut flag.pattern, waiptn, mode);
@@ -200,12 +199,8 @@ impl<'a> Sys<'a> {
                 Ok(p) => Ok(p),
                 Err(ErCode::Sys) => {
                     let shared = std::sync::Arc::clone(&self.shared);
-                    let (res, delivered) = shared.block_current(
-                        self.proc,
-                        tid,
-                        WaitObj::Flag(id, waiptn, mode),
-                        tmo,
-                    );
+                    let (res, delivered) =
+                        shared.block_current(self.proc, tid, WaitObj::Flag(id, waiptn, mode), tmo);
                     res.map(|()| match delivered {
                         Delivered::FlagPattern(p) => p,
                         _ => 0,

@@ -63,11 +63,11 @@ impl<'a> Sys<'a> {
             let mut st = self.shared.st.lock();
             if let std::collections::btree_map::Entry::Vacant(e) = st.isrs.entry(intno) {
                 e.insert(IsrRec {
-                        name: name.to_string(),
-                        level,
-                        count: 0,
-                        body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
-                    });
+                    name: name.to_string(),
+                    level,
+                    count: 0,
+                    body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
+                });
                 drop(st);
                 self.shared.register_thread(
                     ThreadRef::Isr(intno),

@@ -208,12 +208,8 @@ impl<'a> Sys<'a> {
                 Ok(()) => Ok(()),
                 Err(ErCode::Sys) => {
                     let shared = std::sync::Arc::clone(&self.shared);
-                    let (res, _) = shared.block_current(
-                        self.proc,
-                        tid,
-                        WaitObj::MbfSend(id, msg.len()),
-                        tmo,
-                    );
+                    let (res, _) =
+                        shared.block_current(self.proc, tid, WaitObj::MbfSend(id, msg.len()), tmo);
                     res
                 }
                 Err(e) => Err(e),

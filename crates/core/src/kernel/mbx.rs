@@ -6,7 +6,6 @@
 //! priority ordering with `TA_MPRI`, FIFO otherwise) without modeling
 //! target memory.
 
-
 use crate::cost::ServiceClass;
 use crate::error::{ErCode, KResult};
 use crate::ids::{MbxId, TaskId};

@@ -157,13 +157,7 @@ impl<'a> Sys<'a> {
                         Err(ErCode::Par)
                     } else if let Some(waiter) = pool.waitq.pop() {
                         // Hand the block over directly (stays in_use).
-                        Shared::make_ready(
-                            &mut st,
-                            now,
-                            waiter,
-                            Ok(()),
-                            Delivered::MpfBlock(blk),
-                        );
+                        Shared::make_ready(&mut st, now, waiter, Ok(()), Delivered::MpfBlock(blk));
                         Ok(())
                     } else {
                         pool.in_use[blk] = false;

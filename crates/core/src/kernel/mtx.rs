@@ -296,7 +296,10 @@ impl<'a> Sys<'a> {
                 match mtx.owner {
                     None => {
                         mtx.owner = Some(tid);
-                        st.tcb_mut(tid).expect("caller exists").held_mutexes.push(id);
+                        st.tcb_mut(tid)
+                            .expect("caller exists")
+                            .held_mutexes
+                            .push(id);
                         recompute_priority(&mut st, tid, 0);
                         Ok(())
                     }

@@ -123,8 +123,8 @@ impl<'a> Sys<'a> {
                             let mut to_wake = Vec::new();
                             loop {
                                 let front = {
-                                    let sem = super::table_get(&st.sems, id.0)
-                                        .expect("still exists");
+                                    let sem =
+                                        super::table_get(&st.sems, id.0).expect("still exists");
                                     let Some(front) = sem.waitq.front() else {
                                         break;
                                     };
@@ -134,8 +134,8 @@ impl<'a> Sys<'a> {
                                     Some(WaitObj::Sem(_, req)) => req,
                                     _ => 1,
                                 };
-                                let sem = super::table_get_mut(&mut st.sems, id.0)
-                                    .expect("still exists");
+                                let sem =
+                                    super::table_get_mut(&mut st.sems, id.0).expect("still exists");
                                 if sem.count >= req {
                                     sem.count -= req;
                                     sem.waitq.pop();
@@ -188,8 +188,7 @@ impl<'a> Sys<'a> {
                 Ok(()) => Ok(()),
                 Err(ErCode::Sys) => {
                     let shared = std::sync::Arc::clone(&self.shared);
-                    let (res, _) =
-                        shared.block_current(self.proc, tid, WaitObj::Sem(id, cnt), tmo);
+                    let (res, _) = shared.block_current(self.proc, tid, WaitObj::Sem(id, cnt), tmo);
                     res
                 }
                 Err(e) => Err(e),

@@ -12,11 +12,9 @@ use crate::cost::ServiceClass;
 use crate::error::{ErCode, KResult};
 use crate::ids::{TaskId, ThreadRef};
 use crate::rtos::Sys;
-use crate::state::{
-    Delivered, ResumeKind, Shared, TaskBody, TaskState, Tcb, Timeout, WaitObj,
-};
-use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
+use crate::state::{Delivered, ResumeKind, Shared, TaskBody, TaskState, Tcb, Timeout, WaitObj};
 use crate::trace::TraceKind;
+use crate::tthread::{ExecContext, TThreadEvent, TThreadKind};
 
 /// Snapshot returned by `tk_ref_tsk`.
 #[derive(Debug, Clone)]
@@ -291,7 +289,10 @@ impl<'a> Sys<'a> {
                     Ok(tcb) => {
                         let sleeping = matches!(
                             (tcb.state, tcb.wait),
-                            (TaskState::Wait | TaskState::WaitSuspend, Some(WaitObj::Sleep))
+                            (
+                                TaskState::Wait | TaskState::WaitSuspend,
+                                Some(WaitObj::Sleep)
+                            )
                         );
                         if sleeping {
                             Shared::make_ready(&mut st, now, tid, Ok(()), Delivered::None);
@@ -377,9 +378,7 @@ impl<'a> Sys<'a> {
             let now = self.proc.now();
             match st.tcb(tid) {
                 Err(e) => Err(e),
-                Ok(tcb)
-                    if !matches!(tcb.state, TaskState::Wait | TaskState::WaitSuspend) =>
-                {
+                Ok(tcb) if !matches!(tcb.state, TaskState::Wait | TaskState::WaitSuspend) => {
                     Err(ErCode::Obj)
                 }
                 Ok(_) => {
@@ -458,9 +457,7 @@ impl<'a> Sys<'a> {
             let mut st = self.shared.st.lock();
             match st.tcb(tid) {
                 Err(e) => Err(e),
-                Ok(tcb)
-                    if !matches!(tcb.state, TaskState::Suspend | TaskState::WaitSuspend) =>
-                {
+                Ok(tcb) if !matches!(tcb.state, TaskState::Suspend | TaskState::WaitSuspend) => {
                     Err(ErCode::Obj)
                 }
                 Ok(_) => {
@@ -561,9 +558,11 @@ impl Shared {
         Shared::trace_point(&st, now, who, TraceKind::Startup);
         // Spawn the per-activation process, parked until dispatched.
         let shared = self.owner_arc();
-        let pid = self.h.spawn_thread(&name, SpawnMode::WaitEvent(resume_ev), move |proc| {
-            shared.run_task_activation(proc, tid);
-        });
+        let pid = self
+            .h
+            .spawn_thread(&name, SpawnMode::WaitEvent(resume_ev), move |proc| {
+                shared.run_task_activation(proc, tid);
+            });
         st.thread_mut(who).proc = Some(pid);
         Ok(())
     }

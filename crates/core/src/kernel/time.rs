@@ -161,8 +161,11 @@ impl<'a> Sys<'a> {
                     st.push_timer(at, TimerAction::CyclicFire { id, gen });
                 }
                 drop(st);
-                self.shared
-                    .register_thread(ThreadRef::Cyclic(id), name, TThreadKind::CyclicHandler);
+                self.shared.register_thread(
+                    ThreadRef::Cyclic(id),
+                    name,
+                    TThreadKind::CyclicHandler,
+                );
                 self.shared.spawn_handler_thread(ThreadRef::Cyclic(id));
                 Ok(id)
             }
@@ -316,26 +319,33 @@ impl Shared {
         let pid = self
             .h
             .spawn_thread(&name, SpawnMode::WaitEvent(activate_ev), move |proc| loop {
-                shared.run_handler_activation(proc, who);
+                // `run_handler_activation` returns `true` when it
+                // chained straight into another activation of this same
+                // handler (back-to-back ISR requests) — in that case the
+                // frame is already mounted and waiting for the event
+                // would lose the turn.
+                while shared.run_handler_activation(proc, who) {}
                 proc.wait_event(activate_ev);
             });
         self.st.lock().thread_mut(who).proc = Some(pid);
     }
 
     /// One handler activation: entry cost, body, exit cost, completion.
-    fn run_handler_activation(self: &Arc<Shared>, proc: &mut ProcCtx, who: ThreadRef) {
+    /// Returns `true` when the next activation of the same handler was
+    /// chained directly (its frame is mounted; run again immediately).
+    fn run_handler_activation(self: &Arc<Shared>, proc: &mut ProcCtx, who: ThreadRef) -> bool {
         let (entry_cost, exit_cost, body, done_ev, is_isr) = {
             let st = self.st.lock();
             let body = match who {
-                ThreadRef::Cyclic(id) => {
-                    Arc::clone(&super::table_get(&st.cycs, id.0).expect("cyclic exists").body)
-                }
+                ThreadRef::Cyclic(id) => Arc::clone(
+                    &super::table_get(&st.cycs, id.0)
+                        .expect("cyclic exists")
+                        .body,
+                ),
                 ThreadRef::Alarm(id) => {
                     Arc::clone(&super::table_get(&st.alms, id.0).expect("alarm exists").body)
                 }
-                ThreadRef::Isr(no) => {
-                    Arc::clone(&st.isrs.get(&no).expect("isr defined").body)
-                }
+                ThreadRef::Isr(no) => Arc::clone(&st.isrs.get(&no).expect("isr defined").body),
                 _ => unreachable!("only handlers run here"),
             };
             let rec = st.thread(who);
@@ -371,18 +381,41 @@ impl Shared {
         if is_isr {
             // ISRs pop their own frame and continue the delivery chain
             // (implicit tk_ret_int).
-            {
+            let rerun = {
                 let mut st = self.st.lock();
                 let top = st.int_stack.pop();
                 st.int_levels.pop();
                 debug_assert_eq!(top, Some(who), "ISR must be top of the SIM_Stack");
                 let rec = st.thread_mut(who);
                 rec.parked = true;
-                if let ThreadRef::Isr(no) = who {
-                    if let Some(isr) = st.isrs.get_mut(&no) {
-                        isr.count += 1;
-                    }
+                let ThreadRef::Isr(my_no) = who else {
+                    unreachable!("is_isr implies an ISR thread ref")
+                };
+                if let Some(isr) = st.isrs.get_mut(&my_no) {
+                    isr.count += 1;
                 }
+                // A further pending request for this same line must be
+                // chained here, on this thread: the activate_ev
+                // handshake only works from *other* processes (this one
+                // is not back at its wait yet, so an immediate
+                // notification from `after_frame_pop` would be lost and
+                // the mounted frame would jam the interrupt stack
+                // forever).
+                match Self::next_deliverable(&mut st) {
+                    Some(req) if req.intno == my_no => {
+                        Self::mount_isr_frame(&mut st, req, proc.now());
+                        true
+                    }
+                    Some(req) => {
+                        // Not ours: put it back for `after_frame_pop`.
+                        st.pending_ints.push_front(req);
+                        false
+                    }
+                    None => false,
+                }
+            };
+            if rerun {
+                return true;
             }
             self.after_frame_pop(proc);
         } else {
@@ -390,6 +423,7 @@ impl Shared {
             // frame; just signal completion.
             self.h.notify(done_ev);
         }
+        false
     }
 
     /// Recovers the owning `Arc<Shared>` from a `&self` receiver.

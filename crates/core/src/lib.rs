@@ -84,7 +84,7 @@ pub use kernel::sem::RefSem;
 pub use kernel::sysmgmt::{RefSys, RefVer, SysState};
 pub use kernel::task::RefTsk;
 pub use kernel::time::{RefAlm, RefCyc};
-pub use rtos::{IntPort, Rtos, Sys};
+pub use rtos::{IntPort, Rtos, RunStats, Sys};
 pub use state::{Delivered, FlagWaitMode, IntRequest, QueueOrder, TaskState, Timeout, WaitObj};
 pub use trace::{NullSink, TraceKind, TraceRecord, TraceSink};
 pub use tthread::{

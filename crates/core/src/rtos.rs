@@ -50,7 +50,9 @@ pub struct Rtos {
 
 impl std::fmt::Debug for Rtos {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Rtos").field("now", &self.sim.now()).finish()
+        f.debug_struct("Rtos")
+            .field("now", &self.sim.now())
+            .finish()
     }
 }
 
@@ -166,6 +168,75 @@ impl Rtos {
     pub fn engine_stats(&self) -> sysc::KernelStats {
         self.sim.stats()
     }
+
+    /// A cheap aggregate snapshot of the whole run: one kernel-state
+    /// lock, one pass over the (small) SIM_HashTB. This is the
+    /// per-scenario measurement surface of the simulation farm —
+    /// everything here is derived from *simulated* quantities, so a
+    /// given workload produces an identical snapshot on every host.
+    pub fn run_stats(&self) -> RunStats {
+        let now = self.sim.now();
+        let mut st = self.shared.st.lock();
+        // Close any open idle span up to "now" for accurate reporting.
+        if st.idle_since.is_some() {
+            st.leave_idle(now);
+            st.enter_idle(now);
+        }
+        let mut out = RunStats {
+            now,
+            ticks: st.ticks,
+            dispatches: st.dispatches,
+            idle_time: st.idle_time,
+            idle_energy: st.idle_energy,
+            threads: st.threads.len() as u32,
+            ..RunStats::default()
+        };
+        for rec in st.threads.values() {
+            out.preemptions += rec.stats.preemptions;
+            out.interruptions += rec.stats.interruptions;
+            out.activations += rec.stats.cycles;
+            out.busy_time += rec.stats.total_cet();
+            out.busy_energy += rec.stats.total_cee();
+        }
+        out
+    }
+}
+
+/// Aggregate statistics of one kernel run, snapshot by
+/// [`Rtos::run_stats`]. All quantities live in the simulated domain
+/// (simulated time, modeled energy), so they are bit-reproducible
+/// across hosts and thread placements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Simulated time of the snapshot.
+    pub now: SimTime,
+    /// System ticks elapsed since boot.
+    pub ticks: u64,
+    /// Task dispatches (context switches onto the CPU).
+    pub dispatches: u64,
+    /// Task preemptions (summed over all T-THREADs).
+    pub preemptions: u64,
+    /// Interrupt freezes (summed over all T-THREADs).
+    pub interruptions: u64,
+    /// Completed activation cycles (task activations + handler runs).
+    pub activations: u64,
+    /// Total consumed execution time over all T-THREADs (ΣCET).
+    pub busy_time: SimTime,
+    /// Total consumed execution energy over all T-THREADs (ΣCEE).
+    pub busy_energy: Energy,
+    /// Accumulated CPU idle time.
+    pub idle_time: SimTime,
+    /// Energy drawn while idle.
+    pub idle_energy: Energy,
+    /// Number of registered T-THREADs.
+    pub threads: u32,
+}
+
+impl RunStats {
+    /// Total modeled energy: busy plus idle draw.
+    pub fn total_energy(&self) -> Energy {
+        self.busy_energy + self.idle_energy
+    }
 }
 
 /// Handle used by hardware models to raise external interrupts into the
@@ -198,8 +269,11 @@ impl IntPort {
         }
         let ev = {
             let mut st = self.shared.st.lock();
-            st.pending_ints
-                .extend(requests.iter().map(|&(intno, level)| IntRequest { intno, level }));
+            st.pending_ints.extend(
+                requests
+                    .iter()
+                    .map(|&(intno, level)| IntRequest { intno, level }),
+            );
             crate::central::int_request_event(&st)
         };
         if let Some(ev) = ev {
@@ -219,7 +293,9 @@ pub struct Sys<'a> {
 
 impl std::fmt::Debug for Sys<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sys").field("who", &self.who).finish_non_exhaustive()
+        f.debug_struct("Sys")
+            .field("who", &self.who)
+            .finish_non_exhaustive()
     }
 }
 
@@ -316,6 +392,49 @@ mod tests {
         });
         rtos.run_for(SimTime::from_ms(5));
         assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn run_stats_snapshot_counts_dispatches() {
+        let mut rtos = Rtos::new(KernelConfig::zero_cost(), |sys, _| {
+            for pri in [10u8, 20] {
+                let t = sys
+                    .tk_cre_tsk("t", pri, |sys, _| {
+                        sys.exec(SimTime::from_us(100));
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(t, 0).unwrap();
+            }
+        });
+        rtos.run_for(SimTime::from_ms(5));
+        let s = rtos.run_stats();
+        // Init task + the two workers were each dispatched at least once.
+        assert!(s.dispatches >= 3, "dispatches = {}", s.dispatches);
+        assert!(s.activations >= 3);
+        assert_eq!(s.busy_time, SimTime::from_us(200));
+        assert!(s.threads >= 3);
+        assert!(s.idle_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn construction_and_run_are_send_safe() {
+        // The farm's job shape: the scenario (plain `Send` data plus a
+        // `Send` closure) crosses the thread boundary; the kernel is
+        // built and run entirely on the worker.
+        let handle = std::thread::spawn(|| {
+            let mut rtos = Rtos::new(KernelConfig::zero_cost(), |sys, _| {
+                let t = sys
+                    .tk_cre_tsk("w", 10, |sys, _| {
+                        sys.exec(SimTime::from_us(50));
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(t, 0).unwrap();
+            });
+            rtos.run_for(SimTime::from_ms(2));
+            rtos.run_stats()
+        });
+        let stats = handle.join().expect("worker thread panicked");
+        assert_eq!(stats.busy_time, SimTime::from_us(50));
     }
 
     #[test]

@@ -50,7 +50,7 @@ use crate::cost::Cost;
 use crate::error::ErCode;
 use crate::ids::{TaskId, ThreadRef};
 use crate::state::{
-    CtrlRequest, Delivered, KernelState, ResumeKind, Shared, TaskState, TThreadRec, Timeout,
+    CtrlRequest, Delivered, KernelState, ResumeKind, Shared, TThreadRec, TaskState, Timeout,
     TimerAction, WaitObj,
 };
 use crate::trace::{TraceKind, TraceRecord};
@@ -392,6 +392,7 @@ impl Shared {
         let rec = st.thread_mut(ThreadRef::Task(next));
         rec.cpu_granted = true;
         let resume_ev = rec.resume_ev;
+        st.dispatches += 1;
         Shared::trace_point(st, now, ThreadRef::Task(next), TraceKind::Dispatch);
         resume_ev
     }

@@ -73,7 +73,9 @@ impl PriorityScheduler {
     /// Creates a scheduler with `max_priority` levels (1..=max).
     pub fn new(max_priority: Priority) -> Self {
         PriorityScheduler {
-            levels: (0..max_priority as usize).map(|_| VecDeque::new()).collect(),
+            levels: (0..max_priority as usize)
+                .map(|_| VecDeque::new())
+                .collect(),
             count: 0,
             pris: Vec::new(),
         }

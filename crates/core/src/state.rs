@@ -231,12 +231,7 @@ pub(crate) struct TThreadRec {
 }
 
 impl TThreadRec {
-    pub(crate) fn new(
-        h: &SimHandle,
-        who: ThreadRef,
-        name: &str,
-        kind: TThreadKind,
-    ) -> Self {
+    pub(crate) fn new(h: &SimHandle, who: ThreadRef, name: &str, kind: TThreadKind) -> Self {
         TThreadRec {
             who,
             name: name.to_string(),
@@ -366,6 +361,8 @@ pub(crate) struct KernelState {
     /// Reused scratch buffer for wheel drains (per-tick hot path).
     due_scratch: Vec<sysc::TimedEntry<TimerAction>>,
     pub sink: Arc<dyn TraceSink>,
+    /// Total number of task dispatches (context switches onto the CPU).
+    pub dispatches: u64,
     /// Accumulated CPU idle time and its energy (idle power draw).
     pub idle_time: SimTime,
     pub idle_energy: Energy,
@@ -410,6 +407,7 @@ impl KernelState {
             due_timers: VecDeque::new(),
             due_scratch: Vec::new(),
             sink: Arc::new(NullSink),
+            dispatches: 0,
             idle_time: SimTime::ZERO,
             idle_energy: Energy::ZERO,
             idle_since: None,

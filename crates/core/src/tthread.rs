@@ -255,8 +255,16 @@ mod tests {
     #[test]
     fn cet_cee_accumulate_per_place() {
         let mut s = TThreadStats::default();
-        s.consume(ExecContext::TaskBody, SimTime::from_us(10), Energy::from_nj(5));
-        s.consume(ExecContext::TaskBody, SimTime::from_us(15), Energy::from_nj(7));
+        s.consume(
+            ExecContext::TaskBody,
+            SimTime::from_us(10),
+            Energy::from_nj(5),
+        );
+        s.consume(
+            ExecContext::TaskBody,
+            SimTime::from_us(15),
+            Energy::from_nj(7),
+        );
         s.consume(
             ExecContext::ServiceCall,
             SimTime::from_us(3),

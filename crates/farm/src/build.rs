@@ -1,0 +1,456 @@
+//! Scenario execution: expand a [`ScenarioSpec`] into a kernel
+//! instance plus workload, run it to the horizon, and measure.
+//!
+//! One call = one independent kernel simulation. Everything measured
+//! here lives in the simulated domain, so the resulting
+//! [`ScenarioOutcome`] (and its digest) is identical no matter which
+//! worker thread — or host — executed the job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rtk_core::{FlagWaitMode, IntNo, KernelConfig, MsgPacket, QueueOrder, Rtos, RunStats, Timeout};
+use sysc::{RunOutcome, SimTime, SpawnMode};
+
+use crate::scenario::{Fnv, ScenarioSpec, Topology};
+
+/// Measured result of one scenario run.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioOutcome {
+    /// The seed that named the scenario.
+    pub seed: u64,
+    /// Digest of the expanded spec (see [`ScenarioSpec::digest`]).
+    pub spec_digest: u64,
+    /// Periodic releases issued by the cyclic handlers.
+    pub releases: u64,
+    /// Jobs completed by the tasks.
+    pub completions: u64,
+    /// Jobs whose response latency exceeded the period (implicit
+    /// deadline).
+    pub deadline_misses: u64,
+    /// Response latency of every completed job, release → completion,
+    /// in microseconds (order: completion order, which is
+    /// deterministic).
+    pub latencies_us: Vec<u64>,
+    /// Kernel-level aggregate counters at the horizon.
+    pub stats: RunStats,
+    /// How the engine run ended: `"limit"` (normal), `"starved"`, or
+    /// `"delta_limit"` (livelock).
+    pub engine_outcome: &'static str,
+    /// Panic payload if the scenario panicked.
+    pub panicked: Option<String>,
+    /// `true` when the kernel as a whole stopped making progress:
+    /// zero completions despite releases, or a completion gap longer
+    /// than twice the largest period while a backlog existed — the
+    /// deadlock indicator the CI smoke gate fails on.
+    pub stalled: bool,
+    /// Tasks that never completed a single job although ≥4 were
+    /// released. Starvation of low-priority tasks under overload is a
+    /// legitimate RTOS behaviour (reported, not a health failure).
+    pub starved_tasks: u64,
+}
+
+impl ScenarioOutcome {
+    /// `true` when the scenario neither panicked, stalled, nor ended
+    /// abnormally. With the kernel's periodic system tick, the only
+    /// normal way for a run to end is hitting the horizon (`"limit"`);
+    /// `"starved"` or `"delta_limit"` means the engine itself wedged.
+    pub fn healthy(&self) -> bool {
+        self.panicked.is_none() && !self.stalled && self.engine_outcome == "limit"
+    }
+
+    /// FNV-1a digest over every simulated-domain field. Two runs of
+    /// the same scenario must produce the same digest — the farm's
+    /// determinism tests and the campaign digest build on this.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.seed);
+        h.u64(self.spec_digest);
+        h.u64(self.releases);
+        h.u64(self.completions);
+        h.u64(self.deadline_misses);
+        h.u64(self.latencies_us.len() as u64);
+        for &l in &self.latencies_us {
+            h.u64(l);
+        }
+        h.u64(self.stats.now.as_ps());
+        h.u64(self.stats.ticks);
+        h.u64(self.stats.dispatches);
+        h.u64(self.stats.preemptions);
+        h.u64(self.stats.interruptions);
+        h.u64(self.stats.activations);
+        h.u64(self.stats.busy_time.as_ps());
+        h.u64(self.stats.busy_energy.as_pj());
+        h.u64(self.stats.idle_time.as_ps());
+        h.u64(self.stats.idle_energy.as_pj());
+        h.u64(u64::from(self.stats.threads));
+        h.bytes(self.engine_outcome.as_bytes());
+        h.u64(u64::from(self.panicked.is_some()));
+        h.u64(u64::from(self.stalled));
+        h.u64(self.starved_tasks);
+        h.finish()
+    }
+}
+
+/// Per-run measurement shared between the workload closures. All
+/// access happens from inside one sysc simulation (one process at a
+/// time), so the mutexes are uncontended Rust-safety devices.
+struct Collect {
+    /// Release timestamps (µs) not yet consumed, per task.
+    pending: Vec<Mutex<VecDeque<u64>>>,
+    /// Releases issued, per task.
+    releases: Vec<AtomicU64>,
+    /// Jobs completed, per task.
+    completions: Vec<AtomicU64>,
+    latencies_us: Mutex<Vec<u64>>,
+    misses: AtomicU64,
+    /// Simulated time (µs) of the most recent completion, any task.
+    last_completion_us: AtomicU64,
+}
+
+impl Collect {
+    fn new(ntasks: usize) -> Self {
+        Collect {
+            pending: (0..ntasks).map(|_| Mutex::new(VecDeque::new())).collect(),
+            releases: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            completions: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            latencies_us: Mutex::new(Vec::new()),
+            misses: AtomicU64::new(0),
+            last_completion_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Runs one scenario to its horizon and returns the measurements.
+/// Panics inside the simulation are caught and reported in the
+/// outcome, not propagated — a farm campaign must survive any single
+/// bad scenario.
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
+    let mut out = ScenarioOutcome {
+        seed: spec.seed,
+        spec_digest: spec.digest(),
+        engine_outcome: "panicked",
+        ..ScenarioOutcome::default()
+    };
+
+    let collect = Arc::new(Collect::new(spec.tasks.len()));
+    let result = {
+        let collect = Arc::clone(&collect);
+        let spec = spec.clone();
+        catch_unwind(AssertUnwindSafe(move || execute(&spec, &collect)))
+    };
+
+    match result {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            out.panicked = Some(msg);
+        }
+        Ok((engine_outcome, stats)) => {
+            out.engine_outcome = engine_outcome;
+            out.stats = stats;
+            out.latencies_us = collect.latencies_us.lock().unwrap().clone();
+            out.deadline_misses = collect.misses.load(Ordering::Relaxed);
+            for i in 0..spec.tasks.len() {
+                let rel = collect.releases[i].load(Ordering::Relaxed);
+                let cmp = collect.completions[i].load(Ordering::Relaxed);
+                out.releases += rel;
+                out.completions += cmp;
+                if rel >= 4 && cmp == 0 {
+                    out.starved_tasks += 1;
+                }
+            }
+            // Kernel-wide progress checks.
+            //
+            // (a) Tick progress: the system tick fires every 1 ms
+            // (paper config) no matter what the workload does, so a
+            // tick counter far below the horizon means the interrupt
+            // stack jammed — this catches deadlocks from the very
+            // first millisecond, before any release happened. Half
+            // the horizon is generous slack for boot time and ticks
+            // pended behind interrupt storms.
+            let horizon_ms = u64::from(spec.horizon_ms);
+            if out.stats.ticks < horizon_ms / 2 {
+                out.stalled = true;
+            }
+            // (b) Completion progress: a healthy (even overloaded)
+            // scenario keeps completing *some* job; a deadlocked one
+            // goes quiet while the backlog stays. The grace window of
+            // two maximum periods absorbs end-of-horizon stragglers
+            // and deferred-release faults.
+            if out.releases >= 2 {
+                let horizon_us = horizon_ms * 1000;
+                let max_period_us = spec
+                    .tasks
+                    .iter()
+                    .map(|t| u64::from(t.period_ms) * 1000)
+                    .max()
+                    .unwrap_or(0);
+                let last_us = collect.last_completion_us.load(Ordering::Relaxed);
+                let backlog = out.releases - out.completions;
+                out.stalled |= out.completions == 0
+                    || (backlog > 0 && last_us + 2 * max_period_us < horizon_us);
+            }
+        }
+    }
+    out
+}
+
+/// Builds and runs the kernel; returns the engine outcome label and
+/// the final stats snapshot.
+fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunStats) {
+    let order = if spec.priority_queues {
+        QueueOrder::Priority
+    } else {
+        QueueOrder::Fifo
+    };
+    let ntasks = spec.tasks.len();
+    let all_bits: u32 = (1u32 << ntasks) - 1;
+
+    let mut rtos = {
+        let collect = Arc::clone(collect);
+        let spec = spec.clone();
+        Rtos::new(KernelConfig::paper(), move |sys, _| {
+            // Shared objects of the topology.
+            let chain_sem = match spec.topology {
+                Topology::SemChain => Some(sys.tk_cre_sem("chain", 1, 1, order).unwrap()),
+                _ => None,
+            };
+            let pipe_mbx = match spec.topology {
+                Topology::MbxPipeline => Some(sys.tk_cre_mbx("pipe", false, order).unwrap()),
+                _ => None,
+            };
+            let barrier_flg = match spec.topology {
+                Topology::FlagBarrier => Some(sys.tk_cre_flg("barrier", 0, false, order).unwrap()),
+                _ => None,
+            };
+
+            if let Some(flg) = barrier_flg {
+                let collector = sys
+                    .tk_cre_tsk("collector", 130, move |sys, _| loop {
+                        if sys
+                            .tk_wai_flg(
+                                flg,
+                                all_bits,
+                                FlagWaitMode::AND.with_clear(),
+                                Timeout::Forever,
+                            )
+                            .is_err()
+                        {
+                            break;
+                        }
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(collector, 0).unwrap();
+            }
+
+            for (i, task) in spec.tasks.iter().enumerate() {
+                let gate = sys
+                    .tk_cre_sem(&format!("gate{i}"), 0, u32::MAX / 2, order)
+                    .unwrap();
+
+                // Release side: a cyclic handler stamps the intended
+                // release time and opens the gate. The delayed-timer
+                // fault defers the *signal* (not the stamp) by one
+                // cycle, so the latency of the deferred job includes
+                // the full extra period.
+                {
+                    let collect = Arc::clone(&collect);
+                    let delay_nth = spec.faults.delay_every_nth_release;
+                    let mut deferred: u32 = 0;
+                    sys.tk_cre_cyc(
+                        &format!("rel{i}"),
+                        SimTime::from_ms(u64::from(task.period_ms)),
+                        SimTime::from_ms(u64::from(task.phase_ms)),
+                        true,
+                        move |sys| {
+                            let now_us = sys.now().as_us();
+                            collect.pending[i].lock().unwrap().push_back(now_us);
+                            let n = collect.releases[i].fetch_add(1, Ordering::Relaxed) + 1;
+                            let defer =
+                                delay_nth.is_some_and(|nth| n.is_multiple_of(u64::from(nth)));
+                            if defer {
+                                deferred += 1;
+                            } else {
+                                let signals = 1 + std::mem::take(&mut deferred);
+                                sys.tk_sig_sem(gate, signals).unwrap();
+                            }
+                        },
+                    )
+                    .unwrap();
+                }
+
+                // Consumer side: the periodic task.
+                let collect = Arc::clone(&collect);
+                let topology = spec.topology;
+                let exec_us = u64::from(task.exec_us);
+                let deadline_us = u64::from(task.period_ms) * 1000;
+                let body = move |sys: &mut rtk_core::Sys<'_>, _stacd: i32| loop {
+                    if sys.tk_wai_sem(gate, 1, Timeout::Forever).is_err() {
+                        break;
+                    }
+                    let release_us = collect.pending[i]
+                        .lock()
+                        .unwrap()
+                        .pop_front()
+                        .expect("every gate signal has a release stamp");
+                    match topology {
+                        Topology::Independent => sys.exec(SimTime::from_us(exec_us)),
+                        Topology::SemChain => {
+                            let crit = (exec_us / 5).max(10);
+                            sys.exec(SimTime::from_us(exec_us - crit));
+                            if sys
+                                .tk_wai_sem(chain_sem.unwrap(), 1, Timeout::Forever)
+                                .is_ok()
+                            {
+                                sys.exec(SimTime::from_us(crit));
+                                sys.tk_sig_sem(chain_sem.unwrap(), 1).unwrap();
+                            }
+                        }
+                        Topology::MbxPipeline => {
+                            sys.exec(SimTime::from_us(exec_us));
+                            let mbx = pipe_mbx.unwrap();
+                            if i == 0 {
+                                while sys.tk_rcv_mbx(mbx, Timeout::Poll).is_ok() {}
+                            } else {
+                                sys.tk_snd_mbx(mbx, MsgPacket::new(vec![i as u8])).unwrap();
+                            }
+                        }
+                        Topology::FlagBarrier => {
+                            sys.exec(SimTime::from_us(exec_us));
+                            sys.tk_set_flg(barrier_flg.unwrap(), 1 << i).unwrap();
+                        }
+                    }
+                    let now_us = sys.now().as_us();
+                    let latency = now_us - release_us;
+                    collect.latencies_us.lock().unwrap().push(latency);
+                    collect.completions[i].fetch_add(1, Ordering::Relaxed);
+                    collect
+                        .last_completion_us
+                        .fetch_max(now_us, Ordering::Relaxed);
+                    if latency > deadline_us {
+                        collect.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                };
+                let tid = sys
+                    .tk_cre_tsk(&format!("tsk{i}"), task.priority, body)
+                    .unwrap();
+                sys.tk_sta_tsk(tid, 0).unwrap();
+            }
+
+            // Interrupt service routines for the storm lines.
+            if let Some(storm) = &spec.storm {
+                for line in 0..storm.lines {
+                    let isr_us = u64::from(storm.isr_us);
+                    sys.tk_def_int(
+                        IntNo(u32::from(line)),
+                        line,
+                        &format!("storm{line}"),
+                        move |sys| {
+                            sys.exec(SimTime::from_us(isr_us));
+                        },
+                    )
+                    .unwrap();
+                }
+            }
+        })
+    };
+
+    // The storm itself: a simulated hardware process outside the
+    // kernel raising requests through the BFM interrupt port. The
+    // dropped-interrupt fault suppresses every Nth request at the
+    // source (a flaky line), deterministically.
+    if let Some(storm) = spec.storm.clone() {
+        let port = rtos.int_port();
+        let horizon = SimTime::from_ms(u64::from(spec.horizon_ms));
+        let drop_nth = spec.faults.drop_every_nth_irq;
+        rtos.sim_handle()
+            .spawn_thread("storm_hw", SpawnMode::Immediate, move |ctx| {
+                ctx.wait_time(SimTime::from_us(u64::from(storm.first_us)));
+                let mut n: u64 = 0;
+                while ctx.now() < horizon {
+                    n += 1;
+                    let line = (n % u64::from(storm.lines)) as u8;
+                    let dropped = drop_nth.is_some_and(|nth| n.is_multiple_of(u64::from(nth)));
+                    if !dropped {
+                        port.raise(IntNo(u32::from(line)), line);
+                    }
+                    ctx.wait_time(SimTime::from_us(u64::from(storm.gap_us)));
+                }
+            });
+    }
+
+    let outcome = rtos.run_until(SimTime::from_ms(u64::from(spec.horizon_ms)));
+    let label = match outcome {
+        RunOutcome::ReachedLimit => "limit",
+        RunOutcome::Starved => "starved",
+        RunOutcome::DeltaLimitExceeded => "delta_limit",
+    };
+    (label, rtos.run_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Tuning;
+
+    #[test]
+    fn scenario_runs_and_measures() {
+        let spec = ScenarioSpec::generate(
+            3,
+            &Tuning {
+                quick: true,
+                faults: true,
+            },
+        );
+        let out = run_scenario(&spec);
+        assert!(out.panicked.is_none(), "{:?}", out.panicked);
+        assert!(out.releases > 0);
+        assert!(out.completions > 0);
+        assert_eq!(out.latencies_us.len() as u64, out.completions);
+        assert!(out.stats.dispatches > 0);
+        assert_eq!(out.engine_outcome, "limit");
+    }
+
+    #[test]
+    fn same_scenario_same_digest() {
+        let t = Tuning {
+            quick: true,
+            faults: true,
+        };
+        for seed in [0u64, 7, 19] {
+            let spec = ScenarioSpec::generate(seed, &t);
+            let a = run_scenario(&spec);
+            let b = run_scenario(&spec);
+            assert_eq!(a.digest(), b.digest(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_topology_executes() {
+        // Scan seeds until each topology variant has run healthily.
+        let t = Tuning {
+            quick: true,
+            faults: false,
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let spec = ScenarioSpec::generate(seed, &t);
+            if seen.contains(spec.topology.label()) {
+                continue;
+            }
+            let out = run_scenario(&spec);
+            assert!(out.healthy(), "seed {seed}: {out:?}");
+            seen.insert(spec.topology.label());
+            if seen.len() == 4 {
+                return;
+            }
+        }
+        panic!("first 64 seeds did not cover all topologies: {seen:?}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # rtk-farm — parallel seeded scenario campaigns over RTK-Spec TRON
+//!
+//! The simulation farm turns the single-instance examples of the paper
+//! reproduction into *campaigns*: thousands of parameterized scenarios,
+//! each a complete kernel instance with its own workload, executed
+//! across worker threads and mined into distribution summaries.
+//!
+//! Pipeline (`seed → scenario → runner → aggregate`):
+//!
+//! 1. **Seed expansion** ([`ScenarioSpec::generate`]) — a pure function
+//!    from a `u64` seed to a workload description: periodic task sets,
+//!    sem/mailbox/event-flag topologies, interrupt storms and optional
+//!    fault injection (dropped interrupts, delayed releases).
+//! 2. **Execution** ([`run_scenario`]) — builds one [`rtk_core::Rtos`]
+//!    per job, runs it to the horizon, measures response latencies,
+//!    deadline misses, context switches and energy. Panics are caught
+//!    per scenario; stalls and livelocks are flagged.
+//! 3. **Parallel runner** ([`run_campaign`]) — a work-stealing thread
+//!    pool; kernels are independent, so the campaign is embarrassingly
+//!    parallel. Results land in seed-indexed slots.
+//! 4. **Aggregation** ([`CampaignReport`]) — nearest-rank percentile
+//!    summaries and the deterministic `BENCH_farm.json`: byte-identical
+//!    for a fixed seed set regardless of thread count.
+//!
+//! ```
+//! use rtk_farm::{run_campaign, CampaignConfig, CampaignReport, Tuning};
+//!
+//! let cfg = CampaignConfig {
+//!     base_seed: 1,
+//!     seeds: 4,
+//!     threads: 2,
+//!     tuning: Tuning { quick: true, faults: true },
+//! };
+//! let outcomes = run_campaign(&cfg);
+//! let report = CampaignReport::new(cfg, outcomes);
+//! assert!(report.all_healthy());
+//! ```
+
+#![warn(missing_docs)]
+
+mod build;
+mod report;
+mod rng;
+mod runner;
+mod scenario;
+
+pub use build::{run_scenario, ScenarioOutcome};
+pub use report::{Aggregate, CampaignReport};
+pub use rng::FarmRng;
+pub use runner::{run_campaign, CampaignConfig};
+pub use scenario::{FaultPlan, ScenarioSpec, StormSpec, TaskSpec, Topology, Tuning};

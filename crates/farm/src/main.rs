@@ -1,0 +1,122 @@
+//! `rtk-farm` — run a seeded scenario campaign and write
+//! `BENCH_farm.json`.
+//!
+//! ```text
+//! rtk-farm [--seeds N] [--base-seed S] [--threads T] [--quick]
+//!          [--no-faults] [--out PATH]
+//! ```
+//!
+//! Exit code 0 when every scenario is healthy; 1 when any scenario
+//! panicked, stalled or livelocked (the CI smoke gate); 2 on usage
+//! errors.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtk_farm::{run_campaign, CampaignConfig, CampaignReport};
+
+const USAGE: &str = "usage: rtk-farm [options]
+
+options:
+  --seeds N       number of consecutive seeds to run   (default 256)
+  --base-seed S   first seed                           (default 1)
+  --threads T     worker threads, 0 = all cores        (default 0)
+  --quick         short horizon (120 ms) for smoke campaigns
+  --no-faults     disable fault-injection draws
+  --out PATH      report path                          (default BENCH_farm.json)
+  --help          this text";
+
+fn parse_args() -> Result<(CampaignConfig, String), String> {
+    let mut cfg = CampaignConfig::default();
+    let mut out = "BENCH_farm.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                cfg.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--base-seed" => {
+                cfg.base_seed = value("--base-seed")?
+                    .parse()
+                    .map_err(|e| format!("--base-seed: {e}"))?
+            }
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--quick" => cfg.tuning.quick = true,
+            "--no-faults" => cfg.tuning.faults = false,
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+fn main() -> ExitCode {
+    let (cfg, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rtk-farm: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workers = cfg.effective_threads();
+    eprintln!(
+        "rtk-farm: {} scenarios (seeds {}..{}), {} worker thread(s), {} horizon, faults {}",
+        cfg.seeds,
+        cfg.base_seed,
+        cfg.base_seed + cfg.seeds.saturating_sub(1),
+        workers,
+        if cfg.tuning.quick { "quick" } else { "full" },
+        if cfg.tuning.faults { "on" } else { "off" },
+    );
+
+    let t0 = Instant::now();
+    let outcomes = run_campaign(&cfg);
+    let wall = t0.elapsed();
+    let report = CampaignReport::new(cfg, outcomes);
+    let agg = report.aggregate();
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("rtk-farm: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+
+    // Wall-clock numbers go to stderr only: the JSON report must stay
+    // byte-identical across runs and thread counts.
+    let n = report.outcomes.len() as f64;
+    eprintln!(
+        "rtk-farm: done in {:.2}s ({:.1} scenarios/s) -> {out_path}",
+        wall.as_secs_f64(),
+        n / wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!(
+        "rtk-farm: digest {:016x} | jobs {} | misses {} | latency_us p50/p90/p99 = {}/{}/{}",
+        report.digest(),
+        agg.completions,
+        agg.deadline_misses,
+        agg.latency_us.p50,
+        agg.latency_us.p90,
+        agg.latency_us.p99,
+    );
+
+    if report.all_healthy() {
+        ExitCode::SUCCESS
+    } else {
+        for (seed, why) in report.failures() {
+            eprintln!("rtk-farm: seed {seed} UNHEALTHY: {why}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,253 @@
+//! Campaign aggregation and the `BENCH_farm.json` report.
+//!
+//! The report is the perf-trajectory artifact CI uploads on every run,
+//! so it is **fully deterministic**: only simulated-domain quantities
+//! (integer microseconds, picojoules, counts) appear, aggregation runs
+//! in seed order, and the JSON writer emits fields in a fixed order
+//! with integer-only values. A fixed seed set therefore produces a
+//! byte-identical file regardless of host, thread count or run.
+//! Wall-clock throughput is printed by the CLI instead, where
+//! variation is expected.
+
+use std::fmt::Write as _;
+
+use rtk_analysis::json_escape;
+use rtk_analysis::percentile::Summary;
+
+use crate::build::ScenarioOutcome;
+use crate::runner::CampaignConfig;
+use crate::scenario::Fnv;
+
+/// Aggregated view of a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign parameters (for report provenance).
+    pub cfg: CampaignConfig,
+    /// Per-scenario outcomes in seed order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// The distribution summaries of a campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aggregate {
+    /// Job response latencies pooled over every scenario (µs).
+    pub latency_us: Summary,
+    /// Per-scenario dispatch (context switch) counts.
+    pub dispatches: Summary,
+    /// Per-scenario preemption counts.
+    pub preemptions: Summary,
+    /// Per-scenario total modeled energy (nJ).
+    pub energy_nj: Summary,
+    /// Per-scenario deadline-miss counts.
+    pub misses: Summary,
+    /// Total releases over the campaign.
+    pub releases: u64,
+    /// Total completions over the campaign.
+    pub completions: u64,
+    /// Total deadline misses over the campaign.
+    pub deadline_misses: u64,
+    /// Tasks that starved (never completed despite ≥4 releases),
+    /// summed over the campaign.
+    pub starved_tasks: u64,
+    /// Scenarios that panicked.
+    pub panicked: u64,
+    /// Scenarios that stalled (deadlock indicator).
+    pub stalled: u64,
+    /// Scenarios that hit the delta-cycle livelock guard.
+    pub livelocked: u64,
+    /// Scenarios whose engine run starved (event queue went dead
+    /// before the horizon — impossible with a healthy periodic tick).
+    pub engine_starved: u64,
+}
+
+impl CampaignReport {
+    /// Builds the report from seed-ordered outcomes.
+    pub fn new(cfg: CampaignConfig, outcomes: Vec<ScenarioOutcome>) -> Self {
+        CampaignReport { cfg, outcomes }
+    }
+
+    /// Computes the distribution summaries (one pass, seed order).
+    pub fn aggregate(&self) -> Aggregate {
+        let mut agg = Aggregate::default();
+        let mut latencies = Vec::new();
+        let mut dispatches = Vec::new();
+        let mut preemptions = Vec::new();
+        let mut energies = Vec::new();
+        let mut misses = Vec::new();
+        for o in &self.outcomes {
+            latencies.extend_from_slice(&o.latencies_us);
+            dispatches.push(o.stats.dispatches);
+            preemptions.push(o.stats.preemptions);
+            energies.push(o.stats.total_energy().as_pj() / 1000);
+            misses.push(o.deadline_misses);
+            agg.releases += o.releases;
+            agg.completions += o.completions;
+            agg.deadline_misses += o.deadline_misses;
+            agg.starved_tasks += o.starved_tasks;
+            agg.panicked += u64::from(o.panicked.is_some());
+            agg.stalled += u64::from(o.stalled);
+            agg.livelocked += u64::from(o.engine_outcome == "delta_limit");
+            agg.engine_starved += u64::from(o.engine_outcome == "starved");
+        }
+        agg.latency_us = Summary::of(&mut latencies);
+        agg.dispatches = Summary::of(&mut dispatches);
+        agg.preemptions = Summary::of(&mut preemptions);
+        agg.energy_nj = Summary::of(&mut energies);
+        agg.misses = Summary::of(&mut misses);
+        agg
+    }
+
+    /// Campaign digest: FNV-1a over every scenario digest in seed
+    /// order. Equal digests ⇒ the campaigns measured identical
+    /// simulated behaviour.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for o in &self.outcomes {
+            h.u64(o.digest());
+        }
+        h.finish()
+    }
+
+    /// `true` when every scenario is healthy (no panic, stall or
+    /// livelock) — the CI gate.
+    pub fn all_healthy(&self) -> bool {
+        self.outcomes.iter().all(|o| o.healthy())
+    }
+
+    /// Seeds of unhealthy scenarios with a short reason each.
+    pub fn failures(&self) -> Vec<(u64, String)> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.healthy())
+            .map(|o| {
+                let why = if let Some(msg) = &o.panicked {
+                    format!("panicked: {msg}")
+                } else if o.stalled {
+                    "stalled (task stopped completing jobs)".to_string()
+                } else if o.engine_outcome == "starved" {
+                    "engine starved (event queue dead before the horizon)".to_string()
+                } else {
+                    "delta-cycle livelock".to_string()
+                };
+                (o.seed, why)
+            })
+            .collect()
+    }
+
+    /// Renders the `BENCH_farm.json` document (deterministic; see the
+    /// module docs).
+    pub fn to_json(&self) -> String {
+        let agg = self.aggregate();
+        let mut j = String::with_capacity(4096);
+        j.push_str("{\n");
+        let _ = writeln!(j, "  \"schema\": \"rtk-farm-bench-v1\",");
+        let _ = writeln!(j, "  \"base_seed\": {},", self.cfg.base_seed);
+        let _ = writeln!(j, "  \"seeds\": {},", self.cfg.seeds);
+        let _ = writeln!(j, "  \"quick\": {},", self.cfg.tuning.quick);
+        let _ = writeln!(j, "  \"faults\": {},", self.cfg.tuning.faults);
+        let _ = writeln!(j, "  \"campaign_digest\": \"{:016x}\",", self.digest());
+        let _ = writeln!(j, "  \"scenarios\": {},", self.outcomes.len());
+        let _ = writeln!(j, "  \"releases\": {},", agg.releases);
+        let _ = writeln!(j, "  \"completions\": {},", agg.completions);
+        let _ = writeln!(j, "  \"deadline_misses\": {},", agg.deadline_misses);
+        let _ = writeln!(j, "  \"starved_tasks\": {},", agg.starved_tasks);
+        let _ = writeln!(j, "  \"panicked\": {},", agg.panicked);
+        let _ = writeln!(j, "  \"stalled\": {},", agg.stalled);
+        let _ = writeln!(j, "  \"livelocked\": {},", agg.livelocked);
+        let _ = writeln!(j, "  \"engine_starved\": {},", agg.engine_starved);
+        write_summary(&mut j, "latency_us", &agg.latency_us);
+        write_summary(&mut j, "dispatches", &agg.dispatches);
+        write_summary(&mut j, "preemptions", &agg.preemptions);
+        write_summary(&mut j, "energy_nj", &agg.energy_nj);
+        write_summary(&mut j, "deadline_misses_per_scenario", &agg.misses);
+        let failures = self.failures();
+        j.push_str("  \"failures\": [");
+        for (i, (seed, why)) in failures.iter().enumerate() {
+            if i > 0 {
+                j.push_str(", ");
+            }
+            let _ = write!(j, "{{\"seed\": {seed}, \"why\": \"{}\"}}", json_escape(why));
+        }
+        j.push_str("]\n}\n");
+        j
+    }
+}
+
+/// Writes one `Summary` as a nested JSON object (integer fields only).
+/// Always followed by another field (the `failures` array closes the
+/// document), hence the unconditional trailing comma.
+fn write_summary(j: &mut String, name: &str, s: &Summary) {
+    let _ = writeln!(
+        j,
+        "  \"{name}\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},",
+        s.count,
+        s.min,
+        s.mean(),
+        s.p50,
+        s.p90,
+        s.p99,
+        s.max
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+    use crate::scenario::Tuning;
+
+    fn small_campaign(threads: usize) -> CampaignReport {
+        let cfg = CampaignConfig {
+            base_seed: 7,
+            seeds: 5,
+            threads,
+            tuning: Tuning {
+                quick: true,
+                faults: true,
+            },
+        };
+        let outcomes = run_campaign(&cfg);
+        CampaignReport::new(cfg, outcomes)
+    }
+
+    #[test]
+    fn json_is_byte_identical_across_thread_counts() {
+        let a = small_campaign(1).to_json();
+        let b = small_campaign(3).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_has_expected_fields() {
+        let j = small_campaign(2).to_json();
+        for field in [
+            "\"schema\": \"rtk-farm-bench-v1\"",
+            "\"campaign_digest\"",
+            "\"latency_us\"",
+            "\"dispatches\"",
+            "\"energy_nj\"",
+            "\"failures\"",
+        ] {
+            assert!(j.contains(field), "missing {field} in:\n{j}");
+        }
+        // Exactly one top-level JSON object, no trailing comma issues:
+        // crude but effective given the fixed writer.
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn aggregate_counts_add_up() {
+        let r = small_campaign(2);
+        let agg = r.aggregate();
+        assert_eq!(
+            agg.latency_us.count,
+            r.outcomes
+                .iter()
+                .map(|o| o.latencies_us.len() as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(agg.dispatches.count, r.outcomes.len() as u64);
+        assert!(agg.completions > 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The campaign runner: N-thousand scenarios across worker threads.
+//!
+//! Kernel instances are fully independent, so a campaign is
+//! embarrassingly parallel: each job expands one seed, builds one
+//! kernel, runs it to the horizon and measures — entirely on one
+//! worker. Load is balanced by work stealing: every worker owns a
+//! deque seeded with a contiguous slice of the campaign, pops locally
+//! from the front, and when dry steals the back half of the fullest
+//! victim's deque. Scenario wall times vary by an order of magnitude
+//! (horizon × task count × storm density), which is exactly the shape
+//! static chunking handles poorly.
+//!
+//! Determinism: results are written into a slot per seed index, so
+//! aggregation order — and therefore the campaign report — is
+//! independent of which worker ran which job and in what order.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::build::{run_scenario, ScenarioOutcome};
+use crate::scenario::{ScenarioSpec, Tuning};
+
+/// Campaign parameters (the CLI surface).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// First seed of the campaign.
+    pub base_seed: u64,
+    /// Number of consecutive seeds to run.
+    pub seeds: u64,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Generator knobs shared by every scenario.
+    pub tuning: Tuning,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            base_seed: 1,
+            seeds: 256,
+            threads: 0,
+            tuning: Tuning::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The effective worker count: the configured value, or the number
+    /// of available cores, never more than there are jobs.
+    pub fn effective_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, self.seeds.max(1) as usize)
+    }
+}
+
+/// One worker's job queue: seed *indexes* into the campaign.
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<usize>>,
+}
+
+/// Pops a local job from the front of `own`, or steals the back half
+/// of the fullest other queue. Returns `None` only after one full scan
+/// observes every queue empty — a single failed steal retries, because
+/// another thief may have drained the chosen victim between the length
+/// scan and the lock (in-flight jobs never go back to a queue, so the
+/// retry loop terminates).
+fn next_job(own_idx: usize, queues: &[WorkerQueue]) -> Option<usize> {
+    if let Some(j) = queues[own_idx].jobs.lock().unwrap().pop_front() {
+        return Some(j);
+    }
+    loop {
+        // Pick the victim with the most remaining work right now.
+        let (victim, len) = (0..queues.len())
+            .filter(|&v| v != own_idx)
+            .map(|v| (v, queues[v].jobs.lock().unwrap().len()))
+            .max_by_key(|&(_, len)| len)?;
+        if len == 0 {
+            return None; // every other queue was empty during the scan
+        }
+        let stolen: Vec<usize> = {
+            let mut q = queues[victim].jobs.lock().unwrap();
+            let keep = q.len() / 2;
+            q.split_off(keep).into()
+        };
+        if stolen.is_empty() {
+            continue; // raced with another thief; rescan
+        }
+        let mut own = queues[own_idx].jobs.lock().unwrap();
+        own.extend(stolen);
+        if let Some(j) = own.pop_front() {
+            return Some(j);
+        }
+    }
+}
+
+/// Runs the whole campaign; returns the outcomes in seed order.
+pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
+    let n = cfg.seeds as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = cfg.effective_threads();
+
+    // Static pre-split into contiguous slices, then dynamic stealing.
+    let queues: Vec<WorkerQueue> = (0..workers)
+        .map(|w| {
+            let lo = n * w / workers;
+            let hi = n * (w + 1) / workers;
+            WorkerQueue {
+                jobs: Mutex::new((lo..hi).collect()),
+            }
+        })
+        .collect();
+
+    let slots: Vec<Mutex<Option<ScenarioOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            scope.spawn(move || {
+                while let Some(idx) = next_job(w, queues) {
+                    let seed = cfg.base_seed + idx as u64;
+                    let spec = ScenarioSpec::generate(seed, &cfg.tuning);
+                    let outcome = run_scenario(&spec);
+                    *slots[idx].lock().unwrap() = Some(outcome);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job slot filled exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seeds: u64, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            base_seed: 100,
+            seeds,
+            threads,
+            tuning: Tuning {
+                quick: true,
+                faults: true,
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_returns_seed_ordered_outcomes() {
+        let outcomes = run_campaign(&quick_cfg(6, 3));
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.seed, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seq: Vec<u64> = run_campaign(&quick_cfg(8, 1))
+            .iter()
+            .map(|o| o.digest())
+            .collect();
+        let par: Vec<u64> = run_campaign(&quick_cfg(8, 4))
+            .iter()
+            .map(|o| o.digest())
+            .collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_seeds_is_empty() {
+        assert!(run_campaign(&quick_cfg(0, 2)).is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(quick_cfg(4, 16).effective_threads(), 4);
+        assert_eq!(quick_cfg(4, 1).effective_threads(), 1);
+        assert!(quick_cfg(100, 0).effective_threads() >= 1);
+    }
+}

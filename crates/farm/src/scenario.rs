@@ -1,0 +1,341 @@
+//! Seed → scenario expansion.
+//!
+//! A [`ScenarioSpec`] is plain data: everything the builder needs to
+//! assemble a kernel instance plus its workload, and nothing else. The
+//! expansion from a `u64` seed is a pure function ([`ScenarioSpec::generate`]),
+//! so a seed names the same scenario on every host and the spec can be
+//! hashed ([`ScenarioSpec::digest`]) to prove it.
+//!
+//! The generated shape follows the paper's evaluation workloads, scaled
+//! into a campaign: periodic tasks released by cyclic handlers (the
+//! video-game frame/input pattern), optional blocking topologies over
+//! kernel objects (semaphore critical sections, mailbox pipelines,
+//! event-flag barriers), optional external interrupt storms through the
+//! BFM path (§ interrupt nesting), and optional fault injection
+//! (dropped interrupt requests, delayed releases) in the spirit of the
+//! FreeRTOS dependability campaigns in PAPERS.md.
+
+use crate::rng::FarmRng;
+
+/// One periodic task of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Task priority (T-Kernel: smaller = more urgent).
+    pub priority: u8,
+    /// Release period in milliseconds (also the implicit deadline).
+    pub period_ms: u32,
+    /// First release offset in milliseconds (< period).
+    pub phase_ms: u32,
+    /// Per-job execution cost in microseconds.
+    pub exec_us: u32,
+}
+
+/// How the tasks of a scenario interact through kernel objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// No sharing: purely periodic, independent tasks.
+    Independent,
+    /// All tasks contend for one semaphore-guarded critical section
+    /// (a fraction of each job runs while holding it).
+    SemChain,
+    /// Every task posts a completion message to a shared mailbox; the
+    /// highest-priority task drains it (poll) at each of its jobs.
+    MbxPipeline,
+    /// Every task sets its bit in a shared event flag; a low-priority
+    /// collector task waits for the AND of all bits (with clear).
+    FlagBarrier,
+}
+
+impl Topology {
+    /// Stable label used in reports and digests.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Topology::Independent => "independent",
+            Topology::SemChain => "sem_chain",
+            Topology::MbxPipeline => "mbx_pipeline",
+            Topology::FlagBarrier => "flag_barrier",
+        }
+    }
+}
+
+/// An external interrupt storm raised by a simulated hardware process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Number of interrupt lines used (1 or 2: the 8051's two levels).
+    pub lines: u8,
+    /// Simulated time of the first request, in microseconds.
+    pub first_us: u32,
+    /// Gap between consecutive requests, in microseconds.
+    pub gap_us: u32,
+    /// ISR body execution cost per activation, in microseconds.
+    pub isr_us: u32,
+}
+
+/// Deterministic fault-injection toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Drop every Nth interrupt request before it reaches the kernel
+    /// (a flaky interrupt line).
+    pub drop_every_nth_irq: Option<u32>,
+    /// Defer every Nth periodic release to the following cycle (a
+    /// delayed timer): the release timestamp keeps the intended time,
+    /// so the added latency surfaces as deadline misses.
+    pub delay_every_nth_release: Option<u32>,
+}
+
+impl FaultPlan {
+    /// `true` when no fault is armed.
+    pub fn is_clean(&self) -> bool {
+        self.drop_every_nth_irq.is_none() && self.delay_every_nth_release.is_none()
+    }
+}
+
+/// Knobs of the generator that are campaign-wide (not per-seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuning {
+    /// Shorter horizon for smoke campaigns (CI).
+    pub quick: bool,
+    /// Allow fault-injection draws.
+    pub faults: bool,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            quick: false,
+            faults: true,
+        }
+    }
+}
+
+/// A complete, self-contained scenario description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// The seed this spec was expanded from.
+    pub seed: u64,
+    /// The periodic task set (2..=6 tasks).
+    pub tasks: Vec<TaskSpec>,
+    /// Wait-queue order of shared objects (`TA_TFIFO`/`TA_TPRI`).
+    pub priority_queues: bool,
+    /// Inter-task topology.
+    pub topology: Topology,
+    /// Optional interrupt storm.
+    pub storm: Option<StormSpec>,
+    /// Fault-injection plan (all-`None` when the campaign disables it).
+    pub faults: FaultPlan,
+    /// Simulated horizon in milliseconds.
+    pub horizon_ms: u32,
+}
+
+/// Candidate release periods (ms). Harmonic-ish small set keeps the
+/// hyperperiod short and the scenarios busy.
+const PERIODS_MS: [u32; 8] = [2, 4, 5, 8, 10, 20, 25, 40];
+
+impl ScenarioSpec {
+    /// Expands a seed into a scenario (pure function of `seed` and
+    /// `tuning`).
+    pub fn generate(seed: u64, tuning: &Tuning) -> ScenarioSpec {
+        let mut rng = FarmRng::new(seed);
+        let ntasks = rng.range(2, 6) as usize;
+
+        // Total CPU utilization target of the task set, percent. Kept
+        // below saturation so a healthy scenario has no structural
+        // overload; storms and faults then perturb it.
+        let util_pct = rng.range(30, 75);
+        let weights: Vec<u64> = (0..ntasks).map(|_| rng.range(1, 10)).collect();
+        let weight_sum: u64 = weights.iter().sum();
+
+        let mut tasks = Vec::with_capacity(ntasks);
+        for (i, &w) in weights.iter().enumerate() {
+            let period_ms = PERIODS_MS[rng.below(PERIODS_MS.len() as u64) as usize];
+            let phase_ms = rng.below(u64::from(period_ms)) as u32;
+            let task_util = util_pct * w / weight_sum; // percent
+            let exec_us = (u64::from(period_ms) * 1000 * task_util / 100).clamp(50, 30_000) as u32;
+            // Distinct priorities, higher-frequency tasks not forced
+            // rate-monotonic on purpose: mis-ordered priorities are
+            // interesting scenarios too.
+            let priority = (10 + i as u64 * 10 + rng.below(8)) as u8;
+            tasks.push(TaskSpec {
+                priority,
+                period_ms,
+                phase_ms,
+                exec_us,
+            });
+        }
+
+        let topology = match rng.below(4) {
+            0 => Topology::Independent,
+            1 => Topology::SemChain,
+            2 => Topology::MbxPipeline,
+            _ => Topology::FlagBarrier,
+        };
+
+        let storm = if rng.chance(3, 5) {
+            Some(StormSpec {
+                lines: rng.range(1, 2) as u8,
+                first_us: rng.range(100, 2000) as u32,
+                gap_us: rng.range(150, 1500) as u32,
+                isr_us: rng.range(20, 120) as u32,
+            })
+        } else {
+            None
+        };
+
+        let faults = if tuning.faults {
+            FaultPlan {
+                drop_every_nth_irq: if storm.is_some() && rng.chance(3, 10) {
+                    Some(rng.range(3, 8) as u32)
+                } else {
+                    None
+                },
+                delay_every_nth_release: if rng.chance(3, 10) {
+                    Some(rng.range(4, 10) as u32)
+                } else {
+                    None
+                },
+            }
+        } else {
+            FaultPlan::default()
+        };
+
+        ScenarioSpec {
+            seed,
+            tasks,
+            priority_queues: rng.chance(1, 2),
+            topology,
+            storm,
+            faults,
+            horizon_ms: if tuning.quick { 120 } else { 400 },
+        }
+    }
+
+    /// FNV-1a digest over the canonical field encoding — two equal
+    /// specs always hash equal, and the farm report embeds the digest
+    /// so a campaign is auditable without re-running it.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.seed);
+        h.u64(self.tasks.len() as u64);
+        for t in &self.tasks {
+            h.u64(u64::from(t.priority));
+            h.u64(u64::from(t.period_ms));
+            h.u64(u64::from(t.phase_ms));
+            h.u64(u64::from(t.exec_us));
+        }
+        h.u64(u64::from(self.priority_queues));
+        h.bytes(self.topology.label().as_bytes());
+        match &self.storm {
+            None => h.u64(0),
+            Some(s) => {
+                h.u64(1);
+                h.u64(u64::from(s.lines));
+                h.u64(u64::from(s.first_us));
+                h.u64(u64::from(s.gap_us));
+                h.u64(u64::from(s.isr_us));
+            }
+        }
+        h.u64(self.faults.drop_every_nth_irq.map_or(0, u64::from));
+        h.u64(self.faults.delay_every_nth_release.map_or(0, u64::from));
+        h.u64(u64::from(self.horizon_ms));
+        h.finish()
+    }
+
+    /// Total task-set utilization in percent (storm load excluded).
+    pub fn utilization_pct(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| u64::from(t.exec_us) * 100 / (u64::from(t.period_ms) * 1000))
+            .sum()
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher (stable across platforms, unlike
+/// `DefaultHasher`, which documents no cross-version stability).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_pure() {
+        let t = Tuning::default();
+        for seed in 0..200 {
+            let a = ScenarioSpec::generate(seed, &t);
+            let b = ScenarioSpec::generate(seed, &t);
+            assert_eq!(a, b);
+            assert_eq!(a.digest(), b.digest());
+        }
+    }
+
+    #[test]
+    fn specs_are_well_formed() {
+        let t = Tuning::default();
+        for seed in 0..500 {
+            let s = ScenarioSpec::generate(seed, &t);
+            assert!((2..=6).contains(&s.tasks.len()), "seed {seed}");
+            for task in &s.tasks {
+                assert!(task.phase_ms < task.period_ms);
+                assert!(task.exec_us >= 50);
+                assert!(u64::from(task.exec_us) < u64::from(task.period_ms) * 1000);
+                assert!((1..=140).contains(&task.priority));
+            }
+            // Below structural overload even with rounding slack.
+            assert!(
+                s.utilization_pct() <= 80,
+                "seed {seed}: {}",
+                s.utilization_pct()
+            );
+            if let Some(storm) = &s.storm {
+                assert!((1..=2).contains(&storm.lines));
+                assert!(storm.gap_us >= 150);
+            }
+        }
+    }
+
+    #[test]
+    fn digests_differ_across_seeds() {
+        let t = Tuning::default();
+        let mut digests: Vec<u64> = (0..300)
+            .map(|s| ScenarioSpec::generate(s, &t).digest())
+            .collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), 300, "digest collision in first 300 seeds");
+    }
+
+    #[test]
+    fn fault_toggle_is_respected() {
+        let clean = Tuning {
+            faults: false,
+            ..Tuning::default()
+        };
+        for seed in 0..200 {
+            assert!(ScenarioSpec::generate(seed, &clean).faults.is_clean());
+        }
+        // And with faults enabled, some scenario actually draws one.
+        let t = Tuning::default();
+        assert!((0..200).any(|s| !ScenarioSpec::generate(s, &t).faults.is_clean()));
+    }
+}

@@ -1,0 +1,87 @@
+//! Farm determinism properties: the whole value of a seeded campaign
+//! rests on `seed ⇒ scenario ⇒ outcome` being a pure function,
+//! independent of worker-thread count and scheduling.
+
+use proptest::prelude::*;
+use rtk_farm::{run_campaign, run_scenario, CampaignConfig, CampaignReport, ScenarioSpec, Tuning};
+
+fn quick(faults: bool) -> Tuning {
+    Tuning {
+        quick: true,
+        faults,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    /// Same seed ⇒ identical expanded scenario and identical digest,
+    /// for both fault settings.
+    fn spec_expansion_is_pure(seed in 0u64..1_000_000, faults in any::<bool>()) {
+        let t = quick(faults);
+        let a = ScenarioSpec::generate(seed, &t);
+        let b = ScenarioSpec::generate(seed, &t);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // Each case runs two full kernel simulations; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    /// Same scenario ⇒ identical measured outcome (latency vector,
+    /// counters, kernel stats), run-to-run.
+    fn scenario_outcome_is_reproducible(seed in 0u64..10_000) {
+        let spec = ScenarioSpec::generate(seed, &quick(true));
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a.latencies_us, b.latencies_us);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    /// A campaign over a fixed seed window produces the identical
+    /// aggregate digest and byte-identical JSON with 1 worker and with
+    /// N workers.
+    fn campaign_is_thread_count_invariant(
+        base in 0u64..50_000,
+        nseeds in 3u64..10,
+        threads in 2usize..5,
+    ) {
+        let cfg1 = CampaignConfig {
+            base_seed: base,
+            seeds: nseeds,
+            threads: 1,
+            tuning: quick(true),
+        };
+        let cfgn = CampaignConfig { threads, ..cfg1.clone() };
+
+        let r1 = CampaignReport::new(cfg1.clone(), run_campaign(&cfg1));
+        let rn = CampaignReport::new(cfgn.clone(), run_campaign(&cfgn));
+        prop_assert_eq!(r1.digest(), rn.digest());
+        // The config echoed in the JSON provenance block must not leak
+        // the thread count (it would break byte-identity).
+        prop_assert_eq!(r1.to_json(), rn.to_json());
+    }
+}
+
+#[test]
+fn campaign_json_is_stable_across_repeated_runs() {
+    let cfg = CampaignConfig {
+        base_seed: 42,
+        seeds: 8,
+        threads: 3,
+        tuning: quick(true),
+    };
+    let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
+    let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
+    assert_eq!(a, b);
+}

@@ -33,9 +33,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex, blocking until it is available. Never
     /// poisons: a panic in another holder is recovered.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(
-            self.0.lock().unwrap_or_else(PoisonError::into_inner),
-        ))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Attempts to acquire the mutex without blocking.
@@ -71,13 +69,17 @@ pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard present outside Condvar::wait")
+        self.0
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard present outside Condvar::wait")
+        self.0
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
@@ -101,10 +103,7 @@ impl Condvar {
     /// (parking_lot signature: the guard is re-acquired in place).
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard present before wait");
-        let inner = self
-            .0
-            .wait(inner)
-            .unwrap_or_else(PoisonError::into_inner);
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
     }
 

@@ -187,10 +187,10 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/a);
-impl_tuple_strategy!(A/a, B/b);
-impl_tuple_strategy!(A/a, B/b, C/c);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
 
 /// `&str` patterns: a tiny subset of proptest's regex strategies. Only
 /// `.{m,n}` (a printable-ASCII string of length m..=n) and plain `.`
@@ -389,12 +389,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(
-            l != r,
-            "assertion failed: `{:?}` != `{:?}`",
-            l,
-            r
-        );
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
     }};
 }
 

@@ -163,7 +163,8 @@ impl SimHandle {
         let shared = Arc::new(ProcShared::new());
         let id = {
             let mut st = self.k.st.lock();
-            st.procs.push(ProcEntry::new_thread(name, Arc::clone(&shared)))
+            st.procs
+                .push(ProcEntry::new_thread(name, Arc::clone(&shared)))
         };
         let handle = self.clone();
         let shared2 = Arc::clone(&shared);
@@ -223,7 +224,9 @@ impl SimHandle {
     {
         let slot = MethodSlot::new(Box::new(callback));
         let mut st = self.k.st.lock();
-        let id = st.procs.push(ProcEntry::new_method(name, slot, run_at_start));
+        let id = st
+            .procs
+            .push(ProcEntry::new_method(name, slot, run_at_start));
         for e in sensitivity {
             st.events[e.index()].method_subs.push(id);
         }

@@ -113,7 +113,9 @@ pub struct Simulation {
 
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation").field("now", &self.now()).finish()
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

@@ -132,8 +132,10 @@ impl KState {
         if let Some(period) = renotify {
             let gen = self.events[id.index()].gen;
             self.events[id.index()].pending = Pending::At(now + period);
-            self.wheel
-                .insert((now + period).as_ps(), TimedAction::FireEvent { event: id, gen });
+            self.wheel.insert(
+                (now + period).as_ps(),
+                TimedAction::FireEvent { event: id, gen },
+            );
         }
         for (p, gen) in waiters {
             let entry = self.procs.get_mut(p);
@@ -162,7 +164,10 @@ impl KState {
             if entry.state == ProcState::Finished {
                 continue;
             }
-            if let ProcBody::Method { queued, trigger, .. } = &mut entry.body {
+            if let ProcBody::Method {
+                queued, trigger, ..
+            } = &mut entry.body
+            {
                 if !*queued {
                     *queued = true;
                     *trigger = Some(id);
@@ -320,7 +325,14 @@ fn run_kernel_inner(
                         let reason = entry.pending_reason;
                         Runner::Thread(Arc::clone(shared), reason)
                     }
-                    (ProcBody::Method { slot, queued, trigger }, _) => {
+                    (
+                        ProcBody::Method {
+                            slot,
+                            queued,
+                            trigger,
+                        },
+                        _,
+                    ) => {
                         *queued = false;
                         let trig = trigger.take();
                         Runner::Method(Arc::clone(slot), trig)

@@ -264,7 +264,12 @@ mod tests {
             assert!(batch.iter().all(|(t, _)| *t == at));
             fired.extend(batch);
         }
-        let mut expect = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect::<Vec<_>>();
+        let mut expect = times
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect::<Vec<_>>();
         expect.sort_unstable();
         assert_eq!(fired, expect);
     }
@@ -301,6 +306,9 @@ mod tests {
         let mut w = TimingWheel::new();
         w.insert(u64::MAX, "end-of-time");
         assert_eq!(w.next_at(), Some(u64::MAX));
-        assert_eq!(drain_until(&mut w, u64::MAX), vec![(u64::MAX, "end-of-time")]);
+        assert_eq!(
+            drain_until(&mut w, u64::MAX),
+            vec![(u64::MAX, "end-of-time")]
+        );
     }
 }

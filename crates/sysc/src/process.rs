@@ -115,7 +115,9 @@ impl ProcShared {
         while b.turn != Turn::Kernel {
             self.cv.wait(&mut b);
         }
-        b.reply.take().expect("process returned baton without a reply")
+        b.reply
+            .take()
+            .expect("process returned baton without a reply")
     }
 
     /// Process side: block until the kernel hands over the baton; returns

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sysc::{
-    ProcId, RunOutcome, SimTime, Simulation, SpawnMode, Tracer, WaitOutcome, WakeReason,
-};
+use sysc::{ProcId, RunOutcome, SimTime, Simulation, SpawnMode, Tracer, WaitOutcome, WakeReason};
 
 fn ms(v: u64) -> SimTime {
     SimTime::from_ms(v)

@@ -79,7 +79,9 @@ pub fn build_cosim(
     });
 
     let bfm = Bfm::new(&rtos);
-    bfm_tx.send(bfm.clone()).expect("main entry receives the BFM");
+    bfm_tx
+        .send(bfm.clone())
+        .expect("main entry receives the BFM");
 
     // The simulated player needs the game state; it polls the cell until
     // boot has populated it.
@@ -91,13 +93,7 @@ pub fn build_cosim(
         loop {
             if let Some(game) = cell_for_player.lock().as_ref() {
                 let state = Arc::clone(&game.state);
-                install_player(
-                    ctx.handle(),
-                    keypad,
-                    state,
-                    SimTime::from_ms(10),
-                    skill,
-                );
+                install_player(ctx.handle(), keypad, state, SimTime::from_ms(10), skill);
                 return;
             }
             ctx.wait_time(SimTime::from_ms(1));

@@ -258,7 +258,12 @@ pub fn install(sys: &mut Sys<'_>, bfm: &Bfm, cfg: GameConfig) -> VideoGame {
     let t_lcd = sys
         .tk_cre_tsk("lcd", 10, move |sys, _| loop {
             if sys
-                .tk_wai_flg(frame_flg, FRAME_BIT, FlagWaitMode::OR.with_clear(), Timeout::Forever)
+                .tk_wai_flg(
+                    frame_flg,
+                    FRAME_BIT,
+                    FlagWaitMode::OR.with_clear(),
+                    Timeout::Forever,
+                )
                 .is_err()
             {
                 return;
@@ -350,16 +355,22 @@ pub fn install(sys: &mut Sys<'_>, bfm: &Bfm, cfg: GameConfig) -> VideoGame {
     // H1 — cyclic physics handler.
     let st_h1 = Arc::clone(&state);
     let h_cyclic = sys
-        .tk_cre_cyc("physics", cfg.frame_period, SimTime::ZERO, true, move |sys| {
-            let score_changed = {
-                let mut s = st_h1.lock();
-                s.step()
-            };
-            let _ = sys.tk_set_flg(frame_flg, FRAME_BIT);
-            if score_changed {
-                let _ = sys.tk_sig_sem(score_sem, 1);
-            }
-        })
+        .tk_cre_cyc(
+            "physics",
+            cfg.frame_period,
+            SimTime::ZERO,
+            true,
+            move |sys| {
+                let score_changed = {
+                    let mut s = st_h1.lock();
+                    s.step()
+                };
+                let _ = sys.tk_set_flg(frame_flg, FRAME_BIT);
+                if score_changed {
+                    let _ = sys.tk_sig_sem(score_sem, 1);
+                }
+            },
+        )
         .unwrap();
 
     // H2 — speed-up alarm: raises the speed and re-arms itself. The

@@ -90,7 +90,9 @@ fn speedup_alarm_fires_and_rearms() {
 fn ds_listing_reflects_the_case_study() {
     let cosim = run_one_second(PlayerSkill::Perfect);
     let listing = cosim.rtos.ds().dump_listing();
-    for name in ["lcd", "keypad", "ssd", "idle", "frame", "score", "keys", "log", "state"] {
+    for name in [
+        "lcd", "keypad", "ssd", "idle", "frame", "score", "keys", "log", "state",
+    ] {
         assert!(listing.contains(name), "missing {name} in:\n{listing}");
     }
     assert!(listing.contains("physics"));
@@ -107,19 +109,29 @@ fn task_states_are_consistent_after_run() {
     // mailbox; SSD waits on the semaphore (unless mid-frame).
     let lcd = ds.td_ref_tsk(game.t_lcd).unwrap();
     assert!(
-        matches!(lcd.state, TaskState::Wait | TaskState::Ready | TaskState::Running),
+        matches!(
+            lcd.state,
+            TaskState::Wait | TaskState::Ready | TaskState::Running
+        ),
         "lcd state = {:?}",
         lcd.state
     );
     let keypad = ds.td_ref_tsk(game.t_keypad).unwrap();
     assert!(
-        matches!(keypad.state, TaskState::Wait | TaskState::Ready | TaskState::Running),
+        matches!(
+            keypad.state,
+            TaskState::Wait | TaskState::Ready | TaskState::Running
+        ),
         "keypad state = {:?}",
         keypad.state
     );
     // The cyclic handler fired about 20 times.
     let cyc = ds.td_ref_cyc(game.h_cyclic).unwrap();
-    assert!(cyc.count >= 15 && cyc.count <= 21, "cyc count = {}", cyc.count);
+    assert!(
+        cyc.count >= 15 && cyc.count <= 21,
+        "cyc count = {}",
+        cyc.count
+    );
 }
 
 #[test]
@@ -136,7 +148,11 @@ fn gui_widgets_render_during_cosim() {
     cosim.rtos.run_until(SimTime::from_ms(500));
     let widgets = cosim.widgets.as_ref().unwrap();
     // ~50 refreshes in 500 ms at 10 ms.
-    assert!(widgets.frame_count() >= 45, "frames = {}", widgets.frame_count());
+    assert!(
+        widgets.frame_count() >= 45,
+        "frames = {}",
+        widgets.frame_count()
+    );
     let screen = widgets.screen();
     assert!(screen.contains("== LCD =="));
     assert!(screen.contains("== SSD =="));

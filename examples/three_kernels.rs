@@ -58,5 +58,7 @@ fn main() {
         log,
     );
 
-    println!("\nround robin interleaves; the priority kernels run beta (pri 10) to completion first");
+    println!(
+        "\nround robin interleaves; the priority kernels run beta (pri 10) to completion first"
+    );
 }

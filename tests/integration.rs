@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use rtk_spec_tron::analysis::{Battery, EnergyReport, GanttChart, GanttConfig, TraceRecorder, WaveProbe};
+use rtk_spec_tron::analysis::{
+    Battery, EnergyReport, GanttChart, GanttConfig, TraceRecorder, WaveProbe,
+};
 use rtk_spec_tron::bfm::Bfm;
 use rtk_spec_tron::core::{
     CostModel, ExecContext, KernelConfig, QueueOrder, Rtos, ServiceClass, Timeout,
@@ -152,6 +154,53 @@ fn bfm_and_kernel_share_one_timeline() {
     tx.send(bfm).unwrap();
     rtos.run_for(ms(50));
     assert_eq!(diff.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+#[test]
+fn back_to_back_isr_requests_chain_without_losing_the_kernel() {
+    // Regression: a second request on the same interrupt line, pending
+    // when the first activation pops its frame, used to be mounted via
+    // an activate-event notification sent from the ISR's own thread —
+    // which was not waiting yet, so the wakeup was lost and the mounted
+    // frame jammed the interrupt stack forever (ticks stopped, every
+    // task frozen). Found by the simulation farm (seed 0).
+    use rtk_spec_tron::core::IntNo;
+    use rtk_spec_tron::sysc::SpawnMode;
+
+    let mut rtos = Rtos::new(KernelConfig::paper(), |sys, _| {
+        sys.tk_def_int(IntNo(0), 0, "isr", |sys| {
+            sys.exec(SimTime::from_us(300)); // long body: 2nd raise lands inside
+        })
+        .unwrap();
+        let t = sys
+            .tk_cre_tsk("bg", 50, |sys, _| loop {
+                sys.exec(SimTime::from_us(100));
+                if sys.tk_dly_tsk(SimTime::from_ms(1)).is_err() {
+                    break;
+                }
+            })
+            .unwrap();
+        sys.tk_sta_tsk(t, 0).unwrap();
+    });
+    let port = rtos.int_port();
+    rtos.sim_handle()
+        .spawn_thread("hw", SpawnMode::Immediate, move |ctx| {
+            ctx.wait_time(SimTime::from_us(2100));
+            port.raise(IntNo(0), 0);
+            ctx.wait_time(SimTime::from_us(100)); // first ISR still running
+            port.raise(IntNo(0), 0);
+        });
+    rtos.run_for(ms(20));
+    let stats = rtos.run_stats();
+    // Both activations ran and the kernel kept ticking afterwards.
+    assert!(stats.ticks >= 18, "ticks stalled at {}", stats.ticks);
+    let isr_cycles: u64 = rtos
+        .threads()
+        .iter()
+        .filter(|t| t.name == "isr")
+        .map(|t| t.stats.cycles)
+        .sum();
+    assert_eq!(isr_cycles, 2, "both back-to-back requests must run");
 }
 
 #[test]
