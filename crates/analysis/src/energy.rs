@@ -147,7 +147,11 @@ impl EnergyReport {
     /// Renders the textual widget.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Consumed Time/Energy Distribution (elapsed {})", self.elapsed);
+        let _ = writeln!(
+            out,
+            "Consumed Time/Energy Distribution (elapsed {})",
+            self.elapsed
+        );
         let _ = writeln!(
             out,
             "{:<16} {:>14} {:>7} {:>14} {:>7}",
@@ -172,11 +176,7 @@ impl EnergyReport {
             "",
             self.idle.1.to_string()
         );
-        let _ = writeln!(
-            out,
-            "total: CET={} CEE={}",
-            self.total_cet, self.total_cee
-        );
+        let _ = writeln!(out, "total: CET={} CEE={}", self.total_cet, self.total_cee);
         let _ = writeln!(out, "battery: {}", self.battery.status_bar(20));
         if let Some(life) = self.battery.projected_lifespan(self.elapsed) {
             let _ = writeln!(

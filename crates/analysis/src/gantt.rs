@@ -99,19 +99,16 @@ impl GanttChart {
                 TraceKind::Dispatch => marks[lane][col_of(r.start)] = '^',
                 TraceKind::Preempt => marks[lane][col_of(r.start)] = 'x',
                 TraceKind::InterruptEnter => marks[lane][col_of(r.start)] = '!',
-                TraceKind::Wakeup
-                    if marks[lane][col_of(r.start)] == ' ' => {
-                        marks[lane][col_of(r.start)] = 'w';
-                    }
+                TraceKind::Wakeup if marks[lane][col_of(r.start)] == ' ' => {
+                    marks[lane][col_of(r.start)] = 'w';
+                }
                 _ => {}
             }
         }
 
         let name_w = order.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
         let mut out = String::new();
-        out.push_str(&format!(
-            "Execution Time/Energy Trace  [{from} .. {to}]\n"
-        ));
+        out.push_str(&format!("Execution Time/Energy Trace  [{from} .. {to}]\n"));
         for (i, name) in order.iter().enumerate() {
             out.push_str(&format!(
                 "{name:>name_w$} |{}|\n",

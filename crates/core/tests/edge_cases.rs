@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rtk_core::{
-    calibrate, ErCode, KernelConfig, MtxPolicy, QueueOrder, ReferenceProfile, Rtos,
-    ServiceClass, TaskState, Timeout,
+    calibrate, ErCode, KernelConfig, MtxPolicy, QueueOrder, ReferenceProfile, Rtos, ServiceClass,
+    TaskState, Timeout,
 };
 use sysc::SimTime;
 
@@ -89,7 +89,10 @@ fn mutex_wait_timeout_restores_inheritance() {
                 sys.tk_loc_mtx(m, Timeout::Forever).unwrap();
                 sys.exec(ms(10));
                 let me = sys.tk_get_tid().unwrap();
-                l_lo.push(format!("lo-pri-after={}", sys.tk_ref_tsk(me).unwrap().cur_pri));
+                l_lo.push(format!(
+                    "lo-pri-after={}",
+                    sys.tk_ref_tsk(me).unwrap().cur_pri
+                ));
                 sys.tk_unl_mtx(m).unwrap();
             })
             .unwrap();
@@ -255,15 +258,17 @@ fn many_tasks_heavy_churn() {
         for i in 0..n {
             let t2 = Arc::clone(&t2);
             let t = sys
-                .tk_cre_tsk(&format!("ring{i}"), 10 + (i % 5) as u8, move |sys, _| {
-                    loop {
+                .tk_cre_tsk(
+                    &format!("ring{i}"),
+                    10 + (i % 5) as u8,
+                    move |sys, _| loop {
                         if sys.tk_slp_tsk(Timeout::Forever).is_err() {
                             return;
                         }
                         t2.fetch_add(1, Ordering::SeqCst);
                         sys.exec(us(50));
-                    }
-                })
+                    },
+                )
                 .unwrap();
             ids.push(t);
         }

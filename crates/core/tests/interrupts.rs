@@ -66,10 +66,7 @@ fn isr_interrupts_running_task_and_returns() {
     // The ISR fires mid-execution; the task still accumulates exactly
     // 500 us of execution (the interrupt freeze preserves remaining
     // budget).
-    assert_eq!(
-        log.take(),
-        vec!["start@0", "isr@200", "end@500"]
-    );
+    assert_eq!(log.take(), vec!["start@0", "isr@200", "end@500"]);
 }
 
 #[test]
@@ -262,7 +259,8 @@ fn cpu_lock_defers_interrupts() {
 #[test]
 fn interrupt_counts_accumulate_in_ds() {
     let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
-        sys.tk_def_int(IntNo(3), 0, "tick-isr", move |_| {}).unwrap();
+        sys.tk_def_int(IntNo(3), 0, "tick-isr", move |_| {})
+            .unwrap();
         let t = sys
             .tk_cre_tsk("bg", 50, move |sys, _| {
                 sys.exec(ms(3));

@@ -6,8 +6,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rtk_core::{
-    ErCode, FlagWaitMode, KernelConfig, MsgPacket, MtxPolicy, QueueOrder, Rtos, TaskState,
-    Timeout,
+    ErCode, FlagWaitMode, KernelConfig, MsgPacket, MtxPolicy, QueueOrder, Rtos, TaskState, Timeout,
 };
 use sysc::SimTime;
 
@@ -30,7 +29,6 @@ impl Log {
         std::mem::take(&mut self.0.lock().unwrap())
     }
 }
-
 
 /// Builds an Rtos whose orchestration runs in an "actor" task at
 /// priority 50 (unlike the init task at priority 1, the actor *can* be
@@ -112,10 +110,7 @@ fn higher_priority_task_preempts_on_start() {
         sys.tk_sta_tsk(lo, 0).unwrap();
     });
     rtos.run_for(ms(5));
-    assert_eq!(
-        log.take(),
-        vec!["lo-start@0", "hi@100", "lo-end@150"]
-    );
+    assert_eq!(log.take(), vec!["lo-start@0", "hi@100", "lo-end@150"]);
 }
 
 #[test]
@@ -144,10 +139,7 @@ fn preemption_order_is_priority_exact() {
         sys.tk_sta_tsk(lo, 0).unwrap();
     });
     rtos.run_for(ms(5));
-    assert_eq!(
-        log.take(),
-        vec!["hi-run@10", "hi-done@40", "lo-resumed@40"]
-    );
+    assert_eq!(log.take(), vec!["hi-run@10", "hi-done@40", "lo-resumed@40"]);
 }
 
 #[test]
@@ -532,7 +524,9 @@ fn eventflag_and_or_modes() {
 #[test]
 fn eventflag_clear_modes_and_wsgl() {
     let mut rtos = scenario(move |sys| {
-        let flg = sys.tk_cre_flg("f", 0b1111, false, QueueOrder::Fifo).unwrap();
+        let flg = sys
+            .tk_cre_flg("f", 0b1111, false, QueueOrder::Fifo)
+            .unwrap();
         // Immediate satisfaction with TWF_BITCLR clears only those bits.
         let p = sys
             .tk_wai_flg(flg, 0b0011, FlagWaitMode::OR.with_bitclear(), Timeout::Poll)
@@ -589,7 +583,10 @@ fn mailbox_fifo_and_priority_messages() {
             let m = sys.tk_rcv_mbx(mbx, Timeout::Poll).unwrap();
             l.push(String::from_utf8(m.data).unwrap());
         }
-        assert_eq!(sys.tk_rcv_mbx(mbx, Timeout::Poll).unwrap_err(), ErCode::Tmout);
+        assert_eq!(
+            sys.tk_rcv_mbx(mbx, Timeout::Poll).unwrap_err(),
+            ErCode::Tmout
+        );
         // Blocking receive woken by a send.
         let l_rx = l.clone();
         let rx = sys
@@ -604,7 +601,8 @@ fn mailbox_fifo_and_priority_messages() {
             .unwrap();
         sys.tk_sta_tsk(rx, 0).unwrap(); // rx preempts and blocks
         sys.exec(us(10));
-        sys.tk_snd_mbx(mbx, MsgPacket::new(b"direct".to_vec())).unwrap();
+        sys.tk_snd_mbx(mbx, MsgPacket::new(b"direct".to_vec()))
+            .unwrap();
         sys.exec(us(10));
     });
     rtos.run_for(ms(5));
@@ -624,7 +622,10 @@ fn message_buffer_blocking_send_and_fifo_integrity() {
         // Fill the buffer: 4+4 bytes fit, further sends block.
         sys.tk_snd_mbf(mbf, b"aaaa", Timeout::Poll).unwrap();
         sys.tk_snd_mbf(mbf, b"bbbb", Timeout::Poll).unwrap();
-        assert_eq!(sys.tk_snd_mbf(mbf, b"cc", Timeout::Poll), Err(ErCode::Tmout));
+        assert_eq!(
+            sys.tk_snd_mbf(mbf, b"cc", Timeout::Poll),
+            Err(ErCode::Tmout)
+        );
         let l_tx = l.clone();
         let tx = sys
             .tk_cre_tsk("tx", 10, move |sys, _| {
@@ -1045,10 +1046,7 @@ fn handler_cannot_block() {
         let c2 = Arc::clone(&c);
         sys.tk_cre_cyc("cyc", ms(5), SimTime::ZERO, true, move |sys| {
             let r = sys.tk_slp_tsk(Timeout::Forever);
-            c2.store(
-                r.map_or_else(|e| e.code() as i64, |_| 0),
-                Ordering::SeqCst,
-            );
+            c2.store(r.map_or_else(|e| e.code() as i64, |_| 0), Ordering::SeqCst);
         })
         .unwrap();
     });
@@ -1064,7 +1062,8 @@ fn handler_cannot_block() {
 fn ds_listing_shows_objects() {
     let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
         sys.tk_cre_sem("gate", 1, 4, QueueOrder::Fifo).unwrap();
-        sys.tk_cre_flg("evt", 0b101, false, QueueOrder::Fifo).unwrap();
+        sys.tk_cre_flg("evt", 0b101, false, QueueOrder::Fifo)
+            .unwrap();
         sys.tk_cre_mbx("box", false, QueueOrder::Fifo).unwrap();
         sys.tk_cre_mtx("lock", MtxPolicy::Inherit).unwrap();
         sys.tk_cre_mpf("pool", 4, 16, QueueOrder::Fifo).unwrap();
