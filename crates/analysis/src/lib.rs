@@ -16,6 +16,7 @@
 pub mod energy;
 pub mod export;
 pub mod gantt;
+pub mod oracle_report;
 pub mod percentile;
 pub mod speed;
 pub mod trace;
@@ -24,6 +25,7 @@ pub mod vcd;
 pub use energy::{average_power, Battery, DistributionRow, EnergyReport};
 pub use export::{energy_to_csv, json_escape, speed_to_csv, trace_to_csv};
 pub use gantt::{context_pattern, GanttChart, GanttConfig};
+pub use oracle_report::{divergences_json, DivergenceRecord};
 pub use percentile::Summary;
 pub use speed::{measure, SpeedRow, SpeedTable};
 pub use trace::TraceRecorder;

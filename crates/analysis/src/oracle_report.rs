@@ -1,0 +1,83 @@
+//! The divergence report: JSON rendering of differential-oracle
+//! findings.
+//!
+//! A farm oracle campaign replays every scenario's observed kernel
+//! decisions through a sequential ITRON reference model; each deviation
+//! is a [`DivergenceRecord`]. The report is embedded into
+//! `BENCH_farm.json` and uploaded by CI as the campaign's diagnostic
+//! artifact, so the format is deterministic: fixed field order,
+//! integer-or-escaped-string values only.
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+
+/// One spec-vs-kernel divergence, attributed to its replayable seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceRecord {
+    /// The seed whose scenario diverged (replay with
+    /// `rtk-farm --oracle --base-seed <seed> --seeds 1`).
+    pub seed: u64,
+    /// Index of the offending event in the scenario's observation
+    /// stream.
+    pub event_index: u64,
+    /// Human-readable account of the offending event and what the spec
+    /// mandated instead.
+    pub detail: String,
+}
+
+/// Renders divergence records as a JSON array (deterministic field
+/// order, one record per line).
+pub fn divergences_json(records: &[DivergenceRecord]) -> String {
+    let mut j = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        let _ = write!(
+            j,
+            "\n    {{\"seed\": {}, \"event_index\": {}, \"detail\": \"{}\"}}",
+            r.seed,
+            r.event_index,
+            json_escape(&r.detail)
+        );
+    }
+    if !records.is_empty() {
+        j.push_str("\n  ");
+    }
+    j.push(']');
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_bare_array() {
+        assert_eq!(divergences_json(&[]), "[]");
+    }
+
+    #[test]
+    fn records_render_in_order_with_escaping() {
+        let j = divergences_json(&[
+            DivergenceRecord {
+                seed: 7,
+                event_index: 42,
+                detail: "expected \"tsk1\"".into(),
+            },
+            DivergenceRecord {
+                seed: 9,
+                event_index: 0,
+                detail: "x".into(),
+            },
+        ]);
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+        assert!(j.contains("\"seed\": 7"));
+        assert!(j.contains("\\\"tsk1\\\""));
+        let seven = j.find("\"seed\": 7").unwrap();
+        let nine = j.find("\"seed\": 9").unwrap();
+        assert!(seven < nine);
+    }
+}

@@ -173,6 +173,7 @@ impl Shared {
                 tcb.state = crate::state::TaskState::Ready;
                 let pri = tcb.cur_pri;
                 st.scheduler.enqueue(r, pri, false);
+                st.observe(crate::obs::ObsEvent::Preempt { tid: r });
                 let rec = st.thread_mut(ThreadRef::Task(r));
                 rec.resume_as = crate::state::ResumeKind::Preempted;
                 rec.marking = ExecContext::Preempted;
@@ -208,6 +209,8 @@ impl Shared {
                         })
                         .unwrap_or(false);
                     if valid {
+                        let tick = st.ticks;
+                        st.observe(crate::obs::ObsEvent::TimerFire { tid, tick });
                         crate::kernel::detach_waiter(&mut st, tid);
                         Shared::make_ready(
                             &mut st,

@@ -75,6 +75,11 @@ impl<'a> Sys<'a> {
                     waitq: WaitQueue::new(order),
                 },
             );
+            st.observe(crate::obs::ObsEvent::FlagCreate {
+                id: FlgId(raw),
+                init: iflgptn,
+                pri_order: order == QueueOrder::Priority,
+            });
             Ok(FlgId(raw))
         };
         self.service_exit();
@@ -117,6 +122,7 @@ impl<'a> Sys<'a> {
                 Ok(flag) => {
                     flag.pattern |= setptn;
                     let snapshot: Vec<TaskId> = flag.waitq.iter().collect();
+                    st.observe(crate::obs::ObsEvent::FlagSet { id, ptn: setptn });
                     for tid in snapshot {
                         let (waiptn, mode) = match st.tcb(tid).ok().and_then(|t| t.wait) {
                             Some(WaitObj::Flag(_, p, m)) => (p, m),
@@ -150,9 +156,13 @@ impl<'a> Sys<'a> {
         self.service_cost(ServiceClass::EventFlag, "tk_clr_flg");
         let r = {
             let mut st = self.shared.st.lock();
-            super::table_get_mut(&mut st.flags, id.0).map(|f| {
+            let r = super::table_get_mut(&mut st.flags, id.0).map(|f| {
                 f.pattern &= clrptn;
-            })
+            });
+            if r.is_ok() {
+                st.observe(crate::obs::ObsEvent::FlagClear { id, mask: clrptn });
+            }
+            r
         };
         self.service_exit();
         r
@@ -185,6 +195,12 @@ impl<'a> Sys<'a> {
                 if satisfied(flag.pattern, waiptn, mode) {
                     let released = flag.pattern;
                     apply_clear(&mut flag.pattern, waiptn, mode);
+                    st.observe(crate::obs::ObsEvent::FlagTake {
+                        id,
+                        tid,
+                        ptn: waiptn,
+                        mode,
+                    });
                     Ok(released)
                 } else if flag.single_wait && !flag.waitq.is_empty() {
                     Err(ErCode::Obj)

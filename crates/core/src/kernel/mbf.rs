@@ -111,6 +111,12 @@ impl<'a> Sys<'a> {
                         send_data: HashMap::new(),
                     },
                 );
+                st.observe(crate::obs::ObsEvent::MbfCreate {
+                    id: MbfId(raw),
+                    bufsz,
+                    maxmsz,
+                    pri_order: order == QueueOrder::Priority,
+                });
                 Ok(MbfId(raw))
             }
         };
@@ -190,6 +196,7 @@ impl<'a> Sys<'a> {
                 };
                 match act {
                     Act::Direct(receiver) => {
+                        st.observe(crate::obs::ObsEvent::MbfSend { id, len: msg.len() });
                         Shared::make_ready(
                             &mut st,
                             now,
@@ -199,7 +206,10 @@ impl<'a> Sys<'a> {
                         );
                         Ok(())
                     }
-                    Act::Stored => Ok(()),
+                    Act::Stored => {
+                        st.observe(crate::obs::ObsEvent::MbfSend { id, len: msg.len() });
+                        Ok(())
+                    }
                     Act::Poll => Err(ErCode::Tmout),
                     Act::Block => Err(ErCode::Sys), // sentinel: must block
                 }
@@ -254,10 +264,12 @@ impl<'a> Sys<'a> {
                 };
                 match act {
                     Act::Got(data) => {
+                        st.observe(crate::obs::ObsEvent::MbfRecv { id, tid });
                         drain_senders(&mut st, id, now);
                         Ok(data)
                     }
                     Act::Rendezvous(sender, data) => {
+                        st.observe(crate::obs::ObsEvent::MbfRecv { id, tid });
                         Shared::make_ready(&mut st, now, sender, Ok(()), Delivered::None);
                         Ok(data)
                     }

@@ -80,6 +80,10 @@ impl<'a> Sys<'a> {
                     waitq: WaitQueue::new(order),
                 },
             );
+            st.observe(crate::obs::ObsEvent::MbxCreate {
+                id: MbxId(raw),
+                pri_order: order == QueueOrder::Priority,
+            });
             Ok(MbxId(raw))
         };
         self.service_exit();
@@ -120,16 +124,20 @@ impl<'a> Sys<'a> {
                 Err(e) => Err(e),
                 Ok(mbx) => {
                     if let Some(receiver) = mbx.waitq.pop() {
+                        st.observe(crate::obs::ObsEvent::MbxSend { id });
                         Shared::make_ready(&mut st, now, receiver, Ok(()), Delivered::Msg(msg));
-                    } else if mbx.msg_pri {
-                        let pos = mbx
-                            .msgs
-                            .iter()
-                            .position(|m| m.pri > msg.pri)
-                            .unwrap_or(mbx.msgs.len());
-                        mbx.msgs.insert(pos, msg);
                     } else {
-                        mbx.msgs.push(msg);
+                        if mbx.msg_pri {
+                            let pos = mbx
+                                .msgs
+                                .iter()
+                                .position(|m| m.pri > msg.pri)
+                                .unwrap_or(mbx.msgs.len());
+                            mbx.msgs.insert(pos, msg);
+                        } else {
+                            mbx.msgs.push(msg);
+                        }
+                        st.observe(crate::obs::ObsEvent::MbxSend { id });
                     }
                     Ok(())
                 }
@@ -150,7 +158,9 @@ impl<'a> Sys<'a> {
                 let pri = st.tcb(tid)?.cur_pri;
                 let mbx = super::table_get_mut(&mut st.mbxs, id.0)?;
                 if !mbx.msgs.is_empty() {
-                    Ok(mbx.msgs.remove(0))
+                    let msg = mbx.msgs.remove(0);
+                    st.observe(crate::obs::ObsEvent::MbxTake { id, tid });
+                    Ok(msg)
                 } else if tmo == Timeout::Poll {
                     Err(ErCode::Tmout)
                 } else {

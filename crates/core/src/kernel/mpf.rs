@@ -69,6 +69,11 @@ impl<'a> Sys<'a> {
                         waitq: WaitQueue::new(order),
                     },
                 );
+                st.observe(crate::obs::ObsEvent::MpfCreate {
+                    id: MpfId(raw),
+                    blocks: blkcnt,
+                    pri_order: order == QueueOrder::Priority,
+                });
                 Ok(MpfId(raw))
             }
         };
@@ -111,6 +116,7 @@ impl<'a> Sys<'a> {
                 if pool.waitq.is_empty() {
                     if let Some(blk) = pool.free_list.pop() {
                         pool.in_use[blk] = true;
+                        st.observe(crate::obs::ObsEvent::MpfTake { id, tid });
                         return Ok(blk);
                     }
                 }
@@ -157,11 +163,13 @@ impl<'a> Sys<'a> {
                         Err(ErCode::Par)
                     } else if let Some(waiter) = pool.waitq.pop() {
                         // Hand the block over directly (stays in_use).
+                        st.observe(crate::obs::ObsEvent::MpfRel { id });
                         Shared::make_ready(&mut st, now, waiter, Ok(()), Delivered::MpfBlock(blk));
                         Ok(())
                     } else {
                         pool.in_use[blk] = false;
                         pool.free_list.push(blk);
+                        st.observe(crate::obs::ObsEvent::MpfRel { id });
                         Ok(())
                     }
                 }

@@ -50,8 +50,11 @@ pub struct RefMtx {
 /// effects of held ceiling/inheritance mutexes, then propagates along
 /// the wait chain (a task waiting on a mutex boosts its owner).
 pub(crate) fn recompute_priority(st: &mut KernelState, tid: TaskId, depth: u32) {
-    if depth > 32 {
-        // Cycle guard; a real deadlock is reported by tk_loc_mtx.
+    if depth as usize > st.tasks.len() {
+        // Cycle guard. A cycle-free waiter→owner chain visits each task
+        // at most once, so a legitimate chain can never exceed the live
+        // task count — a fixed cutoff here (formerly 32) silently left
+        // the far end of deeper chains with a stale priority.
         return;
     }
     let Ok(tcb) = st.tcb(tid) else { return };
@@ -235,6 +238,10 @@ impl<'a> Sys<'a> {
                     waitq: WaitQueue::new(order),
                 },
             );
+            st.observe(crate::obs::ObsEvent::MtxCreate {
+                id: MtxId(raw),
+                policy,
+            });
             Ok(MtxId(raw))
         };
         self.service_exit();
@@ -296,6 +303,7 @@ impl<'a> Sys<'a> {
                 match mtx.owner {
                     None => {
                         mtx.owner = Some(tid);
+                        st.observe(crate::obs::ObsEvent::MtxLock { id, tid });
                         st.tcb_mut(tid)
                             .expect("caller exists")
                             .held_mutexes
@@ -352,6 +360,7 @@ impl<'a> Sys<'a> {
                     if let Ok(tcb) = st.tcb_mut(tid) {
                         tcb.held_mutexes.retain(|m| *m != id);
                     }
+                    st.observe(crate::obs::ObsEvent::MtxUnlock { id, tid });
                     transfer_or_free(&mut st, id, now);
                     recompute_priority(&mut st, tid, 0);
                     Ok(())

@@ -67,6 +67,12 @@ impl<'a> Sys<'a> {
                         waitq: WaitQueue::new(order),
                     },
                 );
+                st.observe(crate::obs::ObsEvent::SemCreate {
+                    id: SemId(raw),
+                    init,
+                    max,
+                    pri_order: order == QueueOrder::Priority,
+                });
                 Ok(SemId(raw))
             }
         };
@@ -119,6 +125,7 @@ impl<'a> Sys<'a> {
                             Err(ErCode::QOvr)
                         } else {
                             sem.count += cnt;
+                            st.observe(crate::obs::ObsEvent::SemSignal { id, cnt });
                             // Wake satisfiable waiters from the head.
                             let mut to_wake = Vec::new();
                             loop {
@@ -176,6 +183,7 @@ impl<'a> Sys<'a> {
                 }
                 if sem.waitq.is_empty() && sem.count >= cnt {
                     sem.count -= cnt;
+                    st.observe(crate::obs::ObsEvent::SemTake { id, tid, cnt });
                     Ok(())
                 } else if tmo == Timeout::Poll {
                     Err(ErCode::Tmout)

@@ -163,6 +163,10 @@ impl<'a> Sys<'a> {
                     } else {
                         let tcb = st.tcb_mut(tid).expect("checked above");
                         tcb.base_pri = new_base;
+                        st.observe(crate::obs::ObsEvent::PriChange {
+                            tid,
+                            base: new_base,
+                        });
                         super::mtx::recompute_priority(&mut st, tid, 0);
                         Ok(())
                     }
@@ -507,6 +511,7 @@ impl Shared {
                     st.tasks.len() - 1
                 });
             let tid = TaskId(idx as u32 + 1);
+            st.observe(crate::obs::ObsEvent::TaskCreate { tid, pri });
             st.tasks[idx] = Some(Tcb {
                 id: tid,
                 name: name.to_string(),
@@ -547,6 +552,7 @@ impl Shared {
         tcb.activations += 1;
         let pri = tcb.cur_pri;
         let name = tcb.name.clone();
+        st.observe(crate::obs::ObsEvent::TaskStart { tid });
         st.scheduler.enqueue(tid, pri, false);
         let who = ThreadRef::Task(tid);
         let (resume_ev, _) = {
@@ -605,6 +611,9 @@ impl Shared {
         let who = ThreadRef::Task(tid);
         let (frozen_ev, next_resume) = {
             let mut st = self.st.lock();
+            // Observation order: the exit is the stimulus, the mutex
+            // ownership-transfer wakeups below are its consequences.
+            st.observe(crate::obs::ObsEvent::TaskExit { tid });
             super::mtx::release_all_held(&mut st, tid, now);
             let tcb = st.tcb_mut(tid).expect("exiting task exists");
             tcb.state = TaskState::Dormant;

@@ -59,6 +59,7 @@ mod error;
 mod ids;
 pub mod kernel;
 pub mod minikernels;
+pub mod obs;
 mod rtos;
 pub mod sim_api;
 mod state;
@@ -84,6 +85,7 @@ pub use kernel::sem::RefSem;
 pub use kernel::sysmgmt::{RefSys, RefVer, SysState};
 pub use kernel::task::RefTsk;
 pub use kernel::time::{RefAlm, RefCyc};
+pub use obs::{ObsEvent, ObsSink, VecObsSink, WakeCode};
 pub use rtos::{IntPort, Rtos, RunStats, Sys};
 pub use state::{Delivered, FlagWaitMode, IntRequest, QueueOrder, TaskState, Timeout, WaitObj};
 pub use trace::{NullSink, TraceKind, TraceRecord, TraceSink};

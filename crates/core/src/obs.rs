@@ -1,0 +1,242 @@
+//! Kernel observation events for differential (oracle) checking.
+//!
+//! Where the [`crate::trace`] stream describes *execution* (Gantt
+//! slices, energy), this stream describes the kernel's *decisions*: who
+//! was dispatched at what priority, who was woken from which object and
+//! why, which timeouts fired at which tick, and every semantic
+//! operation on a synchronisation object. A sequential reference model
+//! of the ITRON semantics (the `rtk-farm` oracle) replays these events
+//! in lockstep and reports the first decision that deviates from the
+//! specification.
+//!
+//! Events are emitted under the kernel state lock, at the same program
+//! point as the state mutation they describe, so the stream is a linear
+//! history: the wakeups mandated by a stimulus (`tk_sig_sem`,
+//! `tk_set_flg`, a mutex unlock, ...) appear contiguously right after
+//! it, which is what lets the oracle check wakeup *order*, not just
+//! wakeup *sets*.
+//!
+//! # Checker scope
+//!
+//! The stream records every path that produces these events, but the
+//! `rtk-farm` replay-checker models the subset a farm workload can
+//! produce: the default priority-preemptive scheduler, and waits that
+//! end by satisfaction or timeout. Streams from workloads using task
+//! suspension (`tk_sus_tsk` — a wait can then complete into SUSPENDED
+//! instead of READY), forced release (`tk_rel_wai`), object deletion
+//! with live waiters ([`WakeCode::Released`]/[`WakeCode::Deleted`]),
+//! or a custom scheduler are outside that subset and will be reported
+//! as divergences by the checker, not validated.
+
+use std::sync::Mutex;
+
+use crate::config::Priority;
+use crate::error::ErCode;
+use crate::ids::{FlgId, MbfId, MbxId, MpfId, MtxId, SemId, TaskId};
+use crate::kernel::mtx::MtxPolicy;
+use crate::state::{FlagWaitMode, WaitObj};
+
+/// Why a wait completed (collapsed from [`ErCode`] to the classes the
+/// oracle distinguishes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeCode {
+    /// The wait condition was satisfied.
+    Ok,
+    /// The wait timed out (`E_TMOUT`).
+    Timeout,
+    /// Forced release (`tk_rel_wai`, `E_RLWAI`).
+    Released,
+    /// The waited-on object was deleted (`E_DLT`).
+    Deleted,
+}
+
+impl WakeCode {
+    /// Classifies a wait-completion result.
+    pub fn of(result: &Result<(), ErCode>) -> WakeCode {
+        match result {
+            Ok(()) => WakeCode::Ok,
+            Err(ErCode::Tmout) => WakeCode::Timeout,
+            Err(ErCode::RlWai) => WakeCode::Released,
+            Err(ErCode::Dlt) => WakeCode::Deleted,
+            Err(_) => WakeCode::Released,
+        }
+    }
+}
+
+/// One observed kernel decision or semantic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the variant docs
+pub enum ObsEvent {
+    /// A task control block was created (DORMANT) with this base
+    /// priority.
+    TaskCreate { tid: TaskId, pri: Priority },
+    /// A DORMANT task was started (enters READY at its base priority).
+    TaskStart { tid: TaskId },
+    /// The running task exited (returns to DORMANT).
+    TaskExit { tid: TaskId },
+    /// `tk_chg_pri` succeeded with this new base priority.
+    PriChange { tid: TaskId, base: Priority },
+    /// A task was dispatched (given the CPU) at this current priority.
+    Dispatch { tid: TaskId, pri: Priority },
+    /// The running task was preempted (requeued at the head of its
+    /// priority level).
+    Preempt { tid: TaskId },
+    /// The running task blocked on `obj`; `deadline_tick` is the
+    /// absolute timeout tick for finite timeouts.
+    Block {
+        tid: TaskId,
+        obj: WaitObj,
+        deadline_tick: Option<u64>,
+    },
+    /// A task's wait on `obj` completed with `code` (it becomes READY).
+    Wakeup {
+        tid: TaskId,
+        obj: WaitObj,
+        code: WakeCode,
+    },
+    /// A wait timeout expired at this tick (the matching
+    /// [`ObsEvent::Wakeup`] with [`WakeCode::Timeout`] follows).
+    TimerFire { tid: TaskId, tick: u64 },
+
+    /// `tk_cre_sem`.
+    SemCreate {
+        id: SemId,
+        init: u32,
+        max: u32,
+        pri_order: bool,
+    },
+    /// `tk_sig_sem` accepted `cnt` counts (wakeups follow).
+    SemSignal { id: SemId, cnt: u32 },
+    /// `tk_wai_sem` was satisfied immediately (no wait).
+    SemTake { id: SemId, tid: TaskId, cnt: u32 },
+
+    /// `tk_cre_flg`.
+    FlagCreate {
+        id: FlgId,
+        init: u32,
+        pri_order: bool,
+    },
+    /// `tk_set_flg` ORed this pattern in (wakeups follow).
+    FlagSet { id: FlgId, ptn: u32 },
+    /// `tk_clr_flg` ANDed the pattern with this mask.
+    FlagClear { id: FlgId, mask: u32 },
+    /// `tk_wai_flg` was satisfied immediately (clear applied).
+    FlagTake {
+        id: FlgId,
+        tid: TaskId,
+        ptn: u32,
+        mode: FlagWaitMode,
+    },
+
+    /// `tk_cre_mbx`.
+    MbxCreate { id: MbxId, pri_order: bool },
+    /// `tk_snd_mbx` succeeded (delivery to a waiter or the queue; the
+    /// oracle decides which from its own state).
+    MbxSend { id: MbxId },
+    /// `tk_rcv_mbx` received a queued message immediately.
+    MbxTake { id: MbxId, tid: TaskId },
+
+    /// `tk_cre_mbf`.
+    MbfCreate {
+        id: MbfId,
+        bufsz: usize,
+        maxmsz: usize,
+        pri_order: bool,
+    },
+    /// `tk_snd_mbf` succeeded immediately (direct handoff or buffered;
+    /// the oracle decides which from its own state).
+    MbfSend { id: MbfId, len: usize },
+    /// `tk_rcv_mbf` received immediately (from the buffer or by
+    /// rendezvous; sender wakeups follow when buffer space frees up).
+    MbfRecv { id: MbfId, tid: TaskId },
+
+    /// `tk_cre_mtx`.
+    MtxCreate { id: MtxId, policy: MtxPolicy },
+    /// `tk_loc_mtx` acquired a free mutex immediately.
+    MtxLock { id: MtxId, tid: TaskId },
+    /// `tk_unl_mtx` released the mutex (an ownership-transfer wakeup
+    /// follows when the wait queue is non-empty).
+    MtxUnlock { id: MtxId, tid: TaskId },
+
+    /// `tk_cre_mpf`.
+    MpfCreate {
+        id: MpfId,
+        blocks: usize,
+        pri_order: bool,
+    },
+    /// `tk_get_mpf` acquired a free block immediately.
+    MpfTake { id: MpfId, tid: TaskId },
+    /// `tk_rel_mpf` returned a block (a handoff wakeup follows when the
+    /// wait queue is non-empty).
+    MpfRel { id: MpfId },
+}
+
+/// Consumer of observation events. Implementations must be cheap and
+/// must not call back into the kernel (the state lock is held).
+pub trait ObsSink: Send + Sync {
+    /// Receives one event.
+    fn event(&self, ev: ObsEvent);
+}
+
+/// An [`ObsSink`] that records every event in order, for post-run
+/// replay through the oracle.
+#[derive(Debug, Default)]
+pub struct VecObsSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl VecObsSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recorded history (the sink is left empty).
+    pub fn take(&self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ObsSink for VecObsSink {
+    fn event(&self, ev: ObsEvent) {
+        self.events.lock().unwrap().push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_code_classification() {
+        assert_eq!(WakeCode::of(&Ok(())), WakeCode::Ok);
+        assert_eq!(WakeCode::of(&Err(ErCode::Tmout)), WakeCode::Timeout);
+        assert_eq!(WakeCode::of(&Err(ErCode::RlWai)), WakeCode::Released);
+        assert_eq!(WakeCode::of(&Err(ErCode::Dlt)), WakeCode::Deleted);
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let s = VecObsSink::new();
+        assert!(s.is_empty());
+        s.event(ObsEvent::TaskStart { tid: TaskId(1) });
+        s.event(ObsEvent::Dispatch {
+            tid: TaskId(1),
+            pri: 10,
+        });
+        assert_eq!(s.len(), 2);
+        let evs = s.take();
+        assert_eq!(evs[0], ObsEvent::TaskStart { tid: TaskId(1) });
+        assert!(s.is_empty());
+    }
+}

@@ -93,6 +93,13 @@ impl Rtos {
         self.shared.st.lock().sink = sink;
     }
 
+    /// Attaches an observation sink recording kernel decisions
+    /// (dispatches, wakeups, sync-object operations) for differential
+    /// checking against a reference model. See [`crate::obs`].
+    pub fn set_obs_sink(&self, sink: Arc<dyn crate::obs::ObsSink>) {
+        self.shared.st.lock().obs = Some(sink);
+    }
+
     /// The underlying sysc simulation handle.
     pub fn sim_handle(&self) -> SimHandle {
         self.sim.handle()

@@ -373,6 +373,7 @@ impl Shared {
         tcb.preempted = true;
         let pri = tcb.cur_pri;
         st.scheduler.enqueue(r, pri, true);
+        st.observe(crate::obs::ObsEvent::Preempt { tid: r });
         let rec = st.thread_mut(ThreadRef::Task(r));
         rec.resume_as = ResumeKind::Preempted;
         rec.marking = ExecContext::Preempted;
@@ -388,7 +389,9 @@ impl Shared {
         let tcb = st.tcb_mut(next).expect("ready task exists");
         tcb.state = TaskState::Running;
         tcb.preempted = false;
+        let pri = tcb.cur_pri;
         st.running = Some(next);
+        st.observe(crate::obs::ObsEvent::Dispatch { tid: next, pri });
         let rec = st.thread_mut(ThreadRef::Task(next));
         rec.cpu_granted = true;
         let resume_ev = rec.resume_ev;
@@ -470,14 +473,21 @@ impl Shared {
             tcb.wait_gen += 1;
             tcb.wait_result = None;
             let wait_gen = tcb.wait_gen;
+            let mut deadline_tick = None;
             if let Timeout::Finite(d) = timeout {
                 let deadline = st.deadline_ticks(d);
+                deadline_tick = Some(deadline);
                 let action = match waitobj {
                     WaitObj::Delay => TimerAction::DelayEnd { tid, wait_gen },
                     _ => TimerAction::TaskTimeout { tid, wait_gen },
                 };
                 st.push_timer(deadline, action);
             }
+            st.observe(crate::obs::ObsEvent::Block {
+                tid,
+                obj: waitobj,
+                deadline_tick,
+            });
             let rec = st.thread_mut(who);
             rec.prev_marking = ExecContext::ServiceCall;
             rec.marking = ExecContext::Sleeping;
@@ -534,6 +544,11 @@ impl Shared {
             matches!(tcb.state, TaskState::Wait | TaskState::WaitSuspend),
             "make_ready on non-waiting task {tid}"
         );
+        if let Some(obj) = tcb.wait {
+            let code = crate::obs::WakeCode::of(&result);
+            st.observe(crate::obs::ObsEvent::Wakeup { tid, obj, code });
+        }
+        let tcb = st.tcb_mut(tid).expect("waiting task exists");
         tcb.wait = None;
         tcb.wait_gen += 1; // invalidate any pending timeout
         tcb.wait_result = Some((result, delivered));

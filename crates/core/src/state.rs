@@ -361,6 +361,9 @@ pub(crate) struct KernelState {
     /// Reused scratch buffer for wheel drains (per-tick hot path).
     due_scratch: Vec<sysc::TimedEntry<TimerAction>>,
     pub sink: Arc<dyn TraceSink>,
+    /// Observation hook for differential (oracle) checking; `None`
+    /// costs one branch per decision point.
+    pub obs: Option<Arc<dyn crate::obs::ObsSink>>,
     /// Total number of task dispatches (context switches onto the CPU).
     pub dispatches: u64,
     /// Accumulated CPU idle time and its energy (idle power draw).
@@ -407,6 +410,7 @@ impl KernelState {
             due_timers: VecDeque::new(),
             due_scratch: Vec::new(),
             sink: Arc::new(NullSink),
+            obs: None,
             dispatches: 0,
             idle_time: SimTime::ZERO,
             idle_energy: Energy::ZERO,
@@ -452,6 +456,14 @@ impl KernelState {
         self.threads.get_mut(&who).expect("unregistered T-THREAD")
     }
 
+    /// Reports one observation event to the attached sink, if any.
+    #[inline]
+    pub(crate) fn observe(&self, ev: crate::obs::ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.event(ev);
+        }
+    }
+
     /// Files a timer-queue entry expiring at `at_tick` (O(1)).
     pub(crate) fn push_timer(&mut self, at_tick: u64, action: TimerAction) {
         self.timeq.insert(at_tick, action);
@@ -470,11 +482,12 @@ impl KernelState {
     }
 
     /// Converts a timeout duration to an absolute deadline tick
-    /// (rounded up; at least one tick in the future).
+    /// (rounded up; at least one tick in the future; saturating at the
+    /// end of representable time for enormous timeouts).
     pub(crate) fn deadline_ticks(&self, d: SimTime) -> u64 {
         let tick = self.cfg.tick;
         let n = d.as_ps().div_ceil(tick.as_ps());
-        self.ticks + n.max(1)
+        self.ticks.saturating_add(n.max(1))
     }
 
     /// Marks the CPU idle starting now (idle-power accounting).

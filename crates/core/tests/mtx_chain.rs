@@ -1,0 +1,239 @@
+//! Priority-inheritance chain regressions for the mutex service.
+//!
+//! These pin the behaviours the differential oracle checks at every
+//! dispatch: transitive inheritance through a waiter that is itself a
+//! ceiling-mutex owner, boost release on wait timeout, and chains
+//! longer than the old fixed recursion cutoff (32), which used to
+//! leave the far end of the chain with a stale priority.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rtk_core::{ErCode, KernelConfig, MtxPolicy, Priority, Rtos, TaskId, Timeout};
+use sysc::SimTime;
+
+/// (base, current) priority snapshots collected by a watcher task.
+type Snaps = Arc<Mutex<Vec<(String, Priority, Priority)>>>;
+
+fn snap(snaps: &Snaps, sys: &mut rtk_core::Sys<'_>, label: &str, tid: TaskId) {
+    let r = sys.tk_ref_tsk(tid).unwrap();
+    snaps
+        .lock()
+        .unwrap()
+        .push((label.to_string(), r.base_pri, r.cur_pri));
+}
+
+/// A(5) blocks on m2 owned by B; B — who also holds a ceiling mutex —
+/// blocks on m1 owned by C: the boost must propagate A → B → C, and
+/// unwind completely as the chain releases.
+#[test]
+fn three_deep_chain_through_a_ceiling_owner() {
+    let snaps: Snaps = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&snaps);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let m1 = sys.tk_cre_mtx("m1", MtxPolicy::Inherit).unwrap();
+        let m2 = sys.tk_cre_mtx("m2", MtxPolicy::Inherit).unwrap();
+        let mc = sys.tk_cre_mtx("mc", MtxPolicy::Ceiling(10)).unwrap();
+
+        let c = sys
+            .tk_cre_tsk("c", 40, move |sys, _| {
+                sys.tk_loc_mtx(m1, Timeout::Forever).unwrap();
+                sys.exec(SimTime::from_ms(30));
+                sys.tk_unl_mtx(m1).unwrap();
+            })
+            .unwrap();
+        let b = sys
+            .tk_cre_tsk("b", 30, move |sys, _| {
+                sys.tk_dly_tsk(SimTime::from_ms(2)).unwrap();
+                // Ceiling boost: cur becomes 10 while mc is held.
+                sys.tk_loc_mtx(mc, Timeout::Forever).unwrap();
+                sys.tk_loc_mtx(m2, Timeout::Forever).unwrap();
+                sys.tk_loc_mtx(m1, Timeout::Forever).unwrap(); // blocks on C
+                sys.tk_unl_mtx(m1).unwrap();
+                sys.tk_unl_mtx(m2).unwrap();
+                sys.tk_unl_mtx(mc).unwrap();
+            })
+            .unwrap();
+        let a = sys
+            .tk_cre_tsk("a", 5, move |sys, _| {
+                sys.tk_dly_tsk(SimTime::from_ms(4)).unwrap();
+                sys.tk_loc_mtx(m2, Timeout::Forever).unwrap(); // blocks on B
+                sys.tk_unl_mtx(m2).unwrap();
+            })
+            .unwrap();
+        let watcher_snaps = Arc::clone(&s);
+        let watcher = sys
+            .tk_cre_tsk("watch", 1, move |sys, _| {
+                // t=6 ms: chain fully formed (A → m2 → B → m1 → C).
+                sys.tk_dly_tsk(SimTime::from_ms(6)).unwrap();
+                snap(&watcher_snaps, sys, "chained:c", c);
+                snap(&watcher_snaps, sys, "chained:b", b);
+                // t=60 ms: everything released and exited.
+                sys.tk_dly_tsk(SimTime::from_ms(54)).unwrap();
+                snap(&watcher_snaps, sys, "after:c", c);
+                snap(&watcher_snaps, sys, "after:b", b);
+                snap(&watcher_snaps, sys, "after:a", a);
+            })
+            .unwrap();
+        sys.tk_sta_tsk(c, 0).unwrap();
+        sys.tk_sta_tsk(b, 0).unwrap();
+        sys.tk_sta_tsk(a, 0).unwrap();
+        sys.tk_sta_tsk(watcher, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(100));
+
+    let snaps = snaps.lock().unwrap().clone();
+    let get = |label: &str| {
+        snaps
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .unwrap_or_else(|| panic!("missing snapshot {label} in {snaps:?}"))
+            .to_owned()
+    };
+    // Mid-chain: C inherits A's priority through B; B is boosted by A's
+    // wait even though B's own boost so far came from the ceiling.
+    assert_eq!(
+        get("chained:c").2,
+        5,
+        "C must inherit transitively: {snaps:?}"
+    );
+    assert_eq!(get("chained:b").2, 5, "B must inherit from A: {snaps:?}");
+    assert_eq!(get("chained:c").1, 40, "base priorities never move");
+    // Fully unwound afterwards.
+    assert_eq!(get("after:c").2, 40, "{snaps:?}");
+    assert_eq!(get("after:b").2, 30, "{snaps:?}");
+    assert_eq!(get("after:a").2, 5, "{snaps:?}");
+}
+
+/// A timed-out mutex wait must drop the boost it induced on the owner.
+#[test]
+fn timeout_drops_the_inherited_boost() {
+    let snaps: Snaps = Arc::new(Mutex::new(Vec::new()));
+    let timed_out = Arc::new(AtomicBool::new(false));
+    let s = Arc::clone(&snaps);
+    let t = Arc::clone(&timed_out);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let m1 = sys.tk_cre_mtx("m1", MtxPolicy::Inherit).unwrap();
+        let c = sys
+            .tk_cre_tsk("c", 40, move |sys, _| {
+                sys.tk_loc_mtx(m1, Timeout::Forever).unwrap();
+                sys.exec(SimTime::from_ms(50));
+                sys.tk_unl_mtx(m1).unwrap();
+            })
+            .unwrap();
+        let t2 = Arc::clone(&t);
+        let b = sys
+            .tk_cre_tsk("b", 20, move |sys, _| {
+                sys.tk_dly_tsk(SimTime::from_ms(2)).unwrap();
+                let r = sys.tk_loc_mtx(m1, Timeout::ms(10));
+                if r == Err(ErCode::Tmout) {
+                    t2.store(true, Ordering::SeqCst);
+                }
+            })
+            .unwrap();
+        let ws = Arc::clone(&s);
+        let watcher = sys
+            .tk_cre_tsk("watch", 1, move |sys, _| {
+                sys.tk_dly_tsk(SimTime::from_ms(5)).unwrap();
+                snap(&ws, sys, "boosted:c", c);
+                sys.tk_dly_tsk(SimTime::from_ms(20)).unwrap();
+                snap(&ws, sys, "dropped:c", c);
+                let _ = b;
+            })
+            .unwrap();
+        sys.tk_sta_tsk(c, 0).unwrap();
+        sys.tk_sta_tsk(b, 0).unwrap();
+        sys.tk_sta_tsk(watcher, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(80));
+
+    let snaps = snaps.lock().unwrap().clone();
+    assert!(timed_out.load(Ordering::SeqCst), "B must time out");
+    assert_eq!(snaps[0], ("boosted:c".into(), 40, 20), "{snaps:?}");
+    assert_eq!(snaps[1], ("dropped:c".into(), 40, 40), "{snaps:?}");
+}
+
+/// A cycle-free chain deeper than the old fixed recursion cutoff (32)
+/// must still propagate the boost all the way to the root owner. With
+/// the former `depth > 32` guard the far end of this 36-task chain
+/// kept a stale priority.
+#[test]
+fn deep_chain_has_no_stale_priority() {
+    const DEPTH: usize = 36;
+    let snaps: Snaps = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&snaps);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let mutexes: Vec<_> = (0..DEPTH)
+            .map(|i| {
+                sys.tk_cre_mtx(&format!("m{i}"), MtxPolicy::Inherit)
+                    .unwrap()
+            })
+            .collect();
+        let mut tids = Vec::new();
+        for k in 0..DEPTH {
+            let my = mutexes[k];
+            let prev = (k > 0).then(|| mutexes[k - 1]);
+            // Later tasks are more urgent, so each one preempts in and
+            // extends the chain by one link.
+            let pri = (100 - k) as Priority;
+            let tid = sys
+                .tk_cre_tsk(&format!("t{k}"), pri, move |sys, _| {
+                    sys.tk_dly_tsk(SimTime::from_ms(1 + k as u64)).unwrap();
+                    sys.tk_loc_mtx(my, Timeout::Forever).unwrap();
+                    if let Some(prev) = prev {
+                        // Blocks on the previous link's owner.
+                        sys.tk_loc_mtx(prev, Timeout::Forever).unwrap();
+                        sys.tk_unl_mtx(prev).unwrap();
+                    } else {
+                        sys.exec(SimTime::from_ms(200));
+                    }
+                    sys.tk_unl_mtx(my).unwrap();
+                })
+                .unwrap();
+            sys.tk_sta_tsk(tid, 0).unwrap();
+            tids.push(tid);
+        }
+        let ws = Arc::clone(&s);
+        let watcher = sys
+            .tk_cre_tsk("watch", 1, move |sys, _| {
+                // All links formed after DEPTH ms.
+                sys.tk_dly_tsk(SimTime::from_ms(DEPTH as u64 + 5)).unwrap();
+                snap(&ws, sys, "root", tids[0]);
+                snap(&ws, sys, "mid", tids[DEPTH / 2]);
+            })
+            .unwrap();
+        sys.tk_sta_tsk(watcher, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(60));
+
+    let snaps = snaps.lock().unwrap().clone();
+    let top = (100 - (DEPTH - 1)) as Priority; // the deepest waiter
+    assert_eq!(
+        snaps[0],
+        ("root".into(), 100, top),
+        "the boost must reach the chain root: {snaps:?}"
+    );
+    assert_eq!(snaps[1].2, top, "mid-chain boost: {snaps:?}");
+}
+
+/// Raising a task's base priority above a held ceiling is `E_ILUSE`.
+#[test]
+fn chg_pri_respects_held_ceilings() {
+    let result = Arc::new(Mutex::new(None));
+    let r = Arc::clone(&result);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let mc = sys.tk_cre_mtx("mc", MtxPolicy::Ceiling(10)).unwrap();
+        let r2 = Arc::clone(&r);
+        let t = sys
+            .tk_cre_tsk("t", 20, move |sys, _| {
+                sys.tk_loc_mtx(mc, Timeout::Forever).unwrap();
+                let me = sys.tk_get_tid().unwrap();
+                *r2.lock().unwrap() = Some(sys.tk_chg_pri(me, 5));
+                sys.tk_unl_mtx(mc).unwrap();
+            })
+            .unwrap();
+        sys.tk_sta_tsk(t, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(10));
+    assert_eq!(*result.lock().unwrap(), Some(Err(ErCode::IlUse)));
+}

@@ -1,0 +1,287 @@
+//! `tk_ref_*` coverage: snapshot every object class mid-wait and check
+//! the reported states against what the construction mandates (the
+//! same invariants the differential oracle checks from the event
+//! stream). Also covers the `sysmgmt` reference calls (`tk_ref_sys`,
+//! `tk_ref_ver`) in every reachable system state.
+
+use std::sync::{Arc, Mutex};
+
+use rtk_core::{
+    FlagWaitMode, KernelConfig, MtxPolicy, QueueOrder, Rtos, SysState, TaskState, Timeout, WaitObj,
+};
+use sysc::SimTime;
+
+/// Builds a kernel where every object class has a live waiter at
+/// t = 5 ms, snapshots all `tk_ref_*` there, and returns the collected
+/// assertions' evidence.
+#[test]
+fn every_object_class_reports_its_waiters_mid_wait() {
+    #[derive(Debug, Default, Clone)]
+    struct Report {
+        sem: Option<(u32, usize)>,             // count, waiting
+        flg: Option<(u32, usize)>,             // pattern, waiting
+        mbx: Option<(usize, usize)>,           // msgs, waiting
+        mbf: Option<(usize, usize, usize)>,    // msgs, senders, receivers
+        mtx: Option<(bool, usize, MtxPolicy)>, // owned, waiting, policy
+        mpf: Option<(usize, usize)>,           // free blocks, waiting
+        mpl: Option<usize>,                    // waiting
+        waiter_state: Option<(TaskState, Option<WaitObj>)>,
+        cyc_active: Option<bool>,
+    }
+    let report: Arc<Mutex<Report>> = Arc::new(Mutex::new(Report::default()));
+
+    let rep = Arc::clone(&report);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        let order = QueueOrder::Priority;
+        let sem = sys.tk_cre_sem("s", 1, 4, order).unwrap();
+        let flg = sys.tk_cre_flg("f", 0b100, false, order).unwrap();
+        let mbx = sys.tk_cre_mbx("b", false, order).unwrap();
+        let mbf = sys.tk_cre_mbf("m", 4, 4, order).unwrap();
+        let mbf2 = sys.tk_cre_mbf("m2", 4, 4, order).unwrap();
+        let mtx = sys.tk_cre_mtx("x", MtxPolicy::Inherit).unwrap();
+        let mpf = sys.tk_cre_mpf("p", 1, 16, order).unwrap();
+        let mpl = sys.tk_cre_mpl("v", 32, order).unwrap();
+        let cyc = sys
+            .tk_cre_cyc(
+                "tick100",
+                SimTime::from_ms(100),
+                SimTime::ZERO,
+                true,
+                |_| {},
+            )
+            .unwrap();
+
+        // Holder: takes the mutex, the only pool block, and the whole
+        // variable pool, then stays busy past the snapshot. Least
+        // urgent, so the waiters all get to preempt it and block.
+        let holder = sys
+            .tk_cre_tsk("holder", 100, move |sys, _| {
+                sys.tk_loc_mtx(mtx, Timeout::Forever).unwrap();
+                let blk = sys.tk_get_mpf(mpf, Timeout::Forever).unwrap();
+                let off = sys.tk_get_mpl(mpl, 32, Timeout::Forever).unwrap();
+                sys.exec(SimTime::from_ms(20));
+                sys.tk_rel_mpl(mpl, off).unwrap();
+                sys.tk_rel_mpf(mpf, blk).unwrap();
+                sys.tk_unl_mtx(mtx).unwrap();
+            })
+            .unwrap();
+        sys.tk_sta_tsk(holder, 0).unwrap();
+
+        // One waiter per object class (all block immediately at their
+        // staggered start).
+        let mk_waiter =
+            |sys: &mut rtk_core::Sys<'_>,
+             name: &str,
+             pri,
+             body: Box<dyn FnMut(&mut rtk_core::Sys<'_>) + Send>| {
+                let mut body = body;
+                let t = sys
+                    .tk_cre_tsk(name, pri, move |sys, _| {
+                        sys.tk_dly_tsk(SimTime::from_ms(1)).unwrap();
+                        body(sys);
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(t, 0).unwrap();
+                t
+            };
+        let sem_waiter = mk_waiter(
+            sys,
+            "w_sem",
+            20,
+            Box::new(move |sys| {
+                // Requests more than available: must queue.
+                let _ = sys.tk_wai_sem(sem, 3, Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_flg",
+            21,
+            Box::new(move |sys| {
+                let _ = sys.tk_wai_flg(flg, 0b011, FlagWaitMode::AND, Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_mbx",
+            22,
+            Box::new(move |sys| {
+                let _ = sys.tk_rcv_mbx(mbx, Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_mbf_s",
+            23,
+            Box::new(move |sys| {
+                // First send fills the 4-byte buffer, second must block.
+                sys.tk_snd_mbf(mbf, &[1, 2, 3, 4], Timeout::Forever)
+                    .unwrap();
+                let _ = sys.tk_snd_mbf(mbf, &[5, 6], Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_mbf_r",
+            24,
+            Box::new(move |sys| {
+                let _ = sys.tk_rcv_mbf(mbf2, Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_mpf",
+            25,
+            Box::new(move |sys| {
+                let _ = sys.tk_get_mpf(mpf, Timeout::Forever);
+            }),
+        );
+        mk_waiter(
+            sys,
+            "w_mpl",
+            26,
+            Box::new(move |sys| {
+                let _ = sys.tk_get_mpl(mpl, 16, Timeout::Forever);
+            }),
+        );
+        // Last on purpose: blocking on the inheritance mutex boosts the
+        // holder to this waiter's priority, which would outrank (and
+        // starve) any waiter that has not blocked yet.
+        mk_waiter(
+            sys,
+            "w_mtx",
+            27,
+            Box::new(move |sys| {
+                let _ = sys.tk_loc_mtx(mtx, Timeout::Forever);
+            }),
+        );
+
+        // The watcher snapshots everything at t = 5 ms, mid-wait.
+        let rep = Arc::clone(&rep);
+        let watcher = sys
+            .tk_cre_tsk("watch", 1, move |sys, _| {
+                sys.tk_dly_tsk(SimTime::from_ms(5)).unwrap();
+                let mut r = rep.lock().unwrap();
+                let s = sys.tk_ref_sem(sem).unwrap();
+                r.sem = Some((s.count, s.waiting));
+                let f = sys.tk_ref_flg(flg).unwrap();
+                r.flg = Some((f.pattern, f.waiting));
+                let b = sys.tk_ref_mbx(mbx).unwrap();
+                r.mbx = Some((b.msg_count, b.waiting));
+                let m = sys.tk_ref_mbf(mbf).unwrap();
+                let m2 = sys.tk_ref_mbf(mbf2).unwrap();
+                r.mbf = Some((m.msg_count, m.senders_waiting, m2.receivers_waiting));
+                let x = sys.tk_ref_mtx(mtx).unwrap();
+                r.mtx = Some((x.owner.is_some(), x.waiting, x.policy));
+                let p = sys.tk_ref_mpf(mpf).unwrap();
+                r.mpf = Some((p.free_blocks, p.waiting));
+                let v = sys.tk_ref_mpl(mpl).unwrap();
+                r.mpl = Some(v.waiting);
+                let t = sys.tk_ref_tsk(sem_waiter).unwrap();
+                r.waiter_state = Some((t.state, t.wait));
+                let c = sys.tk_ref_cyc(cyc).unwrap();
+                r.cyc_active = Some(c.active);
+            })
+            .unwrap();
+        sys.tk_sta_tsk(watcher, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(10));
+
+    let r = report.lock().unwrap().clone();
+    // Semaphore: count 1 kept (no barging past the queued request of 3).
+    assert_eq!(r.sem, Some((1, 1)), "{r:?}");
+    // Flag: waiter wants 0b011, pattern has 0b100 only.
+    assert_eq!(r.flg, Some((0b100, 1)), "{r:?}");
+    assert_eq!(r.mbx, Some((0, 1)), "{r:?}");
+    // Mbf: one 4-byte message buffered, one blocked sender; the second
+    // buffer has one blocked receiver.
+    assert_eq!(r.mbf, Some((1, 1, 1)), "{r:?}");
+    assert_eq!(r.mtx, Some((true, 1, MtxPolicy::Inherit)), "{r:?}");
+    // Mpf: the single block is held, one task queued.
+    assert_eq!(r.mpf, Some((0, 1)), "{r:?}");
+    assert_eq!(r.mpl, Some(1), "{r:?}");
+    let (state, wait) = r.waiter_state.expect("snapshot ran");
+    assert_eq!(state, TaskState::Wait);
+    assert!(
+        matches!(wait, Some(WaitObj::Sem(_, 3))),
+        "waiter must report its semaphore request: {wait:?}"
+    );
+    assert_eq!(r.cyc_active, Some(true));
+}
+
+/// `tk_ref_sys` reports every reachable system state, and `tk_ref_ver`
+/// identifies the model.
+#[test]
+fn sysmgmt_reference_calls_report_system_state() {
+    let states: Arc<Mutex<Vec<(String, SysState, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let ver: Arc<Mutex<Option<(String, String)>>> = Arc::new(Mutex::new(None));
+
+    let s = Arc::clone(&states);
+    let v = Arc::clone(&ver);
+    let mut rtos = Rtos::new(KernelConfig::zero_cost(), move |sys, _| {
+        // Task-independent context: a cyclic handler snapshots from
+        // inside the timer frame.
+        let s_h = Arc::clone(&s);
+        sys.tk_cre_cyc(
+            "probe",
+            SimTime::from_ms(2),
+            SimTime::ZERO,
+            true,
+            move |sys| {
+                let r = sys.tk_ref_sys().unwrap();
+                s_h.lock()
+                    .unwrap()
+                    .push(("handler".into(), r.sysstat, r.int_nest));
+            },
+        )
+        .unwrap();
+
+        let s_t = Arc::clone(&s);
+        let v_t = Arc::clone(&v);
+        let t = sys
+            .tk_cre_tsk("t", 10, move |sys, _| {
+                let push = |sys: &mut rtk_core::Sys<'_>, label: &str, s_t: &Mutex<Vec<_>>| {
+                    let r = sys.tk_ref_sys().unwrap();
+                    let me = sys.tk_get_tid();
+                    assert_eq!(r.runtskid, me, "running task id must be reported");
+                    s_t.lock()
+                        .unwrap()
+                        .push((label.to_string(), r.sysstat, r.int_nest));
+                };
+                push(sys, "task", &s_t);
+                sys.tk_dis_dsp().unwrap();
+                push(sys, "dis_dsp", &s_t);
+                sys.tk_ena_dsp().unwrap();
+                sys.tk_loc_cpu().unwrap();
+                push(sys, "loc_cpu", &s_t);
+                sys.tk_unl_cpu().unwrap();
+                push(sys, "unlocked", &s_t);
+                let rv = sys.tk_ref_ver().unwrap();
+                *v_t.lock().unwrap() = Some((rv.prid.to_string(), rv.spver.to_string()));
+            })
+            .unwrap();
+        sys.tk_sta_tsk(t, 0).unwrap();
+    });
+    rtos.run_for(SimTime::from_ms(10));
+
+    let states = states.lock().unwrap().clone();
+    let find = |label: &str| {
+        states
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .unwrap_or_else(|| panic!("missing state {label}: {states:?}"))
+            .clone()
+    };
+    assert_eq!(find("task").1, SysState::Task);
+    assert_eq!(find("dis_dsp").1, SysState::DisabledDispatch);
+    assert_eq!(find("loc_cpu").1, SysState::Locked);
+    assert_eq!(find("unlocked").1, SysState::Task);
+    let (_, hstate, hnest) = find("handler");
+    assert_eq!(hstate, SysState::TaskIndependent);
+    assert!(hnest >= 1, "handler context must report interrupt nesting");
+    assert_eq!(hstate.mnemonic(), "TSS_INDP");
+
+    let (prid, spver) = ver.lock().unwrap().clone().expect("version snapshot");
+    assert!(prid.contains("RTK-Spec TRON"), "{prid}");
+    assert!(spver.contains("uITRON"), "{spver}");
+}

@@ -11,9 +11,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use rtk_core::{FlagWaitMode, IntNo, KernelConfig, MsgPacket, QueueOrder, Rtos, RunStats, Timeout};
+use rtk_core::{
+    FlagWaitMode, IntNo, KernelConfig, MsgPacket, MtxPolicy, QueueOrder, Rtos, RunStats, Timeout,
+    VecObsSink,
+};
 use sysc::{RunOutcome, SimTime, SpawnMode};
 
+use crate::oracle;
 use crate::scenario::{Fnv, ScenarioSpec, Topology};
 
 /// Measured result of one scenario run.
@@ -50,6 +54,12 @@ pub struct ScenarioOutcome {
     /// released. Starvation of low-priority tasks under overload is a
     /// legitimate RTOS behaviour (reported, not a health failure).
     pub starved_tasks: u64,
+    /// Kernel decisions replayed through the differential oracle
+    /// (0 when the oracle was not enabled for this run).
+    pub oracle_events: u64,
+    /// First spec-vs-kernel divergence the oracle found, if any:
+    /// `(event index, rendered account)`.
+    pub divergence: Option<(u64, String)>,
 }
 
 impl ScenarioOutcome {
@@ -58,7 +68,10 @@ impl ScenarioOutcome {
     /// normal way for a run to end is hitting the horizon (`"limit"`);
     /// `"starved"` or `"delta_limit"` means the engine itself wedged.
     pub fn healthy(&self) -> bool {
-        self.panicked.is_none() && !self.stalled && self.engine_outcome == "limit"
+        self.panicked.is_none()
+            && !self.stalled
+            && self.engine_outcome == "limit"
+            && self.divergence.is_none()
     }
 
     /// FNV-1a digest over every simulated-domain field. Two runs of
@@ -90,6 +103,15 @@ impl ScenarioOutcome {
         h.u64(u64::from(self.panicked.is_some()));
         h.u64(u64::from(self.stalled));
         h.u64(self.starved_tasks);
+        h.u64(self.oracle_events);
+        match &self.divergence {
+            None => h.u64(0),
+            Some((index, detail)) => {
+                h.u64(1);
+                h.u64(*index);
+                h.bytes(detail.as_bytes());
+            }
+        }
         h.finish()
     }
 }
@@ -128,6 +150,14 @@ impl Collect {
 /// outcome, not propagated — a farm campaign must survive any single
 /// bad scenario.
 pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
+    run_scenario_checked(spec, false)
+}
+
+/// Like [`run_scenario`], but with `oracle` set every kernel decision
+/// is recorded and replayed through the sequential ITRON reference
+/// model; the first divergence is reported in the outcome (and makes
+/// it unhealthy).
+pub fn run_scenario_checked(spec: &ScenarioSpec, oracle: bool) -> ScenarioOutcome {
     let mut out = ScenarioOutcome {
         seed: spec.seed,
         spec_digest: spec.digest(),
@@ -136,11 +166,24 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
     };
 
     let collect = Arc::new(Collect::new(spec.tasks.len()));
+    let obs = oracle.then(|| Arc::new(VecObsSink::new()));
     let result = {
         let collect = Arc::clone(&collect);
+        let obs = obs.clone();
         let spec = spec.clone();
-        catch_unwind(AssertUnwindSafe(move || execute(&spec, &collect)))
+        catch_unwind(AssertUnwindSafe(move || execute(&spec, &collect, obs)))
     };
+    // A panic truncates the observation stream mid-operation, so a
+    // replay would report a bogus "mandated wakeup never observed";
+    // the panic itself is the finding — check only clean runs.
+    if result.is_ok() {
+        if let Some(obs) = &obs {
+            let events = obs.take();
+            let verdict = oracle::check(&events);
+            out.oracle_events = verdict.events_checked;
+            out.divergence = verdict.divergence.map(|d| (d.index as u64, d.to_string()));
+        }
+    }
 
     match result {
         Err(payload) => {
@@ -203,7 +246,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
 
 /// Builds and runs the kernel; returns the engine outcome label and
 /// the final stats snapshot.
-fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunStats) {
+fn execute(
+    spec: &ScenarioSpec,
+    collect: &Arc<Collect>,
+    obs: Option<Arc<VecObsSink>>,
+) -> (&'static str, RunStats) {
     let order = if spec.priority_queues {
         QueueOrder::Priority
     } else {
@@ -211,6 +258,10 @@ fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunSta
     };
     let ntasks = spec.tasks.len();
     let all_bits: u32 = (1u32 << ntasks) - 1;
+
+    // Smallest numeric (most urgent) base priority of the task set,
+    // used as the ceiling of the TA_CEILING chain mutex.
+    let top_pri = spec.tasks.iter().map(|t| t.priority).min().unwrap_or(1);
 
     let mut rtos = {
         let collect = Arc::clone(collect);
@@ -229,6 +280,45 @@ fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunSta
                 Topology::FlagBarrier => Some(sys.tk_cre_flg("barrier", 0, false, order).unwrap()),
                 _ => None,
             };
+            let chain_mtx = match spec.topology {
+                Topology::MtxChain { ceiling } => {
+                    let policy = if ceiling {
+                        MtxPolicy::Ceiling(top_pri)
+                    } else {
+                        MtxPolicy::Inherit
+                    };
+                    Some(sys.tk_cre_mtx("chain", policy).unwrap())
+                }
+                _ => None,
+            };
+            let pipe_mbf = match spec.topology {
+                // Room for two maximum-size records: small enough to
+                // fill up (blocking senders), big enough to pipeline.
+                Topology::MbfPipeline => Some(sys.tk_cre_mbf("pipe", 16, 8, order).unwrap()),
+                _ => None,
+            };
+            let pool_mpf = match spec.topology {
+                // Undersized on purpose: roughly half the task count.
+                Topology::MpfPool => {
+                    let blocks = (spec.tasks.len() / 2).max(1);
+                    Some(sys.tk_cre_mpf("pool", blocks, 32, order).unwrap())
+                }
+                _ => None,
+            };
+
+            if let Some(mbf) = pipe_mbf {
+                // Low-priority drain task: blocking receive in a loop,
+                // so senders alternate between buffered sends, blocked
+                // sends and direct rendezvous handoffs.
+                let drain = sys
+                    .tk_cre_tsk("drain", 131, move |sys, _| loop {
+                        if sys.tk_rcv_mbf(mbf, Timeout::Forever).is_err() {
+                            break;
+                        }
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(drain, 0).unwrap();
+            }
 
             if let Some(flg) = barrier_flg {
                 let collector = sys
@@ -325,6 +415,41 @@ fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunSta
                             sys.exec(SimTime::from_us(exec_us));
                             sys.tk_set_flg(barrier_flg.unwrap(), 1 << i).unwrap();
                         }
+                        Topology::MtxChain { .. } => {
+                            let crit = (exec_us / 4).max(10);
+                            sys.exec(SimTime::from_us(exec_us - crit));
+                            // Finite timeout: under heavy inversion the
+                            // lock attempt may expire, exercising the
+                            // timer path; the job still completes.
+                            let mtx = chain_mtx.unwrap();
+                            if sys.tk_loc_mtx(mtx, Timeout::ms(deadline_us / 500)).is_ok() {
+                                sys.exec(SimTime::from_us(crit));
+                                sys.tk_unl_mtx(mtx).unwrap();
+                            }
+                        }
+                        Topology::MbfPipeline => {
+                            sys.exec(SimTime::from_us(exec_us));
+                            let record = vec![i as u8; 1 + (i % 8)];
+                            // A full pipeline may time the send out; the
+                            // record is then dropped, not the job.
+                            let _ = sys.tk_snd_mbf(
+                                pipe_mbf.unwrap(),
+                                &record,
+                                Timeout::ms(deadline_us / 500),
+                            );
+                        }
+                        Topology::MpfPool => {
+                            let mpf = pool_mpf.unwrap();
+                            match sys.tk_get_mpf(mpf, Timeout::ms(deadline_us / 500)) {
+                                Ok(blk) => {
+                                    sys.exec(SimTime::from_us(exec_us));
+                                    sys.tk_rel_mpf(mpf, blk).unwrap();
+                                }
+                                // Pool exhausted past the timeout: run
+                                // without the block.
+                                Err(_) => sys.exec(SimTime::from_us(exec_us)),
+                            }
+                        }
                     }
                     let now_us = sys.now().as_us();
                     let latency = now_us - release_us;
@@ -360,6 +485,10 @@ fn execute(spec: &ScenarioSpec, collect: &Arc<Collect>) -> (&'static str, RunSta
             }
         })
     };
+
+    if let Some(obs) = obs {
+        rtos.set_obs_sink(obs);
+    }
 
     // The storm itself: a simulated hardware process outside the
     // kernel raising requests through the BFM interrupt port. The
@@ -439,7 +568,7 @@ mod tests {
             faults: false,
         };
         let mut seen = std::collections::BTreeSet::new();
-        for seed in 0..64 {
+        for seed in 0..256 {
             let spec = ScenarioSpec::generate(seed, &t);
             if seen.contains(spec.topology.label()) {
                 continue;
@@ -447,10 +576,10 @@ mod tests {
             let out = run_scenario(&spec);
             assert!(out.healthy(), "seed {seed}: {out:?}");
             seen.insert(spec.topology.label());
-            if seen.len() == 4 {
+            if seen.len() == 8 {
                 return;
             }
         }
-        panic!("first 64 seeds did not cover all topologies: {seen:?}");
+        panic!("first 256 seeds did not cover all topologies: {seen:?}");
     }
 }

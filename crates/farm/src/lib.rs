@@ -14,7 +14,10 @@
 //! 2. **Execution** ([`run_scenario`]) — builds one [`rtk_core::Rtos`]
 //!    per job, runs it to the horizon, measures response latencies,
 //!    deadline misses, context switches and energy. Panics are caught
-//!    per scenario; stalls and livelocks are flagged.
+//!    per scenario; stalls and livelocks are flagged. With the oracle
+//!    enabled ([`run_scenario_checked`]), every kernel decision is
+//!    additionally replayed through a sequential ITRON reference model
+//!    ([`oracle`]) and the first spec divergence flags the scenario.
 //! 3. **Parallel runner** ([`run_campaign`]) — a work-stealing thread
 //!    pool; kernels are independent, so the campaign is embarrassingly
 //!    parallel. Results land in seed-indexed slots.
@@ -30,6 +33,7 @@
 //!     seeds: 4,
 //!     threads: 2,
 //!     tuning: Tuning { quick: true, faults: true },
+//!     oracle: true,
 //! };
 //! let outcomes = run_campaign(&cfg);
 //! let report = CampaignReport::new(cfg, outcomes);
@@ -39,12 +43,14 @@
 #![warn(missing_docs)]
 
 mod build;
+pub mod oracle;
 mod report;
 mod rng;
 mod runner;
 mod scenario;
 
-pub use build::{run_scenario, ScenarioOutcome};
+pub use build::{run_scenario, run_scenario_checked, ScenarioOutcome};
+pub use oracle::{check, Divergence, OracleVerdict};
 pub use report::{Aggregate, CampaignReport};
 pub use rng::FarmRng;
 pub use runner::{run_campaign, CampaignConfig};

@@ -3,12 +3,12 @@
 //!
 //! ```text
 //! rtk-farm [--seeds N] [--base-seed S] [--threads T] [--quick]
-//!          [--no-faults] [--out PATH]
+//!          [--no-faults] [--oracle] [--out PATH]
 //! ```
 //!
 //! Exit code 0 when every scenario is healthy; 1 when any scenario
-//! panicked, stalled or livelocked (the CI smoke gate); 2 on usage
-//! errors.
+//! panicked, stalled, livelocked or (with `--oracle`) diverged from
+//! the ITRON reference model (the CI gates); 2 on usage errors.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -20,16 +20,17 @@ const USAGE: &str = "usage: rtk-farm [options]
 options:
   --seeds N       number of consecutive seeds to run   (default 256)
   --base-seed S   first seed                           (default 1)
-  --threads T     worker threads, 0 = all cores        (default 0)
+  --threads T     worker threads, at least 1           (default: all cores)
   --quick         short horizon (120 ms) for smoke campaigns
   --no-faults     disable fault-injection draws
+  --oracle        replay every scenario through the differential
+                  ITRON oracle; any divergence fails the campaign
   --out PATH      report path                          (default BENCH_farm.json)
   --help          this text";
 
-fn parse_args() -> Result<(CampaignConfig, String), String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(CampaignConfig, String), String> {
     let mut cfg = CampaignConfig::default();
     let mut out = "BENCH_farm.json".to_string();
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
@@ -46,10 +47,14 @@ fn parse_args() -> Result<(CampaignConfig, String), String> {
             "--threads" => {
                 cfg.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if cfg.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--quick" => cfg.tuning.quick = true,
             "--no-faults" => cfg.tuning.faults = false,
+            "--oracle" => cfg.oracle = true,
             "--out" => out = value("--out")?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
@@ -59,7 +64,7 @@ fn parse_args() -> Result<(CampaignConfig, String), String> {
 }
 
 fn main() -> ExitCode {
-    let (cfg, out_path) = match parse_args() {
+    let (cfg, out_path) = match parse_args(std::env::args().skip(1)) {
         Ok(v) => v,
         Err(msg) => {
             if msg.is_empty() {
@@ -72,14 +77,19 @@ fn main() -> ExitCode {
     };
 
     let workers = cfg.effective_threads();
+    let seed_range = if cfg.seeds == 0 {
+        "none".to_string()
+    } else {
+        format!("{}..{}", cfg.base_seed, cfg.base_seed + cfg.seeds - 1)
+    };
     eprintln!(
-        "rtk-farm: {} scenarios (seeds {}..{}), {} worker thread(s), {} horizon, faults {}",
+        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} horizon, faults {}, oracle {}",
         cfg.seeds,
-        cfg.base_seed,
-        cfg.base_seed + cfg.seeds.saturating_sub(1),
+        seed_range,
         workers,
         if cfg.tuning.quick { "quick" } else { "full" },
         if cfg.tuning.faults { "on" } else { "off" },
+        if cfg.oracle { "on" } else { "off" },
     );
 
     let t0 = Instant::now();
@@ -118,5 +128,61 @@ fn main() -> ExitCode {
             eprintln!("rtk-farm: seed {seed} UNHEALTHY: {why}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn parse(args: &[&str]) -> Result<(rtk_farm::CampaignConfig, String), String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let (cfg, out) = parse(&[]).unwrap();
+        assert_eq!(cfg.seeds, 256);
+        assert_eq!(cfg.threads, 0); // auto: all cores
+        assert!(!cfg.oracle);
+        assert_eq!(out, "BENCH_farm.json");
+    }
+
+    #[test]
+    fn oracle_flag_and_values() {
+        let (cfg, out) = parse(&[
+            "--oracle",
+            "--seeds",
+            "12",
+            "--base-seed",
+            "7",
+            "--threads",
+            "3",
+            "--out",
+            "x.json",
+        ])
+        .unwrap();
+        assert!(cfg.oracle);
+        assert_eq!((cfg.seeds, cfg.base_seed, cfg.threads), (12, 7, 3));
+        assert_eq!(out, "x.json");
+    }
+
+    #[test]
+    fn zero_seeds_is_accepted() {
+        // An empty campaign is valid: the CLI writes an empty-but-valid
+        // report and exits 0 (pinned by `report::empty_campaign_report`).
+        let (cfg, _) = parse(&["--seeds", "0"]).unwrap();
+        assert_eq!(cfg.seeds, 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        let err = parse(&["--threads", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_option_is_a_usage_error() {
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
     }
 }

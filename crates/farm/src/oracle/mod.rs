@@ -1,0 +1,973 @@
+//! The differential ITRON oracle: a pure, single-threaded executable
+//! spec of the scheduling + synchronisation semantics, replayed in
+//! lockstep against the kernel's observed decision stream.
+//!
+//! The kernel records an [`ObsEvent`] for every semantic operation and
+//! every decision (see `rtk_core::obs`). [`check`] replays that history
+//! through an independent reference model:
+//!
+//! * **Stimuli** (object creation, `tk_sig_sem`, `tk_set_flg`, a mutex
+//!   unlock, a timeout expiry, ...) update the model *and* compute the
+//!   set of wakeups the µ-ITRON rules mandate, in order.
+//! * **Decisions** (a dispatch, a wakeup, an immediate acquisition) are
+//!   verified against the model: the dispatched task must be the head
+//!   of the model's ready queue *at the model's computed current
+//!   priority* (base priority relaxed through priority-ceiling and
+//!   transitive priority-inheritance, computed to fixpoint — an
+//!   implementation independent of the kernel's incremental
+//!   propagation); a wakeup must be exactly the next mandated one.
+//!
+//! The first deviation is reported as a [`Divergence`] with the event
+//! index, so `seed + index` replays the exact decision under a
+//! debugger.
+//!
+//! # Scope
+//!
+//! The spec models what a farm scenario can do: the default
+//! priority-preemptive scheduler, and waits that end by satisfaction
+//! or timeout. Task suspension, forced wait release (`tk_rel_wai`)
+//! and object deletion with live waiters have no stimulus events in
+//! the observation grammar, so streams containing them are rejected
+//! rather than validated (see `rtk_core::obs`, "Checker scope").
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use rtk_core::{FlagWaitMode, MtxPolicy, ObsEvent, WaitObj, WakeCode};
+
+/// First observed deviation between the kernel and the reference model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the offending event in the observation stream.
+    pub index: usize,
+    /// The offending event, rendered.
+    pub event: String,
+    /// What the spec mandated instead.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event #{}: {} -- {}",
+            self.index, self.event, self.detail
+        )
+    }
+}
+
+/// Result of replaying one observation stream through the spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleVerdict {
+    /// Events replayed (all of them when no divergence was found).
+    pub events_checked: u64,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+/// Replays `events` through the sequential reference model and returns
+/// the verdict.
+pub fn check(events: &[ObsEvent]) -> OracleVerdict {
+    let mut model = Model::default();
+    for (index, ev) in events.iter().enumerate() {
+        if let Err(detail) = model.step(ev) {
+            return OracleVerdict {
+                events_checked: index as u64,
+                divergence: Some(Divergence {
+                    index,
+                    event: format!("{ev:?}"),
+                    detail,
+                }),
+            };
+        }
+    }
+    let verdict = if let Some((tid, obj, _)) = model.expected.front() {
+        Some(Divergence {
+            index: events.len(),
+            event: "<end of run>".into(),
+            detail: format!(
+                "mandated wakeup of tsk{tid} from {} never observed",
+                obj.describe()
+            ),
+        })
+    } else {
+        None
+    };
+    OracleVerdict {
+        events_checked: events.len() as u64,
+        divergence: verdict,
+    }
+}
+
+type Tid = u32;
+type Er = Result<(), String>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Dormant,
+    Ready,
+    Running,
+    Waiting,
+}
+
+#[derive(Debug)]
+struct TaskM {
+    base: u8,
+    cur: u8,
+    state: TState,
+    wait: Option<WaitObj>,
+    deadline: Option<u64>,
+    /// Held mutexes (raw ids) in acquisition order.
+    held: Vec<u32>,
+}
+
+/// A `TA_TFIFO`/`TA_TPRI` wait queue mirroring the kernel's semantics:
+/// entries carry the priority they were (re-)enqueued at; priority
+/// insertion goes behind equal priorities; a reprioritised entry is
+/// removed and re-enqueued (so it lands behind its new peers).
+#[derive(Debug)]
+struct Queue {
+    pri_order: bool,
+    entries: Vec<(Tid, u8)>,
+}
+
+impl Queue {
+    fn new(pri_order: bool) -> Self {
+        Queue {
+            pri_order,
+            entries: Vec::new(),
+        }
+    }
+
+    fn enqueue(&mut self, tid: Tid, pri: u8) {
+        if self.pri_order {
+            let pos = self
+                .entries
+                .iter()
+                .position(|&(_, p)| p > pri)
+                .unwrap_or(self.entries.len());
+            self.entries.insert(pos, (tid, pri));
+        } else {
+            self.entries.push((tid, pri));
+        }
+    }
+
+    fn remove(&mut self, tid: Tid) -> bool {
+        match self.entries.iter().position(|&(t, _)| t == tid) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reprioritize(&mut self, tid: Tid, pri: u8) {
+        if self.remove(tid) {
+            self.enqueue(tid, pri);
+        }
+    }
+
+    fn front(&self) -> Option<Tid> {
+        self.entries.first().map(|&(t, _)| t)
+    }
+
+    fn pop(&mut self) -> Option<Tid> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).0)
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn iter_tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.entries.iter().map(|&(t, _)| t)
+    }
+}
+
+#[derive(Debug)]
+struct SemM {
+    count: u32,
+    max: u32,
+    q: Queue,
+}
+
+#[derive(Debug)]
+struct FlagM {
+    pattern: u32,
+    q: Queue,
+}
+
+#[derive(Debug)]
+struct MbxM {
+    msgs: usize,
+    q: Queue,
+}
+
+#[derive(Debug)]
+struct MbfM {
+    bufsz: usize,
+    used: usize,
+    msgs: VecDeque<usize>,
+    send_q: Queue,
+    /// Payload length of each blocked sender.
+    send_len: BTreeMap<Tid, usize>,
+    recv_q: Queue,
+}
+
+#[derive(Debug)]
+struct MtxM {
+    policy: MtxPolicy,
+    owner: Option<Tid>,
+    q: Queue,
+}
+
+#[derive(Debug)]
+struct MpfM {
+    total: usize,
+    free: usize,
+    q: Queue,
+}
+
+/// The whole reference-model state.
+#[derive(Debug, Default)]
+struct Model {
+    tasks: BTreeMap<Tid, TaskM>,
+    /// Ready queue in dispatch order (priority levels, FIFO within,
+    /// preempted tasks re-enter at the head of their level).
+    ready: Vec<(Tid, u8)>,
+    running: Option<Tid>,
+    sems: BTreeMap<u32, SemM>,
+    flags: BTreeMap<u32, FlagM>,
+    mbxs: BTreeMap<u32, MbxM>,
+    mbfs: BTreeMap<u32, MbfM>,
+    mtxs: BTreeMap<u32, MtxM>,
+    mpfs: BTreeMap<u32, MpfM>,
+    /// Wakeups the spec has mandated but the kernel has not yet
+    /// reported. Non-empty ⇒ the very next event must be the front
+    /// wakeup (wakeups are emitted contiguously after their stimulus).
+    expected: VecDeque<(Tid, WaitObj, WakeCode)>,
+}
+
+fn flag_satisfied(pattern: u32, waiptn: u32, mode: FlagWaitMode) -> bool {
+    if mode.and {
+        pattern & waiptn == waiptn
+    } else {
+        pattern & waiptn != 0
+    }
+}
+
+fn flag_clear(pattern: &mut u32, waiptn: u32, mode: FlagWaitMode) {
+    if mode.clear_all {
+        *pattern = 0;
+    } else if mode.clear_bits {
+        *pattern &= !waiptn;
+    }
+}
+
+impl Model {
+    fn task(&self, tid: Tid) -> Result<&TaskM, String> {
+        self.tasks
+            .get(&tid)
+            .ok_or_else(|| format!("unknown tsk{tid}"))
+    }
+
+    fn task_mut(&mut self, tid: Tid) -> Result<&mut TaskM, String> {
+        self.tasks
+            .get_mut(&tid)
+            .ok_or_else(|| format!("unknown tsk{tid}"))
+    }
+
+    /// The caller of a task-context service must be the running task.
+    fn require_running(&self, tid: Tid) -> Er {
+        if self.running == Some(tid) {
+            Ok(())
+        } else {
+            Err(format!(
+                "tsk{tid} performed a task-context operation but the spec's running task is {:?}",
+                self.running
+            ))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ready queue (mirrors the priority-preemptive scheduler)
+    // ------------------------------------------------------------------
+
+    fn ready_tail(&mut self, tid: Tid) {
+        let pri = self.tasks[&tid].cur;
+        let pos = self
+            .ready
+            .iter()
+            .position(|&(_, p)| p > pri)
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, (tid, pri));
+    }
+
+    fn ready_head(&mut self, tid: Tid) {
+        let pri = self.tasks[&tid].cur;
+        let pos = self
+            .ready
+            .iter()
+            .position(|&(_, p)| p >= pri)
+            .unwrap_or(self.ready.len());
+        self.ready.insert(pos, (tid, pri));
+    }
+
+    fn ready_remove(&mut self, tid: Tid) {
+        self.ready.retain(|&(t, _)| t != tid);
+    }
+
+    /// Makes a waiting task ready (the model side of `make_ready`) and
+    /// registers the mandated wakeup event.
+    fn wake(&mut self, tid: Tid, code: WakeCode) -> Er {
+        let t = self.task_mut(tid)?;
+        let obj = t
+            .wait
+            .take()
+            .ok_or_else(|| format!("spec woke tsk{tid} which is not waiting"))?;
+        t.deadline = None;
+        t.state = TState::Ready;
+        self.ready_tail(tid);
+        self.expected.push_back((tid, obj, code));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Priorities: ceiling + transitive inheritance, by fixpoint
+    // ------------------------------------------------------------------
+
+    /// Recomputes every task's current priority from first principles:
+    /// start at the base priority and relax downward (more urgent)
+    /// through held ceiling mutexes and the current priorities of
+    /// tasks waiting on held inheritance mutexes, until stable. Tasks
+    /// whose priority changed are re-sorted in their wait queue (and
+    /// the ready queue), mirroring the kernel's reprioritisation rule.
+    fn recompute_priorities(&mut self) {
+        let tids: Vec<Tid> = self.tasks.keys().copied().collect();
+        let mut cur: BTreeMap<Tid, u8> = tids.iter().map(|&t| (t, self.tasks[&t].base)).collect();
+        loop {
+            let mut changed = false;
+            for &tid in &tids {
+                let mut p = self.tasks[&tid].base;
+                for mid in &self.tasks[&tid].held {
+                    let Some(m) = self.mtxs.get(mid) else {
+                        continue;
+                    };
+                    match m.policy {
+                        MtxPolicy::Ceiling(c) => p = p.min(c),
+                        MtxPolicy::Inherit => {
+                            for w in m.q.iter_tids() {
+                                p = p.min(cur[&w]);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if cur[&tid] != p {
+                    cur.insert(tid, p);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for &tid in &tids {
+            let new = cur[&tid];
+            let old = self.tasks[&tid].cur;
+            if new == old {
+                continue;
+            }
+            self.tasks.get_mut(&tid).expect("listed").cur = new;
+            match self.tasks[&tid].state {
+                TState::Ready => {
+                    self.ready_remove(tid);
+                    self.ready_tail(tid);
+                }
+                TState::Waiting => {
+                    if let Some(obj) = self.tasks[&tid].wait {
+                        if let Some(q) = self.wait_queue_mut(&obj) {
+                            q.reprioritize(tid, new);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The wait queue a blocked task sits in, if the object is modeled.
+    fn wait_queue_mut(&mut self, obj: &WaitObj) -> Option<&mut Queue> {
+        match obj {
+            WaitObj::Sem(id, _) => self.sems.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::Flag(id, _, _) => self.flags.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::Mbx(id) => self.mbxs.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::MbfSend(id, _) => self.mbfs.get_mut(&id.raw()).map(|o| &mut o.send_q),
+            WaitObj::MbfRecv(id) => self.mbfs.get_mut(&id.raw()).map(|o| &mut o.recv_q),
+            WaitObj::Mtx(id) => self.mtxs.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::Mpf(id) => self.mpfs.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::Mpl(..) | WaitObj::Sleep | WaitObj::Delay => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The replay step
+    // ------------------------------------------------------------------
+
+    fn step(&mut self, ev: &ObsEvent) -> Er {
+        // Contiguity rule: while mandated wakeups are outstanding, the
+        // next event must be exactly the front one.
+        if let Some(&(etid, eobj, ecode)) = self.expected.front() {
+            match ev {
+                ObsEvent::Wakeup { tid, obj, code }
+                    if tid.raw() == etid && *obj == eobj && *code == ecode =>
+                {
+                    self.expected.pop_front();
+                    return Ok(());
+                }
+                _ => {
+                    return Err(format!(
+                        "spec mandates wakeup of tsk{etid} from {} ({ecode:?}) here",
+                        eobj.describe()
+                    ));
+                }
+            }
+        }
+
+        match *ev {
+            ObsEvent::TaskCreate { tid, pri } => {
+                self.tasks.insert(
+                    tid.raw(),
+                    TaskM {
+                        base: pri,
+                        cur: pri,
+                        state: TState::Dormant,
+                        wait: None,
+                        deadline: None,
+                        held: Vec::new(),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::TaskStart { tid } => {
+                let t = self.task_mut(tid.raw())?;
+                if t.state != TState::Dormant {
+                    return Err(format!("started task is {:?}, spec says DORMANT", t.state));
+                }
+                t.state = TState::Ready;
+                t.cur = t.base;
+                self.ready_tail(tid.raw());
+                Ok(())
+            }
+            ObsEvent::TaskExit { tid } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                let held = std::mem::take(&mut self.task_mut(tid)?.held);
+                for mid in held {
+                    self.release_mutex(mid)?;
+                }
+                let t = self.task_mut(tid)?;
+                t.state = TState::Dormant;
+                t.wait = None;
+                t.deadline = None;
+                self.running = None;
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::PriChange { tid, base } => {
+                self.task_mut(tid.raw())?.base = base;
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::Dispatch { tid, pri } => {
+                let tid = tid.raw();
+                if let Some(r) = self.running {
+                    return Err(format!("dispatch while spec still has tsk{r} running"));
+                }
+                match self.ready.first() {
+                    Some(&(head, _)) if head == tid => {}
+                    Some(&(head, hp)) => {
+                        return Err(format!(
+                            "spec's highest-priority ready task is tsk{head} (pri {hp}), not the dispatched one"
+                        ));
+                    }
+                    None => return Err("dispatch with an empty spec ready queue".into()),
+                }
+                let cur = self.task(tid)?.cur;
+                if cur != pri {
+                    return Err(format!(
+                        "dispatched at priority {pri}, spec computes current priority {cur}"
+                    ));
+                }
+                self.ready.remove(0);
+                self.task_mut(tid)?.state = TState::Running;
+                self.running = Some(tid);
+                Ok(())
+            }
+            ObsEvent::Preempt { tid } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                self.task_mut(tid)?.state = TState::Ready;
+                self.running = None;
+                self.ready_head(tid);
+                Ok(())
+            }
+            ObsEvent::Block {
+                tid,
+                obj,
+                deadline_tick,
+            } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                self.check_would_block(tid, &obj)?;
+                let pri = self.task(tid)?.cur;
+                if let WaitObj::MbfSend(id, len) = obj {
+                    if let Some(m) = self.mbfs.get_mut(&id.raw()) {
+                        m.send_len.insert(tid, len);
+                    }
+                }
+                if let Some(q) = self.wait_queue_mut(&obj) {
+                    q.enqueue(tid, pri);
+                }
+                let t = self.task_mut(tid)?;
+                t.state = TState::Waiting;
+                t.wait = Some(obj);
+                t.deadline = deadline_tick;
+                self.running = None;
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::Wakeup { tid, obj, .. } => Err(format!(
+                "kernel woke tsk{} from {} but the spec mandates no wakeup here",
+                tid.raw(),
+                obj.describe()
+            )),
+            ObsEvent::TimerFire { tid, tick } => {
+                let tid = tid.raw();
+                let t = self.task(tid)?;
+                if t.state != TState::Waiting {
+                    return Err(format!(
+                        "timeout fired for non-waiting task ({:?})",
+                        t.state
+                    ));
+                }
+                match t.deadline {
+                    Some(d) if d == tick => {}
+                    Some(d) => {
+                        return Err(format!(
+                            "timeout fired at tick {tick}, spec armed it for tick {d}"
+                        ));
+                    }
+                    None => return Err("timeout fired for a wait without a deadline".into()),
+                }
+                let obj = t.wait.expect("waiting task has a wait object");
+                if let WaitObj::MbfSend(id, _) = obj {
+                    if let Some(m) = self.mbfs.get_mut(&id.raw()) {
+                        m.send_len.remove(&tid);
+                    }
+                }
+                if let Some(q) = self.wait_queue_mut(&obj) {
+                    q.remove(tid);
+                }
+                self.wake(tid, WakeCode::Timeout)?;
+                self.recompute_priorities();
+                Ok(())
+            }
+
+            ObsEvent::SemCreate {
+                id,
+                init,
+                max,
+                pri_order,
+            } => {
+                self.sems.insert(
+                    id.raw(),
+                    SemM {
+                        count: init,
+                        max,
+                        q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::SemSignal { id, cnt } => {
+                let id = id.raw();
+                let sem = self
+                    .sems
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("unknown sem{id}"))?;
+                if sem.count.checked_add(cnt).is_none_or(|v| v > sem.max) {
+                    return Err(format!(
+                        "signal of {cnt} overflows the spec's count {}/{}",
+                        sem.count, sem.max
+                    ));
+                }
+                sem.count += cnt;
+                // Release satisfiable waiters strictly from the head.
+                while let Some(front) = self.sems[&id].q.front() {
+                    let req = match self.tasks.get(&front).and_then(|t| t.wait) {
+                        Some(WaitObj::Sem(_, req)) => req,
+                        _ => 1,
+                    };
+                    let sem = self.sems.get_mut(&id).expect("checked");
+                    if sem.count < req {
+                        break;
+                    }
+                    sem.count -= req;
+                    sem.q.pop();
+                    self.wake(front, WakeCode::Ok)?;
+                }
+                Ok(())
+            }
+            ObsEvent::SemTake { id, tid, cnt } => {
+                self.require_running(tid.raw())?;
+                let sem = self
+                    .sems
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if !sem.q.is_empty() {
+                    return Err("immediate acquisition barged past waiting tasks".into());
+                }
+                if sem.count < cnt {
+                    return Err(format!(
+                        "immediate acquisition of {cnt} with spec count {}",
+                        sem.count
+                    ));
+                }
+                sem.count -= cnt;
+                Ok(())
+            }
+
+            ObsEvent::FlagCreate {
+                id,
+                init,
+                pri_order,
+            } => {
+                self.flags.insert(
+                    id.raw(),
+                    FlagM {
+                        pattern: init,
+                        q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::FlagSet { id, ptn } => {
+                let id = id.raw();
+                let flag = self
+                    .flags
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("unknown flg{id}"))?;
+                flag.pattern |= ptn;
+                // Walk the queue in order, re-checking after each
+                // release (clears can unsatisfy later waiters).
+                let snapshot: Vec<Tid> = flag.q.iter_tids().collect();
+                for tid in snapshot {
+                    let (waiptn, mode) = match self.tasks.get(&tid).and_then(|t| t.wait) {
+                        Some(WaitObj::Flag(_, p, m)) => (p, m),
+                        _ => continue,
+                    };
+                    let flag = self.flags.get_mut(&id).expect("checked");
+                    if flag_satisfied(flag.pattern, waiptn, mode) {
+                        flag_clear(&mut flag.pattern, waiptn, mode);
+                        flag.q.remove(tid);
+                        self.wake(tid, WakeCode::Ok)?;
+                    }
+                }
+                Ok(())
+            }
+            ObsEvent::FlagClear { id, mask } => {
+                let flag = self
+                    .flags
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                flag.pattern &= mask;
+                Ok(())
+            }
+            ObsEvent::FlagTake { id, tid, ptn, mode } => {
+                self.require_running(tid.raw())?;
+                let flag = self
+                    .flags
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if !flag_satisfied(flag.pattern, ptn, mode) {
+                    return Err(format!(
+                        "immediate flag wait satisfied by the kernel but not by the spec pattern {:#06x}",
+                        flag.pattern
+                    ));
+                }
+                flag_clear(&mut flag.pattern, ptn, mode);
+                Ok(())
+            }
+
+            ObsEvent::MbxCreate { id, pri_order } => {
+                self.mbxs.insert(
+                    id.raw(),
+                    MbxM {
+                        msgs: 0,
+                        q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::MbxSend { id } => {
+                let mbx = self
+                    .mbxs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if let Some(receiver) = mbx.q.pop() {
+                    self.wake(receiver, WakeCode::Ok)?;
+                } else {
+                    mbx.msgs += 1;
+                }
+                Ok(())
+            }
+            ObsEvent::MbxTake { id, tid } => {
+                self.require_running(tid.raw())?;
+                let mbx = self
+                    .mbxs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if mbx.msgs == 0 {
+                    return Err("immediate receive from a mailbox the spec says is empty".into());
+                }
+                mbx.msgs -= 1;
+                Ok(())
+            }
+
+            ObsEvent::MbfCreate {
+                id,
+                bufsz,
+                pri_order,
+                ..
+            } => {
+                self.mbfs.insert(
+                    id.raw(),
+                    MbfM {
+                        bufsz,
+                        used: 0,
+                        msgs: VecDeque::new(),
+                        send_q: Queue::new(pri_order),
+                        send_len: BTreeMap::new(),
+                        recv_q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::MbfSend { id, len } => {
+                let mbf = self
+                    .mbfs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                let direct = mbf.msgs.is_empty() && mbf.send_q.is_empty();
+                if direct {
+                    if let Some(receiver) = mbf.recv_q.pop() {
+                        return self.wake(receiver, WakeCode::Ok);
+                    }
+                }
+                if mbf.send_q.is_empty() && mbf.used + len <= mbf.bufsz {
+                    mbf.used += len;
+                    mbf.msgs.push_back(len);
+                    Ok(())
+                } else {
+                    Err("immediate send the spec says must block".into())
+                }
+            }
+            ObsEvent::MbfRecv { id, tid } => {
+                let id = id.raw();
+                self.require_running(tid.raw())?;
+                let mbf = self
+                    .mbfs
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("unknown mbf{id}"))?;
+                if let Some(len) = mbf.msgs.pop_front() {
+                    mbf.used -= len;
+                    // Buffer space freed: blocked senders move in,
+                    // strictly in queue order.
+                    loop {
+                        let mbf = self.mbfs.get_mut(&id).expect("checked");
+                        let Some(front) = mbf.send_q.front() else {
+                            break;
+                        };
+                        let slen = mbf.send_len.get(&front).copied().unwrap_or(0);
+                        if mbf.used + slen > mbf.bufsz {
+                            break;
+                        }
+                        mbf.used += slen;
+                        mbf.msgs.push_back(slen);
+                        mbf.send_q.pop();
+                        mbf.send_len.remove(&front);
+                        self.wake(front, WakeCode::Ok)?;
+                    }
+                    Ok(())
+                } else if let Some(sender) = mbf.send_q.pop() {
+                    mbf.send_len.remove(&sender);
+                    self.wake(sender, WakeCode::Ok)
+                } else {
+                    Err("immediate receive the spec says must block".into())
+                }
+            }
+
+            ObsEvent::MtxCreate { id, policy } => {
+                self.mtxs.insert(
+                    id.raw(),
+                    MtxM {
+                        policy,
+                        owner: None,
+                        q: Queue::new(!matches!(policy, MtxPolicy::Fifo)),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::MtxLock { id, tid } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                let mtx = self
+                    .mtxs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if let Some(owner) = mtx.owner {
+                    return Err(format!(
+                        "immediate lock of a mutex the spec says tsk{owner} owns"
+                    ));
+                }
+                mtx.owner = Some(tid);
+                self.task_mut(tid)?.held.push(id.raw());
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::MtxUnlock { id, tid } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                let id = id.raw();
+                let owner = self
+                    .mtxs
+                    .get(&id)
+                    .ok_or_else(|| format!("unknown mtx{id}"))?
+                    .owner;
+                if owner != Some(tid) {
+                    return Err(format!(
+                        "unlock by tsk{tid} of a mutex the spec says {owner:?} owns"
+                    ));
+                }
+                self.task_mut(tid)?.held.retain(|m| *m != id);
+                self.release_mutex(id)?;
+                self.recompute_priorities();
+                Ok(())
+            }
+
+            ObsEvent::MpfCreate {
+                id,
+                blocks,
+                pri_order,
+            } => {
+                self.mpfs.insert(
+                    id.raw(),
+                    MpfM {
+                        total: blocks,
+                        free: blocks,
+                        q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::MpfTake { id, tid } => {
+                self.require_running(tid.raw())?;
+                let pool = self
+                    .mpfs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if !pool.q.is_empty() {
+                    return Err("immediate block acquisition barged past waiting tasks".into());
+                }
+                if pool.free == 0 {
+                    return Err("immediate block acquisition from an exhausted pool".into());
+                }
+                pool.free -= 1;
+                Ok(())
+            }
+            ObsEvent::MpfRel { id } => {
+                let pool = self
+                    .mpfs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if let Some(waiter) = pool.q.pop() {
+                    // Direct handoff: the block never returns to the
+                    // free list.
+                    self.wake(waiter, WakeCode::Ok)?;
+                } else {
+                    if pool.free >= pool.total {
+                        return Err("release would exceed the pool's block count".into());
+                    }
+                    pool.free += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases a mutex whose owner gives it up (unlock or exit):
+    /// ownership transfers to the head waiter (who wakes), or clears.
+    fn release_mutex(&mut self, id: u32) -> Er {
+        let mtx = self
+            .mtxs
+            .get_mut(&id)
+            .ok_or_else(|| format!("unknown mtx{id}"))?;
+        match mtx.q.pop() {
+            Some(next) => {
+                mtx.owner = Some(next);
+                self.task_mut(next)?.held.push(id);
+                self.wake(next, WakeCode::Ok)?;
+            }
+            None => mtx.owner = None,
+        }
+        Ok(())
+    }
+
+    /// Verifies that, per the spec, the operation behind `obj` cannot
+    /// complete immediately for `tid` (the kernel decided to block).
+    fn check_would_block(&self, tid: Tid, obj: &WaitObj) -> Er {
+        let blocks = match *obj {
+            WaitObj::Sleep | WaitObj::Delay | WaitObj::Mpl(..) => true,
+            WaitObj::Sem(id, cnt) => self
+                .sems
+                .get(&id.raw())
+                .is_none_or(|s| !(s.q.is_empty() && s.count >= cnt)),
+            WaitObj::Flag(id, ptn, mode) => self
+                .flags
+                .get(&id.raw())
+                .is_none_or(|f| !flag_satisfied(f.pattern, ptn, mode)),
+            WaitObj::Mbx(id) => self.mbxs.get(&id.raw()).is_none_or(|m| m.msgs == 0),
+            WaitObj::MbfSend(id, len) => self.mbfs.get(&id.raw()).is_none_or(|m| {
+                let direct = m.msgs.is_empty() && m.send_q.is_empty() && !m.recv_q.is_empty();
+                let fits = m.send_q.is_empty() && m.used + len <= m.bufsz;
+                !(direct || fits)
+            }),
+            WaitObj::MbfRecv(id) => self
+                .mbfs
+                .get(&id.raw())
+                .is_none_or(|m| m.msgs.is_empty() && m.send_q.is_empty()),
+            WaitObj::Mtx(id) => self
+                .mtxs
+                .get(&id.raw())
+                .is_none_or(|m| m.owner.is_some() && m.owner != Some(tid)),
+            WaitObj::Mpf(id) => self
+                .mpfs
+                .get(&id.raw())
+                .is_none_or(|p| !(p.q.is_empty() && p.free > 0)),
+        };
+        if blocks {
+            Ok(())
+        } else {
+            Err(format!(
+                "kernel blocked on {} but the spec says the request completes immediately",
+                obj.describe()
+            ))
+        }
+    }
+}

@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 
 use rtk_analysis::json_escape;
+use rtk_analysis::oracle_report::{divergences_json, DivergenceRecord};
 use rtk_analysis::percentile::Summary;
 
 use crate::build::ScenarioOutcome;
@@ -58,6 +59,11 @@ pub struct Aggregate {
     /// Scenarios whose engine run starved (event queue went dead
     /// before the horizon — impossible with a healthy periodic tick).
     pub engine_starved: u64,
+    /// Kernel decisions replayed through the oracle over the whole
+    /// campaign (0 when the oracle was off).
+    pub oracle_events: u64,
+    /// Scenarios whose decision stream diverged from the spec.
+    pub diverged: u64,
 }
 
 impl CampaignReport {
@@ -88,6 +94,8 @@ impl CampaignReport {
             agg.stalled += u64::from(o.stalled);
             agg.livelocked += u64::from(o.engine_outcome == "delta_limit");
             agg.engine_starved += u64::from(o.engine_outcome == "starved");
+            agg.oracle_events += o.oracle_events;
+            agg.diverged += u64::from(o.divergence.is_some());
         }
         agg.latency_us = Summary::of(&mut latencies);
         agg.dispatches = Summary::of(&mut dispatches);
@@ -122,6 +130,8 @@ impl CampaignReport {
             .map(|o| {
                 let why = if let Some(msg) = &o.panicked {
                     format!("panicked: {msg}")
+                } else if let Some((_, d)) = &o.divergence {
+                    format!("oracle divergence: {d}")
                 } else if o.stalled {
                     "stalled (task stopped completing jobs)".to_string()
                 } else if o.engine_outcome == "starved" {
@@ -130,6 +140,22 @@ impl CampaignReport {
                     "delta-cycle livelock".to_string()
                 };
                 (o.seed, why)
+            })
+            .collect()
+    }
+
+    /// Divergence records for the oracle section of the report.
+    pub fn divergences(&self) -> Vec<DivergenceRecord> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| {
+                o.divergence
+                    .as_ref()
+                    .map(|(index, detail)| DivergenceRecord {
+                        seed: o.seed,
+                        event_index: *index,
+                        detail: detail.clone(),
+                    })
             })
             .collect()
     }
@@ -145,6 +171,7 @@ impl CampaignReport {
         let _ = writeln!(j, "  \"seeds\": {},", self.cfg.seeds);
         let _ = writeln!(j, "  \"quick\": {},", self.cfg.tuning.quick);
         let _ = writeln!(j, "  \"faults\": {},", self.cfg.tuning.faults);
+        let _ = writeln!(j, "  \"oracle\": {},", self.cfg.oracle);
         let _ = writeln!(j, "  \"campaign_digest\": \"{:016x}\",", self.digest());
         let _ = writeln!(j, "  \"scenarios\": {},", self.outcomes.len());
         let _ = writeln!(j, "  \"releases\": {},", agg.releases);
@@ -155,6 +182,12 @@ impl CampaignReport {
         let _ = writeln!(j, "  \"stalled\": {},", agg.stalled);
         let _ = writeln!(j, "  \"livelocked\": {},", agg.livelocked);
         let _ = writeln!(j, "  \"engine_starved\": {},", agg.engine_starved);
+        let _ = writeln!(j, "  \"oracle_events\": {},", agg.oracle_events);
+        let _ = writeln!(
+            j,
+            "  \"oracle_divergences\": {},",
+            divergences_json(&self.divergences())
+        );
         write_summary(&mut j, "latency_us", &agg.latency_us);
         write_summary(&mut j, "dispatches", &agg.dispatches);
         write_summary(&mut j, "preemptions", &agg.preemptions);
@@ -205,6 +238,7 @@ mod tests {
                 quick: true,
                 faults: true,
             },
+            oracle: true,
         };
         let outcomes = run_campaign(&cfg);
         CampaignReport::new(cfg, outcomes)
@@ -234,6 +268,27 @@ mod tests {
         // crude but effective given the fixed writer.
         assert!(j.starts_with("{\n"));
         assert!(j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn empty_campaign_report_is_valid_and_healthy() {
+        // `--seeds 0`: no scenarios, but the report must still be a
+        // well-formed document with all-zero aggregates (the CLI path
+        // exits 0 on it).
+        let cfg = CampaignConfig {
+            seeds: 0,
+            ..CampaignConfig::default()
+        };
+        let r = CampaignReport::new(cfg, Vec::new());
+        assert!(r.all_healthy());
+        assert!(r.failures().is_empty());
+        let agg = r.aggregate();
+        assert_eq!(agg.completions, 0);
+        assert_eq!(agg.latency_us.count, 0);
+        let j = r.to_json();
+        assert!(j.contains("\"scenarios\": 0"));
+        assert!(j.contains("\"oracle_divergences\": []"));
+        assert!(j.starts_with("{\n") && j.ends_with("]\n}\n"));
     }
 
     #[test]

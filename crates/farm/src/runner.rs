@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use crate::build::{run_scenario, ScenarioOutcome};
+use crate::build::{run_scenario_checked, ScenarioOutcome};
 use crate::scenario::{ScenarioSpec, Tuning};
 
 /// Campaign parameters (the CLI surface).
@@ -31,6 +31,9 @@ pub struct CampaignConfig {
     pub threads: usize,
     /// Generator knobs shared by every scenario.
     pub tuning: Tuning,
+    /// Replay every scenario through the differential ITRON oracle; a
+    /// divergence makes the scenario unhealthy.
+    pub oracle: bool,
 }
 
 impl Default for CampaignConfig {
@@ -40,6 +43,7 @@ impl Default for CampaignConfig {
             seeds: 256,
             threads: 0,
             tuning: Tuning::default(),
+            oracle: false,
         }
     }
 }
@@ -123,7 +127,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
                 while let Some(idx) = next_job(w, queues) {
                     let seed = cfg.base_seed + idx as u64;
                     let spec = ScenarioSpec::generate(seed, &cfg.tuning);
-                    let outcome = run_scenario(&spec);
+                    let outcome = run_scenario_checked(&spec, cfg.oracle);
                     *slots[idx].lock().unwrap() = Some(outcome);
                 }
             });
@@ -153,6 +157,7 @@ mod tests {
                 quick: true,
                 faults: true,
             },
+            oracle: false,
         }
     }
 

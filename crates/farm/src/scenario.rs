@@ -10,10 +10,12 @@
 //! into a campaign: periodic tasks released by cyclic handlers (the
 //! video-game frame/input pattern), optional blocking topologies over
 //! kernel objects (semaphore critical sections, mailbox pipelines,
-//! event-flag barriers), optional external interrupt storms through the
-//! BFM path (§ interrupt nesting), and optional fault injection
-//! (dropped interrupt requests, delayed releases) in the spirit of the
-//! FreeRTOS dependability campaigns in PAPERS.md.
+//! event-flag barriers, inheritance/ceiling mutex chains with timed
+//! locks, bounded message-buffer pipelines, undersized fixed memory
+//! pools), optional external interrupt storms through the BFM path
+//! (§ interrupt nesting), and optional fault injection (dropped
+//! interrupt requests, delayed releases) in the spirit of the FreeRTOS
+//! dependability campaigns in PAPERS.md.
 
 use crate::rng::FarmRng;
 
@@ -44,6 +46,23 @@ pub enum Topology {
     /// Every task sets its bit in a shared event flag; a low-priority
     /// collector task waits for the AND of all bits (with clear).
     FlagBarrier,
+    /// All tasks guard their critical section with one shared mutex
+    /// (priority inversion under preemption); `ceiling` selects
+    /// `TA_CEILING` over `TA_INHERIT`. Locks use a finite timeout, so
+    /// contention also exercises the timeout path.
+    MtxChain {
+        /// `TA_CEILING` when `true`, `TA_INHERIT` otherwise.
+        ceiling: bool,
+    },
+    /// Every task sends a completion record into a small shared message
+    /// buffer; a low-priority drain task receives in a loop. The buffer
+    /// is sized to fill up, so senders block and rendezvous handoffs
+    /// occur.
+    MbfPipeline,
+    /// Tasks hold a block from an undersized fixed memory pool across
+    /// their job body, so the pool wait queue stays busy and released
+    /// blocks are handed to waiters directly.
+    MpfPool,
 }
 
 impl Topology {
@@ -54,6 +73,10 @@ impl Topology {
             Topology::SemChain => "sem_chain",
             Topology::MbxPipeline => "mbx_pipeline",
             Topology::FlagBarrier => "flag_barrier",
+            Topology::MtxChain { ceiling: false } => "mtx_inherit",
+            Topology::MtxChain { ceiling: true } => "mtx_ceiling",
+            Topology::MbfPipeline => "mbf_pipeline",
+            Topology::MpfPool => "mpf_pool",
         }
     }
 }
@@ -163,11 +186,16 @@ impl ScenarioSpec {
             });
         }
 
-        let topology = match rng.below(4) {
+        let topology = match rng.below(7) {
             0 => Topology::Independent,
             1 => Topology::SemChain,
             2 => Topology::MbxPipeline,
-            _ => Topology::FlagBarrier,
+            3 => Topology::FlagBarrier,
+            4 => Topology::MtxChain {
+                ceiling: rng.chance(1, 2),
+            },
+            5 => Topology::MbfPipeline,
+            _ => Topology::MpfPool,
         };
 
         let storm = if rng.chance(3, 5) {

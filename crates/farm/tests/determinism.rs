@@ -61,6 +61,7 @@ proptest! {
             seeds: nseeds,
             threads: 1,
             tuning: quick(true),
+            oracle: true,
         };
         let cfgn = CampaignConfig { threads, ..cfg1.clone() };
 
@@ -80,6 +81,7 @@ fn campaign_json_is_stable_across_repeated_runs() {
         seeds: 8,
         threads: 3,
         tuning: quick(true),
+        oracle: true,
     };
     let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();

@@ -130,12 +130,13 @@ impl KState {
             t.event_fired(now, id, &name);
         }
         if let Some(period) = renotify {
+            // Saturate at end-of-time: a period pushing past the `u64`
+            // picosecond range must clamp, not wrap into the past.
+            let at = now.saturating_add(period);
             let gen = self.events[id.index()].gen;
-            self.events[id.index()].pending = Pending::At(now + period);
-            self.wheel.insert(
-                (now + period).as_ps(),
-                TimedAction::FireEvent { event: id, gen },
-            );
+            self.events[id.index()].pending = Pending::At(at);
+            self.wheel
+                .insert(at.as_ps(), TimedAction::FireEvent { event: id, gen });
         }
         for (p, gen) in waiters {
             let entry = self.procs.get_mut(p);
@@ -193,8 +194,10 @@ impl KState {
             }
             WaitSpec::Time(d) => {
                 self.procs.get_mut(p).wait_kind = WaitKind::Time;
-                self.wheel
-                    .insert((now + d).as_ps(), TimedAction::WakeProc { proc: p, gen });
+                self.wheel.insert(
+                    now.saturating_add(d).as_ps(),
+                    TimedAction::WakeProc { proc: p, gen },
+                );
             }
             WaitSpec::Event(e) => {
                 self.procs.get_mut(p).wait_kind = WaitKind::Event;
@@ -203,8 +206,10 @@ impl KState {
             WaitSpec::EventTimeout(e, d) => {
                 self.procs.get_mut(p).wait_kind = WaitKind::EventTimeout;
                 self.events[e.index()].waiters.push((p, gen));
-                self.wheel
-                    .insert((now + d).as_ps(), TimedAction::WakeProc { proc: p, gen });
+                self.wheel.insert(
+                    now.saturating_add(d).as_ps(),
+                    TimedAction::WakeProc { proc: p, gen },
+                );
             }
             WaitSpec::AnyEvent(list) => {
                 self.procs.get_mut(p).wait_kind = WaitKind::Any;
@@ -267,7 +272,7 @@ impl KState {
         if delay.is_zero() {
             return self.notify_delta_locked(e);
         }
-        let at = self.now + delay;
+        let at = self.now.saturating_add(delay);
         let ev = &mut self.events[e.index()];
         match ev.pending {
             Pending::Delta => return,

@@ -208,6 +208,89 @@ proptest! {
         prop_assert_eq!(fired, expect);
     }
 
+    /// Same wheel-vs-heap differential, but with deadline deltas spread
+    /// over the full `u64` range (far beyond one rotation of any wheel
+    /// level) and advances to arbitrary non-deadline targets, so
+    /// high-level cascades and partial-slot re-filing are exercised.
+    /// A long deadline must come back out at its exact residual — never
+    /// early, never saturated to a nearer slot.
+    #[test]
+    fn wheel_preserves_residuals_beyond_one_rotation(
+        ops in proptest::collection::vec((0u32..64, any::<u64>(), 0u8..3), 1..120),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel: sysc::TimingWheel<u64> = sysc::TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut due = Vec::new();
+
+        for (magnitude, raw, kind) in ops {
+            // Exponentially distributed delta: up to 2^magnitude.
+            let delta = raw % (1u64 << magnitude.min(63)).max(1);
+            if kind == 0 {
+                // Advance to an arbitrary target (not necessarily a
+                // deadline) — the run_until(limit) shape.
+                let target = now.saturating_add(delta);
+                let mut expect = Vec::new();
+                while heap.peek().is_some_and(|Reverse((at, _))| *at <= target) {
+                    let Reverse(e) = heap.pop().expect("peeked");
+                    expect.push(e);
+                }
+                let expect_next = expect
+                    .iter()
+                    .map(|&(at, _)| at)
+                    .chain(heap.peek().map(|Reverse((at, _))| *at))
+                    .min();
+                prop_assert_eq!(wheel.next_at(), expect_next);
+                due.clear();
+                wheel.advance_to(target, &mut due);
+                let got: Vec<(u64, u64)> = due.iter().map(|e| (e.at, e.action)).collect();
+                prop_assert_eq!(got, expect, "divergence advancing to {}", target);
+                now = target;
+            } else {
+                let at = now.saturating_add(delta);
+                heap.push(Reverse((at, seq)));
+                wheel.insert(at, seq);
+                seq += 1;
+            }
+        }
+        let mut expect = Vec::new();
+        while let Some(Reverse(e)) = heap.pop() {
+            expect.push(e);
+        }
+        due.clear();
+        wheel.advance_to(u64::MAX, &mut due);
+        let got: Vec<(u64, u64)> = due.iter().map(|e| (e.at, e.action)).collect();
+        prop_assert_eq!(got, expect, "final drain diverged");
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// A timeout so large that `now + d` exceeds the representable time
+    /// range must clamp to end-of-time (effectively never) — not wrap
+    /// around and fire immediately. The event path must still win.
+    #[test]
+    fn huge_timeouts_never_fire_early(fire_at_us in 1u64..5_000) {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let e = h.create_event("e");
+        let woke: Arc<Mutex<Vec<(u64, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let w = Arc::clone(&woke);
+        h.spawn_thread("waiter", SpawnMode::Immediate, move |ctx| {
+            // Effectively-forever timeout: would overflow `u64` ps.
+            let outcome = ctx.wait_event_timeout(e, SimTime::MAX);
+            w.lock()
+                .unwrap()
+                .push((ctx.now().as_us(), outcome == sysc::WaitOutcome::Fired));
+        });
+        h.notify_after(e, SimTime::from_us(fire_at_us));
+        sim.run_until(SimTime::from_ms(100));
+        let woke = woke.lock().unwrap().clone();
+        prop_assert_eq!(woke, vec![(fire_at_us, true)]);
+    }
+
     /// Killing random subsets of processes never deadlocks the engine
     /// and the survivors finish.
     #[test]

@@ -16,6 +16,8 @@ fn main() {
             quick: true,
             faults: true,
         },
+        // Check every kernel decision against the ITRON reference model.
+        oracle: true,
     };
 
     // Every seed names a complete scenario; show a few.
