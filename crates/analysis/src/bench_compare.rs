@@ -1,0 +1,198 @@
+//! Bench-artifact comparison: diff two `criterion`-shim
+//! `BENCH_<bench>.json` files with a regression tolerance.
+//!
+//! The criterion shim writes one record per benchmark (`group`, `name`,
+//! `min_ns`/`mean_ns`/`max_ns`). CI runs the bench suite, then gates on
+//! [`compare`]: a benchmark regresses only when its fresh mean exceeds
+//! the baseline mean by **both** the tolerance ratio and an absolute
+//! floor — shared runners are noisy, so the default gate is generous
+//! (it exists to catch order-of-magnitude perf losses, not percent
+//! drift; trend analysis reads the uploaded artifacts instead).
+//!
+//! The parser is hand-rolled for exactly the shim's fixed, line-oriented
+//! output (the workspace has no JSON dependency by design).
+
+use std::fmt;
+
+/// One benchmark's summary, parsed from a shim artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Benchmark group (e.g. `sim_engine`).
+    pub group: String,
+    /// Benchmark name (e.g. `thread_handoff_x10k`).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: u128,
+}
+
+/// Verdict for one benchmark present in both artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchDelta {
+    /// The benchmark (group/name key).
+    pub key: String,
+    /// Baseline mean (ns).
+    pub base_ns: u128,
+    /// Fresh mean (ns).
+    pub fresh_ns: u128,
+    /// `true` when the fresh mean breaks the gate.
+    pub regressed: bool,
+}
+
+impl BenchDelta {
+    /// fresh/base as a ratio (`1.0` = unchanged; `>1` slower).
+    pub fn ratio(&self) -> f64 {
+        self.fresh_ns as f64 / (self.base_ns as f64).max(1.0)
+    }
+}
+
+impl fmt::Display for BenchDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.regressed {
+            "REGRESSED"
+        } else if self.fresh_ns < self.base_ns {
+            "improved"
+        } else {
+            "ok"
+        };
+        write!(
+            f,
+            "{:<40} {:>12} ns -> {:>12} ns  ({:>5.2}x)  {verdict}",
+            self.key,
+            self.base_ns,
+            self.fresh_ns,
+            self.ratio()
+        )
+    }
+}
+
+/// Extracts the string value of `"field": "value"` from a record line.
+fn str_field(line: &str, field: &str) -> Option<String> {
+    let tag = format!("\"{field}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts the numeric value of `"field": 123` from a record line.
+fn num_field(line: &str, field: &str) -> Option<u128> {
+    let tag = format!("\"{field}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses a criterion-shim artifact into its per-benchmark records
+/// (lines that don't look like result records are skipped).
+pub fn parse_bench_json(json: &str) -> Vec<BenchResult> {
+    json.lines()
+        .filter_map(|line| {
+            Some(BenchResult {
+                group: str_field(line, "group")?,
+                name: str_field(line, "name")?,
+                mean_ns: num_field(line, "mean_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Diffs `fresh` against `baseline`: every benchmark present in both is
+/// reported; one regresses when `fresh > baseline * ratio` **and**
+/// `fresh - baseline > min_delta_ns`. Benchmarks only present on one
+/// side (added or retired) are ignored.
+pub fn compare(
+    baseline: &[BenchResult],
+    fresh: &[BenchResult],
+    ratio: f64,
+    min_delta_ns: u128,
+) -> Vec<BenchDelta> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let f = fresh
+                .iter()
+                .find(|f| f.group == b.group && f.name == b.name)?;
+            let blown_ratio = f.mean_ns as f64 > b.mean_ns as f64 * ratio;
+            let blown_floor = f.mean_ns.saturating_sub(b.mean_ns) > min_delta_ns;
+            Some(BenchDelta {
+                key: format!("{}/{}", b.group, b.name),
+                base_ns: b.mean_ns,
+                fresh_ns: f.mean_ns,
+                regressed: blown_ratio && blown_floor,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "criterion-shim-bench-v1",
+  "bench": "sim_engine",
+  "results": [
+    {"group": "sim_engine", "name": "thread_handoff_x10k", "samples": 10, "min_ns": 100, "mean_ns": 1000, "max_ns": 2000},
+    {"group": "timed_queue", "name": "wheel_insert_pop_x100k", "samples": 10, "min_ns": 5, "mean_ns": 50, "max_ns": 99}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let r = parse_bench_json(SAMPLE);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].group, "sim_engine");
+        assert_eq!(r[0].name, "thread_handoff_x10k");
+        assert_eq!(r[0].mean_ns, 1000);
+        assert_eq!(r[1].mean_ns, 50);
+    }
+
+    #[test]
+    fn regression_needs_ratio_and_floor() {
+        let base = parse_bench_json(SAMPLE);
+        // 10x slower but under the absolute floor: not a regression.
+        let fresh = vec![BenchResult {
+            group: "timed_queue".into(),
+            name: "wheel_insert_pop_x100k".into(),
+            mean_ns: 500,
+        }];
+        let d = compare(&base, &fresh, 3.0, 1_000_000);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].regressed);
+        // Over both the ratio and the floor: regression.
+        let fresh = vec![BenchResult {
+            group: "sim_engine".into(),
+            name: "thread_handoff_x10k".into(),
+            mean_ns: 5_000_000,
+        }];
+        let d = compare(&base, &fresh, 3.0, 1_000_000);
+        assert!(d[0].regressed);
+        assert!(d[0].ratio() > 3.0);
+    }
+
+    #[test]
+    fn improvements_and_new_benches_pass() {
+        let base = parse_bench_json(SAMPLE);
+        let fresh = vec![
+            BenchResult {
+                group: "sim_engine".into(),
+                name: "thread_handoff_x10k".into(),
+                mean_ns: 100,
+            },
+            BenchResult {
+                group: "sim_engine".into(),
+                name: "brand_new_bench".into(),
+                mean_ns: u128::MAX,
+            },
+        ];
+        let d = compare(&base, &fresh, 3.0, 1_000_000);
+        // The new bench has no baseline; the retired one is skipped.
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].regressed);
+        assert!(d[0].ratio() < 1.0);
+        assert!(d[0].to_string().contains("improved"));
+    }
+}

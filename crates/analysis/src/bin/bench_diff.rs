@@ -1,0 +1,80 @@
+//! `bench_diff` — CI gate over criterion-shim bench artifacts.
+//!
+//! ```text
+//! bench_diff BASELINE.json FRESH.json [--ratio R] [--min-delta-ns N]
+//! ```
+//!
+//! Prints a per-benchmark table and exits 1 if any benchmark's fresh
+//! mean exceeds the baseline by more than `R`× **and** by more than
+//! `N` ns (defaults: 4.0 and 500µs — a deliberately generous gate for
+//! noisy shared runners; the artifacts carry the real trend). Exits 2
+//! on usage/IO errors.
+
+use std::process::ExitCode;
+
+use rtk_analysis::bench_compare::{compare, parse_bench_json};
+
+const USAGE: &str = "usage: bench_diff BASELINE.json FRESH.json [--ratio R] [--min-delta-ns N]";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut ratio = 4.0f64;
+    let mut min_delta_ns: u128 = 500_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ratio" => {
+                ratio = it
+                    .next()
+                    .ok_or("--ratio expects a value")?
+                    .parse()
+                    .map_err(|e| format!("--ratio: {e}"))?;
+            }
+            "--min-delta-ns" => {
+                min_delta_ns = it
+                    .next()
+                    .ok_or("--min-delta-ns expects a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-delta-ns: {e}"))?;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [base_path, fresh_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let baseline = parse_bench_json(&read(base_path)?);
+    let fresh = parse_bench_json(&read(fresh_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{base_path}: no benchmark records found"));
+    }
+    if fresh.is_empty() {
+        return Err(format!("{fresh_path}: no benchmark records found"));
+    }
+
+    let deltas = compare(&baseline, &fresh, ratio, min_delta_ns);
+    println!("bench_diff: {base_path} -> {fresh_path} (gate: >{ratio}x and >{min_delta_ns} ns)");
+    for d in &deltas {
+        println!("  {d}");
+    }
+    let regressed: Vec<_> = deltas.iter().filter(|d| d.regressed).collect();
+    if regressed.is_empty() {
+        println!("bench_diff: OK ({} benchmarks compared)", deltas.len());
+        Ok(true)
+    } else {
+        println!("bench_diff: {} benchmark(s) REGRESSED", regressed.len());
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_compare;
 pub mod energy;
 pub mod export;
 pub mod gantt;

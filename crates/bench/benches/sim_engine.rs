@@ -53,6 +53,22 @@ fn method_cascade(events: u64) {
     sim.run_to_completion();
 }
 
+/// One solitary process consuming `n` back-to-back time slices: the
+/// RTOS layer's quantum-consume shape. Served by the fast-forward run
+/// budget (grant batching) — time advances in place with no baton
+/// handoff and no wheel traffic.
+fn solo_timeslices(n: u64) {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    h.spawn_thread("solo", SpawnMode::Immediate, move |ctx| {
+        for _ in 0..n {
+            ctx.wait_time(SimTime::from_us(1));
+        }
+    });
+    sim.run_to_completion();
+    assert_eq!(sim.now(), SimTime::from_us(n));
+}
+
 /// `n` one-shot timed notifications at spread-out delays: exercises
 /// wheel insert + advance across several levels.
 fn timed_spread(n: u64) {
@@ -145,6 +161,9 @@ fn bench_engine(c: &mut Criterion) {
     });
     group.bench_function("method_events_x10k", |b| {
         b.iter(|| method_cascade(std::hint::black_box(10_000)))
+    });
+    group.bench_function("solo_timeslices_x10k", |b| {
+        b.iter(|| solo_timeslices(std::hint::black_box(10_000)))
     });
     group.bench_function("timed_spread_x10k", |b| {
         b.iter(|| timed_spread(std::hint::black_box(10_000)))

@@ -127,20 +127,45 @@ impl Shared {
         cost: Cost,
         preemptible: bool,
     ) {
+        /// What one state-lock acquisition decided about the next slice
+        /// (grant batching: the freeze check and the slice preparation
+        /// share a single lock round instead of one each).
+        enum Prep {
+            /// A freeze is pending: acknowledge via this event and park.
+            Frozen(EventId),
+            /// The budget is consumed.
+            Done,
+            /// Run the next slice.
+            Slice(EventId, crate::cost::Power),
+        }
         let mut remaining = cost.time;
         let mut explicit_pending = cost.energy;
         loop {
-            self.check_ctrl_and_park(proc, who);
-            if remaining.is_zero() {
-                break;
-            }
-            let (ctrl_ev, power) = {
+            let prep = {
                 let mut st = self.st.lock();
+                let now = proc.now();
                 let active = st.cfg.cost.active_power;
                 let rec = st.thread_mut(who);
-                rec.marking = ctx;
-                rec.prev_marking = ctx;
-                (rec.ctrl_ev, active)
+                if rec.ctrl_pending.take().is_some() {
+                    Prep::Frozen(Self::freeze_ack(&mut st, now, who))
+                } else if remaining.is_zero() {
+                    Prep::Done
+                } else {
+                    rec.marking = ctx;
+                    rec.prev_marking = ctx;
+                    Prep::Slice(rec.ctrl_ev, active)
+                }
+            };
+            let (ctrl_ev, power) = match prep {
+                Prep::Frozen(frozen_ev) => {
+                    self.h.notify(frozen_ev);
+                    self.park_until_granted(proc, who);
+                    // Loop: a freshly resumed thread can be frozen again
+                    // immediately (back-to-back interrupts).
+                    continue;
+                }
+                Prep::Done => break,
+                Prep::Slice(ctrl_ev, power) => (ctrl_ev, power),
             };
             let start = proc.now();
             let consumed = if preemptible {
@@ -228,6 +253,25 @@ impl Shared {
         self.record_resume(proc.now(), who);
     }
 
+    /// The freeze-acknowledge state transition (caller holds the state
+    /// lock and has already consumed `ctrl_pending`): marks `who`
+    /// interrupted and off-CPU, revokes its grant, records the trace
+    /// point. Returns the `frozen_ev` the caller must notify before
+    /// parking. Shared between [`Shared::check_ctrl_and_park`] and the
+    /// single-lock slice path of [`Shared::sim_wait`].
+    fn freeze_ack(st: &mut KernelState, now: SimTime, who: ThreadRef) -> EventId {
+        let rec = st.thread_mut(who);
+        rec.prev_marking = rec.marking;
+        rec.marking = ExecContext::Interrupted;
+        rec.resume_as = ResumeKind::Interrupted;
+        rec.parked = true;
+        rec.cpu_granted = false;
+        rec.stats.interruptions += 1;
+        let ev = rec.frozen_ev;
+        Shared::trace_point(st, now, who, TraceKind::InterruptEnter);
+        ev
+    }
+
     /// If a freeze request is pending against `who`, acknowledge it and
     /// park until granted again. Loops because a freshly resumed thread
     /// can be frozen again immediately (back-to-back interrupts).
@@ -238,15 +282,7 @@ impl Shared {
                 let now = proc.now();
                 let rec = st.thread_mut(who);
                 if rec.ctrl_pending.take().is_some() {
-                    rec.prev_marking = rec.marking;
-                    rec.marking = ExecContext::Interrupted;
-                    rec.resume_as = ResumeKind::Interrupted;
-                    rec.parked = true;
-                    rec.cpu_granted = false;
-                    rec.stats.interruptions += 1;
-                    let ev = rec.frozen_ev;
-                    Shared::trace_point(&st, now, who, TraceKind::InterruptEnter);
-                    Some(ev)
+                    Some(Self::freeze_ack(&mut st, now, who))
                 } else {
                     None
                 }

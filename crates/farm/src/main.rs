@@ -98,13 +98,14 @@ fn main() -> ExitCode {
     let report = CampaignReport::new(cfg, outcomes);
     let agg = report.aggregate();
 
-    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+    // The CLI report carries wall-clock throughput (digest-excluded);
+    // everything hashed by `campaign_digest` stays simulated-domain.
+    let wall_ms = wall.as_millis() as u64;
+    if let Err(e) = std::fs::write(&out_path, report.to_json_timed(wall_ms)) {
         eprintln!("rtk-farm: cannot write {out_path}: {e}");
         return ExitCode::from(2);
     }
 
-    // Wall-clock numbers go to stderr only: the JSON report must stay
-    // byte-identical across runs and thread counts.
     let n = report.outcomes.len() as f64;
     eprintln!(
         "rtk-farm: done in {:.2}s ({:.1} scenarios/s) -> {out_path}",

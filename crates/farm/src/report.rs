@@ -6,8 +6,11 @@
 //! in seed order, and the JSON writer emits fields in a fixed order
 //! with integer-only values. A fixed seed set therefore produces a
 //! byte-identical file regardless of host, thread count or run.
-//! Wall-clock throughput is printed by the CLI instead, where
-//! variation is expected.
+//! Wall-clock throughput (`wall_clock_ms`, `scenarios_per_sec`) is
+//! host-dependent by nature: the CLI records it via
+//! [`CampaignReport::to_json_timed`], but it never enters
+//! `campaign_digest`, and the plain [`CampaignReport::to_json`] the
+//! determinism tests compare omits it entirely.
 
 use std::fmt::Write as _;
 
@@ -163,6 +166,20 @@ impl CampaignReport {
     /// Renders the `BENCH_farm.json` document (deterministic; see the
     /// module docs).
     pub fn to_json(&self) -> String {
+        self.render_json(None)
+    }
+
+    /// Like [`CampaignReport::to_json`] but with wall-clock throughput
+    /// fields (`wall_clock_ms`, `scenarios_per_sec`) for perf-trajectory
+    /// tracking. These are host-dependent by nature, so they are
+    /// **excluded from `campaign_digest`** (which hashes only
+    /// simulated-domain outcomes) and omitted from the plain
+    /// [`CampaignReport::to_json`] the determinism tests compare.
+    pub fn to_json_timed(&self, wall_ms: u64) -> String {
+        self.render_json(Some(wall_ms))
+    }
+
+    fn render_json(&self, wall_ms: Option<u64>) -> String {
         let agg = self.aggregate();
         let mut j = String::with_capacity(4096);
         j.push_str("{\n");
@@ -173,6 +190,12 @@ impl CampaignReport {
         let _ = writeln!(j, "  \"faults\": {},", self.cfg.tuning.faults);
         let _ = writeln!(j, "  \"oracle\": {},", self.cfg.oracle);
         let _ = writeln!(j, "  \"campaign_digest\": \"{:016x}\",", self.digest());
+        if let Some(ms) = wall_ms {
+            // Wall-clock throughput: informational, digest-excluded.
+            let per_sec = self.outcomes.len() as u64 * 1000 / ms.max(1);
+            let _ = writeln!(j, "  \"wall_clock_ms\": {ms},");
+            let _ = writeln!(j, "  \"scenarios_per_sec\": {per_sec},");
+        }
         let _ = writeln!(j, "  \"scenarios\": {},", self.outcomes.len());
         let _ = writeln!(j, "  \"releases\": {},", agg.releases);
         let _ = writeln!(j, "  \"completions\": {},", agg.completions);
@@ -289,6 +312,24 @@ mod tests {
         assert!(j.contains("\"scenarios\": 0"));
         assert!(j.contains("\"oracle_divergences\": []"));
         assert!(j.starts_with("{\n") && j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn timed_json_adds_wall_fields_without_touching_the_digest() {
+        let r = small_campaign(2);
+        let timed = r.to_json_timed(2500);
+        assert!(timed.contains("\"wall_clock_ms\": 2500"));
+        assert!(timed.contains("\"scenarios_per_sec\": 2")); // 5 * 1000 / 2500
+        let plain = r.to_json();
+        assert!(!plain.contains("wall_clock_ms"));
+        // Identical digest line in both renderings.
+        let digest_line = |j: &str| {
+            j.lines()
+                .find(|l| l.contains("campaign_digest"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(digest_line(&timed), digest_line(&plain));
     }
 
     #[test]

@@ -106,6 +106,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
     }
     let workers = cfg.effective_threads();
 
+    // Scenario kernels lease their T-THREAD stacks from the global
+    // process pool; across a campaign the same workers serve thousands
+    // of scenarios. Pre-spawn one wave's worth (a quick scenario runs
+    // roughly 4–10 thread processes: tasks, boot, timer, storm) so the
+    // first scenarios don't pay thread-creation latency either.
+    sysc::pool::prewarm(workers.saturating_mul(8));
+
     // Static pre-split into contiguous slices, then dynamic stealing.
     let queues: Vec<WorkerQueue> = (0..workers)
         .map(|w| {

@@ -154,8 +154,12 @@ impl SimHandle {
         self.k.st.lock().procs.get(p).state == ProcState::Finished
     }
 
-    /// Spawns a thread process. The body runs on its own OS thread under
-    /// the baton protocol; it may suspend anywhere via [`ProcCtx`].
+    /// Spawns a thread process. The body runs on an OS thread leased
+    /// from the process pool ([`crate::pool`]) under the baton
+    /// protocol; it may suspend anywhere via [`ProcCtx`]. When the
+    /// body finishes the worker thread re-enlists in the pool instead
+    /// of exiting, so campaigns of many short simulations stop paying
+    /// a spawn/join per process.
     pub fn spawn_thread<F>(&self, name: &str, mode: SpawnMode, body: F) -> ProcId
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
@@ -168,31 +172,35 @@ impl SimHandle {
         };
         let handle = self.clone();
         let shared2 = Arc::clone(&shared);
-        let join = std::thread::Builder::new()
-            .name(format!("sysc:{name}"))
-            .stack_size(1 << 20)
-            .spawn(move || match shared2.await_turn() {
-                Cmd::Terminate => shared2.finish(Reply::Finished),
-                Cmd::Run(reason) => {
-                    let mut ctx = ProcCtx {
-                        handle,
-                        shared: Arc::clone(&shared2),
-                        id,
-                        last_reason: reason,
-                    };
-                    let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
-                    let reply = match result {
-                        Ok(()) => Reply::Finished,
-                        Err(p) => reply_from_panic(p),
-                    };
+        crate::pool::execute(Box::new(move || match shared2.await_cmd() {
+            // Terminated before first activation: reply through the
+            // baton (the terminator is waiting on it).
+            Cmd::Terminate => shared2.finish(Reply::Finished),
+            Cmd::Run(reason) => {
+                let k = Arc::clone(&handle.k);
+                let mut ctx = ProcCtx {
+                    handle,
+                    shared: Arc::clone(&shared2),
+                    id,
+                    last_reason: reason,
+                };
+                let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
+                drop(ctx);
+                let reply = match result {
+                    Ok(()) => Reply::Finished,
+                    Err(p) => reply_from_panic(p),
+                };
+                if shared2.is_terminating() {
+                    // kill()/teardown wait on the baton for this reply.
                     shared2.finish(reply);
+                } else {
+                    // Normal completion (including ProcCtx::exit): do
+                    // the finish bookkeeping and continue the chain.
+                    super::sched::finish_from_process(&k, id, &shared2, reply);
                 }
-            })
-            .expect("failed to spawn process thread");
+            }
+        }));
         let mut st = self.k.st.lock();
-        if let ProcBody::Thread { join: j, .. } = &mut st.procs.get_mut(id).body {
-            *j = Some(join);
-        }
         match mode {
             SpawnMode::Immediate => st.dq.runnable.push_back(id),
             SpawnMode::WaitEvent(e) => {

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::ids::{EventId, ProcId};
-use crate::process::{raise_terminate, Cmd, ProcShared, Reply, WaitSpec, WakeReason};
+use crate::process::{raise_terminate, Cmd, Gate, ProcShared, WaitSpec, WakeReason};
 use crate::time::SimTime;
 use crate::trace::{KernelStats, Tracer};
 
@@ -76,6 +76,10 @@ pub(crate) struct Kernel {
     /// Mirrors `st.tracer.is_some()` so hot paths can skip tracing
     /// without taking the lock.
     pub(crate) tracing: AtomicBool,
+    /// The kernel thread's rendezvous for chained dispatch: it parks
+    /// here while process threads hand the baton among themselves, and
+    /// is signalled when the chain needs the kernel (see [`sched`]).
+    pub(crate) gate: Gate,
 }
 
 impl Kernel {
@@ -84,6 +88,7 @@ impl Kernel {
             st: Mutex::new(KState::new()),
             current: AtomicU32::new(CURRENT_NONE),
             tracing: AtomicBool::new(false),
+            gate: Gate::new(),
         }
     }
 }
@@ -201,19 +206,18 @@ impl Simulation {
 
 impl Drop for Simulation {
     fn drop(&mut self) {
-        // Terminate every live thread process, then reap the OS threads.
-        let mut joins = Vec::new();
+        // Terminate every live thread process. The terminate handshake
+        // is synchronous (the reply arrives only after the body has
+        // unwound), and the backing pool workers re-enlist in the
+        // ProcPool on their own — there is nothing to join.
         let mut shareds = Vec::new();
         {
             let mut st = self.k.st.lock();
             for p in st.procs.iter_mut() {
-                if let ProcBody::Thread { shared, join } = &mut p.body {
+                if let ProcBody::Thread { shared } = &mut p.body {
                     if p.state != ProcState::Finished {
                         p.state = ProcState::Finished;
                         shareds.push(Arc::clone(shared));
-                    }
-                    if let Some(j) = join.take() {
-                        joins.push(j);
                     }
                 }
             }
@@ -223,9 +227,6 @@ impl Drop for Simulation {
             // Drop impl inside the process misbehaved; either way we are
             // tearing down and must not panic here.
             let _ = s.resume(Cmd::Terminate);
-        }
-        for j in joins {
-            let _ = j.join();
         }
     }
 }
@@ -270,7 +271,16 @@ impl ProcCtx {
     }
 
     fn suspend(&mut self, spec: WaitSpec) -> WakeReason {
-        match self.shared.yield_to_kernel(Reply::Yielded(spec)) {
+        // Register the wait and chain-dispatch the next runnable under
+        // one kernel-lock round — or get the wait served in place from
+        // the fast-forward run budget — then park for (or immediately
+        // take) our next turn.
+        if let Some(reason) = sched::yield_from_process(&self.handle.k, self.id, &self.shared, spec)
+        {
+            self.last_reason = reason;
+            return reason;
+        }
+        match self.shared.await_cmd() {
             Cmd::Run(reason) => {
                 self.last_reason = reason;
                 reason
@@ -281,6 +291,12 @@ impl ProcCtx {
 
     /// Suspends for a duration of simulated time. A zero duration waits
     /// one delta cycle (SystemC `wait(SC_ZERO_TIME)`).
+    ///
+    /// When this process is the only activity before `now + d` (no
+    /// runnable process, no pending delta work, no timed action at or
+    /// before the deadline), the wait is served from the fast-forward
+    /// run budget: simulated time advances in place, with no engine
+    /// round trip (see [`crate::kernel`]'s scheduler docs).
     pub fn wait_time(&mut self, d: SimTime) {
         self.suspend(WaitSpec::Time(d));
     }
@@ -291,6 +307,11 @@ impl ProcCtx {
     }
 
     /// Suspends until `e` fires or `timeout` elapses.
+    ///
+    /// Like [`ProcCtx::wait_time`], a wait that provably cannot be
+    /// interrupted before its deadline — nothing runnable, and `e`
+    /// cannot fire without some other activity running first — is
+    /// served from the fast-forward run budget without suspending.
     pub fn wait_event_timeout(&mut self, e: EventId, timeout: SimTime) -> WaitOutcome {
         match self.suspend(WaitSpec::EventTimeout(e, timeout)) {
             WakeReason::Fired(_) => WaitOutcome::Fired,

@@ -49,8 +49,11 @@ impl MethodSlot {
 
 pub(crate) enum ProcBody {
     Thread {
+        /// The baton rendezvous. The backing OS thread is a
+        /// [`crate::pool`] worker leased for the process lifetime —
+        /// there is no join handle; teardown is the terminate
+        /// handshake, after which the worker re-enlists in the pool.
         shared: Arc<ProcShared>,
-        join: Option<std::thread::JoinHandle<()>>,
     },
     Method {
         slot: Arc<MethodSlot>,
@@ -82,7 +85,7 @@ impl ProcEntry {
     pub(crate) fn new_thread(name: &str, shared: Arc<ProcShared>) -> Self {
         ProcEntry {
             name: name.to_string(),
-            body: ProcBody::Thread { shared, join: None },
+            body: ProcBody::Thread { shared },
             state: ProcState::Ready,
             wait_kind: WaitKind::None,
             wait_gen: 0,

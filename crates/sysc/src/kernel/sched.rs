@@ -5,16 +5,45 @@
 //! # Lock discipline
 //!
 //! All kernel state lives behind one mutex ([`Kernel::st`]). The lock
-//! is **never** held while a process body runs: the kernel releases it
-//! before handing the baton to a thread process or invoking a method
-//! callback, so process bodies are free to call any
-//! [`super::SimHandle`] API. Method callbacks additionally run off a
-//! per-process [`super::procs::MethodSlot`] so no second kernel-lock
-//! acquisition is needed per activation (the fast path), and tracer
-//! hooks are the only reason the slow path re-locks.
+//! is **never** held while a process body runs: it is released before
+//! the baton is handed to a thread process and before a method
+//! callback is invoked, so process bodies are free to call any
+//! [`super::SimHandle`] API.
+//!
+//! # Chained dispatch
+//!
+//! The phase loop is one pure state-transition function, [`next_step`],
+//! shared by two drivers:
+//!
+//! * the **kernel thread** ([`run_kernel`]) — runs method callbacks and
+//!   signal updates, and returns the [`RunOutcome`];
+//! * the **yielding process thread** ([`yield_from_process`]) — after
+//!   registering its own wait it calls [`next_step`] under the kernel
+//!   lock and, when the next runnable is another thread process, hands
+//!   the baton *directly* to it. In thread-to-thread steady state
+//!   (exactly the paper's co-simulation shape: T-THREADs exchanging
+//!   the CPU through kernel objects) the kernel thread never wakes:
+//!   every handoff is one unpark instead of the
+//!   process→kernel→process double wake.
+//!
+//! The kernel thread parks on [`Kernel::gate`] while a chain runs and
+//! is signalled when the chain needs it: a method process is due, the
+//! update phase has work, the run reached an outcome, or a process
+//! panicked ([`KState::pending_panic`] ferries the payload).
+//!
+//! # The fast-forward run budget (grant batching)
+//!
+//! A suspending process that can prove it is the *only* activity before
+//! its own wake deadline — no runnable process, no pending delta
+//! activity or updates, no timed action at or before the deadline, the
+//! deadline within the run limit — does not need the engine at all: it
+//! advances simulated time itself under one lock acquisition
+//! ([`KState::try_fast_forward`]) and keeps running. Consecutive
+//! time-consume slices of one thread (the RTOS layer's quantum loop)
+//! then cost one mutex acquisition each instead of a baton round trip.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crate::ids::{EventId, ProcId};
@@ -81,6 +110,15 @@ pub(crate) struct KState {
     pub(crate) stats: KernelStats,
     pub(crate) in_run: bool,
     pub(crate) max_deltas_per_timestep: u64,
+    /// The `run_until` limit of the active run (valid while `in_run`);
+    /// read by chained dispatch and the fast-forward budget check.
+    pub(crate) run_limit: SimTime,
+    /// Delta cycles at the current timestep (shared between the kernel
+    /// loop and chained dispatch; reset on every time advance).
+    pub(crate) deltas_this_step: u64,
+    /// A process-body panic caught on a process thread, to be re-raised
+    /// by the kernel thread when the gate hands control back.
+    pub(crate) pending_panic: Option<Box<dyn std::any::Any + Send>>,
     /// Reused buffer of due wheel entries (advance-time phase).
     due: Vec<TimedEntry<TimedAction>>,
 }
@@ -97,6 +135,9 @@ impl KState {
             stats: KernelStats::default(),
             in_run: false,
             max_deltas_per_timestep: 1_000_000,
+            run_limit: SimTime::ZERO,
+            deltas_this_step: 0,
+            pending_panic: None,
             due: Vec::new(),
         }
     }
@@ -285,51 +326,118 @@ impl KState {
         self.wheel
             .insert(at.as_ps(), TimedAction::FireEvent { event: e, gen });
     }
-}
 
-/// What the evaluate phase decided to run for one popped process.
-enum Runner {
-    Thread(Arc<ProcShared>, WakeReason),
-    Method(Arc<MethodSlot>, Option<EventId>),
-    Skip,
-}
-
-/// The scheduler entry point (used by `Simulation::run_until`).
-pub(crate) fn run_kernel(k: &Arc<Kernel>, limit: SimTime) -> RunOutcome {
-    {
-        let mut st = k.st.lock();
-        assert!(!st.in_run, "Simulation::run_* is not reentrant");
-        st.in_run = true;
+    /// Advances `now` to `to`, with stats/tracer bookkeeping; idempotent
+    /// when `now` is already there.
+    fn advance_now_to(&mut self, to: SimTime) {
+        let old = self.now;
+        if old == to {
+            return;
+        }
+        self.now = to;
+        self.stats.time_advances += 1;
+        if let Some(t) = &self.tracer {
+            t.time_advanced(old, to);
+        }
     }
-    let outcome = run_kernel_inner(k, limit);
-    k.st.lock().in_run = false;
-    match outcome {
-        Ok(o) => o,
-        Err(payload) => panic::resume_unwind(payload),
+
+    /// The fast-forward run budget: if the calling (running) process is
+    /// provably the only activity before `now + d`, advance simulated
+    /// time in place and return `true` — the process keeps the baton
+    /// and no engine round trip happens. See the module docs.
+    pub(crate) fn try_fast_forward(&mut self, d: SimTime) -> bool {
+        if !self.in_run || self.tracer.is_some() {
+            return false;
+        }
+        if !self.dq.runnable.is_empty()
+            || !self.dq.next_delta_runnable.is_empty()
+            || !self.dq.delta_notified.is_empty()
+            || !self.dq.updates.is_empty()
+        {
+            return false;
+        }
+        let deadline = self.now.saturating_add(d);
+        if deadline <= self.now || deadline > self.run_limit {
+            return false;
+        }
+        // Any timed action at or before the deadline — including one
+        // scheduled for the exact same instant, whose delivery order
+        // matters — forces the ordinary engine path.
+        if let Some(next) = self.wheel.next_at() {
+            if next <= deadline.as_ps() {
+                return false;
+            }
+        }
+        self.deltas_this_step = 0;
+        self.stats.fast_forwards += 1;
+        self.advance_now_to(deadline);
+        true
     }
 }
 
-fn run_kernel_inner(
-    k: &Arc<Kernel>,
-    limit: SimTime,
-) -> Result<RunOutcome, Box<dyn std::any::Any + Send>> {
-    let mut deltas_this_step: u64 = 0;
+/// What the phase loop decided must happen next.
+pub(crate) enum NextStep {
+    /// Hand the baton to this thread process.
+    Thread(ProcId, Arc<ProcShared>, WakeReason),
+    /// Run this method callback (kernel thread only).
+    Method(ProcId, Arc<MethodSlot>, Option<EventId>),
+    /// The update phase has work (kernel thread only).
+    Updates,
+    /// Chained dispatch cannot continue; the kernel thread must decide.
+    WakeKernel,
+    /// The run is over.
+    Outcome(RunOutcome),
+}
+
+/// Dispatch bookkeeping shared by both drivers: the `current` marker,
+/// activation counter and tracer hook.
+fn dispatch_bookkeeping(st: &mut KState, current: &AtomicU32, pid: ProcId) {
+    current.store(pid.index() as u32, Ordering::Relaxed);
+    st.stats.process_runs += 1;
+    if let Some(t) = &st.tracer {
+        let name = st.procs.get(pid).name.clone();
+        t.process_dispatched(st.now, pid, &name);
+    }
+}
+
+/// One turn of the phase engine: runs evaluate/update/delta-notify/
+/// advance-time bookkeeping until something must execute (or the run is
+/// over). Caller holds the kernel lock.
+///
+/// With `from_process` the caller is a yielding process thread chaining
+/// the dispatch: anything only the kernel thread may do (method
+/// callbacks, signal updates, returning an outcome) yields
+/// [`NextStep::WakeKernel`] instead, leaving the state for the kernel
+/// to re-derive — all such exits are idempotent.
+pub(crate) fn next_step(st: &mut KState, current: &AtomicU32, from_process: bool) -> NextStep {
     loop {
-        // ---- Evaluate phase -------------------------------------------------
-        loop {
-            let (pid, runner) = {
-                let mut st = k.st.lock();
-                let Some(pid) = st.dq.runnable.pop_front() else {
-                    break;
-                };
+        if st.deltas_this_step > st.max_deltas_per_timestep {
+            return if from_process {
+                NextStep::WakeKernel
+            } else {
+                NextStep::Outcome(RunOutcome::DeltaLimitExceeded)
+            };
+        }
+
+        // ---- Evaluate phase: pop the next runnable process ------------
+        while let Some(pid) = st.dq.runnable.pop_front() {
+            enum Picked {
+                Thread(Arc<ProcShared>, WakeReason),
+                Method(Arc<MethodSlot>, Option<EventId>),
+                Defer,
+                Skip,
+            }
+            let picked = {
                 let entry = st.procs.get_mut(pid);
-                let runner = match (&mut entry.body, entry.state) {
-                    (_, ProcState::Finished) => Runner::Skip,
-                    (ProcBody::Thread { shared, .. }, ProcState::Ready) => {
+                match (&mut entry.body, entry.state) {
+                    (_, ProcState::Finished) => Picked::Skip,
+                    (ProcBody::Thread { shared }, ProcState::Ready) => {
                         entry.state = ProcState::Running;
                         let reason = entry.pending_reason;
-                        Runner::Thread(Arc::clone(shared), reason)
+                        Picked::Thread(Arc::clone(shared), reason)
                     }
+                    // Methods run on the kernel thread only.
+                    (ProcBody::Method { .. }, _) if from_process => Picked::Defer,
                     (
                         ProcBody::Method {
                             slot,
@@ -340,173 +448,276 @@ fn run_kernel_inner(
                     ) => {
                         *queued = false;
                         let trig = trigger.take();
-                        Runner::Method(Arc::clone(slot), trig)
+                        Picked::Method(Arc::clone(slot), trig)
                     }
-                    _ => Runner::Skip,
+                    _ => Picked::Skip,
+                }
+            };
+            match picked {
+                Picked::Skip => continue,
+                Picked::Defer => {
+                    st.dq.runnable.push_front(pid);
+                    return NextStep::WakeKernel;
+                }
+                Picked::Thread(shared, reason) => {
+                    dispatch_bookkeeping(st, current, pid);
+                    return NextStep::Thread(pid, shared, reason);
+                }
+                Picked::Method(slot, trig) => {
+                    dispatch_bookkeeping(st, current, pid);
+                    return NextStep::Method(pid, slot, trig);
+                }
+            }
+        }
+
+        // ---- Update phase (callbacks run outside the lock) ------------
+        if !st.dq.updates.is_empty() {
+            return if from_process {
+                NextStep::WakeKernel
+            } else {
+                NextStep::Updates
+            };
+        }
+
+        // ---- Delta-notify phase ---------------------------------------
+        let evs = std::mem::take(&mut st.dq.delta_notified);
+        for e in evs {
+            if st.events[e.index()].pending == Pending::Delta {
+                st.fire_event(e);
+            }
+        }
+        while let Some(p) = st.dq.next_delta_runnable.pop_front() {
+            if st.procs.get(p).state == ProcState::Waiting {
+                st.wake(p, WakeReason::Yielded);
+            }
+        }
+        if !st.dq.runnable.is_empty() {
+            st.stats.delta_cycles += 1;
+            st.deltas_this_step += 1;
+            if let Some(t) = &st.tracer {
+                t.delta_cycle(st.now, st.deltas_this_step);
+            }
+            continue;
+        }
+
+        // ---- Advance-time phase ---------------------------------------
+        let at = match st.wheel.next_at().map(SimTime::from_ps) {
+            None => {
+                return if from_process {
+                    NextStep::WakeKernel
+                } else {
+                    NextStep::Outcome(RunOutcome::Starved)
                 };
-                if !matches!(runner, Runner::Skip) {
-                    k.current.store(pid.index() as u32, Ordering::Relaxed);
-                    st.stats.process_runs += 1;
-                    if let Some(t) = &st.tracer {
-                        let name = st.procs.get(pid).name.clone();
-                        t.process_dispatched(st.now, pid, &name);
+            }
+            Some(at) if at > st.run_limit => {
+                let limit = st.run_limit;
+                st.advance_now_to(limit);
+                return if from_process {
+                    NextStep::WakeKernel
+                } else {
+                    NextStep::Outcome(RunOutcome::ReachedLimit)
+                };
+            }
+            Some(at) => at,
+        };
+        st.deltas_this_step = 0;
+        st.advance_now_to(at);
+        // Deliver every action scheduled at-or-before this timestamp
+        // (in `(at, seq)` order: the wheel sorts).
+        let mut due = std::mem::take(&mut st.due);
+        st.wheel.advance_to(at.as_ps(), &mut due);
+        for entry in due.drain(..) {
+            match entry.action {
+                TimedAction::FireEvent { event, gen } => {
+                    if st.events[event.index()].gen == gen {
+                        st.fire_event(event);
                     }
                 }
-                (pid, runner)
-            };
-            match runner {
-                Runner::Skip => continue,
-                Runner::Thread(shared, reason) => {
-                    let reply = shared.resume(Cmd::Run(reason));
-                    let mut st = k.st.lock();
-                    k.current.store(CURRENT_NONE, Ordering::Relaxed);
+                TimedAction::WakeProc { proc, gen } => {
+                    let pe = st.procs.get(proc);
+                    if pe.wait_gen == gen && pe.state == ProcState::Waiting {
+                        let reason = match pe.wait_kind {
+                            WaitKind::EventTimeout => WakeReason::TimedOut,
+                            _ => WakeReason::TimeElapsed,
+                        };
+                        st.wake(proc, reason);
+                    }
+                }
+            }
+        }
+        st.due = due;
+    }
+}
+
+/// Process-side yield: the scheduler bookkeeping the kernel used to do
+/// on reply receipt, then chained dispatch — hand the baton straight to
+/// the next runnable thread process, or signal the kernel gate.
+///
+/// Time-bounded waits first try the fast-forward run budget under the
+/// same (single) lock acquisition: on success the process never
+/// suspends and the served [`WakeReason`] is returned instead.
+pub(crate) fn yield_from_process(
+    k: &Arc<Kernel>,
+    pid: ProcId,
+    shared: &ProcShared,
+    spec: WaitSpec,
+) -> Option<WakeReason> {
+    let next = {
+        let mut st = k.st.lock();
+        let fast = match &spec {
+            WaitSpec::Time(d) if !d.is_zero() => {
+                st.try_fast_forward(*d).then_some(WakeReason::TimeElapsed)
+            }
+            // Nothing can fire the awaited event before the deadline
+            // either: no runnable process exists to notify it, and any
+            // pending timed/delta notification fails the budget checks.
+            WaitSpec::EventTimeout(_, d) if !d.is_zero() => {
+                st.try_fast_forward(*d).then_some(WakeReason::TimedOut)
+            }
+            _ => None,
+        };
+        if fast.is_some() {
+            return fast;
+        }
+        k.current.store(CURRENT_NONE, Ordering::Relaxed);
+        if let Some(t) = &st.tracer {
+            t.process_suspended(st.now, pid);
+        }
+        // Only re-register if still marked Running (the body may have
+        // been torn down).
+        if st.procs.get(pid).state == ProcState::Running {
+            st.register_wait(pid, spec);
+        }
+        // Give the baton back before the lock drops: a later kill()
+        // must find the turn on the kernel side.
+        shared.release();
+        match next_step(&mut st, &k.current, true) {
+            NextStep::Thread(_, nshared, reason) => Some((nshared, reason)),
+            _ => None,
+        }
+    };
+    match next {
+        // Direct process-to-process handoff (possibly to ourselves, in
+        // which case the pending command is picked up without parking).
+        Some((nshared, reason)) => nshared.post(Cmd::Run(reason)),
+        None => k.gate.signal(),
+    }
+    None
+}
+
+/// Process-side finish: marks the process finished and continues the
+/// chain; a panic payload is parked in the kernel state and the gate
+/// signalled so the kernel thread re-raises it.
+pub(crate) fn finish_from_process(k: &Arc<Kernel>, pid: ProcId, shared: &ProcShared, reply: Reply) {
+    let next = {
+        let mut st = k.st.lock();
+        k.current.store(CURRENT_NONE, Ordering::Relaxed);
+        if let Some(t) = &st.tracer {
+            t.process_suspended(st.now, pid);
+        }
+        st.procs.get_mut(pid).finish();
+        shared.release();
+        match reply {
+            Reply::Panicked(payload) => {
+                st.pending_panic = Some(payload);
+                None
+            }
+            Reply::Finished => match next_step(&mut st, &k.current, true) {
+                NextStep::Thread(_, nshared, reason) => Some((nshared, reason)),
+                _ => None,
+            },
+        }
+    };
+    match next {
+        Some((nshared, reason)) => nshared.post(Cmd::Run(reason)),
+        None => k.gate.signal(),
+    }
+}
+
+/// The scheduler entry point (used by `Simulation::run_until`).
+pub(crate) fn run_kernel(k: &Arc<Kernel>, limit: SimTime) -> RunOutcome {
+    {
+        let mut st = k.st.lock();
+        assert!(!st.in_run, "Simulation::run_* is not reentrant");
+        st.in_run = true;
+        st.run_limit = limit;
+        st.deltas_this_step = 0;
+    }
+    let outcome = run_kernel_inner(k);
+    k.st.lock().in_run = false;
+    match outcome {
+        Ok(o) => o,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+fn run_kernel_inner(k: &Arc<Kernel>) -> Result<RunOutcome, Box<dyn std::any::Any + Send>> {
+    loop {
+        let step = {
+            let mut st = k.st.lock();
+            if let Some(payload) = st.pending_panic.take() {
+                return Err(payload);
+            }
+            next_step(&mut st, &k.current, false)
+        };
+        match step {
+            NextStep::Thread(_pid, shared, reason) => {
+                shared.post(Cmd::Run(reason));
+                // The chain now runs on process threads; park until it
+                // hands control back.
+                k.gate.wait();
+            }
+            NextStep::Method(pid, slot, trig) => {
+                // Fast path: the kernel lock is NOT held and NOT
+                // re-acquired around the callback; the box stays in
+                // its slot. `slot.cb` is empty if the method was
+                // killed after being queued.
+                let result = {
+                    let mut cb_guard = slot.cb.lock();
+                    match cb_guard.as_mut() {
+                        None => Ok(()),
+                        Some(cb) => {
+                            let mut ctx = MethodCtx {
+                                handle: SimHandle { k: Arc::clone(k) },
+                                id: pid,
+                                triggered_by: trig,
+                            };
+                            panic::catch_unwind(AssertUnwindSafe(|| cb(&mut ctx)))
+                        }
+                    }
+                };
+                k.current.store(CURRENT_NONE, Ordering::Relaxed);
+                // Slow path only for observability or failure.
+                if k.tracing.load(Ordering::Relaxed) {
+                    let st = k.st.lock();
                     if let Some(t) = &st.tracer {
                         t.process_suspended(st.now, pid);
                     }
-                    match reply {
-                        Reply::Yielded(spec) => {
-                            // Only re-register if still marked Running
-                            // (the body may have been torn down).
-                            if st.procs.get(pid).state == ProcState::Running {
-                                st.register_wait(pid, spec);
-                            }
-                        }
-                        Reply::Finished => st.procs.get_mut(pid).finish(),
-                        Reply::Panicked(payload) => {
-                            st.procs.get_mut(pid).finish();
-                            return Err(payload);
-                        }
-                    }
                 }
-                Runner::Method(slot, trig) => {
-                    // Fast path: the kernel lock is NOT held and NOT
-                    // re-acquired around the callback; the box stays in
-                    // its slot. `slot.cb` is empty if the method was
-                    // killed after being queued.
-                    let result = {
-                        let mut cb_guard = slot.cb.lock();
-                        match cb_guard.as_mut() {
-                            None => Ok(()),
-                            Some(cb) => {
-                                let mut ctx = MethodCtx {
-                                    handle: SimHandle { k: Arc::clone(k) },
-                                    id: pid,
-                                    triggered_by: trig,
-                                };
-                                panic::catch_unwind(AssertUnwindSafe(|| cb(&mut ctx)))
-                            }
-                        }
-                    };
-                    k.current.store(CURRENT_NONE, Ordering::Relaxed);
-                    // Slow path only for observability or failure.
-                    if k.tracing.load(Ordering::Relaxed) {
-                        let st = k.st.lock();
+                if let Err(payload) = result {
+                    k.st.lock().procs.get_mut(pid).finish();
+                    return Err(payload);
+                }
+            }
+            NextStep::Updates => {
+                let updates = std::mem::take(&mut k.st.lock().dq.updates);
+                for u in &updates {
+                    if let Some(changed) = u.apply_update() {
+                        let mut st = k.st.lock();
+                        st.stats.signal_updates += 1;
                         if let Some(t) = &st.tracer {
-                            t.process_suspended(st.now, pid);
+                            let (name, value) = u.describe();
+                            t.signal_changed(st.now, &name, &value);
                         }
-                    }
-                    if let Err(payload) = result {
-                        k.st.lock().procs.get_mut(pid).finish();
-                        return Err(payload);
-                    }
-                }
-            }
-        }
-
-        // ---- Update phase ---------------------------------------------------
-        let updates = std::mem::take(&mut k.st.lock().dq.updates);
-        for u in &updates {
-            if let Some(changed) = u.apply_update() {
-                let mut st = k.st.lock();
-                st.stats.signal_updates += 1;
-                if let Some(t) = &st.tracer {
-                    let (name, value) = u.describe();
-                    t.signal_changed(st.now, &name, &value);
-                }
-                // Schedule the value-changed event for the delta-notify
-                // phase (SystemC: signal updates notify the next delta).
-                st.notify_delta_locked(changed);
-            }
-        }
-
-        // ---- Delta-notify phase ---------------------------------------------
-        {
-            let mut st = k.st.lock();
-            let evs = std::mem::take(&mut st.dq.delta_notified);
-            for e in evs {
-                if st.events[e.index()].pending == Pending::Delta {
-                    st.fire_event(e);
-                }
-            }
-            while let Some(p) = st.dq.next_delta_runnable.pop_front() {
-                if st.procs.get(p).state == ProcState::Waiting {
-                    st.wake(p, WakeReason::Yielded);
-                }
-            }
-            if !st.dq.runnable.is_empty() {
-                st.stats.delta_cycles += 1;
-                deltas_this_step += 1;
-                if let Some(t) = &st.tracer {
-                    t.delta_cycle(st.now, deltas_this_step);
-                }
-                if deltas_this_step > st.max_deltas_per_timestep {
-                    return Ok(RunOutcome::DeltaLimitExceeded);
-                }
-                continue;
-            }
-        }
-
-        // ---- Advance-time phase ---------------------------------------------
-        {
-            let mut st = k.st.lock();
-            deltas_this_step = 0;
-            let at = match st.wheel.next_at().map(SimTime::from_ps) {
-                None => return Ok(RunOutcome::Starved),
-                Some(at) if at > limit => {
-                    let old = st.now;
-                    st.now = limit;
-                    if old != limit {
-                        st.stats.time_advances += 1;
-                        if let Some(t) = &st.tracer {
-                            t.time_advanced(old, limit);
-                        }
-                    }
-                    return Ok(RunOutcome::ReachedLimit);
-                }
-                Some(at) => at,
-            };
-            let old = st.now;
-            st.now = at;
-            if old != at {
-                st.stats.time_advances += 1;
-                if let Some(t) = &st.tracer {
-                    t.time_advanced(old, at);
-                }
-            }
-            // Deliver every action scheduled at-or-before this
-            // timestamp (in `(at, seq)` order: the wheel sorts).
-            let mut due = std::mem::take(&mut st.due);
-            st.wheel.advance_to(at.as_ps(), &mut due);
-            for entry in due.drain(..) {
-                match entry.action {
-                    TimedAction::FireEvent { event, gen } => {
-                        if st.events[event.index()].gen == gen {
-                            st.fire_event(event);
-                        }
-                    }
-                    TimedAction::WakeProc { proc, gen } => {
-                        let pe = st.procs.get(proc);
-                        if pe.wait_gen == gen && pe.state == ProcState::Waiting {
-                            let reason = match pe.wait_kind {
-                                WaitKind::EventTimeout => WakeReason::TimedOut,
-                                _ => WakeReason::TimeElapsed,
-                            };
-                            st.wake(proc, reason);
-                        }
+                        // Schedule the value-changed event for the
+                        // delta-notify phase (SystemC: signal updates
+                        // notify the next delta).
+                        st.notify_delta_locked(changed);
                     }
                 }
             }
-            st.due = due;
+            NextStep::WakeKernel => unreachable!("kernel-mode next_step never defers"),
+            NextStep::Outcome(outcome) => return Ok(outcome),
         }
     }
 }

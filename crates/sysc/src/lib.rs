@@ -56,6 +56,7 @@
 
 mod ids;
 mod kernel;
+pub mod pool;
 mod process;
 mod signal;
 mod time;

@@ -1,0 +1,263 @@
+//! The pooled process runtime.
+//!
+//! Every thread process needs an OS thread for its stack, but a farm
+//! campaign builds thousands of short-lived simulations — paying a
+//! `thread::spawn` + `join` per process per scenario dominated
+//! campaign start-up cost. The [`ProcPool`] recycles workers instead:
+//! a finished process's thread parks in the pool and the next
+//! `spawn_thread` (from *any* simulation in the same OS process)
+//! leases it with a boxed job, skipping the kernel-level spawn.
+//!
+//! Isolation between occupants is structural: every process owns a
+//! fresh [`crate::process::ProcShared`], so a recycled worker can never
+//! observe the previous occupant's baton state. The only residue a
+//! worker can carry is a stale parker token, which the baton protocol
+//! absorbs by design (token-gated wait loops). Jobs run under
+//! `catch_unwind`, so a panicking process body (already caught by the
+//! kernel wrapper) or a defect in the wrapper itself cannot poison the
+//! worker for the next occupant.
+//!
+//! The global pool is process-wide and unbounded in-flight; idle
+//! workers beyond [`MAX_IDLE`] exit instead of re-enlisting, bounding
+//! the parked-thread footprint after a large campaign drains.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+use parking_lot::Mutex;
+
+/// A leased unit of work: the whole lifetime of one thread process.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Idle workers kept parked after a burst; the excess exits.
+const MAX_IDLE: usize = 512;
+
+/// Counters of the pooled process runtime (monotonic since process
+/// start; see [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads ever spawned by the pool.
+    pub threads_spawned: u64,
+    /// Jobs (process lifetimes) executed.
+    pub jobs_run: u64,
+    /// Jobs served by a recycled worker instead of a fresh thread.
+    pub jobs_recycled: u64,
+    /// Workers currently parked waiting for a job.
+    pub idle_now: usize,
+}
+
+struct Inner {
+    idle: Mutex<Vec<Sender<Job>>>,
+    threads_spawned: AtomicU64,
+    jobs_run: AtomicU64,
+    jobs_recycled: AtomicU64,
+    max_idle: usize,
+}
+
+/// A recycling thread pool for process bodies. One global instance
+/// backs every simulation; tests construct private pools for
+/// deterministic reuse assertions.
+pub(crate) struct ProcPool {
+    inner: Arc<Inner>,
+}
+
+impl ProcPool {
+    pub(crate) fn new(max_idle: usize) -> Self {
+        ProcPool {
+            inner: Arc::new(Inner {
+                idle: Mutex::new(Vec::new()),
+                threads_spawned: AtomicU64::new(0),
+                jobs_run: AtomicU64::new(0),
+                jobs_recycled: AtomicU64::new(0),
+                max_idle,
+            }),
+        }
+    }
+
+    /// Runs `job` on a recycled worker when one is parked, else on a
+    /// freshly spawned thread that will enlist itself afterwards.
+    pub(crate) fn execute(&self, job: Job) {
+        self.inner.jobs_run.fetch_add(1, Ordering::Relaxed);
+        let leased = self.inner.idle.lock().pop();
+        match leased {
+            Some(tx) => match tx.send(job) {
+                Ok(()) => {
+                    self.inner.jobs_recycled.fetch_add(1, Ordering::Relaxed);
+                }
+                // The worker died between enlisting and the lease
+                // (cannot happen with the catch_unwind harness, but
+                // fall back rather than lose the job).
+                Err(send_err) => self.spawn_worker(Some(send_err.0)),
+            },
+            None => self.spawn_worker(Some(job)),
+        }
+    }
+
+    /// Spawns `n` idle workers up front so a campaign's first wave of
+    /// scenarios doesn't pay thread-creation latency.
+    pub(crate) fn prewarm(&self, n: usize) {
+        let idle = self.inner.idle.lock().len();
+        for _ in idle..n.min(self.inner.max_idle) {
+            self.spawn_worker(None);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads_spawned: self.inner.threads_spawned.load(Ordering::Relaxed),
+            jobs_run: self.inner.jobs_run.load(Ordering::Relaxed),
+            jobs_recycled: self.inner.jobs_recycled.load(Ordering::Relaxed),
+            idle_now: self.inner.idle.lock().len(),
+        }
+    }
+
+    fn spawn_worker(&self, first: Option<Job>) {
+        let n = self.inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::clone(&self.inner);
+        thread::Builder::new()
+            .name(format!("sysc:pool-{n}"))
+            .stack_size(1 << 20)
+            .spawn(move || worker_loop(&inner, first))
+            .expect("failed to spawn pool worker thread");
+    }
+}
+
+fn worker_loop(inner: &Inner, first: Option<Job>) {
+    let (tx, rx) = channel::<Job>();
+    if let Some(job) = first {
+        run_job(job);
+    }
+    loop {
+        {
+            let mut idle = inner.idle.lock();
+            if idle.len() >= inner.max_idle {
+                return; // enough parked capacity; let this thread exit
+            }
+            idle.push(tx.clone());
+        }
+        // The sender we just enlisted guarantees exactly one matching
+        // `send`; `recv` cannot disconnect before it arrives.
+        let Ok(job) = rx.recv() else { return };
+        run_job(job);
+    }
+}
+
+fn run_job(job: Job) {
+    // Process-body panics are already converted to replies by the
+    // kernel wrapper; this outer net only guards the harness itself so
+    // a defect can never leak a poisoned worker back into the pool.
+    let _ = panic::catch_unwind(AssertUnwindSafe(job));
+}
+
+fn global() -> &'static ProcPool {
+    static GLOBAL: OnceLock<ProcPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ProcPool::new(MAX_IDLE))
+}
+
+/// Runs a job on the global pool (the `spawn_thread` backend).
+pub(crate) fn execute(job: Job) {
+    global().execute(job);
+}
+
+/// Pre-spawns up to `n` idle workers on the global pool so the first
+/// wave of simulations doesn't pay thread-creation latency. Idempotent:
+/// existing idle workers count toward `n`.
+pub fn prewarm(n: usize) {
+    global().prewarm(n);
+}
+
+/// Counters of the global pooled process runtime.
+pub fn stats() -> PoolStats {
+    global().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    /// Runs a probe job on `pool` and reports the worker's thread id.
+    fn probe(pool: &ProcPool) -> ThreadId {
+        let (tx, rx) = mpsc::channel();
+        pool.execute(Box::new(move || {
+            tx.send(thread::current().id()).unwrap();
+        }));
+        rx.recv_timeout(Duration::from_secs(10)).unwrap()
+    }
+
+    /// Polls until the pool reports `n` idle workers (a finished job
+    /// re-enlists asynchronously).
+    fn wait_idle(pool: &ProcPool, n: usize) {
+        for _ in 0..1000 {
+            if pool.stats().idle_now >= n {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        panic!("worker never re-enlisted (idle={})", pool.stats().idle_now);
+    }
+
+    #[test]
+    fn workers_are_recycled() {
+        let pool = ProcPool::new(8);
+        let a = probe(&pool);
+        wait_idle(&pool, 1);
+        let b = probe(&pool);
+        assert_eq!(a, b, "second job must reuse the parked worker");
+        let s = pool.stats();
+        assert_eq!(s.threads_spawned, 1);
+        assert_eq!(s.jobs_run, 2);
+        assert_eq!(s.jobs_recycled, 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_worker() {
+        let pool = ProcPool::new(8);
+        let a = probe(&pool);
+        wait_idle(&pool, 1);
+        pool.execute(Box::new(|| panic!("job panic")));
+        wait_idle(&pool, 1);
+        let b = probe(&pool);
+        assert_eq!(a, b, "worker must survive a panicking job");
+        assert_eq!(pool.stats().jobs_recycled, 2);
+    }
+
+    #[test]
+    fn prewarm_spawns_idle_workers() {
+        let pool = ProcPool::new(8);
+        pool.prewarm(3);
+        wait_idle(&pool, 3);
+        assert_eq!(pool.stats().threads_spawned, 3);
+        // Prewarm is idempotent given existing idle capacity.
+        pool.prewarm(3);
+        assert_eq!(pool.stats().threads_spawned, 3);
+        // And clamped by max_idle.
+        pool.prewarm(100);
+        wait_idle(&pool, 8);
+        assert_eq!(pool.stats().threads_spawned, 8);
+    }
+
+    #[test]
+    fn idle_cap_bounds_reenlisting() {
+        let pool = ProcPool::new(1);
+        // Two overlapping jobs force two spawns; only one may re-enlist.
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        for _ in 0..2 {
+            let b = Arc::clone(&barrier);
+            pool.execute(Box::new(move || {
+                b.wait();
+            }));
+        }
+        barrier.wait();
+        assert_eq!(pool.stats().threads_spawned, 2);
+        wait_idle(&pool, 1);
+        // Give the second worker time to observe the cap and exit.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.stats().idle_now, 1);
+    }
+}

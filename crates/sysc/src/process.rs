@@ -1,16 +1,53 @@
-//! Thread-process plumbing: the baton handoff protocol.
+//! Thread-process plumbing: the lock-free baton handoff protocol.
 //!
 //! SystemC `SC_THREAD`s are stackful coroutines. Stable Rust has no
 //! native coroutines, so each thread process runs on its own OS thread
-//! under a strict *baton* protocol: at any instant either the kernel or
-//! exactly one process owns the baton, which makes the simulation fully
-//! deterministic (equivalent to SystemC's co-operative evaluator) while
-//! letting user code suspend anywhere in its call stack.
+//! (leased from the [`crate::pool`] process pool) under a strict
+//! *baton* protocol: at any instant either the kernel or exactly one
+//! process owns the baton, which makes the simulation fully
+//! deterministic (equivalent to SystemC's co-operative evaluator)
+//! while letting user code suspend anywhere in its call stack.
+//!
+//! # The baton word
+//!
+//! The old implementation rendezvoused through a `Mutex<Baton>` plus a
+//! `Condvar` with `notify_all`; on the handoff-dominated hot path that
+//! cost several futex system calls per direction. The protocol is now a
+//! single atomic word per process:
+//!
+//! * bit 0 — whose turn it is (`0` kernel, `1` process);
+//! * bit 1 — the kernel side is parked waiting for the baton;
+//! * bit 2 — the process side is parked waiting for the baton;
+//!
+//! plus two single-slot `UnsafeCell`s for the command/reply payloads,
+//! which only the current baton owner may touch (the turn bit is the
+//! synchronisation point: payloads are written before the `AcqRel`
+//! turn flip and read after observing it).
+//!
+//! A waiter spins briefly, then yields, then publishes its
+//! `std::thread` handle and parks on the raw thread parker
+//! (adaptive spin-then-park; the spin budget is zero on single-core
+//! hosts where spinning can never observe progress). A waker flips the
+//! turn bit and issues **at most one** `unpark` — and only when the
+//! flip observed the peer's parked bit, so a spinning peer costs zero
+//! system calls. The rendezvous is strictly two-party: the parked-bit
+//! `debug_assert`s pin the single-waiter invariant.
+//!
+//! [`Gate`] is the same spin-then-park shape for the kernel thread's
+//! evaluate-phase rendezvous: with chained dispatch (see
+//! [`crate::kernel`]) a yielding process hands the baton *directly* to
+//! the next runnable thread process and the kernel thread stays parked
+//! on its gate until the chain needs it (method process, signal
+//! update, run outcome, or a panic).
 
 use std::any::Any;
+use std::cell::UnsafeCell;
 use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::thread::{self, Thread};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::ids::EventId;
 use crate::time::SimTime;
@@ -57,10 +94,9 @@ pub(crate) enum Cmd {
     Terminate,
 }
 
-/// Process-to-kernel reply.
+/// Process-to-kernel reply on the terminate handshake (normal yields
+/// do their own scheduler bookkeeping and never construct a reply).
 pub(crate) enum Reply {
-    /// The process suspended with the given wait request.
-    Yielded(WaitSpec),
     /// The process body returned (or was terminated cooperatively).
     Finished,
     /// The process body panicked; payload to be re-thrown by the kernel.
@@ -73,83 +109,284 @@ pub(crate) enum Reply {
 /// it into a clean [`Reply::Finished`], so user `Drop` impls still run.
 pub(crate) struct TerminateSignal;
 
-/// Whose turn it is to execute.
+/// Whose turn bit 0 encodes; also names the two parked bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Turn {
+pub(crate) enum Side {
     Kernel,
     Process,
 }
 
-struct Baton {
-    turn: Turn,
-    cmd: Option<Cmd>,
-    reply: Option<Reply>,
+const TURN_PROCESS: u32 = 1;
+const KERNEL_PARKED: u32 = 1 << 1;
+const PROCESS_PARKED: u32 = 1 << 2;
+
+impl Side {
+    fn turn_value(self) -> u32 {
+        match self {
+            Side::Kernel => 0,
+            Side::Process => TURN_PROCESS,
+        }
+    }
+
+    fn parked_bit(self) -> u32 {
+        match self {
+            Side::Kernel => KERNEL_PARKED,
+            Side::Process => PROCESS_PARKED,
+        }
+    }
+
+    fn peer(self) -> Side {
+        match self {
+            Side::Kernel => Side::Process,
+            Side::Process => Side::Kernel,
+        }
+    }
+}
+
+/// Spin iterations before escalating to `yield_now` (0 on single-core
+/// hosts: with one hardware thread the peer cannot make progress while
+/// we spin, so spinning only delays the inevitable context switch).
+fn spin_budget() -> u32 {
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| match thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 64,
+        _ => 0,
+    })
+}
+
+/// `yield_now` rounds before parking. On a single-core host a yield
+/// usually schedules the peer directly, saving the futex wake/wait
+/// pair; under heavy oversubscription (farm campaigns) the budget
+/// bounds the wasted quanta before the thread parks properly.
+const YIELD_BUDGET: u32 = 16;
+
+/// Spin → yield → park helper: returns as soon as `ready()` holds;
+/// `park_prep` runs once just before the caller is committed to
+/// parking (used to publish the thread handle + parked bit).
+fn spin_then(ready: impl Fn() -> bool, park_prep: impl FnOnce() -> bool) {
+    let mut spins = spin_budget();
+    let mut yields = YIELD_BUDGET;
+    loop {
+        if ready() {
+            return;
+        }
+        if spins > 0 {
+            spins -= 1;
+            std::hint::spin_loop();
+        } else if yields > 0 {
+            yields -= 1;
+            thread::yield_now();
+        } else {
+            break;
+        }
+    }
+    // `park_prep` publishes the waiter; it returns `true` if the
+    // condition turned ready concurrently (no park needed).
+    if park_prep() {
+        return;
+    }
+    while !ready() {
+        thread::park();
+    }
 }
 
 /// Shared rendezvous state between the kernel and one process thread.
+///
+/// Payload cells are `UnsafeCell`s because ownership is mediated by the
+/// baton: only the side holding the turn may touch them, and the turn
+/// handover is an `AcqRel` RMW on `state`.
 pub(crate) struct ProcShared {
-    mu: Mutex<Baton>,
-    cv: Condvar,
+    state: AtomicU32,
+    /// Set by the terminate handshake ([`ProcShared::resume`] with
+    /// [`Cmd::Terminate`]): tells the process wrapper to reply through
+    /// the baton instead of the chained-dispatch path.
+    terminating: AtomicBool,
+    cmd: UnsafeCell<Option<Cmd>>,
+    reply: UnsafeCell<Option<Reply>>,
+    kernel_thread: Mutex<Option<Thread>>,
+    process_thread: Mutex<Option<Thread>>,
 }
+
+// SAFETY: the `UnsafeCell`s are only accessed by the side currently
+// holding the baton, and the handover is an `AcqRel` atomic operation
+// on `state` (see the module docs); everything else is `Sync` already.
+unsafe impl Send for ProcShared {}
+unsafe impl Sync for ProcShared {}
 
 impl ProcShared {
     pub(crate) fn new() -> Self {
         ProcShared {
-            mu: Mutex::new(Baton {
-                turn: Turn::Kernel,
-                cmd: None,
-                reply: None,
-            }),
-            cv: Condvar::new(),
+            state: AtomicU32::new(Side::Kernel.turn_value()),
+            terminating: AtomicBool::new(false),
+            cmd: UnsafeCell::new(None),
+            reply: UnsafeCell::new(None),
+            kernel_thread: Mutex::new(None),
+            process_thread: Mutex::new(None),
         }
     }
 
-    /// Kernel side: hand the baton to the process with `cmd` and block
-    /// until the process hands it back with a reply.
+    fn slot(&self, side: Side) -> &Mutex<Option<Thread>> {
+        match side {
+            Side::Kernel => &self.kernel_thread,
+            Side::Process => &self.process_thread,
+        }
+    }
+
+    /// Blocks (spin → yield → park) until `me` owns the baton.
+    fn wait_for_turn(&self, me: Side) {
+        let want = me.turn_value();
+        spin_then(
+            || self.state.load(Ordering::Acquire) & TURN_PROCESS == want,
+            || {
+                *self.slot(me).lock() = Some(thread::current());
+                let prev = self.state.fetch_or(me.parked_bit(), Ordering::AcqRel);
+                debug_assert_eq!(
+                    prev & me.parked_bit(),
+                    0,
+                    "single-waiter invariant: {me:?} side parked twice"
+                );
+                prev & TURN_PROCESS == want
+            },
+        );
+        // Clear our parked bit (a waker that raced us and observed it
+        // issued one extra unpark; the stray token is absorbed by the
+        // re-check loop of whatever parks on this thread next).
+        self.state.fetch_and(!me.parked_bit(), Ordering::AcqRel);
+    }
+
+    /// Flips the turn bit, waking the peer iff it is parked — at most
+    /// one `unpark` system call per handoff, zero when the peer spins.
+    fn hand_over(&self, from: Side) {
+        let prev = self.state.fetch_xor(TURN_PROCESS, Ordering::AcqRel);
+        debug_assert_eq!(
+            prev & TURN_PROCESS,
+            from.turn_value(),
+            "baton handed over by the non-owning side"
+        );
+        let peer = from.peer();
+        if prev & peer.parked_bit() != 0 {
+            // `notify_one`-shaped by construction: the rendezvous is
+            // strictly two-party, so the slot names the only waiter.
+            let t = self.slot(peer).lock().clone();
+            if let Some(t) = t {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Kernel side: hand the baton to the process with `cmd` without
+    /// waiting for anything back (chained dispatch — the process's own
+    /// yield path does the scheduler bookkeeping).
+    pub(crate) fn post(&self, cmd: Cmd) {
+        debug_assert_eq!(
+            self.state.load(Ordering::Relaxed) & TURN_PROCESS,
+            Side::Kernel.turn_value(),
+            "post while the process owns the baton (double resume?)"
+        );
+        // SAFETY: the kernel side owns the baton, so no other thread
+        // touches the cell until `hand_over` publishes the turn.
+        unsafe {
+            let cell = &mut *self.cmd.get();
+            debug_assert!(cell.is_none(), "resume while a command is pending");
+            *cell = Some(cmd);
+        }
+        self.hand_over(Side::Kernel);
+    }
+
+    /// Kernel side: hand the baton over with `cmd` and block until the
+    /// process hands it back with a reply (the terminate handshake used
+    /// by `kill` and simulation teardown).
     pub(crate) fn resume(&self, cmd: Cmd) -> Reply {
-        let mut b = self.mu.lock();
-        debug_assert!(b.cmd.is_none(), "resume while a command is pending");
-        b.cmd = Some(cmd);
-        b.turn = Turn::Process;
-        self.cv.notify_all();
-        while b.turn != Turn::Kernel {
-            self.cv.wait(&mut b);
+        if matches!(cmd, Cmd::Terminate) {
+            self.terminating.store(true, Ordering::Release);
         }
-        b.reply
-            .take()
-            .expect("process returned baton without a reply")
+        self.post(cmd);
+        self.wait_for_turn(Side::Kernel);
+        // SAFETY: the baton is back with the kernel side.
+        unsafe { (*self.reply.get()).take() }.expect("process returned baton without a reply")
     }
 
-    /// Process side: block until the kernel hands over the baton; returns
-    /// the command to execute.
-    pub(crate) fn await_turn(&self) -> Cmd {
-        let mut b = self.mu.lock();
-        while b.turn != Turn::Process {
-            self.cv.wait(&mut b);
-        }
-        b.cmd.take().expect("kernel gave turn without a command")
+    /// `true` once a terminate handshake is in flight; the process
+    /// wrapper then replies through the baton ([`ProcShared::finish`]).
+    pub(crate) fn is_terminating(&self) -> bool {
+        self.terminating.load(Ordering::Acquire)
     }
 
-    /// Process side: hand the baton back with `reply` and block until the
-    /// kernel resumes us again. Returns the next command.
-    pub(crate) fn yield_to_kernel(&self, reply: Reply) -> Cmd {
-        let mut b = self.mu.lock();
-        b.reply = Some(reply);
-        b.turn = Turn::Kernel;
-        self.cv.notify_all();
-        while b.turn != Turn::Process {
-            self.cv.wait(&mut b);
-        }
-        b.cmd.take().expect("kernel gave turn without a command")
+    /// Process side: block until the kernel (or a chaining peer) hands
+    /// over the baton; returns the command to execute.
+    pub(crate) fn await_cmd(&self) -> Cmd {
+        self.wait_for_turn(Side::Process);
+        // SAFETY: the process side owns the baton.
+        unsafe { (*self.cmd.get()).take() }.expect("turn handed over without a command")
     }
 
-    /// Process side: final reply when the body has finished; does not
+    /// Process side: give the baton back without a reply (normal yield;
+    /// the caller has already done the scheduler bookkeeping under the
+    /// kernel lock).
+    pub(crate) fn release(&self) {
+        self.hand_over(Side::Process);
+    }
+
+    /// Process side: final reply of the terminate handshake; does not
     /// wait for another turn.
     pub(crate) fn finish(&self, reply: Reply) {
-        let mut b = self.mu.lock();
-        b.reply = Some(reply);
-        b.turn = Turn::Kernel;
-        self.cv.notify_all();
+        // SAFETY: the process side owns the baton.
+        unsafe {
+            *self.reply.get() = Some(reply);
+        }
+        self.hand_over(Side::Process);
+    }
+}
+
+/// Token-gated rendezvous for the kernel thread.
+///
+/// With chained dispatch the kernel thread parks here after handing a
+/// thread process the baton; the chain signals the gate when control
+/// must return to the kernel (method process due, signal updates
+/// pending, run outcome reached, panic). Signals are sticky tokens, so
+/// a signal sent before the kernel parks is never lost, and the wait
+/// loop is token-gated — a stray `unpark` left over from baton traffic
+/// can never release the gate early.
+pub(crate) struct Gate {
+    state: AtomicU32,
+    thread: Mutex<Option<Thread>>,
+}
+
+const GATE_TOKEN: u32 = 1;
+const GATE_PARKED: u32 = 1 << 1;
+
+impl Gate {
+    pub(crate) fn new() -> Self {
+        Gate {
+            state: AtomicU32::new(0),
+            thread: Mutex::new(None),
+        }
+    }
+
+    /// Hands control to the kernel thread (at most one `unpark`).
+    pub(crate) fn signal(&self) {
+        let prev = self.state.fetch_or(GATE_TOKEN, Ordering::AcqRel);
+        debug_assert_eq!(prev & GATE_TOKEN, 0, "gate signalled twice without a wait");
+        if prev & GATE_PARKED != 0 {
+            let t = self.thread.lock().clone();
+            if let Some(t) = t {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Kernel thread: block until signalled; consumes the token.
+    pub(crate) fn wait(&self) {
+        spin_then(
+            || self.state.load(Ordering::Acquire) & GATE_TOKEN != 0,
+            || {
+                *self.thread.lock() = Some(thread::current());
+                let prev = self.state.fetch_or(GATE_PARKED, Ordering::AcqRel);
+                prev & GATE_TOKEN != 0
+            },
+        );
+        self.state
+            .fetch_and(!(GATE_TOKEN | GATE_PARKED), Ordering::AcqRel);
     }
 }
 
@@ -171,34 +408,124 @@ pub(crate) fn raise_terminate() -> ! {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
     use std::thread;
 
+    /// The chained-yield round trip: post → await_cmd → release, with
+    /// the kernel side polling the turn via a second post.
     #[test]
     fn baton_round_trip() {
         let shared = Arc::new(ProcShared::new());
         let s2 = Arc::clone(&shared);
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
         let t = thread::spawn(move || {
-            // Process: wait for first turn, yield once, then finish.
-            match s2.await_turn() {
-                Cmd::Run(r) => assert_eq!(r, WakeReason::Start),
-                Cmd::Terminate => panic!("unexpected terminate"),
+            for i in 0..10_000u64 {
+                match s2.await_cmd() {
+                    Cmd::Run(r) => assert_eq!(r, WakeReason::Yielded),
+                    Cmd::Terminate => panic!("unexpected terminate"),
+                }
+                assert_eq!(c2.fetch_add(1, Ordering::Relaxed), i);
+                s2.release();
             }
-            match s2.yield_to_kernel(Reply::Yielded(WaitSpec::YieldDelta)) {
-                Cmd::Run(r) => assert_eq!(r, WakeReason::Yielded),
-                Cmd::Terminate => panic!("unexpected terminate"),
+            match s2.await_cmd() {
+                Cmd::Terminate => s2.finish(Reply::Finished),
+                Cmd::Run(_) => panic!("expected terminate"),
             }
-            s2.finish(Reply::Finished);
         });
 
-        match shared.resume(Cmd::Run(WakeReason::Start)) {
-            Reply::Yielded(WaitSpec::YieldDelta) => {}
-            _ => panic!("expected yield"),
+        for i in 0..10_000u64 {
+            shared.post(Cmd::Run(WakeReason::Yielded));
+            shared.wait_for_turn(Side::Kernel);
+            assert_eq!(counter.load(Ordering::Relaxed), i + 1);
         }
-        match shared.resume(Cmd::Run(WakeReason::Yielded)) {
+        match shared.resume(Cmd::Terminate) {
             Reply::Finished => {}
-            _ => panic!("expected finish"),
+            Reply::Panicked(_) => panic!("expected finish"),
         }
+        t.join().unwrap();
+    }
+
+    /// Stray `unpark` tokens (spurious wakeups) must never corrupt the
+    /// protocol: a saboteur thread hammers both parties' parkers while
+    /// the baton ping-pongs under a strict alternation check.
+    #[test]
+    fn baton_survives_spurious_unparks() {
+        let shared = Arc::new(ProcShared::new());
+        let s2 = Arc::clone(&shared);
+        let stop = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+
+        let c2 = Arc::clone(&counter);
+        let proc_t = thread::spawn(move || loop {
+            match s2.await_cmd() {
+                Cmd::Run(_) => {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    s2.release();
+                }
+                Cmd::Terminate => {
+                    s2.finish(Reply::Finished);
+                    return;
+                }
+            }
+        });
+
+        let saboteur = {
+            let stop = Arc::clone(&stop);
+            let kernel = thread::current();
+            let victim = proc_t.thread().clone();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    kernel.unpark();
+                    victim.unpark();
+                    thread::yield_now();
+                }
+            })
+        };
+
+        for i in 0..20_000u64 {
+            shared.post(Cmd::Run(WakeReason::Yielded));
+            shared.wait_for_turn(Side::Kernel);
+            // Strict alternation: exactly one activation per post, in
+            // order, no matter how many spurious wakeups were injected.
+            assert_eq!(counter.load(Ordering::Relaxed), i + 1);
+        }
+        assert!(matches!(shared.resume(Cmd::Terminate), Reply::Finished));
+        stop.store(true, Ordering::Relaxed);
+        saboteur.join().unwrap();
+        proc_t.join().unwrap();
+    }
+
+    /// Posting while the process owns the baton is a protocol violation
+    /// (double resume); the debug assertion must catch it.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn double_resume_asserts() {
+        let shared = Arc::new(ProcShared::new());
+        shared.post(Cmd::Run(WakeReason::Start));
+        let s2 = Arc::clone(&shared);
+        let err = thread::spawn(move || s2.post(Cmd::Run(WakeReason::Start)))
+            .join()
+            .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("double resume"), "unexpected panic: {msg}");
+    }
+
+    #[test]
+    fn gate_token_is_sticky_and_consumed() {
+        let gate = Arc::new(Gate::new());
+        // Signal before wait: the token must not be lost.
+        gate.signal();
+        gate.wait();
+        // Signal from another thread while waiting.
+        let g2 = Arc::clone(&gate);
+        let t = thread::spawn(move || g2.signal());
+        gate.wait();
         t.join().unwrap();
     }
 

@@ -7,7 +7,9 @@
 //!
 //! Tracer methods are invoked while the kernel lock is held; tracer
 //! implementations must record and return — they must **not** call back
-//! into the simulation.
+//! into the simulation. With chained dispatch the hooks may fire from
+//! any simulation thread (the scheduler migrates to whichever process
+//! thread is yielding), always serialized by the kernel lock.
 
 use crate::ids::{EventId, ProcId};
 use crate::time::SimTime;
@@ -50,6 +52,9 @@ pub struct KernelStats {
     pub time_advances: u64,
     /// Number of signal value changes applied in update phases.
     pub signal_updates: u64,
+    /// Number of waits served from the fast-forward run budget (the
+    /// waiting process advanced time in place, no baton handoff).
+    pub fast_forwards: u64,
 }
 
 #[cfg(test)]
