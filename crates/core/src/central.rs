@@ -165,7 +165,12 @@ impl Shared {
         {
             let mut st = self.st.lock();
             let running = st.running;
-            if st.scheduler.on_tick(running) && st.running.is_some() {
+            // Time-slice preemption respects dispatch-disable windows
+            // just like every other dispatch decision. The guard comes
+            // *before* `on_tick` so the scheduler never consumes (and
+            // silently discards) a slice expiry inside a window — the
+            // slice clock simply pauses until the window closes.
+            if !st.dispatch_masked() && st.scheduler.on_tick(running) && st.running.is_some() {
                 // Requeue at the *tail*: the slice is spent.
                 let now = proc.now();
                 let r = st.running.take().expect("checked above");
@@ -210,15 +215,15 @@ impl Shared {
                         .unwrap_or(false);
                     if valid {
                         let tick = st.ticks;
+                        let now = proc.now();
                         st.observe(crate::obs::ObsEvent::TimerFire { tid, tick });
-                        crate::kernel::detach_waiter(&mut st, tid);
-                        Shared::make_ready(
-                            &mut st,
-                            proc.now(),
-                            tid,
-                            Err(ErCode::Tmout),
-                            Delivered::None,
-                        );
+                        let detached = crate::kernel::detach_waiter(&mut st, tid);
+                        Shared::make_ready(&mut st, now, tid, Err(ErCode::Tmout), Delivered::None);
+                        // The timed-out waiter may have been holding
+                        // back now-satisfiable waiters behind it.
+                        if let Some(obj) = detached {
+                            crate::kernel::reserve_after_detach(&mut st, obj, now);
+                        }
                     }
                 }
                 TimerAction::CyclicFire { id, gen } => {

@@ -50,8 +50,10 @@ pub struct RefMbf {
 }
 
 /// Moves messages from blocked senders into the buffer while space
-/// allows, in strict queue order; wakes the senders.
-fn drain_senders(st: &mut KernelState, id: MbfId, now: sysc::SimTime) {
+/// allows, in strict queue order; wakes the senders. Shared by
+/// `tk_rcv_mbf` and the waiter-detach paths (removing a blocked head
+/// sender can make room-wise smaller messages behind it fit).
+pub(crate) fn drain_senders(st: &mut KernelState, id: MbfId, now: sysc::SimTime) {
     loop {
         let action = {
             let Ok(mbf) = super::table_get_mut(&mut st.mbfs, id.0) else {

@@ -25,12 +25,15 @@ use crate::ids::TaskId;
 use crate::state::{KernelState, WaitObj};
 
 /// Removes `tid` from whatever wait queue it is blocked on (timeout,
-/// forced release, termination). Mutex waits additionally trigger a
-/// priority-inheritance recomputation on the owner.
-pub(crate) fn detach_waiter(st: &mut KernelState, tid: TaskId) {
-    let Some(wait) = st.tcb(tid).ok().and_then(|t| t.wait) else {
-        return;
-    };
+/// forced release, termination) and cleans the object-side bookkeeping
+/// of the pending request (a blocked mbf sender's stashed payload).
+/// Mutex waits additionally trigger a priority-inheritance
+/// recomputation on the owner. Returns the wait object the task was
+/// detached from so the caller can re-serve its queue (see
+/// [`reserve_after_detach`]) once the victim's own wakeup has been
+/// delivered.
+pub(crate) fn detach_waiter(st: &mut KernelState, tid: TaskId) -> Option<WaitObj> {
+    let wait = st.tcb(tid).ok().and_then(|t| t.wait)?;
     match wait {
         WaitObj::Sleep | WaitObj::Delay => {}
         WaitObj::Sem(id, _) => {
@@ -51,6 +54,10 @@ pub(crate) fn detach_waiter(st: &mut KernelState, tid: TaskId) {
         WaitObj::MbfSend(id, _) => {
             if let Some(Some(m)) = st.mbfs.get_mut(id.0 as usize - 1) {
                 m.send_q.remove(tid);
+                // The stashed payload of the abandoned send must go
+                // with it: leaving it would leak, and a later send by
+                // the same task could deliver the stale bytes.
+                m.send_data.remove(&tid);
             }
         }
         WaitObj::MbfRecv(id) => {
@@ -79,6 +86,30 @@ pub(crate) fn detach_waiter(st: &mut KernelState, tid: TaskId) {
                 p.waitq.remove(tid);
             }
         }
+    }
+    Some(wait)
+}
+
+/// Re-serves the wait queue of `obj` after one of its waiters was
+/// removed without being satisfied (timeout, `tk_rel_wai`,
+/// `tk_ter_tsk`). Removing the head waiter can make the next waiters
+/// satisfiable — a semaphore whose count could not cover the head's
+/// request, a message buffer whose head sender's message did not fit,
+/// a variable pool whose head allocation was too large — and µ-ITRON's
+/// wait-release rules mandate serving them immediately, in queue
+/// order. Call after the victim's own wakeup (if any) has been
+/// delivered, so the observation stream keeps its
+/// stimulus-then-consequences order.
+pub(crate) fn reserve_after_detach(st: &mut KernelState, obj: WaitObj, now: sysc::SimTime) {
+    match obj {
+        WaitObj::Sem(id, _) => sem::serve_waiters(st, id, now),
+        WaitObj::MbfSend(id, _) => mbf::drain_senders(st, id, now),
+        WaitObj::Mpl(id, _) => mpl::serve_waiters(st, id, now),
+        // Removing a waiter cannot unblock the remaining waiters of
+        // the other classes: flag patterns and mailbox contents are
+        // unchanged, mutexes transfer only on unlock, and a fixed pool
+        // with waiters has no free blocks by invariant.
+        _ => {}
     }
 }
 

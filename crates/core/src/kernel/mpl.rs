@@ -93,7 +93,10 @@ pub struct RefMpl {
 }
 
 /// Serves queued waiters after a release, in strict queue order.
-fn serve_waiters(st: &mut KernelState, id: MplId, now: sysc::SimTime) {
+/// Also called by the waiter-detach paths: removing the head waiter
+/// (timeout / `tk_rel_wai` / `tk_ter_tsk`) can make the next waiters'
+/// smaller requests fit.
+pub(crate) fn serve_waiters(st: &mut KernelState, id: MplId, now: sysc::SimTime) {
     loop {
         let action = {
             let Ok(pool) = super::table_get_mut(&mut st.mpls, id.0) else {
@@ -150,6 +153,11 @@ impl<'a> Sys<'a> {
                         waitq: WaitQueue::new(order),
                     },
                 );
+                st.observe(crate::obs::ObsEvent::MplCreate {
+                    id: MplId(raw),
+                    size,
+                    pri_order: order == QueueOrder::Priority,
+                });
                 Ok(MplId(raw))
             }
         };
@@ -196,14 +204,24 @@ impl<'a> Sys<'a> {
                 if sz == 0 || align_up(sz) > pool.size {
                     return Err(ErCode::Par);
                 }
-                if pool.waitq.is_empty() {
-                    if let Some(off) = pool.try_alloc(sz) {
-                        return Ok(off);
-                    }
+                let immediate = if pool.waitq.is_empty() {
+                    pool.try_alloc(sz)
+                } else {
+                    None
+                };
+                if let Some(off) = immediate {
+                    st.observe(crate::obs::ObsEvent::MplTake {
+                        id,
+                        tid,
+                        size: sz,
+                        off,
+                    });
+                    return Ok(off);
                 }
                 if tmo == Timeout::Poll {
                     Err(ErCode::Tmout)
                 } else {
+                    let pool = super::table_get_mut(&mut st.mpls, id.0).expect("checked above");
                     pool.waitq.enqueue(tid, pri);
                     Err(ErCode::Sys) // sentinel: must block
                 }
@@ -242,6 +260,7 @@ impl<'a> Sys<'a> {
             };
             match released {
                 Ok(()) => {
+                    st.observe(crate::obs::ObsEvent::MplRel { id, off });
                     serve_waiters(&mut st, id, now);
                     Ok(())
                 }

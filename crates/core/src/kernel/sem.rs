@@ -38,6 +38,41 @@ pub struct RefSem {
     pub first_waiter: Option<TaskId>,
 }
 
+/// Wakes satisfiable waiters from the head of the queue, in strict
+/// queue order, stopping at the first waiter whose request the count
+/// cannot cover (no barging). Shared by `tk_sig_sem` and the
+/// waiter-detach paths (timeout / `tk_rel_wai` / `tk_ter_tsk` of a
+/// queued waiter can make the next waiters satisfiable).
+pub(crate) fn serve_waiters(st: &mut crate::state::KernelState, id: SemId, now: sysc::SimTime) {
+    let mut to_wake = Vec::new();
+    loop {
+        let front = {
+            let Ok(sem) = super::table_get(&st.sems, id.0) else {
+                break;
+            };
+            let Some(front) = sem.waitq.front() else {
+                break;
+            };
+            front
+        };
+        let req = match st.tcb(front).ok().and_then(|t| t.wait) {
+            Some(WaitObj::Sem(_, req)) => req,
+            _ => 1,
+        };
+        let sem = super::table_get_mut(&mut st.sems, id.0).expect("still exists");
+        if sem.count >= req {
+            sem.count -= req;
+            sem.waitq.pop();
+            to_wake.push(front);
+        } else {
+            break;
+        }
+    }
+    for tid in to_wake {
+        Shared::make_ready(st, now, tid, Ok(()), Delivered::None);
+    }
+}
+
 impl<'a> Sys<'a> {
     /// `tk_cre_sem` — creates a semaphore with initial count `init` and
     /// ceiling `max`.
@@ -126,34 +161,7 @@ impl<'a> Sys<'a> {
                         } else {
                             sem.count += cnt;
                             st.observe(crate::obs::ObsEvent::SemSignal { id, cnt });
-                            // Wake satisfiable waiters from the head.
-                            let mut to_wake = Vec::new();
-                            loop {
-                                let front = {
-                                    let sem =
-                                        super::table_get(&st.sems, id.0).expect("still exists");
-                                    let Some(front) = sem.waitq.front() else {
-                                        break;
-                                    };
-                                    front
-                                };
-                                let req = match st.tcb(front).ok().and_then(|t| t.wait) {
-                                    Some(WaitObj::Sem(_, req)) => req,
-                                    _ => 1,
-                                };
-                                let sem =
-                                    super::table_get_mut(&mut st.sems, id.0).expect("still exists");
-                                if sem.count >= req {
-                                    sem.count -= req;
-                                    sem.waitq.pop();
-                                    to_wake.push(front);
-                                } else {
-                                    break;
-                                }
-                            }
-                            for tid in to_wake {
-                                Shared::make_ready(&mut st, now, tid, Ok(()), Delivered::None);
-                            }
+                            serve_waiters(&mut st, id, now);
                             Ok(())
                         }
                     }

@@ -102,7 +102,8 @@ impl<'a> Sys<'a> {
     ///
     /// # Errors
     ///
-    /// `E_CTX` from handler context.
+    /// `E_CTX` from handler context or while the CPU is locked
+    /// (µ-ITRON forbids dispatch control inside a `tk_loc_cpu` window).
     pub fn tk_dis_dsp(&mut self) -> KResult<()> {
         self.service_cost(ServiceClass::System, "tk_dis_dsp");
         let r = {
@@ -110,8 +111,14 @@ impl<'a> Sys<'a> {
             match tid {
                 Err(e) => Err(e),
                 Ok(_) => {
-                    self.shared.st.lock().dispatch_disabled = true;
-                    Ok(())
+                    let mut st = self.shared.st.lock();
+                    if st.cpu_locked {
+                        Err(ErCode::Ctx)
+                    } else {
+                        st.dispatch_disabled = true;
+                        st.observe(crate::obs::ObsEvent::DispCtl { disabled: true });
+                        Ok(())
+                    }
                 }
             }
         };
@@ -124,7 +131,7 @@ impl<'a> Sys<'a> {
     ///
     /// # Errors
     ///
-    /// `E_CTX` from handler context.
+    /// `E_CTX` from handler context or while the CPU is locked.
     pub fn tk_ena_dsp(&mut self) -> KResult<()> {
         self.service_cost(ServiceClass::System, "tk_ena_dsp");
         let r = {
@@ -132,8 +139,14 @@ impl<'a> Sys<'a> {
             match tid {
                 Err(e) => Err(e),
                 Ok(_) => {
-                    self.shared.st.lock().dispatch_disabled = false;
-                    Ok(())
+                    let mut st = self.shared.st.lock();
+                    if st.cpu_locked {
+                        Err(ErCode::Ctx)
+                    } else {
+                        st.dispatch_disabled = false;
+                        st.observe(crate::obs::ObsEvent::DispCtl { disabled: false });
+                        Ok(())
+                    }
                 }
             }
         };
@@ -142,7 +155,9 @@ impl<'a> Sys<'a> {
     }
 
     /// `tk_loc_cpu` — locks the CPU: interrupts are not delivered and
-    /// dispatching is disabled until [`Sys::tk_unl_cpu`].
+    /// dispatching is masked until [`Sys::tk_unl_cpu`]. The CPU-locked
+    /// and dispatch-disabled states are independent (µ-ITRON):
+    /// unlocking does not touch a `tk_dis_dsp` window.
     ///
     /// # Errors
     ///
@@ -155,7 +170,7 @@ impl<'a> Sys<'a> {
                 Ok(_) => {
                     let mut st = self.shared.st.lock();
                     st.cpu_locked = true;
-                    st.dispatch_disabled = true;
+                    st.observe(crate::obs::ObsEvent::DispCtl { disabled: true });
                     Ok(())
                 }
             }
@@ -164,6 +179,7 @@ impl<'a> Sys<'a> {
     }
 
     /// `tk_unl_cpu` — unlocks the CPU; pended interrupts are delivered.
+    /// An independently opened `tk_dis_dsp` window stays in force.
     ///
     /// # Errors
     ///
@@ -176,7 +192,8 @@ impl<'a> Sys<'a> {
                 let kick = {
                     let mut st = self.shared.st.lock();
                     st.cpu_locked = false;
-                    st.dispatch_disabled = false;
+                    let disabled = st.dispatch_masked();
+                    st.observe(crate::obs::ObsEvent::DispCtl { disabled });
                     if st.pending_ints.is_empty() {
                         None
                     } else {

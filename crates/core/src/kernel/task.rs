@@ -67,6 +67,7 @@ impl<'a> Sys<'a> {
                 Err(e) => Err(e),
                 Ok(tcb) if tcb.state != TaskState::Dormant => Err(ErCode::Obj),
                 Ok(_) => {
+                    st.observe(crate::obs::ObsEvent::TaskDelete { tid });
                     st.tasks[tid.0 as usize - 1] = None;
                     st.threads.remove(&ThreadRef::Task(tid));
                     Ok(())
@@ -155,7 +156,7 @@ impl<'a> Sys<'a> {
                 Err(e) => Err(e),
                 Ok(tcb) if tcb.state == TaskState::Dormant => Err(ErCode::Obj),
                 Ok(tcb) => {
-                    let new_base = if pri == 0 { tcb.base_pri } else { pri };
+                    let new_base = if pri == 0 { tcb.ini_pri } else { pri };
                     if pri > max {
                         Err(ErCode::Par)
                     } else if super::mtx::violates_ceiling(&st, tid, new_base) {
@@ -194,6 +195,7 @@ impl<'a> Sys<'a> {
                 pri
             };
             st.scheduler.rotate(pri);
+            st.observe(crate::obs::ObsEvent::RotRdq { pri });
             Ok(())
         };
         self.service_exit();
@@ -256,6 +258,7 @@ impl<'a> Sys<'a> {
                 let tcb = st.tcb_mut(tid).expect("caller exists");
                 if tcb.wupcnt > 0 {
                     tcb.wupcnt -= 1;
+                    st.observe(crate::obs::ObsEvent::WupConsume { tid });
                     drop(st);
                     Ok(())
                 } else if tmo == Timeout::Poll {
@@ -299,6 +302,7 @@ impl<'a> Sys<'a> {
                             )
                         );
                         if sleeping {
+                            st.observe(crate::obs::ObsEvent::WupTsk { tid });
                             Shared::make_ready(&mut st, now, tid, Ok(()), Delivered::None);
                             Ok(())
                         } else {
@@ -308,6 +312,7 @@ impl<'a> Sys<'a> {
                                 Err(ErCode::QOvr)
                             } else {
                                 tcb.wupcnt += 1;
+                                st.observe(crate::obs::ObsEvent::WupTsk { tid });
                                 Ok(())
                             }
                         }
@@ -386,8 +391,15 @@ impl<'a> Sys<'a> {
                     Err(ErCode::Obj)
                 }
                 Ok(_) => {
-                    super::detach_waiter(&mut st, tid);
+                    st.observe(crate::obs::ObsEvent::RelWai { tid });
+                    let detached = super::detach_waiter(&mut st, tid);
                     Shared::make_ready(&mut st, now, tid, Err(ErCode::RlWai), Delivered::None);
+                    // Removing the waiter can make the ones behind it
+                    // satisfiable (semaphore counts, mbf buffer space,
+                    // mpl arena space): serve them now.
+                    if let Some(obj) = detached {
+                        super::reserve_after_detach(&mut st, obj, now);
+                    }
                     Ok(())
                 }
             }
@@ -417,6 +429,7 @@ impl<'a> Sys<'a> {
                         Err(ErCode::QOvr)
                     }
                     Ok(_) => {
+                        st.observe(crate::obs::ObsEvent::Suspend { tid });
                         let tcb = st.tcb_mut(tid).expect("checked above");
                         tcb.suscnt += 1;
                         match tcb.state {
@@ -433,6 +446,9 @@ impl<'a> Sys<'a> {
                                 let rec = st.thread_mut(ThreadRef::Task(tid));
                                 rec.resume_as = ResumeKind::Preempted;
                                 rec.marking = ExecContext::Preempted;
+                                // A suspended task must not keep a CPU
+                                // grant it has not consumed yet.
+                                rec.cpu_granted = false;
                             }
                             _ => {}
                         }
@@ -465,6 +481,7 @@ impl<'a> Sys<'a> {
                     Err(ErCode::Obj)
                 }
                 Ok(_) => {
+                    st.observe(crate::obs::ObsEvent::Resume { tid, force });
                     let tcb = st.tcb_mut(tid).expect("checked above");
                     tcb.suscnt = if force { 0 } else { tcb.suscnt - 1 };
                     if tcb.suscnt == 0 {
@@ -515,6 +532,7 @@ impl Shared {
             st.tasks[idx] = Some(Tcb {
                 id: tid,
                 name: name.to_string(),
+                ini_pri: pri,
                 base_pri: pri,
                 cur_pri: pri,
                 state: TaskState::Dormant,
@@ -609,12 +627,22 @@ impl Shared {
     /// implicit exit when a task body returns.
     pub(crate) fn task_exit_bookkeeping(&self, tid: TaskId, now: sysc::SimTime, delete: bool) {
         let who = ThreadRef::Task(tid);
-        let (frozen_ev, next_resume) = {
+        let (frozen_ev, next_resume, int_kick) = {
             let mut st = self.st.lock();
             // Observation order: the exit is the stimulus, the mutex
             // ownership-transfer wakeups below are its consequences.
             st.observe(crate::obs::ObsEvent::TaskExit { tid });
             super::mtx::release_all_held(&mut st, tid, now);
+            // An exiting task takes its dispatch-disable / CPU-lock
+            // window with it (µ-ITRON: exit restores the dispatching
+            // enabled, CPU unlocked state) — otherwise the system would
+            // be wedged with dispatching disabled forever.
+            let was_masked = st.dispatch_disabled || st.cpu_locked;
+            st.dispatch_disabled = false;
+            st.cpu_locked = false;
+            if was_masked {
+                st.observe(crate::obs::ObsEvent::DispCtl { disabled: false });
+            }
             let tcb = st.tcb_mut(tid).expect("exiting task exists");
             tcb.state = TaskState::Dormant;
             tcb.wupcnt = 0;
@@ -632,6 +660,7 @@ impl Shared {
             let frozen_ev = rec.ctrl_pending.take().map(|_| rec.frozen_ev);
             Shared::trace_point(&st, now, who, TraceKind::Exit);
             if delete {
+                st.observe(crate::obs::ObsEvent::TaskDelete { tid });
                 st.tasks[tid.0 as usize - 1] = None;
                 st.threads.remove(&who);
             }
@@ -640,8 +669,15 @@ impl Shared {
             } else {
                 None
             };
+            // Interrupts pended behind a CPU lock must be delivered now
+            // that the lock died with its holder.
+            let int_kick = if was_masked && !st.pending_ints.is_empty() {
+                st.int_req_ev
+            } else {
+                None
+            };
             Shared::update_idle(&mut st, now);
-            (frozen_ev, next_resume)
+            (frozen_ev, next_resume, int_kick)
         };
         if let Some(ev) = frozen_ev {
             self.h.notify(ev);
@@ -649,23 +685,42 @@ impl Shared {
         if let Some(ev) = next_resume {
             self.h.notify(ev);
         }
+        if let Some(ev) = int_kick {
+            self.h.notify(ev);
+        }
     }
 
     /// Implements `tk_ter_tsk`.
     pub(crate) fn terminate_task(&self, tid: TaskId, now: sysc::SimTime) -> KResult<()> {
         let who = ThreadRef::Task(tid);
-        let proc = {
+        let (proc, int_kick) = {
             let mut st = self.st.lock();
             match st.tcb(tid) {
                 Err(e) => return Err(e),
                 Ok(tcb) if tcb.state == TaskState::Dormant => return Err(ErCode::Obj),
                 Ok(_) => {}
             }
+            // Stimulus first: the mutex ownership-transfer and
+            // queue-re-serve wakeups below are its consequences.
+            st.observe(crate::obs::ObsEvent::TaskTerminate { tid });
             super::mtx::release_all_held(&mut st, tid, now);
-            super::detach_waiter(&mut st, tid);
+            let detached = super::detach_waiter(&mut st, tid);
             let was_running = st.running == Some(tid);
+            let mut int_kick = None;
+            let mut window_torn_down = false;
             if was_running {
                 st.running = None;
+                // Terminating the running task (only possible from
+                // handler context) tears down any dispatch-disable /
+                // CPU-lock window it had open — leaving the flags set
+                // would wedge dispatching forever.
+                let was_masked = st.dispatch_disabled || st.cpu_locked;
+                st.dispatch_disabled = false;
+                st.cpu_locked = false;
+                window_torn_down = was_masked;
+                if was_masked && !st.pending_ints.is_empty() {
+                    int_kick = st.int_req_ev;
+                }
             } else {
                 st.scheduler.remove(tid);
             }
@@ -682,12 +737,25 @@ impl Shared {
             rec.parked = true;
             rec.cpu_granted = false;
             let proc = rec.proc.take();
+            // The abandoned wait's queue may hold now-satisfiable
+            // waiters (the terminated head was holding them back).
+            if let Some(obj) = detached {
+                super::reserve_after_detach(&mut st, obj, now);
+            }
+            // Emitted after the termination's mandated wakeups so they
+            // stay contiguous with their stimulus.
+            if window_torn_down {
+                st.observe(crate::obs::ObsEvent::DispCtl { disabled: false });
+            }
             Shared::trace_point(&st, now, who, TraceKind::Exit);
             Shared::update_idle(&mut st, now);
-            proc
+            (proc, int_kick)
         };
         if let Some(pid) = proc {
             self.h.kill(pid);
+        }
+        if let Some(ev) = int_kick {
+            self.h.notify(ev);
         }
         Ok(())
     }

@@ -147,8 +147,10 @@ impl<'a> Sys<'a> {
                     count: 0,
                     body: Arc::new(Mutex::new(Box::new(body) as Box<HandlerBody>)),
                 };
+                let period_ticks = cyc.cyctim_ticks;
                 let raw = super::table_insert(&mut st.cycs, cyc);
                 let id = CycId(raw);
+                let mut first_tick = None;
                 if auto_start {
                     let c = super::table_get(&st.cycs, raw).expect("just inserted");
                     let first = if c.cycphs_ticks > 0 {
@@ -158,8 +160,14 @@ impl<'a> Sys<'a> {
                     };
                     let gen = c.gen;
                     let at = st.ticks + first;
+                    first_tick = Some(at);
                     st.push_timer(at, TimerAction::CyclicFire { id, gen });
                 }
+                st.observe(crate::obs::ObsEvent::CycCreate {
+                    id,
+                    period_ticks,
+                    first_tick,
+                });
                 drop(st);
                 self.shared.register_thread(
                     ThreadRef::Cyclic(id),
@@ -189,6 +197,7 @@ impl<'a> Sys<'a> {
                     let gen = c.gen;
                     let at = ticks + c.cyctim_ticks;
                     st.push_timer(at, TimerAction::CyclicFire { id, gen });
+                    st.observe(crate::obs::ObsEvent::CycStart { id, at_tick: at });
                     Ok(())
                 }
             }
@@ -202,10 +211,14 @@ impl<'a> Sys<'a> {
         self.service_cost(ServiceClass::Time, "tk_stp_cyc");
         let r = {
             let mut st = self.shared.st.lock();
-            super::table_get_mut(&mut st.cycs, id.0).map(|c| {
+            let r = super::table_get_mut(&mut st.cycs, id.0).map(|c| {
                 c.active = false;
                 c.gen += 1;
-            })
+            });
+            if r.is_ok() {
+                st.observe(crate::obs::ObsEvent::CycStop { id });
+            }
+            r
         };
         self.service_exit();
         r
@@ -267,6 +280,10 @@ impl<'a> Sys<'a> {
                     a.gen += 1;
                     let gen = a.gen;
                     st.push_timer(deadline, TimerAction::AlarmFire { id, gen });
+                    st.observe(crate::obs::ObsEvent::AlmArm {
+                        id,
+                        at_tick: deadline,
+                    });
                     Ok(())
                 }
             }
@@ -280,10 +297,14 @@ impl<'a> Sys<'a> {
         self.service_cost(ServiceClass::Time, "tk_stp_alm");
         let r = {
             let mut st = self.shared.st.lock();
-            super::table_get_mut(&mut st.alms, id.0).map(|a| {
+            let r = super::table_get_mut(&mut st.alms, id.0).map(|a| {
                 a.active = false;
                 a.gen += 1;
-            })
+            });
+            if r.is_ok() {
+                st.observe(crate::obs::ObsEvent::AlmStop { id });
+            }
+            r
         };
         self.service_exit();
         r
@@ -450,6 +471,7 @@ pub(crate) fn fire_cyclic(shared: &Arc<Shared>, proc: &mut ProcCtx, id: CycId, g
                 let at = ticks + c.cyctim_ticks;
                 let gen = c.gen;
                 st.push_timer(at, TimerAction::CyclicFire { id, gen });
+                st.observe(crate::obs::ObsEvent::CycFire { id, tick: ticks });
                 true
             }
             _ => false,
@@ -483,6 +505,7 @@ pub(crate) fn fire_alarm(shared: &Arc<Shared>, proc: &mut ProcCtx, id: AlmId, ge
     let who = ThreadRef::Alarm(id);
     let evs = {
         let mut st = shared.st.lock();
+        let ticks = st.ticks;
         let valid = match super::table_get_mut(&mut st.alms, id.0) {
             Ok(a) if a.active && a.gen == gen => {
                 a.active = false; // one-shot
@@ -491,6 +514,9 @@ pub(crate) fn fire_alarm(shared: &Arc<Shared>, proc: &mut ProcCtx, id: AlmId, ge
             }
             _ => false,
         };
+        if valid {
+            st.observe(crate::obs::ObsEvent::AlmFire { id, tick: ticks });
+        }
         if valid && st.threads.contains_key(&who) {
             let lvl = *st.int_levels.last().expect("inside the timer frame");
             st.int_stack.push(who);

@@ -18,21 +18,24 @@
 //!
 //! # Checker scope
 //!
-//! The stream records every path that produces these events, but the
-//! `rtk-farm` replay-checker models the subset a farm workload can
-//! produce: the default priority-preemptive scheduler, and waits that
-//! end by satisfaction or timeout. Streams from workloads using task
-//! suspension (`tk_sus_tsk` — a wait can then complete into SUSPENDED
-//! instead of READY), forced release (`tk_rel_wai`), object deletion
-//! with live waiters ([`WakeCode::Released`]/[`WakeCode::Deleted`]),
-//! or a custom scheduler are outside that subset and will be reported
-//! as divergences by the checker, not validated.
+//! The stream records every path that produces these events, and the
+//! `rtk-farm` replay-checker models the full surface a farm workload
+//! can produce: the default priority-preemptive scheduler; waits that
+//! end by satisfaction, timeout or forced release (`tk_rel_wai`);
+//! task lifecycle (`tk_ter_tsk`/`tk_exd_tsk`/`tk_del_tsk`) including
+//! release-all-held-mutexes on forced termination; nested
+//! suspend/resume; dispatch-disable and CPU-lock windows; ready-queue
+//! rotation; variable-size pools (a first-fit arena shadow); and
+//! cyclic/alarm handler fire times. Object deletion with live waiters
+//! ([`WakeCode::Deleted`]) and custom schedulers remain outside the
+//! modeled subset and are reported as divergences by the checker, not
+//! validated.
 
 use std::sync::Mutex;
 
 use crate::config::Priority;
 use crate::error::ErCode;
-use crate::ids::{FlgId, MbfId, MbxId, MpfId, MtxId, SemId, TaskId};
+use crate::ids::{AlmId, CycId, FlgId, MbfId, MbxId, MpfId, MplId, MtxId, SemId, TaskId};
 use crate::kernel::mtx::MtxPolicy;
 use crate::state::{FlagWaitMode, WaitObj};
 
@@ -72,8 +75,42 @@ pub enum ObsEvent {
     TaskCreate { tid: TaskId, pri: Priority },
     /// A DORMANT task was started (enters READY at its base priority).
     TaskStart { tid: TaskId },
-    /// The running task exited (returns to DORMANT).
+    /// The running task exited (returns to DORMANT). Ownership-transfer
+    /// wakeups for mutexes it held follow. Exiting also re-enables
+    /// dispatching if the task had disabled it.
     TaskExit { tid: TaskId },
+    /// `tk_ter_tsk` succeeded: the target returns to DORMANT, every
+    /// mutex it held transfers to its first waiter (those wakeups
+    /// follow), and any wait it was blocked in is abandoned (re-serve
+    /// wakeups of now-satisfiable waiters follow).
+    TaskTerminate { tid: TaskId },
+    /// A DORMANT task control block was deleted (`tk_del_tsk`, or the
+    /// deletion half of `tk_exd_tsk` right after its
+    /// [`ObsEvent::TaskExit`]).
+    TaskDelete { tid: TaskId },
+    /// `tk_sus_tsk` accepted (suspend count incremented; a READY or
+    /// RUNNING target leaves the dispatchable set).
+    Suspend { tid: TaskId },
+    /// `tk_rsm_tsk` (`force == false`, one nesting level) or
+    /// `tk_frsm_tsk` (`force == true`, all levels) accepted.
+    Resume { tid: TaskId, force: bool },
+    /// `tk_rel_wai` accepted: the target's wait is forcibly released
+    /// (its [`WakeCode::Released`] wakeup follows, then any re-serve
+    /// wakeups of waiters that became satisfiable).
+    RelWai { tid: TaskId },
+    /// `tk_rot_rdq` rotated the ready queue of this (resolved)
+    /// priority level.
+    RotRdq { pri: Priority },
+    /// `tk_wup_tsk` accepted: wakes the target if it sleeps, queues
+    /// the request otherwise (the spec decides which from its state).
+    WupTsk { tid: TaskId },
+    /// `tk_slp_tsk` consumed a queued wakeup request without blocking.
+    WupConsume { tid: TaskId },
+    /// Task dispatching was disabled (`tk_dis_dsp`/`tk_loc_cpu`) or
+    /// re-enabled (`tk_ena_dsp`/`tk_unl_cpu`, task exit/termination).
+    /// While disabled, no [`ObsEvent::Dispatch`]/[`ObsEvent::Preempt`]
+    /// may appear and the running task may not block.
+    DispCtl { disabled: bool },
     /// `tk_chg_pri` succeeded with this new base priority.
     PriChange { tid: TaskId, base: Priority },
     /// A task was dispatched (given the CPU) at this current priority.
@@ -169,6 +206,47 @@ pub enum ObsEvent {
     /// `tk_rel_mpf` returned a block (a handoff wakeup follows when the
     /// wait queue is non-empty).
     MpfRel { id: MpfId },
+
+    /// `tk_cre_mpl` (`size` is the aligned arena size).
+    MplCreate {
+        id: MplId,
+        size: usize,
+        pri_order: bool,
+    },
+    /// `tk_get_mpl` allocated immediately: `size` bytes requested
+    /// (pre-alignment), first-fit offset `off`.
+    MplTake {
+        id: MplId,
+        tid: TaskId,
+        size: usize,
+        off: usize,
+    },
+    /// `tk_rel_mpl` released the allocation at `off` (re-serve wakeups
+    /// of queued waiters whose requests now fit follow, in queue
+    /// order).
+    MplRel { id: MplId, off: usize },
+
+    /// `tk_cre_cyc` (`first_tick` is the absolute tick of the first
+    /// activation when created with `TA_STA`).
+    CycCreate {
+        id: CycId,
+        period_ticks: u64,
+        first_tick: Option<u64>,
+    },
+    /// `tk_sta_cyc`: the next activation is armed for `at_tick`.
+    CycStart { id: CycId, at_tick: u64 },
+    /// `tk_stp_cyc`.
+    CycStop { id: CycId },
+    /// A cyclic handler activation began at this tick (the next one is
+    /// implicitly armed one period later).
+    CycFire { id: CycId, tick: u64 },
+
+    /// `tk_sta_alm`: the (one-shot) alarm is armed for `at_tick`.
+    AlmArm { id: AlmId, at_tick: u64 },
+    /// `tk_stp_alm`.
+    AlmStop { id: AlmId },
+    /// An alarm handler activation began at this tick (disarms it).
+    AlmFire { id: AlmId, tick: u64 },
 }
 
 /// Consumer of observation events. Implementations must be cheap and

@@ -374,24 +374,29 @@ impl Shared {
     /// Core scheduling decision; returns the resume event to notify.
     /// Grants the CPU token to the chosen task.
     pub(crate) fn pick_and_switch(st: &mut KernelState, now: SimTime) -> Option<EventId> {
-        if st.dispatch_disabled || !st.int_stack.is_empty() {
+        if !st.int_stack.is_empty() {
             return None;
         }
         match st.running {
             Some(r) => {
                 let r_pri = st.tcb(r).expect("running task exists").cur_pri;
-                if st.scheduler.should_preempt(r_pri) {
+                if !st.dispatch_masked() && st.scheduler.should_preempt(r_pri) {
                     Self::demote_running(st, now);
                     Some(Self::start_next(st, now))
                 } else {
                     // The (frozen) running task keeps the CPU: re-grant.
+                    // This is *not* a dispatch, so it happens even
+                    // inside a dispatch-disabled window — an interrupt
+                    // returning to the task that disabled dispatching
+                    // must hand the CPU back, or the window wedges the
+                    // system on the next tick.
                     let rec = st.thread_mut(ThreadRef::Task(r));
                     rec.cpu_granted = true;
                     Some(rec.resume_ev)
                 }
             }
             None => {
-                if st.scheduler.peek().is_some() {
+                if !st.dispatch_masked() && st.scheduler.peek().is_some() {
                     Some(Self::start_next(st, now))
                 } else {
                     None
@@ -460,7 +465,7 @@ impl Shared {
         let next_resume = {
             let mut st = self.st.lock();
             let now = proc.now();
-            if st.dispatch_disabled || !st.int_stack.is_empty() || st.running != Some(tid) {
+            if st.dispatch_masked() || !st.int_stack.is_empty() || st.running != Some(tid) {
                 None
             } else {
                 let my_pri = st.tcb(tid).expect("current task exists").cur_pri;

@@ -264,6 +264,9 @@ pub type HandlerBody = dyn FnMut(&mut crate::rtos::Sys<'_>) + Send;
 pub(crate) struct Tcb {
     pub id: TaskId,
     pub name: String,
+    /// Creation priority (`TPRI_INI`): the reset target of
+    /// `tk_chg_pri(tid, 0)`.
+    pub ini_pri: Priority,
     pub base_pri: Priority,
     pub cur_pri: Priority,
     pub state: TaskState,
@@ -432,6 +435,13 @@ impl KernelState {
     /// handler is active).
     pub(crate) fn current_int_level(&self) -> Option<u8> {
         self.int_levels.last().copied()
+    }
+
+    /// `true` while task dispatching is masked: the `tk_dis_dsp` and
+    /// `tk_loc_cpu` states are independent (µ-ITRON), but each one
+    /// alone forbids dispatching.
+    pub(crate) fn dispatch_masked(&self) -> bool {
+        self.dispatch_disabled || self.cpu_locked
     }
 
     pub(crate) fn tcb(&self, tid: TaskId) -> Result<&Tcb, ErCode> {

@@ -305,6 +305,35 @@ fn execute(
                 }
                 _ => None,
             };
+            let churn_mtx = match spec.topology {
+                Topology::LifecycleChurn => {
+                    Some(sys.tk_cre_mtx("churn", MtxPolicy::Inherit).unwrap())
+                }
+                _ => None,
+            };
+            let pool_mpl = match spec.topology {
+                // Undersized: the hoarder plus a couple of jobs fill it.
+                Topology::MplPressure => {
+                    let size = spec.tasks.len() * 24 + 40;
+                    Some(sys.tk_cre_mpl("arena", size, order).unwrap())
+                }
+                _ => None,
+            };
+            let flicker_cyc = match spec.topology {
+                // A spare cyclic handler the workload starts and stops
+                // on the fly.
+                Topology::AlmCycStorm => Some(
+                    sys.tk_cre_cyc(
+                        "flicker",
+                        SimTime::from_ms(3),
+                        SimTime::from_ms(1),
+                        true,
+                        |sys| sys.exec(SimTime::from_us(30)),
+                    )
+                    .unwrap(),
+                ),
+                _ => None,
+            };
 
             if let Some(mbf) = pipe_mbf {
                 // Low-priority drain task: blocking receive in a loop,
@@ -339,10 +368,127 @@ fn execute(
                 sys.tk_sta_tsk(collector, 0).unwrap();
             }
 
+            if let Some(mtx) = churn_mtx {
+                // Victim: cycles a timed inheritance-mutex critical
+                // section and timed sleeps; every wait class it enters
+                // is releasable/terminable mid-flight. It tolerates
+                // forced releases — the saboteur supplies them.
+                let victim = sys
+                    .tk_cre_tsk("victim", 105, move |sys, _| loop {
+                        if sys.tk_loc_mtx(mtx, Timeout::ms(4)).is_ok() {
+                            sys.exec(SimTime::from_us(400));
+                            let _ = sys.tk_unl_mtx(mtx);
+                        }
+                        match sys.tk_slp_tsk(Timeout::ms(3)) {
+                            Ok(())
+                            | Err(rtk_core::ErCode::Tmout)
+                            | Err(rtk_core::ErCode::RlWai) => {}
+                            Err(_) => break,
+                        }
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(victim, 0).unwrap();
+                // Saboteur: released every 5 ms by its own cyclic
+                // gate, rotating through terminate/restart, forced
+                // wait release, nested suspend/resume and queued
+                // wakeups against the victim.
+                let sgate = sys.tk_cre_sem("sgate", 0, u32::MAX / 2, order).unwrap();
+                sys.tk_cre_cyc(
+                    "sab_rel",
+                    SimTime::from_ms(5),
+                    SimTime::from_ms(1),
+                    true,
+                    move |sys| {
+                        let _ = sys.tk_sig_sem(sgate, 1);
+                    },
+                )
+                .unwrap();
+                let saboteur = sys
+                    .tk_cre_tsk("saboteur", 12, move |sys, _| {
+                        let mut n: u64 = 0;
+                        loop {
+                            if sys.tk_wai_sem(sgate, 1, Timeout::Forever).is_err() {
+                                break;
+                            }
+                            n += 1;
+                            match n % 5 {
+                                0 => {
+                                    let _ = sys.tk_ter_tsk(victim);
+                                    let _ = sys.tk_sta_tsk(victim, 0);
+                                }
+                                1 => {
+                                    let _ = sys.tk_rel_wai(victim);
+                                }
+                                2 => {
+                                    let _ = sys.tk_sus_tsk(victim);
+                                    let _ = sys.tk_sus_tsk(victim);
+                                    let _ = sys.tk_frsm_tsk(victim);
+                                }
+                                3 => {
+                                    let _ = sys.tk_sus_tsk(victim);
+                                    let _ = sys.tk_rsm_tsk(victim);
+                                }
+                                _ => {
+                                    let _ = sys.tk_wup_tsk(victim);
+                                }
+                            }
+                        }
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(saboteur, 0).unwrap();
+            }
+
+            if let Some(mpl) = pool_mpl {
+                // Hoarder: holds several blocks across sleeps and
+                // releases them in round-varying permutations, keeping
+                // the arena fragmented and the coalescer honest.
+                let hoarder = sys
+                    .tk_cre_tsk("hoarder", 132, move |sys, _| {
+                        let mut round: usize = 0;
+                        loop {
+                            let mut held: Vec<usize> = Vec::new();
+                            for sz in [8usize, 20, 12] {
+                                if let Ok(off) = sys.tk_get_mpl(mpl, sz, Timeout::ms(1)) {
+                                    held.push(off);
+                                }
+                            }
+                            let _ = sys.tk_slp_tsk(Timeout::ms(2));
+                            round += 1;
+                            if round.is_multiple_of(2) {
+                                held.reverse();
+                            }
+                            if round.is_multiple_of(3) && held.len() >= 2 {
+                                held.swap(0, 1);
+                            }
+                            for off in held {
+                                let _ = sys.tk_rel_mpl(mpl, off);
+                            }
+                        }
+                    })
+                    .unwrap();
+                sys.tk_sta_tsk(hoarder, 0).unwrap();
+            }
+
             for (i, task) in spec.tasks.iter().enumerate() {
                 let gate = sys
                     .tk_cre_sem(&format!("gate{i}"), 0, u32::MAX / 2, order)
                     .unwrap();
+                // Per-task alarm + completion semaphore of the
+                // time-event storm.
+                let alm_pair = match spec.topology {
+                    Topology::AlmCycStorm => {
+                        let asem = sys
+                            .tk_cre_sem(&format!("alm_done{i}"), 0, u32::MAX / 2, order)
+                            .unwrap();
+                        let alm = sys
+                            .tk_cre_alm(&format!("alm{i}"), move |sys| {
+                                let _ = sys.tk_sig_sem(asem, 1);
+                            })
+                            .unwrap();
+                        Some((alm, asem))
+                    }
+                    _ => None,
+                };
 
                 // Release side: a cyclic handler stamps the intended
                 // release time and opens the gate. The delayed-timer
@@ -380,86 +526,150 @@ fn execute(
                 let topology = spec.topology;
                 let exec_us = u64::from(task.exec_us);
                 let deadline_us = u64::from(task.period_ms) * 1000;
-                let body = move |sys: &mut rtk_core::Sys<'_>, _stacd: i32| loop {
-                    if sys.tk_wai_sem(gate, 1, Timeout::Forever).is_err() {
-                        break;
-                    }
-                    let release_us = collect.pending[i]
-                        .lock()
-                        .unwrap()
-                        .pop_front()
-                        .expect("every gate signal has a release stamp");
-                    match topology {
-                        Topology::Independent => sys.exec(SimTime::from_us(exec_us)),
-                        Topology::SemChain => {
-                            let crit = (exec_us / 5).max(10);
-                            sys.exec(SimTime::from_us(exec_us - crit));
-                            if sys
-                                .tk_wai_sem(chain_sem.unwrap(), 1, Timeout::Forever)
-                                .is_ok()
-                            {
-                                sys.exec(SimTime::from_us(crit));
-                                sys.tk_sig_sem(chain_sem.unwrap(), 1).unwrap();
-                            }
+                let body = move |sys: &mut rtk_core::Sys<'_>, _stacd: i32| {
+                    let mut jobs: u64 = 0;
+                    loop {
+                        if sys.tk_wai_sem(gate, 1, Timeout::Forever).is_err() {
+                            break;
                         }
-                        Topology::MbxPipeline => {
-                            sys.exec(SimTime::from_us(exec_us));
-                            let mbx = pipe_mbx.unwrap();
-                            if i == 0 {
-                                while sys.tk_rcv_mbx(mbx, Timeout::Poll).is_ok() {}
-                            } else {
-                                sys.tk_snd_mbx(mbx, MsgPacket::new(vec![i as u8])).unwrap();
-                            }
-                        }
-                        Topology::FlagBarrier => {
-                            sys.exec(SimTime::from_us(exec_us));
-                            sys.tk_set_flg(barrier_flg.unwrap(), 1 << i).unwrap();
-                        }
-                        Topology::MtxChain { .. } => {
-                            let crit = (exec_us / 4).max(10);
-                            sys.exec(SimTime::from_us(exec_us - crit));
-                            // Finite timeout: under heavy inversion the
-                            // lock attempt may expire, exercising the
-                            // timer path; the job still completes.
-                            let mtx = chain_mtx.unwrap();
-                            if sys.tk_loc_mtx(mtx, Timeout::ms(deadline_us / 500)).is_ok() {
-                                sys.exec(SimTime::from_us(crit));
-                                sys.tk_unl_mtx(mtx).unwrap();
-                            }
-                        }
-                        Topology::MbfPipeline => {
-                            sys.exec(SimTime::from_us(exec_us));
-                            let record = vec![i as u8; 1 + (i % 8)];
-                            // A full pipeline may time the send out; the
-                            // record is then dropped, not the job.
-                            let _ = sys.tk_snd_mbf(
-                                pipe_mbf.unwrap(),
-                                &record,
-                                Timeout::ms(deadline_us / 500),
-                            );
-                        }
-                        Topology::MpfPool => {
-                            let mpf = pool_mpf.unwrap();
-                            match sys.tk_get_mpf(mpf, Timeout::ms(deadline_us / 500)) {
-                                Ok(blk) => {
-                                    sys.exec(SimTime::from_us(exec_us));
-                                    sys.tk_rel_mpf(mpf, blk).unwrap();
+                        jobs += 1;
+                        let release_us = collect.pending[i]
+                            .lock()
+                            .unwrap()
+                            .pop_front()
+                            .expect("every gate signal has a release stamp");
+                        match topology {
+                            Topology::Independent => sys.exec(SimTime::from_us(exec_us)),
+                            Topology::SemChain => {
+                                let crit = (exec_us / 5).max(10);
+                                sys.exec(SimTime::from_us(exec_us - crit));
+                                if sys
+                                    .tk_wai_sem(chain_sem.unwrap(), 1, Timeout::Forever)
+                                    .is_ok()
+                                {
+                                    sys.exec(SimTime::from_us(crit));
+                                    sys.tk_sig_sem(chain_sem.unwrap(), 1).unwrap();
                                 }
-                                // Pool exhausted past the timeout: run
-                                // without the block.
-                                Err(_) => sys.exec(SimTime::from_us(exec_us)),
+                            }
+                            Topology::MbxPipeline => {
+                                sys.exec(SimTime::from_us(exec_us));
+                                let mbx = pipe_mbx.unwrap();
+                                if i == 0 {
+                                    while sys.tk_rcv_mbx(mbx, Timeout::Poll).is_ok() {}
+                                } else {
+                                    sys.tk_snd_mbx(mbx, MsgPacket::new(vec![i as u8])).unwrap();
+                                }
+                            }
+                            Topology::FlagBarrier => {
+                                sys.exec(SimTime::from_us(exec_us));
+                                sys.tk_set_flg(barrier_flg.unwrap(), 1 << i).unwrap();
+                            }
+                            Topology::MtxChain { .. } => {
+                                let crit = (exec_us / 4).max(10);
+                                sys.exec(SimTime::from_us(exec_us - crit));
+                                // Finite timeout: under heavy inversion the
+                                // lock attempt may expire, exercising the
+                                // timer path; the job still completes.
+                                let mtx = chain_mtx.unwrap();
+                                if sys.tk_loc_mtx(mtx, Timeout::ms(deadline_us / 500)).is_ok() {
+                                    sys.exec(SimTime::from_us(crit));
+                                    sys.tk_unl_mtx(mtx).unwrap();
+                                }
+                            }
+                            Topology::MbfPipeline => {
+                                sys.exec(SimTime::from_us(exec_us));
+                                let record = vec![i as u8; 1 + (i % 8)];
+                                // A full pipeline may time the send out; the
+                                // record is then dropped, not the job.
+                                let _ = sys.tk_snd_mbf(
+                                    pipe_mbf.unwrap(),
+                                    &record,
+                                    Timeout::ms(deadline_us / 500),
+                                );
+                            }
+                            Topology::MpfPool => {
+                                let mpf = pool_mpf.unwrap();
+                                match sys.tk_get_mpf(mpf, Timeout::ms(deadline_us / 500)) {
+                                    Ok(blk) => {
+                                        sys.exec(SimTime::from_us(exec_us));
+                                        sys.tk_rel_mpf(mpf, blk).unwrap();
+                                    }
+                                    // Pool exhausted past the timeout: run
+                                    // without the block.
+                                    Err(_) => sys.exec(SimTime::from_us(exec_us)),
+                                }
+                            }
+                            Topology::LifecycleChurn => {
+                                // Share the churn mutex with the victim so
+                                // terminations hit live inheritance chains.
+                                let crit = (exec_us / 5).max(10);
+                                sys.exec(SimTime::from_us(exec_us - crit));
+                                let mtx = churn_mtx.unwrap();
+                                if sys.tk_loc_mtx(mtx, Timeout::ms(2)).is_ok() {
+                                    sys.exec(SimTime::from_us(crit));
+                                    let _ = sys.tk_unl_mtx(mtx);
+                                }
+                            }
+                            Topology::DispWindow { lock_cpu } => {
+                                let crit = (exec_us / 4).max(10);
+                                sys.exec(SimTime::from_us(exec_us - crit));
+                                if lock_cpu {
+                                    let _ = sys.tk_loc_cpu();
+                                } else {
+                                    let _ = sys.tk_dis_dsp();
+                                }
+                                sys.exec(SimTime::from_us(crit));
+                                let _ = sys.tk_rot_rdq(0);
+                                if lock_cpu {
+                                    let _ = sys.tk_unl_cpu();
+                                } else {
+                                    let _ = sys.tk_ena_dsp();
+                                }
+                            }
+                            Topology::MplPressure => {
+                                let mpl = pool_mpl.unwrap();
+                                let sz = 8 + (i * 12) % 36;
+                                match sys.tk_get_mpl(mpl, sz, Timeout::ms(deadline_us / 500)) {
+                                    Ok(off) => {
+                                        sys.exec(SimTime::from_us(exec_us));
+                                        let _ = sys.tk_rel_mpl(mpl, off);
+                                    }
+                                    // Arena exhausted past the timeout: run
+                                    // without the block.
+                                    Err(_) => sys.exec(SimTime::from_us(exec_us)),
+                                }
+                            }
+                            Topology::AlmCycStorm => {
+                                let (alm, asem) = alm_pair.unwrap();
+                                let _ =
+                                    sys.tk_sta_alm(alm, SimTime::from_us((exec_us / 2).max(100)));
+                                if jobs.is_multiple_of(5) {
+                                    // Disarm before it fires: the collect
+                                    // wait below must then time out.
+                                    let _ = sys.tk_stp_alm(alm);
+                                }
+                                sys.exec(SimTime::from_us(exec_us));
+                                let _ = sys.tk_wai_sem(asem, 1, Timeout::ms(1));
+                                if i == 0 {
+                                    let flk = flicker_cyc.unwrap();
+                                    if jobs.is_multiple_of(2) {
+                                        let _ = sys.tk_stp_cyc(flk);
+                                    } else {
+                                        let _ = sys.tk_sta_cyc(flk);
+                                    }
+                                }
                             }
                         }
-                    }
-                    let now_us = sys.now().as_us();
-                    let latency = now_us - release_us;
-                    collect.latencies_us.lock().unwrap().push(latency);
-                    collect.completions[i].fetch_add(1, Ordering::Relaxed);
-                    collect
-                        .last_completion_us
-                        .fetch_max(now_us, Ordering::Relaxed);
-                    if latency > deadline_us {
-                        collect.misses.fetch_add(1, Ordering::Relaxed);
+                        let now_us = sys.now().as_us();
+                        let latency = now_us - release_us;
+                        collect.latencies_us.lock().unwrap().push(latency);
+                        collect.completions[i].fetch_add(1, Ordering::Relaxed);
+                        collect
+                            .last_completion_us
+                            .fetch_max(now_us, Ordering::Relaxed);
+                        if latency > deadline_us {
+                            collect.misses.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 };
                 let tid = sys
@@ -567,8 +777,9 @@ mod tests {
             quick: true,
             faults: false,
         };
+        let all = crate::scenario::Topology::ALL_LABELS.len();
         let mut seen = std::collections::BTreeSet::new();
-        for seed in 0..256 {
+        for seed in 0..512 {
             let spec = ScenarioSpec::generate(seed, &t);
             if seen.contains(spec.topology.label()) {
                 continue;
@@ -576,10 +787,10 @@ mod tests {
             let out = run_scenario(&spec);
             assert!(out.healthy(), "seed {seed}: {out:?}");
             seen.insert(spec.topology.label());
-            if seen.len() == 8 {
+            if seen.len() == all {
                 return;
             }
         }
-        panic!("first 256 seeds did not cover all topologies: {seen:?}");
+        panic!("first 512 seeds did not cover all topologies: {seen:?}");
     }
 }

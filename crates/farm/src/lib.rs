@@ -34,6 +34,7 @@
 //!     threads: 2,
 //!     tuning: Tuning { quick: true, faults: true },
 //!     oracle: true,
+//!     topology: None,
 //! };
 //! let outcomes = run_campaign(&cfg);
 //! let report = CampaignReport::new(cfg, outcomes);

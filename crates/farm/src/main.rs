@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! rtk-farm [--seeds N] [--base-seed S] [--threads T] [--quick]
-//!          [--no-faults] [--oracle] [--out PATH]
+//!          [--no-faults] [--oracle] [--topology NAME] [--out PATH]
 //! ```
 //!
 //! Exit code 0 when every scenario is healthy; 1 when any scenario
@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rtk_farm::{run_campaign, CampaignConfig, CampaignReport};
+use rtk_farm::{run_campaign, CampaignConfig, CampaignReport, Topology};
 
 const USAGE: &str = "usage: rtk-farm [options]
 
@@ -25,6 +25,12 @@ options:
   --no-faults     disable fault-injection draws
   --oracle        replay every scenario through the differential
                   ITRON oracle; any divergence fails the campaign
+  --topology NAME run only the seeds expanding to this scenario
+                  family (one-command divergence repro), one of:
+                  independent sem_chain mbx_pipeline flag_barrier
+                  mtx_inherit mtx_ceiling mbf_pipeline mpf_pool
+                  lifecycle_churn disp_window cpu_lock_window
+                  mpl_pressure alm_cyc_storm
   --out PATH      report path                          (default BENCH_farm.json)
   --help          this text";
 
@@ -55,6 +61,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(CampaignConfig,
             "--quick" => cfg.tuning.quick = true,
             "--no-faults" => cfg.tuning.faults = false,
             "--oracle" => cfg.oracle = true,
+            "--topology" => {
+                let name = value("--topology")?;
+                if !Topology::ALL_LABELS.contains(&name.as_str()) {
+                    return Err(format!(
+                        "--topology: unknown family {name:?} (known: {})",
+                        Topology::ALL_LABELS.join(" ")
+                    ));
+                }
+                cfg.topology = Some(name);
+            }
             "--out" => out = value("--out")?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
@@ -83,13 +99,17 @@ fn main() -> ExitCode {
         format!("{}..{}", cfg.base_seed, cfg.base_seed + cfg.seeds - 1)
     };
     eprintln!(
-        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} horizon, faults {}, oracle {}",
+        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} horizon, faults {}, oracle {}{}",
         cfg.seeds,
         seed_range,
         workers,
         if cfg.tuning.quick { "quick" } else { "full" },
         if cfg.tuning.faults { "on" } else { "off" },
         if cfg.oracle { "on" } else { "off" },
+        match &cfg.topology {
+            Some(t) => format!(", topology {t}"),
+            None => String::new(),
+        },
     );
 
     let t0 = Instant::now();

@@ -7,8 +7,9 @@
 //! through an independent reference model:
 //!
 //! * **Stimuli** (object creation, `tk_sig_sem`, `tk_set_flg`, a mutex
-//!   unlock, a timeout expiry, ...) update the model *and* compute the
-//!   set of wakeups the µ-ITRON rules mandate, in order.
+//!   unlock, a timeout expiry, a forced release, a termination, ...)
+//!   update the model *and* compute the set of wakeups the µ-ITRON
+//!   rules mandate, in order.
 //! * **Decisions** (a dispatch, a wakeup, an immediate acquisition) are
 //!   verified against the model: the dispatched task must be the head
 //!   of the model's ready queue *at the model's computed current
@@ -23,12 +24,31 @@
 //!
 //! # Scope
 //!
-//! The spec models what a farm scenario can do: the default
-//! priority-preemptive scheduler, and waits that end by satisfaction
-//! or timeout. Task suspension, forced wait release (`tk_rel_wai`)
-//! and object deletion with live waiters have no stimulus events in
-//! the observation grammar, so streams containing them are rejected
-//! rather than validated (see `rtk_core::obs`, "Checker scope").
+//! The spec models the full surface a farm scenario can produce:
+//!
+//! * the default priority-preemptive scheduler, with `tk_rot_rdq`
+//!   rotation;
+//! * waits ending by satisfaction, timeout or forced release
+//!   (`tk_rel_wai`), including the re-serve of waiters that become
+//!   satisfiable when a queued waiter is removed;
+//! * task lifecycle: `tk_ter_tsk` (release-all-held-mutexes with
+//!   priority re-propagation), `tk_exd_tsk`, `tk_del_tsk`, restart;
+//! * nested suspend/resume (`tk_sus_tsk`/`tk_rsm_tsk`/`tk_frsm_tsk`),
+//!   including waits completing into SUSPENDED;
+//! * dispatch-disable / CPU-lock windows (`tk_dis_dsp`/`tk_loc_cpu`):
+//!   no dispatch, preemption or blocking may be observed inside one;
+//! * task-attached sleep/wakeup (`tk_slp_tsk`/`tk_wup_tsk` with
+//!   wakeup-request queueing);
+//! * variable-size pools via a first-fit arena shadow mirroring the
+//!   kernel's allocator (exact offsets, coalescing, waiter service in
+//!   queue order);
+//! * cyclic/alarm handler fire ticks (armed tick and period
+//!   re-arming).
+//!
+//! Object deletion with live waiters ([`WakeCode::Deleted`]),
+//! `tk_can_wup`, and custom schedulers remain outside the modeled
+//! subset; streams containing them are rejected rather than validated
+//! (see `rtk_core::obs`, "Checker scope").
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -108,6 +128,8 @@ enum TState {
     Ready,
     Running,
     Waiting,
+    Suspend,
+    WaitSuspend,
 }
 
 #[derive(Debug)]
@@ -119,6 +141,10 @@ struct TaskM {
     deadline: Option<u64>,
     /// Held mutexes (raw ids) in acquisition order.
     held: Vec<u32>,
+    /// Nested suspend count.
+    suscnt: u32,
+    /// Queued `tk_wup_tsk` requests.
+    wupcnt: u32,
 }
 
 /// A `TA_TFIFO`/`TA_TPRI` wait queue mirroring the kernel's semantics:
@@ -233,6 +259,85 @@ struct MpfM {
     q: Queue,
 }
 
+/// Allocation alignment of the kernel's variable-size pools.
+const MPL_ALIGN: usize = 4;
+
+fn align_up(sz: usize) -> usize {
+    (sz + MPL_ALIGN - 1) & !(MPL_ALIGN - 1)
+}
+
+/// First-fit arena shadow of one variable-size pool: the same
+/// offset-keyed free/alloc maps the kernel keeps, so the spec computes
+/// the exact offsets first-fit mandates and the exact coalescing a
+/// release must perform.
+#[derive(Debug)]
+struct MplM {
+    /// Free regions: offset -> length, coalesced.
+    free: BTreeMap<usize, usize>,
+    /// Live allocations: offset -> length (aligned).
+    allocs: BTreeMap<usize, usize>,
+    q: Queue,
+}
+
+impl MplM {
+    /// First-fit allocation (mirrors `kernel::mpl::Mpl::try_alloc`).
+    fn try_alloc(&mut self, sz: usize) -> Option<usize> {
+        let sz = align_up(sz);
+        let (off, len) = self
+            .free
+            .iter()
+            .find(|&(_, len)| *len >= sz)
+            .map(|(o, l)| (*o, *l))?;
+        self.free.remove(&off);
+        if len > sz {
+            self.free.insert(off + sz, len - sz);
+        }
+        self.allocs.insert(off, sz);
+        Some(off)
+    }
+
+    /// `true` when a request of `sz` (pre-alignment) would fit now.
+    fn can_alloc(&self, sz: usize) -> bool {
+        let sz = align_up(sz);
+        self.free.values().any(|&len| len >= sz)
+    }
+
+    /// Releases an allocation, coalescing with free neighbours.
+    fn release(&mut self, off: usize) -> Result<(), String> {
+        let len = self.allocs.remove(&off).ok_or_else(|| {
+            format!("release of offset {off} which the spec has no allocation at")
+        })?;
+        let mut start = off;
+        let mut length = len;
+        if let Some((&poff, &plen)) = self.free.range(..off).next_back() {
+            if poff + plen == off {
+                self.free.remove(&poff);
+                start = poff;
+                length += plen;
+            }
+        }
+        if let Some(&nlen) = self.free.get(&(off + len)) {
+            self.free.remove(&(off + len));
+            length += nlen;
+        }
+        self.free.insert(start, length);
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct CycM {
+    period: u64,
+    /// Absolute tick of the next mandated activation, if armed.
+    armed: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct AlmM {
+    /// Absolute tick of the mandated (one-shot) activation, if armed.
+    armed: Option<u64>,
+}
+
 /// The whole reference-model state.
 #[derive(Debug, Default)]
 struct Model {
@@ -241,12 +346,18 @@ struct Model {
     /// preempted tasks re-enter at the head of their level).
     ready: Vec<(Tid, u8)>,
     running: Option<Tid>,
+    /// `tk_dis_dsp`/`tk_loc_cpu` window: no dispatch, preemption or
+    /// blocking may be observed while set.
+    dispatch_disabled: bool,
     sems: BTreeMap<u32, SemM>,
     flags: BTreeMap<u32, FlagM>,
     mbxs: BTreeMap<u32, MbxM>,
     mbfs: BTreeMap<u32, MbfM>,
     mtxs: BTreeMap<u32, MtxM>,
     mpfs: BTreeMap<u32, MpfM>,
+    mpls: BTreeMap<u32, MplM>,
+    cycs: BTreeMap<u32, CycM>,
+    alms: BTreeMap<u32, AlmM>,
     /// Wakeups the spec has mandated but the kernel has not yet
     /// reported. Non-empty ⇒ the very next event must be the front
     /// wakeup (wakeups are emitted contiguously after their stimulus).
@@ -322,8 +433,25 @@ impl Model {
         self.ready.retain(|&(t, _)| t != tid);
     }
 
-    /// Makes a waiting task ready (the model side of `make_ready`) and
-    /// registers the mandated wakeup event.
+    /// Rotates the ready entries of one priority level: the level's
+    /// head moves behind its last peer (`tk_rot_rdq`).
+    fn rotate_ready(&mut self, pri: u8) {
+        let idxs: Vec<usize> = self
+            .ready
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, p))| p == pri)
+            .map(|(i, _)| i)
+            .collect();
+        if idxs.len() >= 2 {
+            let head = self.ready.remove(idxs[0]);
+            self.ready.insert(*idxs.last().expect("len >= 2"), head);
+        }
+    }
+
+    /// Makes a waiting task ready — or SUSPENDED, when the wait was
+    /// doubly blocked (µ-ITRON WAIT-SUSPEND) — and registers the
+    /// mandated wakeup event.
     fn wake(&mut self, tid: Tid, code: WakeCode) -> Er {
         let t = self.task_mut(tid)?;
         let obj = t
@@ -331,10 +459,106 @@ impl Model {
             .take()
             .ok_or_else(|| format!("spec woke tsk{tid} which is not waiting"))?;
         t.deadline = None;
-        t.state = TState::Ready;
-        self.ready_tail(tid);
+        let suspended = t.state == TState::WaitSuspend;
+        t.state = if suspended {
+            TState::Suspend
+        } else {
+            TState::Ready
+        };
+        if !suspended {
+            self.ready_tail(tid);
+        }
         self.expected.push_back((tid, obj, code));
         Ok(())
+    }
+
+    /// Removes `tid` from the wait queue of whatever it is blocked on
+    /// (plus the mbf sender-payload bookkeeping), without completing
+    /// the wait. Returns the object, for the re-serve pass.
+    fn detach(&mut self, tid: Tid) -> Option<WaitObj> {
+        let obj = self.tasks.get(&tid)?.wait?;
+        if let WaitObj::MbfSend(id, _) = obj {
+            if let Some(m) = self.mbfs.get_mut(&id.raw()) {
+                m.send_len.remove(&tid);
+            }
+        }
+        if let Some(q) = self.wait_queue_mut(&obj) {
+            q.remove(tid);
+        }
+        Some(obj)
+    }
+
+    /// Re-serves the queue a waiter was just removed from: waiters
+    /// behind it may have become satisfiable (semaphore counts, mbf
+    /// buffer space, mpl arena space) and µ-ITRON mandates waking them
+    /// now, in queue order.
+    fn reserve(&mut self, obj: WaitObj) -> Er {
+        match obj {
+            WaitObj::Sem(id, _) => self.sem_serve(id.raw()),
+            WaitObj::MbfSend(id, _) => self.mbf_drain(id.raw()),
+            WaitObj::Mpl(id, _) => self.mpl_serve(id.raw()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Wakes satisfiable semaphore waiters strictly from the head.
+    fn sem_serve(&mut self, id: u32) -> Er {
+        while let Some(front) = self.sems.get(&id).and_then(|s| s.q.front()) {
+            let req = match self.tasks.get(&front).and_then(|t| t.wait) {
+                Some(WaitObj::Sem(_, req)) => req,
+                _ => 1,
+            };
+            let sem = self.sems.get_mut(&id).expect("checked");
+            if sem.count < req {
+                break;
+            }
+            sem.count -= req;
+            sem.q.pop();
+            self.wake(front, WakeCode::Ok)?;
+        }
+        Ok(())
+    }
+
+    /// Moves blocked senders' messages into the buffer while space
+    /// allows, strictly in queue order, waking them.
+    fn mbf_drain(&mut self, id: u32) -> Er {
+        loop {
+            let Some(mbf) = self.mbfs.get_mut(&id) else {
+                return Ok(());
+            };
+            let Some(front) = mbf.send_q.front() else {
+                return Ok(());
+            };
+            let slen = mbf.send_len.get(&front).copied().unwrap_or(0);
+            if mbf.used + slen > mbf.bufsz {
+                return Ok(());
+            }
+            mbf.used += slen;
+            mbf.msgs.push_back(slen);
+            mbf.send_q.pop();
+            mbf.send_len.remove(&front);
+            self.wake(front, WakeCode::Ok)?;
+        }
+    }
+
+    /// Serves queued pool waiters whose requests now fit, strictly in
+    /// queue order, allocating in the shadow arena.
+    fn mpl_serve(&mut self, id: u32) -> Er {
+        loop {
+            let Some(front) = self.mpls.get(&id).and_then(|p| p.q.front()) else {
+                return Ok(());
+            };
+            let req = match self.tasks.get(&front).and_then(|t| t.wait) {
+                Some(WaitObj::Mpl(_, sz)) => sz,
+                _ => return Ok(()),
+            };
+            let pool = self.mpls.get_mut(&id).expect("checked");
+            if pool.try_alloc(req).is_none() {
+                return Ok(());
+            }
+            pool.q.pop();
+            self.wake(front, WakeCode::Ok)?;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -389,7 +613,7 @@ impl Model {
                     self.ready_remove(tid);
                     self.ready_tail(tid);
                 }
-                TState::Waiting => {
+                TState::Waiting | TState::WaitSuspend => {
                     if let Some(obj) = self.tasks[&tid].wait {
                         if let Some(q) = self.wait_queue_mut(&obj) {
                             q.reprioritize(tid, new);
@@ -411,7 +635,8 @@ impl Model {
             WaitObj::MbfRecv(id) => self.mbfs.get_mut(&id.raw()).map(|o| &mut o.recv_q),
             WaitObj::Mtx(id) => self.mtxs.get_mut(&id.raw()).map(|o| &mut o.q),
             WaitObj::Mpf(id) => self.mpfs.get_mut(&id.raw()).map(|o| &mut o.q),
-            WaitObj::Mpl(..) | WaitObj::Sleep | WaitObj::Delay => None,
+            WaitObj::Mpl(id, _) => self.mpls.get_mut(&id.raw()).map(|o| &mut o.q),
+            WaitObj::Sleep | WaitObj::Delay => None,
         }
     }
 
@@ -450,6 +675,8 @@ impl Model {
                         wait: None,
                         deadline: None,
                         held: Vec::new(),
+                        suscnt: 0,
+                        wupcnt: 0,
                     },
                 );
                 Ok(())
@@ -475,8 +702,152 @@ impl Model {
                 t.state = TState::Dormant;
                 t.wait = None;
                 t.deadline = None;
+                t.suscnt = 0;
+                t.wupcnt = 0;
                 self.running = None;
+                // An exiting task takes its dispatch-disable window
+                // with it.
+                self.dispatch_disabled = false;
                 self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::TaskTerminate { tid } => {
+                let tid = tid.raw();
+                if self.task(tid)?.state == TState::Dormant {
+                    return Err("terminate of a task the spec says is DORMANT".into());
+                }
+                // Order mirrors the kernel: held mutexes transfer
+                // first (their wakeups), then the abandoned wait's
+                // queue is re-served (its wakeups).
+                let held = std::mem::take(&mut self.task_mut(tid)?.held);
+                for mid in held {
+                    self.release_mutex(mid)?;
+                }
+                let detached = self.detach(tid);
+                if self.running == Some(tid) {
+                    self.running = None;
+                    // A dispatch-disable window dies with the running
+                    // task it belongs to.
+                    self.dispatch_disabled = false;
+                } else {
+                    self.ready_remove(tid);
+                }
+                let t = self.task_mut(tid)?;
+                t.state = TState::Dormant;
+                t.wait = None;
+                t.deadline = None;
+                t.suscnt = 0;
+                t.wupcnt = 0;
+                if let Some(obj) = detached {
+                    self.reserve(obj)?;
+                }
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::TaskDelete { tid } => {
+                let tid = tid.raw();
+                if self.task(tid)?.state != TState::Dormant {
+                    return Err("delete of a task the spec says is not DORMANT".into());
+                }
+                self.tasks.remove(&tid);
+                Ok(())
+            }
+            ObsEvent::Suspend { tid } => {
+                let tid = tid.raw();
+                let t = self.task_mut(tid)?;
+                match t.state {
+                    TState::Dormant => Err("suspend of a DORMANT task".into()),
+                    TState::Ready => {
+                        t.suscnt += 1;
+                        t.state = TState::Suspend;
+                        self.ready_remove(tid);
+                        Ok(())
+                    }
+                    TState::Waiting => {
+                        t.suscnt += 1;
+                        t.state = TState::WaitSuspend;
+                        Ok(())
+                    }
+                    TState::Running => {
+                        t.suscnt += 1;
+                        t.state = TState::Suspend;
+                        self.running = None;
+                        Ok(())
+                    }
+                    TState::Suspend | TState::WaitSuspend => {
+                        t.suscnt += 1;
+                        Ok(())
+                    }
+                }
+            }
+            ObsEvent::Resume { tid, force } => {
+                let tid = tid.raw();
+                let t = self.task_mut(tid)?;
+                if !matches!(t.state, TState::Suspend | TState::WaitSuspend) {
+                    return Err(format!(
+                        "resume of a task the spec says is {:?}, not suspended",
+                        t.state
+                    ));
+                }
+                if t.suscnt == 0 {
+                    return Err("resume with a zero spec suspend count".into());
+                }
+                t.suscnt = if force { 0 } else { t.suscnt - 1 };
+                if t.suscnt == 0 {
+                    match t.state {
+                        TState::Suspend => {
+                            t.state = TState::Ready;
+                            self.ready_tail(tid);
+                        }
+                        TState::WaitSuspend => t.state = TState::Waiting,
+                        _ => unreachable!("state checked above"),
+                    }
+                }
+                Ok(())
+            }
+            ObsEvent::RelWai { tid } => {
+                let tid = tid.raw();
+                if !matches!(self.task(tid)?.state, TState::Waiting | TState::WaitSuspend) {
+                    return Err("forced release of a task the spec says is not waiting".into());
+                }
+                let detached = self.detach(tid);
+                self.wake(tid, WakeCode::Released)?;
+                if let Some(obj) = detached {
+                    self.reserve(obj)?;
+                }
+                self.recompute_priorities();
+                Ok(())
+            }
+            ObsEvent::RotRdq { pri } => {
+                self.rotate_ready(pri);
+                Ok(())
+            }
+            ObsEvent::WupTsk { tid } => {
+                let tid = tid.raw();
+                let t = self.task(tid)?;
+                let sleeping = matches!(t.state, TState::Waiting | TState::WaitSuspend)
+                    && t.wait == Some(WaitObj::Sleep);
+                if sleeping {
+                    self.wake(tid, WakeCode::Ok)
+                } else if t.state == TState::Dormant {
+                    Err("wakeup of a DORMANT task".into())
+                } else {
+                    self.task_mut(tid)?.wupcnt += 1;
+                    Ok(())
+                }
+            }
+            ObsEvent::WupConsume { tid } => {
+                let tid = tid.raw();
+                self.require_running(tid)?;
+                let t = self.task_mut(tid)?;
+                if t.wupcnt == 0 {
+                    return Err("consumed a queued wakeup the spec does not have".into());
+                }
+                t.wupcnt -= 1;
+                Ok(())
+            }
+            ObsEvent::DispCtl { disabled } => {
+                self.dispatch_disabled = disabled;
                 Ok(())
             }
             ObsEvent::PriChange { tid, base } => {
@@ -486,6 +857,9 @@ impl Model {
             }
             ObsEvent::Dispatch { tid, pri } => {
                 let tid = tid.raw();
+                if self.dispatch_disabled {
+                    return Err("dispatch inside a dispatch-disabled window".into());
+                }
                 if let Some(r) = self.running {
                     return Err(format!("dispatch while spec still has tsk{r} running"));
                 }
@@ -511,6 +885,9 @@ impl Model {
             }
             ObsEvent::Preempt { tid } => {
                 let tid = tid.raw();
+                if self.dispatch_disabled {
+                    return Err("preemption inside a dispatch-disabled window".into());
+                }
                 self.require_running(tid)?;
                 self.task_mut(tid)?.state = TState::Ready;
                 self.running = None;
@@ -524,7 +901,13 @@ impl Model {
             } => {
                 let tid = tid.raw();
                 self.require_running(tid)?;
+                if self.dispatch_disabled {
+                    return Err("blocking call inside a dispatch-disabled window".into());
+                }
                 self.check_would_block(tid, &obj)?;
+                if obj == WaitObj::Sleep && self.task(tid)?.wupcnt > 0 {
+                    return Err("blocked in tk_slp_tsk with a queued wakeup request".into());
+                }
                 let pri = self.task(tid)?.cur;
                 if let WaitObj::MbfSend(id, len) = obj {
                     if let Some(m) = self.mbfs.get_mut(&id.raw()) {
@@ -550,7 +933,7 @@ impl Model {
             ObsEvent::TimerFire { tid, tick } => {
                 let tid = tid.raw();
                 let t = self.task(tid)?;
-                if t.state != TState::Waiting {
+                if !matches!(t.state, TState::Waiting | TState::WaitSuspend) {
                     return Err(format!(
                         "timeout fired for non-waiting task ({:?})",
                         t.state
@@ -565,16 +948,11 @@ impl Model {
                     }
                     None => return Err("timeout fired for a wait without a deadline".into()),
                 }
-                let obj = t.wait.expect("waiting task has a wait object");
-                if let WaitObj::MbfSend(id, _) = obj {
-                    if let Some(m) = self.mbfs.get_mut(&id.raw()) {
-                        m.send_len.remove(&tid);
-                    }
-                }
-                if let Some(q) = self.wait_queue_mut(&obj) {
-                    q.remove(tid);
-                }
+                let detached = self.detach(tid);
                 self.wake(tid, WakeCode::Timeout)?;
+                if let Some(obj) = detached {
+                    self.reserve(obj)?;
+                }
                 self.recompute_priorities();
                 Ok(())
             }
@@ -608,21 +986,7 @@ impl Model {
                     ));
                 }
                 sem.count += cnt;
-                // Release satisfiable waiters strictly from the head.
-                while let Some(front) = self.sems[&id].q.front() {
-                    let req = match self.tasks.get(&front).and_then(|t| t.wait) {
-                        Some(WaitObj::Sem(_, req)) => req,
-                        _ => 1,
-                    };
-                    let sem = self.sems.get_mut(&id).expect("checked");
-                    if sem.count < req {
-                        break;
-                    }
-                    sem.count -= req;
-                    sem.q.pop();
-                    self.wake(front, WakeCode::Ok)?;
-                }
-                Ok(())
+                self.sem_serve(id)
             }
             ObsEvent::SemTake { id, tid, cnt } => {
                 self.require_running(tid.raw())?;
@@ -789,22 +1153,7 @@ impl Model {
                     mbf.used -= len;
                     // Buffer space freed: blocked senders move in,
                     // strictly in queue order.
-                    loop {
-                        let mbf = self.mbfs.get_mut(&id).expect("checked");
-                        let Some(front) = mbf.send_q.front() else {
-                            break;
-                        };
-                        let slen = mbf.send_len.get(&front).copied().unwrap_or(0);
-                        if mbf.used + slen > mbf.bufsz {
-                            break;
-                        }
-                        mbf.used += slen;
-                        mbf.msgs.push_back(slen);
-                        mbf.send_q.pop();
-                        mbf.send_len.remove(&front);
-                        self.wake(front, WakeCode::Ok)?;
-                    }
-                    Ok(())
+                    self.mbf_drain(id)
                 } else if let Some(sender) = mbf.send_q.pop() {
                     mbf.send_len.remove(&sender);
                     self.wake(sender, WakeCode::Ok)
@@ -908,11 +1257,127 @@ impl Model {
                 }
                 Ok(())
             }
+
+            ObsEvent::MplCreate {
+                id,
+                size,
+                pri_order,
+            } => {
+                let mut free = BTreeMap::new();
+                free.insert(0, size);
+                self.mpls.insert(
+                    id.raw(),
+                    MplM {
+                        free,
+                        allocs: BTreeMap::new(),
+                        q: Queue::new(pri_order),
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::MplTake { id, tid, size, off } => {
+                self.require_running(tid.raw())?;
+                let pool = self
+                    .mpls
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                if !pool.q.is_empty() {
+                    return Err("immediate allocation barged past waiting tasks".into());
+                }
+                match pool.try_alloc(size) {
+                    Some(spec_off) if spec_off == off => Ok(()),
+                    Some(spec_off) => Err(format!(
+                        "allocated at offset {off}, first-fit mandates offset {spec_off}"
+                    )),
+                    None => Err(format!(
+                        "immediate allocation of {size} bytes the spec says cannot fit"
+                    )),
+                }
+            }
+            ObsEvent::MplRel { id, off } => {
+                let id = id.raw();
+                let pool = self
+                    .mpls
+                    .get_mut(&id)
+                    .ok_or_else(|| format!("unknown mpl{id}"))?;
+                pool.release(off)?;
+                self.mpl_serve(id)
+            }
+
+            ObsEvent::CycCreate {
+                id,
+                period_ticks,
+                first_tick,
+            } => {
+                self.cycs.insert(
+                    id.raw(),
+                    CycM {
+                        period: period_ticks,
+                        armed: first_tick,
+                    },
+                );
+                Ok(())
+            }
+            ObsEvent::CycStart { id, at_tick } => {
+                let cyc = self
+                    .cycs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                cyc.armed = Some(at_tick);
+                Ok(())
+            }
+            ObsEvent::CycStop { id } => {
+                let cyc = self
+                    .cycs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                cyc.armed = None;
+                Ok(())
+            }
+            ObsEvent::CycFire { id, tick } => {
+                let cyc = self
+                    .cycs
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                match cyc.armed {
+                    Some(at) if at == tick => {
+                        // The next activation is one period on.
+                        cyc.armed = Some(tick + cyc.period);
+                        Ok(())
+                    }
+                    Some(at) => Err(format!(
+                        "cyclic fired at tick {tick}, spec armed it for tick {at}"
+                    )),
+                    None => Err("cyclic fired while the spec says it is stopped".into()),
+                }
+            }
+            ObsEvent::AlmArm { id, at_tick } => {
+                self.alms.entry(id.raw()).or_default().armed = Some(at_tick);
+                Ok(())
+            }
+            ObsEvent::AlmStop { id } => {
+                self.alms.entry(id.raw()).or_default().armed = None;
+                Ok(())
+            }
+            ObsEvent::AlmFire { id, tick } => {
+                let alm = self
+                    .alms
+                    .get_mut(&id.raw())
+                    .ok_or_else(|| format!("unknown {id}"))?;
+                match alm.armed.take() {
+                    Some(at) if at == tick => Ok(()),
+                    Some(at) => Err(format!(
+                        "alarm fired at tick {tick}, spec armed it for tick {at}"
+                    )),
+                    None => Err("alarm fired while the spec says it is disarmed".into()),
+                }
+            }
         }
     }
 
-    /// Releases a mutex whose owner gives it up (unlock or exit):
-    /// ownership transfers to the head waiter (who wakes), or clears.
+    /// Releases a mutex whose owner gives it up (unlock, exit or
+    /// termination): ownership transfers to the head waiter (who
+    /// wakes), or clears.
     fn release_mutex(&mut self, id: u32) -> Er {
         let mtx = self
             .mtxs
@@ -933,7 +1398,7 @@ impl Model {
     /// complete immediately for `tid` (the kernel decided to block).
     fn check_would_block(&self, tid: Tid, obj: &WaitObj) -> Er {
         let blocks = match *obj {
-            WaitObj::Sleep | WaitObj::Delay | WaitObj::Mpl(..) => true,
+            WaitObj::Sleep | WaitObj::Delay => true,
             WaitObj::Sem(id, cnt) => self
                 .sems
                 .get(&id.raw())
@@ -960,6 +1425,10 @@ impl Model {
                 .mpfs
                 .get(&id.raw())
                 .is_none_or(|p| !(p.q.is_empty() && p.free > 0)),
+            WaitObj::Mpl(id, sz) => self
+                .mpls
+                .get(&id.raw())
+                .is_none_or(|p| !(p.q.is_empty() && p.can_alloc(sz))),
         };
         if blocks {
             Ok(())

@@ -262,6 +262,7 @@ mod tests {
                 faults: true,
             },
             oracle: true,
+            topology: None,
         };
         let outcomes = run_campaign(&cfg);
         CampaignReport::new(cfg, outcomes)

@@ -34,6 +34,10 @@ pub struct CampaignConfig {
     /// Replay every scenario through the differential ITRON oracle; a
     /// divergence makes the scenario unhealthy.
     pub oracle: bool,
+    /// Run only the seeds whose expanded scenario has this topology
+    /// label (see `Topology::ALL_LABELS`) — one-command divergence
+    /// repro for a single scenario family.
+    pub topology: Option<String>,
 }
 
 impl Default for CampaignConfig {
@@ -44,6 +48,7 @@ impl Default for CampaignConfig {
             threads: 0,
             tuning: Tuning::default(),
             oracle: false,
+            topology: None,
         }
     }
 }
@@ -98,13 +103,29 @@ fn next_job(own_idx: usize, queues: &[WorkerQueue]) -> Option<usize> {
     }
 }
 
-/// Runs the whole campaign; returns the outcomes in seed order.
+/// Runs the whole campaign; returns the outcomes in seed order. With a
+/// topology filter, only the seeds whose (purely seed-derived)
+/// scenario carries that label run — the rest of the pipeline is
+/// unchanged, so filtered reports stay deterministic too.
 pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
-    let n = cfg.seeds as usize;
+    // Seed offsets selected for execution (expansion is pure and
+    // cheap, so the filter pre-scans).
+    let selected: Vec<u64> = match &cfg.topology {
+        None => (0..cfg.seeds).collect(),
+        Some(label) => (0..cfg.seeds)
+            .filter(|&i| {
+                ScenarioSpec::generate(cfg.base_seed + i, &cfg.tuning)
+                    .topology
+                    .label()
+                    == label
+            })
+            .collect(),
+    };
+    let n = selected.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = cfg.effective_threads();
+    let workers = cfg.effective_threads().min(n);
 
     // Scenario kernels lease their T-THREAD stacks from the global
     // process pool; across a campaign the same workers serve thousands
@@ -130,9 +151,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
         for w in 0..workers {
             let queues = &queues;
             let slots = &slots;
+            let selected = &selected;
             scope.spawn(move || {
                 while let Some(idx) = next_job(w, queues) {
-                    let seed = cfg.base_seed + idx as u64;
+                    let seed = cfg.base_seed + selected[idx];
                     let spec = ScenarioSpec::generate(seed, &cfg.tuning);
                     let outcome = run_scenario_checked(&spec, cfg.oracle);
                     *slots[idx].lock().unwrap() = Some(outcome);
@@ -165,6 +187,7 @@ mod tests {
                 faults: true,
             },
             oracle: false,
+            topology: None,
         }
     }
 
@@ -193,6 +216,28 @@ mod tests {
     #[test]
     fn zero_seeds_is_empty() {
         assert!(run_campaign(&quick_cfg(0, 2)).is_empty());
+    }
+
+    #[test]
+    fn topology_filter_selects_matching_seeds_only() {
+        let mut cfg = quick_cfg(64, 2);
+        cfg.topology = Some("sem_chain".into());
+        let outcomes = run_campaign(&cfg);
+        assert!(!outcomes.is_empty(), "64 seeds must contain a sem_chain");
+        for o in &outcomes {
+            let spec = ScenarioSpec::generate(o.seed, &cfg.tuning);
+            assert_eq!(spec.topology.label(), "sem_chain", "seed {}", o.seed);
+        }
+        // Unfiltered superset contains exactly the same outcomes for
+        // those seeds.
+        let full = run_campaign(&quick_cfg(64, 2));
+        for o in &outcomes {
+            let twin = full
+                .iter()
+                .find(|f| f.seed == o.seed)
+                .expect("seed in superset");
+            assert_eq!(twin.digest(), o.digest());
+        }
     }
 
     #[test]

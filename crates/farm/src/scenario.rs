@@ -63,6 +63,33 @@ pub enum Topology {
     /// their job body, so the pool wait queue stays busy and released
     /// blocks are handed to waiters directly.
     MpfPool,
+    /// Task-lifecycle churn: a victim task cycles through an
+    /// inheritance-mutex critical section (shared with the measured
+    /// tasks) and timed sleeps while a high-priority saboteur
+    /// terminates/restarts it, forcibly releases its waits, drives
+    /// nested suspend/resume, and queues wakeups — the
+    /// `tk_ter_tsk`/`tk_rel_wai`/`tk_sus_tsk` surface under load.
+    LifecycleChurn,
+    /// Every job wraps part of its execution in a dispatch-control
+    /// window — `tk_loc_cpu`/`tk_unl_cpu` when `lock_cpu`,
+    /// `tk_dis_dsp`/`tk_ena_dsp` otherwise — with a `tk_rot_rdq`
+    /// inside, so preemptions and interrupt deliveries pend against
+    /// the window and replay at its end.
+    DispWindow {
+        /// `tk_loc_cpu` (interrupts masked too) instead of
+        /// `tk_dis_dsp`.
+        lock_cpu: bool,
+    },
+    /// Tasks allocate seeded variable-size blocks from an undersized
+    /// first-fit pool (timed waits), while a hoarder task holds
+    /// several blocks across sleeps and releases them in varying
+    /// permutations — fragmentation, coalescing and waiter re-serve.
+    MplPressure,
+    /// Every task arms a personal one-shot alarm per job (sometimes
+    /// stopping it before it fires) and collects the handler's
+    /// semaphore signal; a spare cyclic handler is started/stopped on
+    /// the fly — the time-event storm over the alarm/cyclic surface.
+    AlmCycStorm,
 }
 
 impl Topology {
@@ -77,8 +104,31 @@ impl Topology {
             Topology::MtxChain { ceiling: true } => "mtx_ceiling",
             Topology::MbfPipeline => "mbf_pipeline",
             Topology::MpfPool => "mpf_pool",
+            Topology::LifecycleChurn => "lifecycle_churn",
+            Topology::DispWindow { lock_cpu: false } => "disp_window",
+            Topology::DispWindow { lock_cpu: true } => "cpu_lock_window",
+            Topology::MplPressure => "mpl_pressure",
+            Topology::AlmCycStorm => "alm_cyc_storm",
         }
     }
+
+    /// Every label the generator can draw (the `--topology` filter
+    /// validates against this list).
+    pub const ALL_LABELS: [&'static str; 13] = [
+        "independent",
+        "sem_chain",
+        "mbx_pipeline",
+        "flag_barrier",
+        "mtx_inherit",
+        "mtx_ceiling",
+        "mbf_pipeline",
+        "mpf_pool",
+        "lifecycle_churn",
+        "disp_window",
+        "cpu_lock_window",
+        "mpl_pressure",
+        "alm_cyc_storm",
+    ];
 }
 
 /// An external interrupt storm raised by a simulated hardware process.
@@ -186,7 +236,7 @@ impl ScenarioSpec {
             });
         }
 
-        let topology = match rng.below(7) {
+        let topology = match rng.below(11) {
             0 => Topology::Independent,
             1 => Topology::SemChain,
             2 => Topology::MbxPipeline,
@@ -195,7 +245,13 @@ impl ScenarioSpec {
                 ceiling: rng.chance(1, 2),
             },
             5 => Topology::MbfPipeline,
-            _ => Topology::MpfPool,
+            6 => Topology::MpfPool,
+            7 => Topology::LifecycleChurn,
+            8 => Topology::DispWindow {
+                lock_cpu: rng.chance(1, 2),
+            },
+            9 => Topology::MplPressure,
+            _ => Topology::AlmCycStorm,
         };
 
         let storm = if rng.chance(3, 5) {

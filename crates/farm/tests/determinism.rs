@@ -62,6 +62,7 @@ proptest! {
             threads: 1,
             tuning: quick(true),
             oracle: true,
+            topology: None,
         };
         let cfgn = CampaignConfig { threads, ..cfg1.clone() };
 
@@ -82,6 +83,7 @@ fn campaign_json_is_stable_across_repeated_runs() {
         threads: 3,
         tuning: quick(true),
         oracle: true,
+        topology: None,
     };
     let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();

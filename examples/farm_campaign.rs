@@ -18,6 +18,7 @@ fn main() {
         },
         // Check every kernel decision against the ITRON reference model.
         oracle: true,
+        topology: None,
     };
 
     // Every seed names a complete scenario; show a few.
