@@ -158,6 +158,37 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
 /// model; the first divergence is reported in the outcome (and makes
 /// it unhealthy).
 pub fn run_scenario_checked(spec: &ScenarioSpec, oracle: bool) -> ScenarioOutcome {
+    run_scenario_checked_on(spec, oracle, sysc::Runtime::default())
+}
+
+/// Like [`run_scenario_checked`], but on an explicit sysc process
+/// runtime. The runtime never influences the simulated-domain outcome
+/// (see the cross-runtime determinism tests); it only changes how the
+/// host executes the processes.
+pub fn run_scenario_checked_on(
+    spec: &ScenarioSpec,
+    oracle: bool,
+    runtime: sysc::Runtime,
+) -> ScenarioOutcome {
+    run_scenario_recorded(spec, oracle, runtime).0
+}
+
+/// Like [`run_scenario_checked_on`] with the oracle enabled, but also
+/// returns the recorded kernel-decision stream. The cross-runtime
+/// determinism tests compare these streams event-for-event: the
+/// process runtime must not change a single kernel decision.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    runtime: sysc::Runtime,
+) -> (ScenarioOutcome, Vec<rtk_core::ObsEvent>) {
+    run_scenario_recorded(spec, true, runtime)
+}
+
+fn run_scenario_recorded(
+    spec: &ScenarioSpec,
+    oracle: bool,
+    runtime: sysc::Runtime,
+) -> (ScenarioOutcome, Vec<rtk_core::ObsEvent>) {
     let mut out = ScenarioOutcome {
         seed: spec.seed,
         spec_digest: spec.digest(),
@@ -171,14 +202,17 @@ pub fn run_scenario_checked(spec: &ScenarioSpec, oracle: bool) -> ScenarioOutcom
         let collect = Arc::clone(&collect);
         let obs = obs.clone();
         let spec = spec.clone();
-        catch_unwind(AssertUnwindSafe(move || execute(&spec, &collect, obs)))
+        catch_unwind(AssertUnwindSafe(move || {
+            execute(&spec, &collect, obs, runtime)
+        }))
     };
     // A panic truncates the observation stream mid-operation, so a
     // replay would report a bogus "mandated wakeup never observed";
     // the panic itself is the finding — check only clean runs.
+    let mut events = Vec::new();
     if result.is_ok() {
         if let Some(obs) = &obs {
-            let events = obs.take();
+            events = obs.take();
             let verdict = oracle::check(&events);
             out.oracle_events = verdict.events_checked;
             out.divergence = verdict.divergence.map(|d| (d.index as u64, d.to_string()));
@@ -241,7 +275,7 @@ pub fn run_scenario_checked(spec: &ScenarioSpec, oracle: bool) -> ScenarioOutcom
             }
         }
     }
-    out
+    (out, events)
 }
 
 /// Builds and runs the kernel; returns the engine outcome label and
@@ -250,6 +284,7 @@ fn execute(
     spec: &ScenarioSpec,
     collect: &Arc<Collect>,
     obs: Option<Arc<VecObsSink>>,
+    runtime: sysc::Runtime,
 ) -> (&'static str, RunStats) {
     let order = if spec.priority_queues {
         QueueOrder::Priority
@@ -266,7 +301,7 @@ fn execute(
     let mut rtos = {
         let collect = Arc::clone(collect);
         let spec = spec.clone();
-        Rtos::new(KernelConfig::paper(), move |sys, _| {
+        Rtos::new_with_runtime(runtime, KernelConfig::paper(), move |sys, _| {
             // Shared objects of the topology.
             let chain_sem = match spec.topology {
                 Topology::SemChain => Some(sys.tk_cre_sem("chain", 1, 1, order).unwrap()),

@@ -35,6 +35,7 @@
 //!     tuning: Tuning { quick: true, faults: true },
 //!     oracle: true,
 //!     topology: None,
+//!     runtime: sysc::Runtime::default(),
 //! };
 //! let outcomes = run_campaign(&cfg);
 //! let report = CampaignReport::new(cfg, outcomes);
@@ -50,7 +51,10 @@ mod rng;
 mod runner;
 mod scenario;
 
-pub use build::{run_scenario, run_scenario_checked, ScenarioOutcome};
+pub use build::{
+    run_scenario, run_scenario_checked, run_scenario_checked_on, run_scenario_observed,
+    ScenarioOutcome,
+};
 pub use oracle::{check, Divergence, OracleVerdict};
 pub use report::{Aggregate, CampaignReport};
 pub use rng::FarmRng;

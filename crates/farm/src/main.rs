@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! rtk-farm [--seeds N] [--base-seed S] [--threads T] [--quick]
-//!          [--no-faults] [--oracle] [--topology NAME] [--out PATH]
+//!          [--no-faults] [--oracle] [--topology NAME]
+//!          [--runtime threaded|coro] [--out PATH]
 //! ```
 //!
 //! Exit code 0 when every scenario is healthy; 1 when any scenario
@@ -31,6 +32,9 @@ options:
                   mtx_inherit mtx_ceiling mbf_pipeline mpf_pool
                   lifecycle_churn disp_window cpu_lock_window
                   mpl_pressure alm_cyc_storm
+  --runtime R     sysc process runtime, threaded or coro (default coro;
+                  coro falls back to threaded on unsupported targets).
+                  Never changes results, only host execution cost
   --out PATH      report path                          (default BENCH_farm.json)
   --help          this text";
 
@@ -71,6 +75,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(CampaignConfig,
                 }
                 cfg.topology = Some(name);
             }
+            "--runtime" => {
+                cfg.runtime = value("--runtime")?
+                    .parse()
+                    .map_err(|e| format!("--runtime: {e}"))?
+            }
             "--out" => out = value("--out")?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
@@ -99,10 +108,11 @@ fn main() -> ExitCode {
         format!("{}..{}", cfg.base_seed, cfg.base_seed + cfg.seeds - 1)
     };
     eprintln!(
-        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} horizon, faults {}, oracle {}{}",
+        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} runtime, {} horizon, faults {}, oracle {}{}",
         cfg.seeds,
         seed_range,
         workers,
+        cfg.runtime.resolve(),
         if cfg.tuning.quick { "quick" } else { "full" },
         if cfg.tuning.faults { "on" } else { "off" },
         if cfg.oracle { "on" } else { "off" },
@@ -166,7 +176,26 @@ mod tests {
         assert_eq!(cfg.seeds, 256);
         assert_eq!(cfg.threads, 0); // auto: all cores
         assert!(!cfg.oracle);
+        assert_eq!(cfg.runtime, sysc::Runtime::Coro);
         assert_eq!(out, "BENCH_farm.json");
+    }
+
+    #[test]
+    fn runtime_flag_selects_the_backend() {
+        let (cfg, _) = parse(&["--runtime", "threaded"]).unwrap();
+        assert_eq!(cfg.runtime, sysc::Runtime::Threaded);
+        let (cfg, _) = parse(&["--runtime", "coro"]).unwrap();
+        assert_eq!(cfg.runtime, sysc::Runtime::Coro);
+    }
+
+    #[test]
+    fn unknown_runtime_is_a_usage_error() {
+        // The CLI maps usage errors to exit code 2 in `main`.
+        let err = parse(&["--runtime", "green-threads"]).unwrap_err();
+        assert!(err.contains("--runtime"), "{err}");
+        assert!(err.contains("green-threads"), "{err}");
+        let err = parse(&["--runtime"]).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
     }
 
     #[test]

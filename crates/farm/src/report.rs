@@ -191,8 +191,12 @@ impl CampaignReport {
         let _ = writeln!(j, "  \"oracle\": {},", self.cfg.oracle);
         let _ = writeln!(j, "  \"campaign_digest\": \"{:016x}\",", self.digest());
         if let Some(ms) = wall_ms {
-            // Wall-clock throughput: informational, digest-excluded.
+            // Host-execution metadata: informational, digest-excluded
+            // (the process runtime affects wall clock but never the
+            // simulated domain, and the plain rendering the determinism
+            // tests compare across runtimes omits it).
             let per_sec = self.outcomes.len() as u64 * 1000 / ms.max(1);
+            let _ = writeln!(j, "  \"runtime\": \"{}\",", self.cfg.runtime.resolve());
             let _ = writeln!(j, "  \"wall_clock_ms\": {ms},");
             let _ = writeln!(j, "  \"scenarios_per_sec\": {per_sec},");
         }
@@ -263,6 +267,7 @@ mod tests {
             },
             oracle: true,
             topology: None,
+            runtime: sysc::Runtime::default(),
         };
         let outcomes = run_campaign(&cfg);
         CampaignReport::new(cfg, outcomes)
@@ -321,8 +326,13 @@ mod tests {
         let timed = r.to_json_timed(2500);
         assert!(timed.contains("\"wall_clock_ms\": 2500"));
         assert!(timed.contains("\"scenarios_per_sec\": 2")); // 5 * 1000 / 2500
+        let expected_runtime = format!("\"runtime\": \"{}\"", sysc::Runtime::default().resolve());
+        assert!(timed.contains(&expected_runtime), "{timed}");
         let plain = r.to_json();
         assert!(!plain.contains("wall_clock_ms"));
+        // The runtime is host metadata: timed rendering only, so plain
+        // reports stay byte-comparable across runtimes.
+        assert!(!plain.contains("\"runtime\""));
         // Identical digest line in both renderings.
         let digest_line = |j: &str| {
             j.lines()

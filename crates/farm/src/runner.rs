@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use crate::build::{run_scenario_checked, ScenarioOutcome};
+use crate::build::{run_scenario_checked_on, ScenarioOutcome};
 use crate::scenario::{ScenarioSpec, Tuning};
 
 /// Campaign parameters (the CLI surface).
@@ -38,6 +38,10 @@ pub struct CampaignConfig {
     /// label (see `Topology::ALL_LABELS`) — one-command divergence
     /// repro for a single scenario family.
     pub topology: Option<String>,
+    /// The sysc process runtime every scenario kernel runs on. Never
+    /// changes the simulated-domain outcomes (hence the campaign
+    /// digest); only host execution cost.
+    pub runtime: sysc::Runtime,
 }
 
 impl Default for CampaignConfig {
@@ -49,6 +53,7 @@ impl Default for CampaignConfig {
             tuning: Tuning::default(),
             oracle: false,
             topology: None,
+            runtime: sysc::Runtime::default(),
         }
     }
 }
@@ -127,12 +132,19 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
     }
     let workers = cfg.effective_threads().min(n);
 
-    // Scenario kernels lease their T-THREAD stacks from the global
-    // process pool; across a campaign the same workers serve thousands
-    // of scenarios. Pre-spawn one wave's worth (a quick scenario runs
+    // Scenario kernels lease their T-THREAD contexts from a global
+    // pool — OS threads (threaded runtime) or heap stacks (coroutine
+    // runtime); across a campaign the same contexts serve thousands of
+    // scenarios. Pre-warm one wave's worth (a quick scenario runs
     // roughly 4–10 thread processes: tasks, boot, timer, storm) so the
-    // first scenarios don't pay thread-creation latency either.
-    sysc::pool::prewarm(workers.saturating_mul(8));
+    // first scenarios don't pay creation latency either.
+    match cfg.runtime.resolve() {
+        sysc::Runtime::Threaded => sysc::pool::prewarm(workers.saturating_mul(8)),
+        sysc::Runtime::Coro => {
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            sysc::runtime::prewarm_stacks(workers.saturating_mul(8));
+        }
+    }
 
     // Static pre-split into contiguous slices, then dynamic stealing.
     let queues: Vec<WorkerQueue> = (0..workers)
@@ -156,7 +168,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
                 while let Some(idx) = next_job(w, queues) {
                     let seed = cfg.base_seed + selected[idx];
                     let spec = ScenarioSpec::generate(seed, &cfg.tuning);
-                    let outcome = run_scenario_checked(&spec, cfg.oracle);
+                    let outcome = run_scenario_checked_on(&spec, cfg.oracle, cfg.runtime);
                     *slots[idx].lock().unwrap() = Some(outcome);
                 }
             });
@@ -188,6 +200,7 @@ mod tests {
             },
             oracle: false,
             topology: None,
+            runtime: sysc::Runtime::default(),
         }
     }
 

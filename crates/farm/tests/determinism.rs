@@ -3,7 +3,11 @@
 //! independent of worker-thread count and scheduling.
 
 use proptest::prelude::*;
-use rtk_farm::{run_campaign, run_scenario, CampaignConfig, CampaignReport, ScenarioSpec, Tuning};
+use rtk_farm::{
+    run_campaign, run_scenario, run_scenario_observed, CampaignConfig, CampaignReport,
+    ScenarioSpec, Tuning,
+};
+use sysc::Runtime;
 
 fn quick(faults: bool) -> Tuning {
     Tuning {
@@ -63,6 +67,7 @@ proptest! {
             tuning: quick(true),
             oracle: true,
             topology: None,
+            runtime: Runtime::default(),
         };
         let cfgn = CampaignConfig { threads, ..cfg1.clone() };
 
@@ -84,8 +89,50 @@ fn campaign_json_is_stable_across_repeated_runs() {
         tuning: quick(true),
         oracle: true,
         topology: None,
+        runtime: Runtime::default(),
     };
     let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     assert_eq!(a, b);
+}
+
+/// The process runtime (pooled OS threads vs stackful coroutines) is
+/// pure host mechanics: the same seed window must yield a byte-identical
+/// report under both.
+#[test]
+fn campaign_report_is_runtime_invariant() {
+    let cfg = |runtime| CampaignConfig {
+        base_seed: 500,
+        seeds: 12,
+        threads: 2,
+        tuning: quick(true),
+        oracle: true,
+        topology: None,
+        runtime,
+    };
+    let threaded = cfg(Runtime::Threaded);
+    let coro = cfg(Runtime::Coro);
+    let rt = CampaignReport::new(threaded.clone(), run_campaign(&threaded));
+    let rc = CampaignReport::new(coro.clone(), run_campaign(&coro));
+    assert_eq!(rt.digest(), rc.digest());
+    assert_eq!(rt.to_json(), rc.to_json());
+}
+
+/// Stronger than digest equality: under both runtimes the kernel makes
+/// the *same decisions in the same order* — the per-seed observation
+/// streams (every dispatch, wakeup and sync operation) are identical
+/// event for event.
+#[test]
+fn obs_streams_are_identical_across_runtimes() {
+    for seed in [3u64, 17, 42, 100, 257] {
+        let spec = ScenarioSpec::generate(seed, &quick(true));
+        let (out_t, obs_t) = run_scenario_observed(&spec, Runtime::Threaded);
+        let (out_c, obs_c) = run_scenario_observed(&spec, Runtime::Coro);
+        assert_eq!(out_t.digest(), out_c.digest(), "seed {seed}");
+        assert!(!obs_t.is_empty(), "seed {seed} recorded no events");
+        assert_eq!(obs_t.len(), obs_c.len(), "seed {seed}");
+        for (i, (a, b)) in obs_t.iter().zip(&obs_c).enumerate() {
+            assert_eq!(a, b, "seed {seed}, event {i}");
+        }
+    }
 }

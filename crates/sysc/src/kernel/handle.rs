@@ -7,7 +7,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::ids::{EventId, ProcId};
-use crate::process::{reply_from_panic, Cmd, ProcShared, Reply};
+use crate::runtime::{reply_from_panic, Cmd, Reply, RtShared};
 use crate::signal::UpdateTarget;
 use crate::time::SimTime;
 use crate::trace::KernelStats;
@@ -154,52 +154,23 @@ impl SimHandle {
         self.k.st.lock().procs.get(p).state == ProcState::Finished
     }
 
-    /// Spawns a thread process. The body runs on an OS thread leased
-    /// from the process pool ([`crate::pool`]) under the baton
-    /// protocol; it may suspend anywhere via [`ProcCtx`]. When the
-    /// body finishes the worker thread re-enlists in the pool instead
-    /// of exiting, so campaigns of many short simulations stop paying
-    /// a spawn/join per process.
+    /// Spawns a thread process. The body runs on a context leased from
+    /// the active runtime — a pooled OS thread under the baton protocol
+    /// ([`crate::pool`]), or a stackful coroutine on a recycled heap
+    /// stack ([`crate::runtime`]) — and may suspend anywhere via
+    /// [`ProcCtx`]. Either way the backing context is recycled when the
+    /// body finishes, so campaigns of many short simulations stop
+    /// paying a spawn/join (or stack allocation) per process.
     pub fn spawn_thread<F>(&self, name: &str, mode: SpawnMode, body: F) -> ProcId
     where
         F: FnOnce(&mut ProcCtx) + Send + 'static,
     {
-        let shared = Arc::new(ProcShared::new());
+        let shared = self.k.rt.new_proc_shared();
         let id = {
             let mut st = self.k.st.lock();
-            st.procs
-                .push(ProcEntry::new_thread(name, Arc::clone(&shared)))
+            st.procs.push(ProcEntry::new_thread(name, shared.clone()))
         };
-        let handle = self.clone();
-        let shared2 = Arc::clone(&shared);
-        crate::pool::execute(Box::new(move || match shared2.await_cmd() {
-            // Terminated before first activation: reply through the
-            // baton (the terminator is waiting on it).
-            Cmd::Terminate => shared2.finish(Reply::Finished),
-            Cmd::Run(reason) => {
-                let k = Arc::clone(&handle.k);
-                let mut ctx = ProcCtx {
-                    handle,
-                    shared: Arc::clone(&shared2),
-                    id,
-                    last_reason: reason,
-                };
-                let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
-                drop(ctx);
-                let reply = match result {
-                    Ok(()) => Reply::Finished,
-                    Err(p) => reply_from_panic(p),
-                };
-                if shared2.is_terminating() {
-                    // kill()/teardown wait on the baton for this reply.
-                    shared2.finish(reply);
-                } else {
-                    // Normal completion (including ProcCtx::exit): do
-                    // the finish bookkeeping and continue the chain.
-                    super::sched::finish_from_process(&k, id, &shared2, reply);
-                }
-            }
-        }));
+        launch(shared, self.clone(), id, body);
         let mut st = self.k.st.lock();
         match mode {
             SpawnMode::Immediate => st.dq.runnable.push_back(id),
@@ -258,7 +229,7 @@ impl SimHandle {
             "a process cannot kill itself; use ProcCtx::exit"
         );
         enum Victim {
-            Thread(Arc<ProcShared>),
+            Thread(RtShared),
             Method(Arc<MethodSlot>),
         }
         let victim = {
@@ -268,7 +239,7 @@ impl SimHandle {
             }
             st.procs.get_mut(p).finish();
             match &st.procs.get(p).body {
-                ProcBody::Thread { shared, .. } => Victim::Thread(Arc::clone(shared)),
+                ProcBody::Thread { shared, .. } => Victim::Thread(shared.clone()),
                 ProcBody::Method { slot, .. } => Victim::Method(Arc::clone(slot)),
             }
         };
@@ -289,6 +260,94 @@ impl SimHandle {
     /// infrastructure; see [`crate::Signal`]).
     pub(crate) fn request_update(&self, target: Arc<dyn UpdateTarget>) {
         self.k.st.lock().dq.updates.push(target);
+    }
+}
+
+/// Hands a spawned process body to its runtime backend.
+///
+/// Both wrappers are the same lifetime: first command → body under
+/// `catch_unwind` → finish path (reply through the terminate handshake
+/// when a kill/teardown is waiting, chained finish bookkeeping
+/// otherwise). They differ only in *when* the transfer happens: the
+/// threaded wrapper performs it (it runs on its own OS thread), while
+/// the coro wrapper **returns** it as a [`Terminal`] so the final
+/// context switch executes after the wrapper frame — and every `Arc`
+/// it held — is gone (see [`crate::runtime::coro`] on leak-free
+/// teardown).
+fn launch<F>(shared: RtShared, handle: SimHandle, id: ProcId, body: F)
+where
+    F: FnOnce(&mut ProcCtx) + Send + 'static,
+{
+    match shared {
+        RtShared::Threaded(_) => {
+            let shared2 = shared;
+            crate::pool::execute(Box::new(move || match shared2.await_cmd() {
+                // Terminated before first activation: reply through the
+                // baton (the terminator is waiting on it).
+                Cmd::Terminate => shared2.finish(Reply::Finished),
+                Cmd::Run(reason) => {
+                    let k = Arc::clone(&handle.k);
+                    let mut ctx = ProcCtx {
+                        handle,
+                        shared: shared2.clone(),
+                        id,
+                        last_reason: reason,
+                    };
+                    let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
+                    drop(ctx);
+                    let reply = match result {
+                        Ok(()) => Reply::Finished,
+                        Err(p) => reply_from_panic(p),
+                    };
+                    if shared2.is_terminating() {
+                        // kill()/teardown wait on the baton for this reply.
+                        shared2.finish(reply);
+                    } else {
+                        // Normal completion (including ProcCtx::exit): do
+                        // the finish bookkeeping and continue the chain.
+                        super::sched::finish_from_process(&k, id, &shared2, reply);
+                    }
+                }
+            }));
+        }
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        RtShared::Coro(ref coro) => {
+            use crate::runtime::coro::Terminal;
+            let shared2 = shared.clone();
+            coro.set_entry(Box::new(move || -> Terminal {
+                let reason = match shared2.await_cmd() {
+                    // Unreachable in practice (a terminate before first
+                    // activation short-circuits in `resume` without
+                    // starting the coroutine); kept for parity.
+                    Cmd::Terminate => return Terminal::Link(Reply::Finished),
+                    Cmd::Run(reason) => reason,
+                };
+                let k = Arc::clone(&handle.k);
+                let mut ctx = ProcCtx {
+                    handle,
+                    shared: shared2.clone(),
+                    id,
+                    last_reason: reason,
+                };
+                let result = panic::catch_unwind(panic::AssertUnwindSafe(|| body(&mut ctx)));
+                drop(ctx);
+                let reply = match result {
+                    Ok(()) => Reply::Finished,
+                    Err(p) => reply_from_panic(p),
+                };
+                if shared2.is_terminating() {
+                    // kill()/teardown regain control through the link.
+                    Terminal::Link(reply)
+                } else {
+                    match super::sched::finish_step(&k, id, &shared2, reply) {
+                        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+                        Some((RtShared::Coro(next), reason)) => Terminal::Post(next, reason),
+                        Some(_) => unreachable!("coro kernel produced a non-coro successor"),
+                        None => Terminal::Gate,
+                    }
+                }
+            }));
+        }
     }
 }
 

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::ids::{EventId, ProcId};
-use crate::process::{raise_terminate, Cmd, Gate, ProcShared, WaitSpec, WakeReason};
+use crate::runtime::{raise_terminate, Cmd, RtKernel, RtShared, Runtime, WaitSpec, WakeReason};
 use crate::time::SimTime;
 use crate::trace::{KernelStats, Tracer};
 
@@ -76,19 +76,19 @@ pub(crate) struct Kernel {
     /// Mirrors `st.tracer.is_some()` so hot paths can skip tracing
     /// without taking the lock.
     pub(crate) tracing: AtomicBool,
-    /// The kernel thread's rendezvous for chained dispatch: it parks
-    /// here while process threads hand the baton among themselves, and
-    /// is signalled when the chain needs the kernel (see [`sched`]).
-    pub(crate) gate: Gate,
+    /// The process-runtime backend: the kernel's chained-dispatch gate
+    /// plus the factory for per-process transfer handles (pooled OS
+    /// threads or stackful coroutines; see [`crate::runtime`]).
+    pub(crate) rt: RtKernel,
 }
 
 impl Kernel {
-    fn new() -> Self {
+    fn new(runtime: Runtime) -> Self {
         Kernel {
             st: Mutex::new(KState::new()),
             current: AtomicU32::new(CURRENT_NONE),
             tracing: AtomicBool::new(false),
-            gate: Gate::new(),
+            rt: RtKernel::new(runtime),
         }
     }
 }
@@ -131,11 +131,29 @@ impl Default for Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation at time zero.
+    /// Creates an empty simulation at time zero on the default process
+    /// runtime ([`Runtime::Coro`] where supported).
     pub fn new() -> Self {
+        Self::with_runtime(Runtime::default())
+    }
+
+    /// Creates an empty simulation on an explicit process runtime.
+    ///
+    /// [`Runtime::Threaded`] runs each thread process on a pooled OS
+    /// thread (the differential reference); [`Runtime::Coro`] runs the
+    /// whole simulation on the driving thread with stackful coroutines.
+    /// Both produce byte-identical schedules. On targets without a
+    /// context-switch implementation, `Coro` degrades to `Threaded`.
+    pub fn with_runtime(runtime: Runtime) -> Self {
         Simulation {
-            k: Arc::new(Kernel::new()),
+            k: Arc::new(Kernel::new(runtime)),
         }
+    }
+
+    /// The process runtime this simulation actually uses (after any
+    /// target fallback).
+    pub fn runtime(&self) -> Runtime {
+        self.k.rt.runtime()
     }
 
     /// A cloneable handle for creating events/processes and notifying.
@@ -208,8 +226,9 @@ impl Drop for Simulation {
     fn drop(&mut self) {
         // Terminate every live thread process. The terminate handshake
         // is synchronous (the reply arrives only after the body has
-        // unwound), and the backing pool workers re-enlist in the
-        // ProcPool on their own — there is nothing to join.
+        // unwound); the backing pool workers re-enlist in the ProcPool
+        // (threaded) or the stacks return to the stack pool (coro) on
+        // their own — there is nothing to join.
         let mut shareds = Vec::new();
         {
             let mut st = self.k.st.lock();
@@ -217,7 +236,7 @@ impl Drop for Simulation {
                 if let ProcBody::Thread { shared } = &mut p.body {
                     if p.state != ProcState::Finished {
                         p.state = ProcState::Finished;
-                        shareds.push(Arc::clone(shared));
+                        shareds.push(shared.clone());
                     }
                 }
             }
@@ -235,7 +254,7 @@ impl Drop for Simulation {
 /// primitives (the only way a process may consume simulated time).
 pub struct ProcCtx {
     handle: SimHandle,
-    shared: Arc<ProcShared>,
+    shared: RtShared,
     id: ProcId,
     last_reason: WakeReason,
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::ids::{EventId, ProcId};
-use crate::process::{ProcShared, WakeReason};
+use crate::runtime::{RtShared, WakeReason};
 
 use super::MethodCtx;
 
@@ -49,11 +49,12 @@ impl MethodSlot {
 
 pub(crate) enum ProcBody {
     Thread {
-        /// The baton rendezvous. The backing OS thread is a
-        /// [`crate::pool`] worker leased for the process lifetime —
-        /// there is no join handle; teardown is the terminate
-        /// handshake, after which the worker re-enlists in the pool.
-        shared: Arc<ProcShared>,
+        /// The runtime transfer handle: the baton rendezvous of a
+        /// pooled OS thread, or a coroutine context on a leased heap
+        /// stack ([`crate::runtime`]). There is no join handle either
+        /// way; teardown is the terminate handshake, after which the
+        /// worker (or stack) is recycled.
+        shared: RtShared,
     },
     Method {
         slot: Arc<MethodSlot>,
@@ -82,7 +83,7 @@ pub(crate) struct ProcEntry {
 }
 
 impl ProcEntry {
-    pub(crate) fn new_thread(name: &str, shared: Arc<ProcShared>) -> Self {
+    pub(crate) fn new_thread(name: &str, shared: RtShared) -> Self {
         ProcEntry {
             name: name.to_string(),
             body: ProcBody::Thread { shared },

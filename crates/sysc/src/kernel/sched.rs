@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crate::ids::{EventId, ProcId};
-use crate::process::{Cmd, ProcShared, Reply, WaitSpec, WakeReason};
+use crate::runtime::{Cmd, Reply, RtShared, WaitSpec, WakeReason};
 use crate::time::SimTime;
 use crate::trace::{KernelStats, Tracer};
 
@@ -377,8 +377,8 @@ impl KState {
 
 /// What the phase loop decided must happen next.
 pub(crate) enum NextStep {
-    /// Hand the baton to this thread process.
-    Thread(ProcId, Arc<ProcShared>, WakeReason),
+    /// Hand control to this thread process.
+    Thread(ProcId, RtShared, WakeReason),
     /// Run this method callback (kernel thread only).
     Method(ProcId, Arc<MethodSlot>, Option<EventId>),
     /// The update phase has work (kernel thread only).
@@ -422,7 +422,7 @@ pub(crate) fn next_step(st: &mut KState, current: &AtomicU32, from_process: bool
         // ---- Evaluate phase: pop the next runnable process ------------
         while let Some(pid) = st.dq.runnable.pop_front() {
             enum Picked {
-                Thread(Arc<ProcShared>, WakeReason),
+                Thread(RtShared, WakeReason),
                 Method(Arc<MethodSlot>, Option<EventId>),
                 Defer,
                 Skip,
@@ -434,7 +434,7 @@ pub(crate) fn next_step(st: &mut KState, current: &AtomicU32, from_process: bool
                     (ProcBody::Thread { shared }, ProcState::Ready) => {
                         entry.state = ProcState::Running;
                         let reason = entry.pending_reason;
-                        Picked::Thread(Arc::clone(shared), reason)
+                        Picked::Thread(shared.clone(), reason)
                     }
                     // Methods run on the kernel thread only.
                     (ProcBody::Method { .. }, _) if from_process => Picked::Defer,
@@ -559,7 +559,7 @@ pub(crate) fn next_step(st: &mut KState, current: &AtomicU32, from_process: bool
 pub(crate) fn yield_from_process(
     k: &Arc<Kernel>,
     pid: ProcId,
-    shared: &ProcShared,
+    shared: &RtShared,
     spec: WaitSpec,
 ) -> Option<WakeReason> {
     let next = {
@@ -600,37 +600,49 @@ pub(crate) fn yield_from_process(
         // Direct process-to-process handoff (possibly to ourselves, in
         // which case the pending command is picked up without parking).
         Some((nshared, reason)) => nshared.post(Cmd::Run(reason)),
-        None => k.gate.signal(),
+        None => k.rt.signal(),
     }
     None
 }
 
-/// Process-side finish: marks the process finished and continues the
-/// chain; a panic payload is parked in the kernel state and the gate
-/// signalled so the kernel thread re-raises it.
-pub(crate) fn finish_from_process(k: &Arc<Kernel>, pid: ProcId, shared: &ProcShared, reply: Reply) {
-    let next = {
-        let mut st = k.st.lock();
-        k.current.store(CURRENT_NONE, Ordering::Relaxed);
-        if let Some(t) = &st.tracer {
-            t.process_suspended(st.now, pid);
+/// The finish bookkeeping shared by both runtimes: marks the process
+/// finished under the kernel lock and decides where control goes next —
+/// `Some` names the next thread process to chain to, `None` means the
+/// kernel root must take over (including the panic case, whose payload
+/// is parked in the kernel state for the root to re-raise).
+pub(crate) fn finish_step(
+    k: &Arc<Kernel>,
+    pid: ProcId,
+    shared: &RtShared,
+    reply: Reply,
+) -> Option<(RtShared, WakeReason)> {
+    let mut st = k.st.lock();
+    k.current.store(CURRENT_NONE, Ordering::Relaxed);
+    if let Some(t) = &st.tracer {
+        t.process_suspended(st.now, pid);
+    }
+    st.procs.get_mut(pid).finish();
+    shared.release();
+    match reply {
+        Reply::Panicked(payload) => {
+            st.pending_panic = Some(payload);
+            None
         }
-        st.procs.get_mut(pid).finish();
-        shared.release();
-        match reply {
-            Reply::Panicked(payload) => {
-                st.pending_panic = Some(payload);
-                None
-            }
-            Reply::Finished => match next_step(&mut st, &k.current, true) {
-                NextStep::Thread(_, nshared, reason) => Some((nshared, reason)),
-                _ => None,
-            },
-        }
-    };
-    match next {
+        Reply::Finished => match next_step(&mut st, &k.current, true) {
+            NextStep::Thread(_, nshared, reason) => Some((nshared, reason)),
+            _ => None,
+        },
+    }
+}
+
+/// Process-side finish for the threaded runtime: bookkeeping, then the
+/// transfer (the coro wrapper instead returns the transfer as its
+/// [`crate::runtime::coro::Terminal`] so its stack is clean when the
+/// final switch happens).
+pub(crate) fn finish_from_process(k: &Arc<Kernel>, pid: ProcId, shared: &RtShared, reply: Reply) {
+    match finish_step(k, pid, shared, reply) {
         Some((nshared, reason)) => nshared.post(Cmd::Run(reason)),
-        None => k.gate.signal(),
+        None => k.rt.signal(),
     }
 }
 
@@ -662,10 +674,12 @@ fn run_kernel_inner(k: &Arc<Kernel>) -> Result<RunOutcome, Box<dyn std::any::Any
         };
         match step {
             NextStep::Thread(_pid, shared, reason) => {
+                // Threaded: hand over the baton, then park until the
+                // chain signals the gate. Coro: `post` switches into
+                // the chain and returns when control comes back here,
+                // with the gate token already set; `wait` consumes it.
                 shared.post(Cmd::Run(reason));
-                // The chain now runs on process threads; park until it
-                // hands control back.
-                k.gate.wait();
+                k.rt.wait();
             }
             NextStep::Method(pid, slot, trig) => {
                 // Fast path: the kernel lock is NOT held and NOT

@@ -58,6 +58,7 @@ mod ids;
 mod kernel;
 pub mod pool;
 mod process;
+pub mod runtime;
 mod signal;
 mod time;
 mod trace;
@@ -67,7 +68,7 @@ pub use kernel::wheel::{TimedEntry, TimingWheel};
 pub use kernel::{
     MethodCtx, NotifyBatch, ProcCtx, RunOutcome, SimHandle, Simulation, SpawnMode, WaitOutcome,
 };
-pub use process::WakeReason;
+pub use runtime::{Runtime, WakeReason};
 pub use signal::{Clock, Signal, SignalValue};
 pub use time::SimTime;
 pub use trace::{KernelStats, Tracer};

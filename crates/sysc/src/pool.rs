@@ -242,6 +242,69 @@ mod tests {
         assert_eq!(pool.stats().threads_spawned, 8);
     }
 
+    /// A burst far above the idle cap must drain back to exactly
+    /// `max_idle` parked workers: the excess exits instead of parking
+    /// forever (the post-campaign footprint bound).
+    #[test]
+    fn idle_cap_evicts_excess_after_burst() {
+        let pool = ProcPool::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(9));
+        for _ in 0..8 {
+            let b = Arc::clone(&barrier);
+            pool.execute(Box::new(move || {
+                b.wait();
+            }));
+        }
+        barrier.wait();
+        assert_eq!(pool.stats().threads_spawned, 8);
+        wait_idle(&pool, 2);
+        // Give the evicted workers time to observe the cap and exit;
+        // none may sneak past it.
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            pool.stats().idle_now,
+            2,
+            "excess workers must exit, not park"
+        );
+    }
+
+    /// Jobs submitted while a prewarm is still enlisting workers (the
+    /// shape of a simulation tearing down — terminating processes —
+    /// during campaign warm-up) must all run exactly once: a lease can
+    /// race a worker's enlist, but never lose or duplicate a job.
+    #[test]
+    fn execute_racing_prewarm_never_loses_jobs() {
+        let pool = ProcPool::new(16);
+        let warmer = {
+            let p = ProcPool {
+                inner: Arc::clone(&pool.inner),
+            };
+            thread::spawn(move || {
+                for _ in 0..4 {
+                    p.prewarm(8);
+                    thread::yield_now();
+                }
+            })
+        };
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32u32 {
+            let tx = tx.clone();
+            pool.execute(Box::new(move || {
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut seen: Vec<u32> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+        warmer.join().unwrap();
+        wait_idle(&pool, 1);
+        // Once everything drains, the parked set respects the cap.
+        thread::sleep(Duration::from_millis(30));
+        assert!(pool.stats().idle_now <= 16);
+        assert_eq!(pool.stats().jobs_run, 32);
+    }
+
     #[test]
     fn idle_cap_bounds_reenlisting() {
         let pool = ProcPool::new(1);

@@ -40,74 +40,14 @@
 //! on its gate until the chain needs it (method process, signal
 //! update, run outcome, or a panic).
 
-use std::any::Any;
 use std::cell::UnsafeCell;
-use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::OnceLock;
 use std::thread::{self, Thread};
 
 use parking_lot::Mutex;
 
-use crate::ids::EventId;
-use crate::time::SimTime;
-
-/// Why a suspended process was resumed; returned by the wait primitives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WakeReason {
-    /// First activation of the process.
-    Start,
-    /// A `wait_time` completed.
-    TimeElapsed,
-    /// The awaited event (or one of a `wait_any` set) fired.
-    Fired(EventId),
-    /// A `wait_event_timeout` expired before the event fired.
-    TimedOut,
-    /// Every event of a `wait_all` set has fired.
-    AllFired,
-    /// A `yield_delta` completed (next delta cycle reached).
-    Yielded,
-}
-
-/// What a process asks the kernel to do when it suspends.
-#[derive(Debug, Clone)]
-pub(crate) enum WaitSpec {
-    /// Sleep for a duration of simulated time.
-    Time(SimTime),
-    /// Sleep until an event fires.
-    Event(EventId),
-    /// Sleep until an event fires or a timeout elapses, whichever is first.
-    EventTimeout(EventId, SimTime),
-    /// Sleep until any of the listed events fires.
-    AnyEvent(Vec<EventId>),
-    /// Sleep until all of the listed events have fired at least once.
-    AllEvents(Vec<EventId>),
-    /// Give up the processor until the next delta cycle.
-    YieldDelta,
-}
-
-/// Kernel-to-process command.
-pub(crate) enum Cmd {
-    /// Continue execution; carries the reason the wait completed.
-    Run(WakeReason),
-    /// Unwind and exit (process kill / simulation teardown).
-    Terminate,
-}
-
-/// Process-to-kernel reply on the terminate handshake (normal yields
-/// do their own scheduler bookkeeping and never construct a reply).
-pub(crate) enum Reply {
-    /// The process body returned (or was terminated cooperatively).
-    Finished,
-    /// The process body panicked; payload to be re-thrown by the kernel.
-    Panicked(Box<dyn Any + Send>),
-}
-
-/// Panic payload used to unwind a process stack on termination.
-///
-/// The wrapper installed by the kernel catches this payload and converts
-/// it into a clean [`Reply::Finished`], so user `Drop` impls still run.
-pub(crate) struct TerminateSignal;
+use crate::runtime::{Cmd, Reply};
 
 /// Whose turn bit 0 encodes; also names the two parked bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -390,24 +330,10 @@ impl Gate {
     }
 }
 
-/// Converts a caught panic payload into a reply, recognising cooperative
-/// termination.
-pub(crate) fn reply_from_panic(payload: Box<dyn Any + Send>) -> Reply {
-    if payload.is::<TerminateSignal>() {
-        Reply::Finished
-    } else {
-        Reply::Panicked(payload)
-    }
-}
-
-/// Unwinds the current process stack as a cooperative termination.
-pub(crate) fn raise_terminate() -> ! {
-    panic::resume_unwind(Box::new(TerminateSignal))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::{reply_from_panic, TerminateSignal, WakeReason};
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
     use std::thread;

@@ -1,0 +1,343 @@
+//! Process runtimes: how thread-process bodies get a suspendable stack.
+//!
+//! The kernel schedules *contexts*; it does not care what a context is
+//! made of. Two backends implement the same transfer protocol:
+//!
+//! * **Threaded** ([`crate::process`], [`crate::pool`]) — each process
+//!   body runs on a pooled OS thread under the lock-free baton
+//!   protocol. Handoffs cost an unpark/park pair in the worst case.
+//! * **Coro** ([`coro`], [`ctx`]) — each process body runs on a
+//!   heap-allocated stack as a hand-rolled stackful coroutine; the
+//!   whole simulation executes on **one** host thread and a handoff is
+//!   a userspace register swap (no syscalls, no parking).
+//!
+//! Both backends speak the identical call protocol, so the scheduler
+//! ([`crate::kernel`]) is runtime-agnostic:
+//!
+//! | op          | threaded                       | coro                          |
+//! |-------------|--------------------------------|-------------------------------|
+//! | `post`      | store cmd, flip baton, unpark  | store cmd, switch into target |
+//! | `await_cmd` | park until our turn, take cmd  | take cmd (control is here)    |
+//! | `release`   | flip baton back                | no-op (transfer does it)      |
+//! | `resume`    | post + wait for reply          | switch in, reply via link     |
+//! | gate signal | set token, unpark kernel       | set token, switch to root     |
+//! | gate wait   | park until token               | assert + consume token        |
+//!
+//! The protocol vocabulary ([`Cmd`], [`Reply`], [`WakeReason`],
+//! [`WaitSpec`], the terminate unwind) lives here; the backends only
+//! implement the transfer mechanics.
+
+use std::any::Any;
+use std::panic;
+use std::sync::Arc;
+
+use crate::ids::EventId;
+use crate::process::{Gate, ProcShared};
+use crate::time::SimTime;
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub(crate) mod coro;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod ctx;
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub use ctx::{prewarm as prewarm_stacks, stack_stats, StackPoolStats};
+
+/// Which process runtime a [`crate::Simulation`] uses.
+///
+/// Both runtimes produce byte-identical schedules: every scheduling
+/// decision flows through the same kernel state machine; only the
+/// control-transfer mechanics differ. `Threaded` is kept as the
+/// differential reference (and for targets without a hand-rolled
+/// context switch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Runtime {
+    /// One pooled OS thread per process, lock-free baton handoff.
+    Threaded,
+    /// Stackful coroutines on heap stacks; the whole simulation runs on
+    /// the driving thread. Falls back to `Threaded` on targets without
+    /// a context-switch implementation (see [`coro_supported`]).
+    #[default]
+    Coro,
+}
+
+impl Runtime {
+    /// Maps `Coro` to `Threaded` on targets without a switch routine.
+    pub fn resolve(self) -> Runtime {
+        match self {
+            Runtime::Coro if !coro_supported() => Runtime::Threaded,
+            r => r,
+        }
+    }
+
+    /// Stable lowercase name (CLI / report metadata).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Runtime::Threaded => "threaded",
+            Runtime::Coro => "coro",
+        }
+    }
+}
+
+impl std::str::FromStr for Runtime {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Runtime::Threaded),
+            "coro" => Ok(Runtime::Coro),
+            other => Err(format!(
+                "unknown runtime {other:?} (expected \"threaded\" or \"coro\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `true` when this target has a coroutine context switch (x86_64,
+/// aarch64). Elsewhere [`Runtime::Coro`] silently degrades to the
+/// threaded backend.
+pub fn coro_supported() -> bool {
+    cfg!(any(target_arch = "x86_64", target_arch = "aarch64"))
+}
+
+// ---------------------------------------------------------------------
+// Protocol vocabulary (shared by both backends and the kernel).
+// ---------------------------------------------------------------------
+
+/// Why a suspended process was resumed; returned by the wait primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// First activation of the process.
+    Start,
+    /// A `wait_time` completed.
+    TimeElapsed,
+    /// The awaited event (or one of a `wait_any` set) fired.
+    Fired(EventId),
+    /// A `wait_event_timeout` expired before the event fired.
+    TimedOut,
+    /// Every event of a `wait_all` set has fired.
+    AllFired,
+    /// A `yield_delta` completed (next delta cycle reached).
+    Yielded,
+}
+
+/// What a process asks the kernel to do when it suspends.
+#[derive(Debug, Clone)]
+pub(crate) enum WaitSpec {
+    /// Sleep for a duration of simulated time.
+    Time(SimTime),
+    /// Sleep until an event fires.
+    Event(EventId),
+    /// Sleep until an event fires or a timeout elapses, whichever is first.
+    EventTimeout(EventId, SimTime),
+    /// Sleep until any of the listed events fires.
+    AnyEvent(Vec<EventId>),
+    /// Sleep until all of the listed events have fired at least once.
+    AllEvents(Vec<EventId>),
+    /// Give up the processor until the next delta cycle.
+    YieldDelta,
+}
+
+/// Kernel-to-process command.
+pub(crate) enum Cmd {
+    /// Continue execution; carries the reason the wait completed.
+    Run(WakeReason),
+    /// Unwind and exit (process kill / simulation teardown).
+    Terminate,
+}
+
+/// Process-to-kernel reply on the terminate handshake (normal yields
+/// do their own scheduler bookkeeping and never construct a reply).
+pub(crate) enum Reply {
+    /// The process body returned (or was terminated cooperatively).
+    Finished,
+    /// The process body panicked; payload to be re-thrown by the kernel.
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Panic payload used to unwind a process stack on termination.
+///
+/// The wrapper installed by the kernel catches this payload and converts
+/// it into a clean [`Reply::Finished`], so user `Drop` impls still run.
+pub(crate) struct TerminateSignal;
+
+/// Converts a caught panic payload into a reply, recognising cooperative
+/// termination.
+pub(crate) fn reply_from_panic(payload: Box<dyn Any + Send>) -> Reply {
+    if payload.is::<TerminateSignal>() {
+        Reply::Finished
+    } else {
+        Reply::Panicked(payload)
+    }
+}
+
+/// Unwinds the current process stack as a cooperative termination.
+pub(crate) fn raise_terminate() -> ! {
+    panic::resume_unwind(Box::new(TerminateSignal))
+}
+
+// ---------------------------------------------------------------------
+// Runtime-dispatched handles used by the kernel.
+// ---------------------------------------------------------------------
+
+/// The per-process transfer handle: the baton rendezvous (threaded) or
+/// the coroutine context (coro), behind one protocol.
+#[derive(Clone)]
+pub(crate) enum RtShared {
+    Threaded(Arc<ProcShared>),
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    Coro(Arc<coro::CoroShared>),
+}
+
+impl RtShared {
+    /// Hands control to this process with `cmd`, without waiting for
+    /// anything back (chained dispatch). Under coro this *switches* into
+    /// the process and returns when control next comes back to the
+    /// calling context.
+    pub(crate) fn post(&self, cmd: Cmd) {
+        match self {
+            RtShared::Threaded(s) => s.post(cmd),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(s) => s.post(cmd),
+        }
+    }
+
+    /// The synchronous terminate handshake: delivers `cmd` (must be
+    /// [`Cmd::Terminate`]) and blocks until the body has unwound,
+    /// returning its reply.
+    pub(crate) fn resume(&self, cmd: Cmd) -> Reply {
+        match self {
+            RtShared::Threaded(s) => s.resume(cmd),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(s) => s.resume(cmd),
+        }
+    }
+
+    /// Process side: obtains the next command (parking under threaded;
+    /// a plain slot take under coro, where having control *is* the
+    /// rendezvous).
+    pub(crate) fn await_cmd(&self) -> Cmd {
+        match self {
+            RtShared::Threaded(s) => s.await_cmd(),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(s) => s.await_cmd(),
+        }
+    }
+
+    /// Process side: gives the baton back before the kernel lock drops
+    /// (threaded bookkeeping; a no-op under coro, where the subsequent
+    /// transfer hands control over).
+    pub(crate) fn release(&self) {
+        match self {
+            RtShared::Threaded(s) => s.release(),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(_) => {}
+        }
+    }
+
+    /// Process side: final reply of the terminate handshake (threaded
+    /// wrapper only; the coro wrapper ends by returning a
+    /// [`coro::Terminal`] instead).
+    pub(crate) fn finish(&self, reply: Reply) {
+        match self {
+            RtShared::Threaded(s) => s.finish(reply),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(_) => {
+                unreachable!("coro wrapper finishes via Terminal, not RtShared::finish")
+            }
+        }
+    }
+
+    /// `true` once a terminate handshake is in flight for this process.
+    pub(crate) fn is_terminating(&self) -> bool {
+        match self {
+            RtShared::Threaded(s) => s.is_terminating(),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(s) => s.is_terminating(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RtShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtShared::Threaded(_) => f.write_str("RtShared::Threaded"),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtShared::Coro(_) => f.write_str("RtShared::Coro"),
+        }
+    }
+}
+
+/// The kernel-side runtime handle: the evaluate-phase gate plus the
+/// factory for per-process transfer handles.
+pub(crate) enum RtKernel {
+    Threaded {
+        /// The kernel thread's park/unpark rendezvous.
+        gate: Gate,
+    },
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    Coro {
+        /// The shared coroutine-runtime state (root context + token).
+        rt: Arc<coro::CoroRt>,
+    },
+}
+
+impl RtKernel {
+    pub(crate) fn new(runtime: Runtime) -> Self {
+        match runtime.resolve() {
+            Runtime::Threaded => RtKernel::Threaded { gate: Gate::new() },
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            Runtime::Coro => RtKernel::Coro {
+                rt: coro::CoroRt::new(),
+            },
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            Runtime::Coro => unreachable!("Runtime::resolve maps Coro away on this target"),
+        }
+    }
+
+    /// Which runtime this kernel ended up with (after target fallback).
+    pub(crate) fn runtime(&self) -> Runtime {
+        match self {
+            RtKernel::Threaded { .. } => Runtime::Threaded,
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtKernel::Coro { .. } => Runtime::Coro,
+        }
+    }
+
+    /// Creates the transfer handle for a newly spawned thread process.
+    pub(crate) fn new_proc_shared(&self) -> RtShared {
+        match self {
+            RtKernel::Threaded { .. } => RtShared::Threaded(Arc::new(ProcShared::new())),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtKernel::Coro { rt } => RtShared::Coro(coro::CoroShared::new(Arc::clone(rt))),
+        }
+    }
+
+    /// Process side: hands control to the kernel (chain exit). Under
+    /// coro this switches to the root context and returns when the
+    /// calling process is next dispatched.
+    pub(crate) fn signal(&self) {
+        match self {
+            RtKernel::Threaded { gate } => gate.signal(),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtKernel::Coro { rt } => rt.signal(),
+        }
+    }
+
+    /// Kernel side: blocks until the chain hands control back (threaded)
+    /// or consumes the token set by the switch that brought control here
+    /// (coro).
+    pub(crate) fn wait(&self) {
+        match self {
+            RtKernel::Threaded { gate } => gate.wait(),
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            RtKernel::Coro { rt } => rt.wait(),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Coroutine-runtime-specific lifecycle tests: stack recycling across
+//! the panic and terminate paths, never-started processes, kill from
+//! inside another process body, nested simulations on one OS thread,
+//! and `Runtime` selection/parsing.
+//!
+//! (Runtime-agnostic stress coverage lives in `handoff_stress.rs`;
+//! these tests pin behavior that only exists under `Runtime::Coro`.)
+
+#![cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sysc::{RunOutcome, Runtime, SimTime, Simulation, SpawnMode};
+
+#[test]
+fn runtime_parsing_and_default() {
+    assert_eq!("coro".parse::<Runtime>().unwrap(), Runtime::Coro);
+    assert_eq!("threaded".parse::<Runtime>().unwrap(), Runtime::Threaded);
+    let err = "fibers".parse::<Runtime>().unwrap_err();
+    assert!(
+        err.contains("fibers"),
+        "error should name the bad value: {err}"
+    );
+    assert_eq!(Runtime::default(), Runtime::Coro);
+    assert!(sysc::runtime::coro_supported());
+    assert_eq!(Runtime::Coro.resolve(), Runtime::Coro);
+
+    let sim = Simulation::new();
+    assert_eq!(sim.runtime(), Runtime::Coro);
+    let sim = Simulation::with_runtime(Runtime::Threaded);
+    assert_eq!(sim.runtime(), Runtime::Threaded);
+}
+
+/// A panic mid-scenario must give the panicked process's stack back to
+/// the pool (the unwind travels through the coroutine switch, so a bug
+/// here leaks 512 KiB per poisoned seed).
+#[test]
+fn panicked_process_stack_is_recycled() {
+    let before = sysc::runtime::stack_stats();
+    for _ in 0..10 {
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = Simulation::with_runtime(Runtime::Coro);
+            let h = sim.handle();
+            h.spawn_thread("bystander", SpawnMode::Immediate, |ctx| {
+                ctx.wait_time(SimTime::from_ms(10));
+            });
+            h.spawn_thread("bomb", SpawnMode::Immediate, |ctx| {
+                ctx.wait_time(SimTime::from_us(1));
+                panic!("boom in coroutine");
+            });
+            sim.run_to_completion();
+        });
+        assert!(result.is_err());
+    }
+    let after = sysc::runtime::stack_stats();
+    let leased = after.leases - before.leases;
+    let recycled = after.recycled - before.recycled;
+    // Every lease this loop took must have been returned: the bomb's
+    // stack through the panic reply path, the bystander's through
+    // terminate-on-drop. Concurrent tests can only add recycles.
+    assert!(
+        recycled >= leased,
+        "leaked stacks: {leased} leased, {recycled} recycled"
+    );
+}
+
+/// Terminating a process that was spawned but never dispatched must not
+/// lease a stack at all, and must not leak the parked entry closure
+/// (which owns a self-referential Arc).
+#[test]
+fn never_started_process_is_terminated_without_a_stack() {
+    struct CountDrop(Arc<AtomicU64>);
+    impl Drop for CountDrop {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let drops = Arc::new(AtomicU64::new(0));
+    let before = sysc::runtime::stack_stats();
+    {
+        let mut sim = Simulation::with_runtime(Runtime::Coro);
+        let h = sim.handle();
+        let never = h.create_event("never");
+        let d = CountDrop(Arc::clone(&drops));
+        h.spawn_thread("dormant", SpawnMode::WaitEvent(never), move |_ctx| {
+            let _guard = d;
+            unreachable!("the event never fires");
+        });
+        assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+        // Drop terminates the dormant process before it ever ran.
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        1,
+        "captured state must be dropped"
+    );
+    let after = sysc::runtime::stack_stats();
+    assert_eq!(
+        after.leases, before.leases,
+        "no stack for a never-started process"
+    );
+}
+
+/// One process killing another mid-wait: the terminate handshake runs
+/// coroutine-to-coroutine (the killer, not the kernel root, is the
+/// resumer) and control must return to the killer afterwards.
+#[test]
+fn kill_from_inside_another_process() {
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut sim = Simulation::with_runtime(Runtime::Coro);
+    let h = sim.handle();
+    let log2 = Arc::clone(&log);
+    let victim = h.spawn_thread("victim", SpawnMode::Immediate, move |ctx| {
+        log2.lock().unwrap().push("victim-start");
+        loop {
+            ctx.wait_time(SimTime::from_us(1));
+        }
+    });
+    let log3 = Arc::clone(&log);
+    h.spawn_thread("killer", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_time(SimTime::from_us(5));
+        log3.lock().unwrap().push("kill");
+        ctx.handle().kill(victim);
+        assert!(ctx.handle().is_finished(victim));
+        log3.lock().unwrap().push("after-kill");
+        ctx.wait_time(SimTime::from_us(5));
+        log3.lock().unwrap().push("killer-done");
+    });
+    assert_eq!(sim.run_to_completion(), RunOutcome::Starved);
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["victim-start", "kill", "after-kill", "killer-done"]
+    );
+}
+
+/// A process body driving a nested, independent simulation on the same
+/// OS thread: two live `CoroRt`s must not clobber each other's notion
+/// of the current context.
+#[test]
+fn nested_simulation_inside_a_coroutine() {
+    let mut outer = Simulation::with_runtime(Runtime::Coro);
+    let h = outer.handle();
+    let result = Arc::new(AtomicU64::new(0));
+    let result2 = Arc::clone(&result);
+    h.spawn_thread("outer", SpawnMode::Immediate, move |ctx| {
+        ctx.wait_time(SimTime::from_us(1));
+        let mut inner = Simulation::with_runtime(Runtime::Coro);
+        let ih = inner.handle();
+        let r = Arc::clone(&result2);
+        ih.spawn_thread("inner", SpawnMode::Immediate, move |ictx| {
+            for _ in 0..10 {
+                ictx.wait_time(SimTime::from_ns(100));
+            }
+            r.store(ictx.now().as_ns(), Ordering::SeqCst);
+        });
+        assert_eq!(inner.run_to_completion(), RunOutcome::Starved);
+        // Back in the outer coroutine: its own clock is untouched.
+        ctx.wait_time(SimTime::from_us(1));
+        assert_eq!(ctx.now(), SimTime::from_us(2));
+    });
+    assert_eq!(outer.run_to_completion(), RunOutcome::Starved);
+    assert_eq!(result.load(Ordering::SeqCst), 1_000);
+}
+
+/// Heavy process churn within one simulation: spawn-run-finish cycles
+/// must plateau at a small number of distinct stacks.
+#[test]
+fn sequential_process_churn_reuses_stacks() {
+    let before = sysc::runtime::stack_stats();
+    let mut sim = Simulation::with_runtime(Runtime::Coro);
+    let h = sim.handle();
+    let total = Arc::new(AtomicU64::new(0));
+    for i in 0..200 {
+        let t = Arc::clone(&total);
+        h.spawn_thread("worker", SpawnMode::Immediate, move |ctx| {
+            ctx.wait_time(SimTime::from_ns(10 + i));
+            t.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.run_to_completion();
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 200);
+    let after = sysc::runtime::stack_stats();
+    assert_eq!(after.leases - before.leases, 200);
+    assert!(
+        after.stacks_allocated - before.stacks_allocated <= 4,
+        "churn should reuse stacks, allocated {} fresh ones",
+        after.stacks_allocated - before.stacks_allocated
+    );
+}

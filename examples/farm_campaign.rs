@@ -19,6 +19,7 @@ fn main() {
         // Check every kernel decision against the ITRON reference model.
         oracle: true,
         topology: None,
+        runtime: sysc::Runtime::default(),
     };
 
     // Every seed names a complete scenario; show a few.
