@@ -85,7 +85,10 @@ pub use kernel::sem::RefSem;
 pub use kernel::sysmgmt::{RefSys, RefVer, SysState};
 pub use kernel::task::RefTsk;
 pub use kernel::time::{RefAlm, RefCyc};
-pub use obs::{ObsEvent, ObsSink, VecObsSink, WakeCode};
+pub use obs::{
+    CollectHandle, CollectSink, ObsEvent, ObsSink, ObsStream, StampedEvent, StreamClose,
+    StreamSink, StreamStats, VecObsSink, WakeCode, GRAMMAR_VERSION,
+};
 pub use rtos::{IntPort, Rtos, RunStats, Sys};
 pub use state::{Delivered, FlagWaitMode, IntRequest, QueueOrder, TaskState, Timeout, WaitObj};
 pub use trace::{NullSink, TraceKind, TraceRecord, TraceSink};

@@ -1,4 +1,5 @@
-//! Kernel observation events for differential (oracle) checking.
+//! Kernel observation events for differential (oracle) checking and
+//! non-intrusive trace streaming.
 //!
 //! Where the [`crate::trace`] stream describes *execution* (Gantt
 //! slices, energy), this stream describes the kernel's *decisions*: who
@@ -9,12 +10,34 @@
 //! in lockstep and reports the first decision that deviates from the
 //! specification.
 //!
+//! The complete event grammar — every variant, its field semantics,
+//! the ordering guarantees and which ITRON services emit what — is
+//! specified in `docs/OBS_GRAMMAR.md`; the on-disk serialisation of a
+//! stream is specified in `docs/TRACE_FORMAT.md` (implemented by
+//! `rtk_analysis::trace_codec`). [`GRAMMAR_VERSION`] names the
+//! revision both documents describe.
+//!
 //! Events are emitted under the kernel state lock, at the same program
 //! point as the state mutation they describe, so the stream is a linear
 //! history: the wakeups mandated by a stimulus (`tk_sig_sem`,
 //! `tk_set_flg`, a mutex unlock, ...) appear contiguously right after
 //! it, which is what lets the oracle check wakeup *order*, not just
 //! wakeup *sets*.
+//!
+//! # Consuming the stream
+//!
+//! The kernel-facing hook is [`ObsSink`]: one virtual call per event,
+//! under the state lock. Two consumption styles exist:
+//!
+//! * [`VecObsSink`] buffers the whole run — right for unit tests and
+//!   for handing a short history to `rtk_farm::check`.
+//! * [`ObsStream`] is the streaming pipeline: a bounded ring that
+//!   batches events and fans them out to pluggable [`StreamSink`]
+//!   backends (the online oracle checker, the binary trace-file writer,
+//!   a bounded collector, ...). Memory stays `O(ring)` no matter how
+//!   long the run is, and a backend that stops accepting events
+//!   (bounded capture) produces *deterministic* drop accounting instead
+//!   of unbounded growth.
 //!
 //! # Checker scope
 //!
@@ -31,13 +54,27 @@
 //! modeled subset and are reported as divergences by the checker, not
 //! validated.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::config::Priority;
 use crate::error::ErCode;
 use crate::ids::{AlmId, CycId, FlgId, MbfId, MbxId, MpfId, MplId, MtxId, SemId, TaskId};
 use crate::kernel::mtx::MtxPolicy;
 use crate::state::{FlagWaitMode, WaitObj};
+
+/// Revision of the observation-event grammar described by
+/// `docs/OBS_GRAMMAR.md` and serialised by the trace format of
+/// `docs/TRACE_FORMAT.md`.
+///
+/// History: **1** — scheduling/sync decisions (PR 3); **2** — full
+/// ITRON service surface: lifecycle, suspend nesting, dispatch-control
+/// windows, variable pools, cyclic/alarm (PR 5); **3** — tick-stamped
+/// delivery ([`StampedEvent`]) and the streaming sink pipeline.
+///
+/// The version is recorded in every binary trace header. Adding a
+/// variant or a field bumps it; see the forward-compatibility policy
+/// in `docs/TRACE_FORMAT.md`.
+pub const GRAMMAR_VERSION: u16 = 3;
 
 /// Why a wait completed (collapsed from [`ErCode`] to the classes the
 /// oracle distinguishes).
@@ -249,11 +286,282 @@ pub enum ObsEvent {
     AlmFire { id: AlmId, tick: u64 },
 }
 
+/// One observation event stamped with the kernel tick counter at
+/// emission.
+///
+/// The kernel's only semantic notion of time is the system tick (the
+/// 1 ms BFM clock in the paper configuration): timeouts, cyclic
+/// periods and alarms are all tick-granular. The grammar therefore
+/// stamps events with the *tick*, and fine-grained ordering within a
+/// tick is the stream position itself — exporters that need a denser
+/// time axis (VCD, Chrome trace) place intra-tick events ordinally and
+/// say so (see `docs/OBS_GRAMMAR.md`, "Time model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// Kernel tick counter when the event was emitted (ticks since
+    /// boot; the tick period is configuration, `KernelConfig::tick`).
+    pub tick: u64,
+    /// The observed decision or operation.
+    pub ev: ObsEvent,
+}
+
 /// Consumer of observation events. Implementations must be cheap and
 /// must not call back into the kernel (the state lock is held).
 pub trait ObsSink: Send + Sync {
     /// Receives one event.
     fn event(&self, ev: ObsEvent);
+
+    /// Receives one event together with the kernel tick at emission.
+    /// The kernel always calls this entry point; the default forwards
+    /// to [`ObsSink::event`] for sinks that do not care about time.
+    fn event_at(&self, _tick: u64, ev: ObsEvent) {
+        self.event(ev);
+    }
+}
+
+/// How a stream ended, passed to [`StreamSink::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamClose {
+    /// The simulation ran to its horizon; the stream is a complete
+    /// history and end-of-stream invariants (e.g. "no mandated wakeup
+    /// left unobserved") may be checked.
+    Clean,
+    /// The run aborted (a panic unwound mid-operation); the stream is
+    /// truncated at an arbitrary point and end-of-stream invariants
+    /// must not be applied.
+    Aborted,
+}
+
+/// A streaming consumer of stamped observation events, fed in batches
+/// by [`ObsStream`] whenever its ring fills and once more at close.
+///
+/// Backpressure is modelled by the return value of
+/// [`StreamSink::batch`]: a sink accepts a *prefix* of the offered
+/// batch and the stream counts the rest as dropped for that sink.
+/// Acceptance must be a pure function of the stream content consumed
+/// so far (never of wall-clock or thread timing), which is what keeps
+/// drop accounting deterministic and byte-identical across hosts and
+/// worker-thread counts.
+pub trait StreamSink: Send {
+    /// Consumes a batch, returning how many of the offered events were
+    /// accepted (`<= events.len()`). Unaccepted events are dropped —
+    /// they are *not* offered again.
+    fn batch(&mut self, events: &[StampedEvent]) -> usize;
+
+    /// Called exactly once, after the final flush.
+    fn close(&mut self, _how: StreamClose) {}
+}
+
+/// Totals reported by [`ObsStream::close`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events that entered the stream.
+    pub events: u64,
+    /// Events some backend declined, summed over backends (an event
+    /// dropped by two backends counts twice).
+    pub dropped: u64,
+}
+
+/// Bounded-ring fan-out from the kernel's [`ObsSink`] hook to
+/// pluggable [`StreamSink`] backends.
+///
+/// The producer side ([`ObsSink::event_at`], called under the kernel
+/// state lock) appends into a fixed-capacity ring; when the ring is
+/// full it is flushed as one batch to every backend, and a final flush
+/// happens at [`ObsStream::close`]. Memory is bounded by the ring
+/// capacity regardless of run length, replacing the grow-forever
+/// [`VecObsSink`] pattern for long campaigns.
+///
+/// # Example
+///
+/// ```
+/// use rtk_core::{CollectSink, ObsEvent, ObsSink, ObsStream, StreamClose, TaskId};
+///
+/// let (collect, taken) = CollectSink::with_capacity(2);
+/// let stream = ObsStream::with_ring_capacity(4).attach(Box::new(collect));
+/// // The kernel (here: by hand) stamps each event with its tick.
+/// for tick in 0..3 {
+///     stream.event_at(tick, ObsEvent::TaskStart { tid: TaskId::from_raw(1) });
+/// }
+/// let stats = stream.close(StreamClose::Clean);
+/// assert_eq!(stats.events, 3);
+/// assert_eq!(stats.dropped, 1); // the collector only kept 2
+/// assert_eq!(taken.take().len(), 2);
+/// ```
+pub struct ObsStream {
+    inner: Mutex<StreamInner>,
+}
+
+struct StreamInner {
+    ring: Vec<StampedEvent>,
+    capacity: usize,
+    sinks: Vec<Box<dyn StreamSink>>,
+    stats: StreamStats,
+    closed: bool,
+}
+
+impl ObsStream {
+    /// Default ring capacity: large enough to amortise the per-batch
+    /// fan-out, small enough to keep a campaign worker's footprint in
+    /// the hundreds of kilobytes.
+    pub const DEFAULT_RING: usize = 4096;
+
+    /// A stream with the default ring capacity and no backends.
+    pub fn new() -> Self {
+        Self::with_ring_capacity(Self::DEFAULT_RING)
+    }
+
+    /// A stream whose ring holds `capacity` events (min 1) between
+    /// flushes.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        ObsStream {
+            inner: Mutex::new(StreamInner {
+                ring: Vec::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                sinks: Vec::new(),
+                stats: StreamStats::default(),
+                closed: false,
+            }),
+        }
+    }
+
+    /// Adds a backend (builder style, before the stream is attached to
+    /// the kernel).
+    #[must_use]
+    pub fn attach(self, sink: Box<dyn StreamSink>) -> Self {
+        self.inner.lock().unwrap().sinks.push(sink);
+        self
+    }
+
+    /// Flushes the ring and closes every backend. Idempotent: later
+    /// calls return the same totals without re-closing the backends.
+    /// Events arriving after close are counted as dropped per backend.
+    pub fn close(&self, how: StreamClose) -> StreamStats {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.closed {
+            inner.flush();
+            inner.closed = true;
+            for sink in &mut inner.sinks {
+                sink.close(how);
+            }
+        }
+        inner.stats
+    }
+
+    /// Totals so far (without flushing).
+    pub fn stats(&self) -> StreamStats {
+        self.inner.lock().unwrap().stats
+    }
+}
+
+impl Default for ObsStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ObsStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("ObsStream")
+            .field("capacity", &inner.capacity)
+            .field("sinks", &inner.sinks.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl StreamInner {
+    fn flush(&mut self) {
+        if self.ring.is_empty() {
+            return;
+        }
+        let nsinks = self.sinks.len() as u64;
+        if nsinks == 0 {
+            // No backend: the whole batch is dropped (bounded memory
+            // beats silent unbounded buffering), one drop per event.
+            self.stats.dropped += self.ring.len() as u64;
+        }
+        for sink in &mut self.sinks {
+            let accepted = sink.batch(&self.ring).min(self.ring.len());
+            self.stats.dropped += (self.ring.len() - accepted) as u64;
+        }
+        self.ring.clear();
+    }
+}
+
+impl ObsSink for ObsStream {
+    fn event(&self, ev: ObsEvent) {
+        // Un-stamped entry point (hand-fed streams): stamp tick 0.
+        self.event_at(0, ev);
+    }
+
+    fn event_at(&self, tick: u64, ev: ObsEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stats.events += 1;
+        if inner.closed {
+            let n = inner.sinks.len().max(1) as u64;
+            inner.stats.dropped += n;
+            return;
+        }
+        inner.ring.push(StampedEvent { tick, ev });
+        if inner.ring.len() >= inner.capacity {
+            inner.flush();
+        }
+    }
+}
+
+/// A bounded [`StreamSink`] that retains the first `capacity` events
+/// and declines the rest (deterministic drop accounting in the owning
+/// [`ObsStream`]). The retained prefix is read through the paired
+/// [`CollectHandle`] after the stream closes.
+#[derive(Debug)]
+pub struct CollectSink {
+    shared: Arc<Mutex<Vec<StampedEvent>>>,
+    capacity: usize,
+}
+
+/// Reader side of a [`CollectSink`].
+#[derive(Debug, Clone)]
+pub struct CollectHandle {
+    shared: Arc<Mutex<Vec<StampedEvent>>>,
+}
+
+impl CollectSink {
+    /// A collector keeping at most `capacity` events, plus the handle
+    /// that reads them back.
+    pub fn with_capacity(capacity: usize) -> (CollectSink, CollectHandle) {
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        (
+            CollectSink {
+                shared: Arc::clone(&shared),
+                capacity,
+            },
+            CollectHandle { shared },
+        )
+    }
+
+    /// An unbounded collector (test convenience).
+    pub fn unbounded() -> (CollectSink, CollectHandle) {
+        Self::with_capacity(usize::MAX)
+    }
+}
+
+impl CollectHandle {
+    /// Takes the retained events (the buffer is left empty).
+    pub fn take(&self) -> Vec<StampedEvent> {
+        std::mem::take(&mut self.shared.lock().unwrap())
+    }
+}
+
+impl StreamSink for CollectSink {
+    fn batch(&mut self, events: &[StampedEvent]) -> usize {
+        let mut buf = self.shared.lock().unwrap();
+        let room = self.capacity.saturating_sub(buf.len());
+        let n = room.min(events.len());
+        buf.extend_from_slice(&events[..n]);
+        n
+    }
 }
 
 /// An [`ObsSink`] that records every event in order, for post-run
@@ -301,6 +609,103 @@ mod tests {
         assert_eq!(WakeCode::of(&Err(ErCode::Tmout)), WakeCode::Timeout);
         assert_eq!(WakeCode::of(&Err(ErCode::RlWai)), WakeCode::Released);
         assert_eq!(WakeCode::of(&Err(ErCode::Dlt)), WakeCode::Deleted);
+    }
+
+    fn ev(n: u32) -> ObsEvent {
+        ObsEvent::TaskStart { tid: TaskId(n) }
+    }
+
+    /// A sink that records batch sizes and accepts everything.
+    struct BatchSpy(Arc<Mutex<Vec<usize>>>);
+
+    impl StreamSink for BatchSpy {
+        fn batch(&mut self, events: &[StampedEvent]) -> usize {
+            self.0.lock().unwrap().push(events.len());
+            events.len()
+        }
+    }
+
+    #[test]
+    fn ring_flushes_in_capacity_batches() {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        let stream =
+            ObsStream::with_ring_capacity(3).attach(Box::new(BatchSpy(Arc::clone(&sizes))));
+        for i in 0..7 {
+            stream.event_at(i, ev(1));
+        }
+        let stats = stream.close(StreamClose::Clean);
+        assert_eq!(
+            stats,
+            StreamStats {
+                events: 7,
+                dropped: 0
+            }
+        );
+        assert_eq!(*sizes.lock().unwrap(), vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn bounded_collector_drop_accounting_is_deterministic() {
+        let run = || {
+            let (collect, handle) = CollectSink::with_capacity(5);
+            let stream = ObsStream::with_ring_capacity(2).attach(Box::new(collect));
+            for i in 0..9 {
+                stream.event_at(i, ev(i as u32));
+            }
+            let stats = stream.close(StreamClose::Clean);
+            (stats, handle.take())
+        };
+        let (stats_a, kept_a) = run();
+        let (stats_b, kept_b) = run();
+        assert_eq!(
+            stats_a,
+            StreamStats {
+                events: 9,
+                dropped: 4
+            }
+        );
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(kept_a, kept_b);
+        assert_eq!(kept_a.len(), 5);
+        // The retained prefix is the *first* five events, stamped.
+        assert_eq!(kept_a[0], StampedEvent { tick: 0, ev: ev(0) });
+        assert_eq!(kept_a[4], StampedEvent { tick: 4, ev: ev(4) });
+    }
+
+    #[test]
+    fn close_is_idempotent_and_late_events_count_dropped() {
+        let (collect, handle) = CollectSink::unbounded();
+        let stream = ObsStream::new().attach(Box::new(collect));
+        stream.event_at(1, ev(1));
+        let first = stream.close(StreamClose::Clean);
+        assert_eq!(
+            first,
+            StreamStats {
+                events: 1,
+                dropped: 0
+            }
+        );
+        stream.event_at(2, ev(2));
+        let second = stream.close(StreamClose::Clean);
+        assert_eq!(
+            second,
+            StreamStats {
+                events: 2,
+                dropped: 1
+            }
+        );
+        assert_eq!(handle.take().len(), 1);
+    }
+
+    #[test]
+    fn sinkless_stream_stays_bounded_and_counts_drops() {
+        let stream = ObsStream::with_ring_capacity(4);
+        for i in 0..10 {
+            stream.event_at(i, ev(1));
+        }
+        let stats = stream.close(StreamClose::Aborted);
+        assert_eq!(stats.events, 10);
+        assert_eq!(stats.dropped, 10);
     }
 
     #[test]

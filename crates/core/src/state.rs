@@ -470,7 +470,10 @@ impl KernelState {
     #[inline]
     pub(crate) fn observe(&self, ev: crate::obs::ObsEvent) {
         if let Some(obs) = &self.obs {
-            obs.event(ev);
+            // Every event is stamped with the kernel tick counter at
+            // emission — the grammar's time model (ordering within a
+            // tick is the stream position; see docs/OBS_GRAMMAR.md).
+            obs.event_at(self.ticks, ev);
         }
     }
 

@@ -8,17 +8,31 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use rtk_analysis::trace_codec::{TraceHeader, TraceWriter};
 use rtk_core::{
-    FlagWaitMode, IntNo, KernelConfig, MsgPacket, MtxPolicy, QueueOrder, Rtos, RunStats, Timeout,
-    VecObsSink,
+    CollectSink, FlagWaitMode, IntNo, KernelConfig, MsgPacket, MtxPolicy, ObsStream, QueueOrder,
+    Rtos, RunStats, StampedEvent, StreamClose, StreamSink, Timeout,
 };
 use sysc::{RunOutcome, SimTime, SpawnMode};
 
 use crate::oracle;
 use crate::scenario::{Fnv, ScenarioSpec, Topology};
+
+/// Binary trace capture settings for a run (CLI `--trace-dir` /
+/// `--trace-cap`): one `.rtkt` file per scenario is written into
+/// `dir`, named `seed-<seed>.rtkt` (see `docs/TRACE_FORMAT.md`).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Directory receiving the trace files (must exist).
+    pub dir: PathBuf,
+    /// Maximum events written per trace; `0` means unlimited. Excess
+    /// events are counted in the trace trailer's drop count.
+    pub cap: u64,
+}
 
 /// Measured result of one scenario run.
 #[derive(Debug, Clone, Default)]
@@ -60,6 +74,12 @@ pub struct ScenarioOutcome {
     /// First spec-vs-kernel divergence the oracle found, if any:
     /// `(event index, rendered account)`.
     pub divergence: Option<(u64, String)>,
+    /// Observation-stream events dropped by attached sinks (bounded
+    /// trace capture, I/O failure). Deliberately **excluded from
+    /// [`digest`](Self::digest)**: whether and where a trace was
+    /// captured is host-side instrumentation and must not change the
+    /// simulated-domain identity of the run.
+    pub obs_dropped: u64,
 }
 
 impl ScenarioOutcome {
@@ -170,25 +190,60 @@ pub fn run_scenario_checked_on(
     oracle: bool,
     runtime: sysc::Runtime,
 ) -> ScenarioOutcome {
-    run_scenario_recorded(spec, oracle, runtime).0
+    run_scenario_recorded(spec, oracle, runtime, None, false).0
+}
+
+/// Like [`run_scenario_checked_on`], additionally capturing the
+/// observation stream into a binary `.rtkt` trace file (see
+/// [`TraceConfig`] and `docs/TRACE_FORMAT.md`). A trace-file I/O
+/// failure never fails the run: the scenario outcome is computed as
+/// usual and the failure surfaces in [`ScenarioOutcome::obs_dropped`]
+/// plus a diagnostic on stderr.
+pub fn run_scenario_traced(
+    spec: &ScenarioSpec,
+    oracle: bool,
+    runtime: sysc::Runtime,
+    trace: &TraceConfig,
+) -> ScenarioOutcome {
+    run_scenario_recorded(spec, oracle, runtime, Some(trace), false).0
 }
 
 /// Like [`run_scenario_checked_on`] with the oracle enabled, but also
 /// returns the recorded kernel-decision stream. The cross-runtime
 /// determinism tests compare these streams event-for-event: the
-/// process runtime must not change a single kernel decision.
+/// process runtime must not change a single kernel decision (nor the
+/// tick it is stamped with).
 pub fn run_scenario_observed(
     spec: &ScenarioSpec,
     runtime: sysc::Runtime,
-) -> (ScenarioOutcome, Vec<rtk_core::ObsEvent>) {
-    run_scenario_recorded(spec, true, runtime)
+) -> (ScenarioOutcome, Vec<StampedEvent>) {
+    run_scenario_recorded(spec, true, runtime, None, true)
+}
+
+/// An [`ObsStream`] backend feeding the incremental differential
+/// oracle while the simulation runs ("the oracle is just another
+/// sink").
+struct SpecSink {
+    checker: Arc<Mutex<oracle::Checker>>,
+}
+
+impl StreamSink for SpecSink {
+    fn batch(&mut self, events: &[StampedEvent]) -> usize {
+        let mut checker = self.checker.lock().unwrap();
+        for se in events {
+            checker.push(&se.ev);
+        }
+        events.len()
+    }
 }
 
 fn run_scenario_recorded(
     spec: &ScenarioSpec,
     oracle: bool,
     runtime: sysc::Runtime,
-) -> (ScenarioOutcome, Vec<rtk_core::ObsEvent>) {
+    trace: Option<&TraceConfig>,
+    collect_events: bool,
+) -> (ScenarioOutcome, Vec<StampedEvent>) {
     let mut out = ScenarioOutcome {
         seed: spec.seed,
         spec_digest: spec.digest(),
@@ -197,7 +252,47 @@ fn run_scenario_recorded(
     };
 
     let collect = Arc::new(Collect::new(spec.tasks.len()));
-    let obs = oracle.then(|| Arc::new(VecObsSink::new()));
+
+    // Assemble the observation pipeline: every consumer is a sink on
+    // one shared stream, so the kernel pays for instrumentation once
+    // no matter how many consumers are attached.
+    let mut stream = ObsStream::new();
+    let mut any_sink = false;
+    let mut checker = None;
+    if oracle {
+        let shared = Arc::new(Mutex::new(oracle::Checker::new()));
+        stream = stream.attach(Box::new(SpecSink {
+            checker: Arc::clone(&shared),
+        }));
+        any_sink = true;
+        checker = Some(shared);
+    }
+    let mut collected = None;
+    if collect_events {
+        let (sink, handle) = CollectSink::unbounded();
+        stream = stream.attach(Box::new(sink));
+        any_sink = true;
+        collected = Some(handle);
+    }
+    if let Some(tc) = trace {
+        let header = TraceHeader {
+            grammar_version: rtk_core::GRAMMAR_VERSION,
+            seed: spec.seed,
+            tick_us: KernelConfig::paper().tick.as_us() as u32,
+            topology: spec.topology.label().to_string(),
+            runtime: runtime.resolve().as_str().to_string(),
+        };
+        let path = tc.dir.join(format!("seed-{:010}.rtkt", spec.seed));
+        match TraceWriter::create(&path, &header, tc.cap) {
+            Ok((writer, _handle)) => {
+                stream = std::mem::take(&mut stream).attach(Box::new(writer));
+                any_sink = true;
+            }
+            Err(e) => eprintln!("rtk-farm: cannot create trace {}: {e}", path.display()),
+        }
+    }
+    let obs = any_sink.then(|| Arc::new(stream));
+
     let result = {
         let collect = Arc::clone(&collect);
         let obs = obs.clone();
@@ -206,17 +301,30 @@ fn run_scenario_recorded(
             execute(&spec, &collect, obs, runtime)
         }))
     };
-    // A panic truncates the observation stream mid-operation, so a
-    // replay would report a bogus "mandated wakeup never observed";
-    // the panic itself is the finding — check only clean runs.
+    // A panic truncates the observation stream mid-operation; closing
+    // as `Aborted` stamps the trace trailer accordingly so a replay
+    // knows to skip end-of-stream invariants.
+    if let Some(stream) = &obs {
+        let stats = stream.close(if result.is_ok() {
+            StreamClose::Clean
+        } else {
+            StreamClose::Aborted
+        });
+        out.obs_dropped = stats.dropped;
+    }
+    // On a panicked run the panic itself is the finding — a truncated
+    // stream would report a bogus "mandated wakeup never observed", so
+    // the oracle verdict is taken from clean runs only.
     let mut events = Vec::new();
     if result.is_ok() {
-        if let Some(obs) = &obs {
-            events = obs.take();
-            let verdict = oracle::check(&events);
+        if let Some(checker) = &checker {
+            let verdict = checker.lock().unwrap().verdict(true);
             out.oracle_events = verdict.events_checked;
             out.divergence = verdict.divergence.map(|d| (d.index as u64, d.to_string()));
         }
+    }
+    if let Some(handle) = &collected {
+        events = handle.take();
     }
 
     match result {
@@ -283,7 +391,7 @@ fn run_scenario_recorded(
 fn execute(
     spec: &ScenarioSpec,
     collect: &Arc<Collect>,
-    obs: Option<Arc<VecObsSink>>,
+    obs: Option<Arc<ObsStream>>,
     runtime: sysc::Runtime,
 ) -> (&'static str, RunStats) {
     let order = if spec.priority_queues {

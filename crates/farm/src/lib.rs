@@ -25,6 +25,13 @@
 //!    summaries and the deterministic `BENCH_farm.json`: byte-identical
 //!    for a fixed seed set regardless of thread count.
 //!
+//! On top of the pipeline sits the streaming trace platform: with a
+//! [`TraceConfig`] every scenario's observation stream (grammar:
+//! `docs/OBS_GRAMMAR.md`) is captured into a binary `.rtkt` file
+//! (format: `docs/TRACE_FORMAT.md`), and [`replay`] re-runs the
+//! differential oracle from those files alone — same verdicts, same
+//! first-divergence indexes, no kernel execution.
+//!
 //! ```
 //! use rtk_farm::{run_campaign, CampaignConfig, CampaignReport, Tuning};
 //!
@@ -34,8 +41,7 @@
 //!     threads: 2,
 //!     tuning: Tuning { quick: true, faults: true },
 //!     oracle: true,
-//!     topology: None,
-//!     runtime: sysc::Runtime::default(),
+//!     ..CampaignConfig::default()
 //! };
 //! let outcomes = run_campaign(&cfg);
 //! let report = CampaignReport::new(cfg, outcomes);
@@ -46,6 +52,7 @@
 
 mod build;
 pub mod oracle;
+pub mod replay;
 mod report;
 mod rng;
 mod runner;
@@ -53,9 +60,10 @@ mod scenario;
 
 pub use build::{
     run_scenario, run_scenario_checked, run_scenario_checked_on, run_scenario_observed,
-    ScenarioOutcome,
+    run_scenario_traced, ScenarioOutcome, TraceConfig,
 };
-pub use oracle::{check, Divergence, OracleVerdict};
+pub use oracle::{check, Checker, Divergence, OracleVerdict};
+pub use replay::{replay_path, replay_report_json, replay_trace, ReplayedTrace};
 pub use report::{Aggregate, CampaignReport};
 pub use rng::FarmRng;
 pub use runner::{run_campaign, CampaignConfig};

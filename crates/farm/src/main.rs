@@ -1,24 +1,32 @@
 //! `rtk-farm` — run a seeded scenario campaign and write
-//! `BENCH_farm.json`.
+//! `BENCH_farm.json`, or replay captured `.rtkt` traces.
 //!
 //! ```text
 //! rtk-farm [--seeds N] [--base-seed S] [--threads T] [--quick]
 //!          [--no-faults] [--oracle] [--topology NAME]
-//!          [--runtime threaded|coro] [--out PATH]
+//!          [--runtime threaded|coro] [--trace-dir DIR] [--trace-cap N]
+//!          [--out PATH]
+//! rtk-farm --replay PATH [--export-vcd DIR] [--export-chrome DIR]
+//!          [--out PATH]
 //! ```
 //!
-//! Exit code 0 when every scenario is healthy; 1 when any scenario
-//! panicked, stalled, livelocked or (with `--oracle`) diverged from
-//! the ITRON reference model (the CI gates); 2 on usage errors.
+//! Exit code 0 when every scenario (or replayed trace) is healthy; 1
+//! when any scenario panicked, stalled, livelocked or (with `--oracle`
+//! or under `--replay`) diverged from the ITRON reference model (the
+//! CI gates); 2 on usage errors.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rtk_farm::{run_campaign, CampaignConfig, CampaignReport, Topology};
+use rtk_farm::{
+    replay_path, replay_report_json, run_campaign, CampaignConfig, CampaignReport, Topology,
+    TraceConfig,
+};
 
 const USAGE: &str = "usage: rtk-farm [options]
 
-options:
+campaign options:
   --seeds N       number of consecutive seeds to run   (default 256)
   --base-seed S   first seed                           (default 1)
   --threads T     worker threads, at least 1           (default: all cores)
@@ -35,36 +43,67 @@ options:
   --runtime R     sysc process runtime, threaded or coro (default coro;
                   coro falls back to threaded on unsupported targets).
                   Never changes results, only host execution cost
-  --out PATH      report path                          (default BENCH_farm.json)
+  --trace-dir DIR capture one binary .rtkt trace per scenario into DIR
+                  (created if missing; see docs/TRACE_FORMAT.md)
+  --trace-cap N   cap each trace at N events (excess counted as
+                  dropped; default 0 = unlimited)
+  --out PATH      report path              (default BENCH_farm.json)
+
+replay options:
+  --replay PATH   replay a .rtkt trace file, or every *.rtkt in a
+                  directory, through the oracle — no kernel execution;
+                  verdicts (incl. divergence event indexes) match the
+                  live run's. Report goes to --out
+                  (default REPLAY_farm.json)
+  --export-vcd DIR     also write a per-task state waveform
+                       seed-<seed>.vcd per trace into DIR
+  --export-chrome DIR  also write a chrome://tracing JSON
+                       seed-<seed>.trace.json per trace into DIR
   --help          this text";
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(CampaignConfig, String), String> {
-    let mut cfg = CampaignConfig::default();
-    let mut out = "BENCH_farm.json".to_string();
+#[derive(Debug)]
+struct Cli {
+    cfg: CampaignConfig,
+    out: Option<String>,
+    replay: Option<PathBuf>,
+    export_vcd: Option<PathBuf>,
+    export_chrome: Option<PathBuf>,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: CampaignConfig::default(),
+        out: None,
+        replay: None,
+        export_vcd: None,
+        export_chrome: None,
+    };
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_cap: Option<u64> = None;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--seeds" => {
-                cfg.seeds = value("--seeds")?
+                cli.cfg.seeds = value("--seeds")?
                     .parse()
                     .map_err(|e| format!("--seeds: {e}"))?
             }
             "--base-seed" => {
-                cfg.base_seed = value("--base-seed")?
+                cli.cfg.base_seed = value("--base-seed")?
                     .parse()
                     .map_err(|e| format!("--base-seed: {e}"))?
             }
             "--threads" => {
-                cfg.threads = value("--threads")?
+                cli.cfg.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
-                if cfg.threads == 0 {
+                if cli.cfg.threads == 0 {
                     return Err("--threads must be at least 1".into());
                 }
             }
-            "--quick" => cfg.tuning.quick = true,
-            "--no-faults" => cfg.tuning.faults = false,
-            "--oracle" => cfg.oracle = true,
+            "--quick" => cli.cfg.tuning.quick = true,
+            "--no-faults" => cli.cfg.tuning.faults = false,
+            "--oracle" => cli.cfg.oracle = true,
             "--topology" => {
                 let name = value("--topology")?;
                 if !Topology::ALL_LABELS.contains(&name.as_str()) {
@@ -73,23 +112,116 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(CampaignConfig,
                         Topology::ALL_LABELS.join(" ")
                     ));
                 }
-                cfg.topology = Some(name);
+                cli.cfg.topology = Some(name);
             }
             "--runtime" => {
-                cfg.runtime = value("--runtime")?
+                cli.cfg.runtime = value("--runtime")?
                     .parse()
                     .map_err(|e| format!("--runtime: {e}"))?
             }
-            "--out" => out = value("--out")?,
+            "--trace-dir" => trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
+            "--trace-cap" => {
+                trace_cap = Some(
+                    value("--trace-cap")?
+                        .parse()
+                        .map_err(|e| format!("--trace-cap: {e}"))?,
+                )
+            }
+            "--replay" => cli.replay = Some(PathBuf::from(value("--replay")?)),
+            "--export-vcd" => cli.export_vcd = Some(PathBuf::from(value("--export-vcd")?)),
+            "--export-chrome" => cli.export_chrome = Some(PathBuf::from(value("--export-chrome")?)),
+            "--out" => cli.out = Some(value("--out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
     }
-    Ok((cfg, out))
+    if trace_cap.is_some() && trace_dir.is_none() {
+        return Err("--trace-cap requires --trace-dir".into());
+    }
+    if let Some(dir) = trace_dir {
+        if cli.replay.is_some() {
+            return Err(
+                "--trace-dir cannot be combined with --replay (capture happens in the live run)"
+                    .into(),
+            );
+        }
+        cli.cfg.trace = Some(TraceConfig {
+            dir,
+            cap: trace_cap.unwrap_or(0),
+        });
+    }
+    if cli.replay.is_none() && (cli.export_vcd.is_some() || cli.export_chrome.is_some()) {
+        return Err("--export-vcd/--export-chrome require --replay".into());
+    }
+    Ok(cli)
+}
+
+/// The `--replay` mode: oracle verdicts (and optional exports) from
+/// trace files alone.
+type ExportFn = fn(&[rtk_core::StampedEvent], u32) -> String;
+
+fn run_replay(cli: &Cli, path: &std::path::Path) -> ExitCode {
+    let traces = match replay_path(path) {
+        Ok(traces) => traces,
+        Err(e) => {
+            eprintln!("rtk-farm: replay of {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    for dir in [&cli.export_vcd, &cli.export_chrome].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("rtk-farm: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    for t in &traces {
+        let exports: [(&Option<PathBuf>, &str, ExportFn); 2] = [
+            (&cli.export_vcd, "vcd", rtk_analysis::obs_to_vcd),
+            (
+                &cli.export_chrome,
+                "trace.json",
+                rtk_analysis::obs_to_chrome_trace,
+            ),
+        ];
+        for (dir, ext, render) in exports {
+            if let Some(dir) = dir {
+                let file = dir.join(format!("seed-{:010}.{ext}", t.header.seed));
+                if let Err(e) = std::fs::write(&file, render(&t.events, t.header.tick_us)) {
+                    eprintln!("rtk-farm: cannot write {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let out = cli.out.clone().unwrap_or_else(|| "REPLAY_farm.json".into());
+    if let Err(e) = std::fs::write(&out, replay_report_json(&traces)) {
+        eprintln!("rtk-farm: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    let diverged: Vec<_> = traces
+        .iter()
+        .filter_map(|t| t.verdict.divergence.as_ref().map(|d| (t.header.seed, d)))
+        .collect();
+    let incomplete = traces.iter().filter(|t| !t.complete).count();
+    eprintln!(
+        "rtk-farm: replayed {} trace(s), {} oracle event(s), {} divergence(s), {} incomplete -> {out}",
+        traces.len(),
+        traces.iter().map(|t| t.verdict.events_checked).sum::<u64>(),
+        diverged.len(),
+        incomplete,
+    );
+    for (seed, d) in &diverged {
+        eprintln!("rtk-farm: seed {seed} DIVERGED: {d}");
+    }
+    if diverged.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
-    let (cfg, out_path) = match parse_args(std::env::args().skip(1)) {
+    let cli = match parse_args(std::env::args().skip(1)) {
         Ok(v) => v,
         Err(msg) => {
             if msg.is_empty() {
@@ -101,6 +233,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &cli.replay {
+        return run_replay(&cli, path);
+    }
+    let cfg = cli.cfg;
+    let out_path = cli.out.unwrap_or_else(|| "BENCH_farm.json".into());
+
+    if let Some(tc) = &cfg.trace {
+        if let Err(e) = std::fs::create_dir_all(&tc.dir) {
+            eprintln!("rtk-farm: cannot create {}: {e}", tc.dir.display());
+            return ExitCode::from(2);
+        }
+    }
+
     let workers = cfg.effective_threads();
     let seed_range = if cfg.seeds == 0 {
         "none".to_string()
@@ -108,7 +253,7 @@ fn main() -> ExitCode {
         format!("{}..{}", cfg.base_seed, cfg.base_seed + cfg.seeds - 1)
     };
     eprintln!(
-        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} runtime, {} horizon, faults {}, oracle {}{}",
+        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} runtime, {} horizon, faults {}, oracle {}{}{}",
         cfg.seeds,
         seed_range,
         workers,
@@ -118,6 +263,10 @@ fn main() -> ExitCode {
         if cfg.oracle { "on" } else { "off" },
         match &cfg.topology {
             Some(t) => format!(", topology {t}"),
+            None => String::new(),
+        },
+        match &cfg.trace {
+            Some(tc) => format!(", tracing to {}", tc.dir.display()),
             None => String::new(),
         },
     );
@@ -151,6 +300,12 @@ fn main() -> ExitCode {
         agg.latency_us.p90,
         agg.latency_us.p99,
     );
+    if agg.obs_dropped > 0 {
+        eprintln!(
+            "rtk-farm: {} observation event(s) dropped by trace capture (see --trace-cap)",
+            agg.obs_dropped
+        );
+    }
 
     if report.all_healthy() {
         ExitCode::SUCCESS
@@ -164,28 +319,30 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_args;
+    use super::{parse_args, Cli};
 
-    fn parse(args: &[&str]) -> Result<(rtk_farm::CampaignConfig, String), String> {
+    fn parse(args: &[&str]) -> Result<Cli, String> {
         parse_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
-        let (cfg, out) = parse(&[]).unwrap();
-        assert_eq!(cfg.seeds, 256);
-        assert_eq!(cfg.threads, 0); // auto: all cores
-        assert!(!cfg.oracle);
-        assert_eq!(cfg.runtime, sysc::Runtime::Coro);
-        assert_eq!(out, "BENCH_farm.json");
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.cfg.seeds, 256);
+        assert_eq!(cli.cfg.threads, 0); // auto: all cores
+        assert!(!cli.cfg.oracle);
+        assert!(cli.cfg.trace.is_none());
+        assert_eq!(cli.cfg.runtime, sysc::Runtime::Coro);
+        assert!(cli.out.is_none()); // resolved per mode in main()
+        assert!(cli.replay.is_none());
     }
 
     #[test]
     fn runtime_flag_selects_the_backend() {
-        let (cfg, _) = parse(&["--runtime", "threaded"]).unwrap();
-        assert_eq!(cfg.runtime, sysc::Runtime::Threaded);
-        let (cfg, _) = parse(&["--runtime", "coro"]).unwrap();
-        assert_eq!(cfg.runtime, sysc::Runtime::Coro);
+        let cli = parse(&["--runtime", "threaded"]).unwrap();
+        assert_eq!(cli.cfg.runtime, sysc::Runtime::Threaded);
+        let cli = parse(&["--runtime", "coro"]).unwrap();
+        assert_eq!(cli.cfg.runtime, sysc::Runtime::Coro);
     }
 
     #[test]
@@ -200,7 +357,7 @@ mod tests {
 
     #[test]
     fn oracle_flag_and_values() {
-        let (cfg, out) = parse(&[
+        let cli = parse(&[
             "--oracle",
             "--seeds",
             "12",
@@ -212,17 +369,68 @@ mod tests {
             "x.json",
         ])
         .unwrap();
-        assert!(cfg.oracle);
-        assert_eq!((cfg.seeds, cfg.base_seed, cfg.threads), (12, 7, 3));
-        assert_eq!(out, "x.json");
+        assert!(cli.cfg.oracle);
+        assert_eq!(
+            (cli.cfg.seeds, cli.cfg.base_seed, cli.cfg.threads),
+            (12, 7, 3)
+        );
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn trace_flags_build_a_trace_config() {
+        let cli = parse(&["--trace-dir", "traces", "--trace-cap", "5000"]).unwrap();
+        let tc = cli.cfg.trace.expect("trace config");
+        assert_eq!(tc.dir, std::path::Path::new("traces"));
+        assert_eq!(tc.cap, 5000);
+        // Cap defaults to unlimited.
+        let cli = parse(&["--trace-dir", "traces"]).unwrap();
+        assert_eq!(cli.cfg.trace.unwrap().cap, 0);
+    }
+
+    #[test]
+    fn trace_cap_without_dir_is_a_usage_error() {
+        let err = parse(&["--trace-cap", "10"]).unwrap_err();
+        assert!(err.contains("--trace-dir"), "{err}");
+    }
+
+    #[test]
+    fn replay_mode_flags() {
+        let cli = parse(&[
+            "--replay",
+            "traces",
+            "--export-vcd",
+            "w",
+            "--export-chrome",
+            "c",
+        ])
+        .unwrap();
+        assert_eq!(cli.replay.as_deref(), Some(std::path::Path::new("traces")));
+        assert_eq!(cli.export_vcd.as_deref(), Some(std::path::Path::new("w")));
+        assert_eq!(
+            cli.export_chrome.as_deref(),
+            Some(std::path::Path::new("c"))
+        );
+    }
+
+    #[test]
+    fn exports_require_replay() {
+        let err = parse(&["--export-vcd", "w"]).unwrap_err();
+        assert!(err.contains("--replay"), "{err}");
+    }
+
+    #[test]
+    fn replay_excludes_capture() {
+        let err = parse(&["--replay", "t", "--trace-dir", "d"]).unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
     }
 
     #[test]
     fn zero_seeds_is_accepted() {
         // An empty campaign is valid: the CLI writes an empty-but-valid
         // report and exits 0 (pinned by `report::empty_campaign_report`).
-        let (cfg, _) = parse(&["--seeds", "0"]).unwrap();
-        assert_eq!(cfg.seeds, 0);
+        let cli = parse(&["--seeds", "0"]).unwrap();
+        assert_eq!(cli.cfg.seeds, 0);
     }
 
     #[test]

@@ -88,34 +88,82 @@ pub struct OracleVerdict {
 /// Replays `events` through the sequential reference model and returns
 /// the verdict.
 pub fn check(events: &[ObsEvent]) -> OracleVerdict {
-    let mut model = Model::default();
-    for (index, ev) in events.iter().enumerate() {
-        if let Err(detail) = model.step(ev) {
-            return OracleVerdict {
-                events_checked: index as u64,
-                divergence: Some(Divergence {
-                    index,
-                    event: format!("{ev:?}"),
-                    detail,
-                }),
-            };
+    let mut checker = Checker::new();
+    for ev in events {
+        checker.push(ev);
+    }
+    checker.verdict(true)
+}
+
+/// Incremental form of [`check`]: feed events one at a time (e.g. from
+/// an `ObsStream` sink while the simulation runs, or from a trace file
+/// during `--replay`) and ask for the verdict at the end.
+///
+/// Equivalent to [`check`] over the same stream: the first failing
+/// event freezes the checker — `events_checked` stays at the
+/// divergence index and later pushes are ignored, exactly as the
+/// batch replay would have stopped there.
+#[derive(Debug, Default)]
+pub struct Checker {
+    model: Model,
+    checked: u64,
+    divergence: Option<Divergence>,
+}
+
+impl Checker {
+    /// A checker with a fresh reference model.
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Replays one event. No-op once a divergence has been recorded.
+    pub fn push(&mut self, ev: &ObsEvent) {
+        if self.divergence.is_some() {
+            return;
+        }
+        if let Err(detail) = self.model.step(ev) {
+            self.divergence = Some(Divergence {
+                index: self.checked as usize,
+                event: format!("{ev:?}"),
+                detail,
+            });
+        } else {
+            self.checked += 1;
         }
     }
-    let verdict = if let Some((tid, obj, _)) = model.expected.front() {
-        Some(Divergence {
-            index: events.len(),
-            event: "<end of run>".into(),
-            detail: format!(
-                "mandated wakeup of tsk{tid} from {} never observed",
-                obj.describe()
-            ),
-        })
-    } else {
-        None
-    };
-    OracleVerdict {
-        events_checked: events.len() as u64,
-        divergence: verdict,
+
+    /// `true` once a pushed event has deviated from the spec.
+    pub fn diverged(&self) -> bool {
+        self.divergence.is_some()
+    }
+
+    /// The verdict so far. `check_end` additionally applies the
+    /// end-of-stream invariant (every mandated wakeup was observed);
+    /// pass `false` for truncated streams — an aborted run legitimately
+    /// stops mid-operation, so pending wakeups are not a divergence.
+    pub fn verdict(&self, check_end: bool) -> OracleVerdict {
+        if let Some(d) = &self.divergence {
+            return OracleVerdict {
+                events_checked: self.checked,
+                divergence: Some(d.clone()),
+            };
+        }
+        let divergence = if check_end {
+            self.model.expected.front().map(|(tid, obj, _)| Divergence {
+                index: self.checked as usize,
+                event: "<end of run>".into(),
+                detail: format!(
+                    "mandated wakeup of tsk{tid} from {} never observed",
+                    obj.describe()
+                ),
+            })
+        } else {
+            None
+        };
+        OracleVerdict {
+            events_checked: self.checked,
+            divergence,
+        }
     }
 }
 

@@ -1,0 +1,254 @@
+//! Offline trace replay: re-run the differential oracle from `.rtkt`
+//! trace files alone (`rtk-farm --replay`), without re-executing a
+//! single kernel.
+//!
+//! A trace captured with `--trace-dir` records every kernel decision
+//! (see `docs/TRACE_FORMAT.md`); replaying it through the same
+//! incremental [`Checker`] the live campaign uses reproduces the exact
+//! oracle verdict — including the first-divergence event index — so a
+//! divergence can be triaged (or bisected against a changed spec) from
+//! the artifact alone.
+
+use std::path::{Path, PathBuf};
+
+use rtk_analysis::json_escape;
+use rtk_analysis::oracle_report::{divergences_json, DivergenceRecord};
+use rtk_analysis::trace_codec::{read_trace, CodecError, DecodedTrace, TraceHeader};
+use rtk_core::{StampedEvent, StreamClose};
+
+use crate::oracle::{Checker, OracleVerdict};
+
+/// One replayed trace file: provenance, the decoded stream, and the
+/// oracle's verdict over it.
+#[derive(Debug)]
+pub struct ReplayedTrace {
+    /// Where the trace was read from.
+    pub path: PathBuf,
+    /// The trace header (seed, topology, runtime, versions).
+    pub header: TraceHeader,
+    /// The decoded event stream (kept for exporters).
+    pub events: Vec<StampedEvent>,
+    /// `true` when the file carried a trailer (the writer closed the
+    /// stream; a missing trailer means it died mid-write).
+    pub complete: bool,
+    /// `true` when the trailer says the run ended cleanly (not by
+    /// panic) — only then do end-of-stream oracle invariants apply.
+    pub clean: bool,
+    /// Events the writer dropped (bounded capture).
+    pub dropped: u64,
+    /// The oracle verdict, matching what the live run would report.
+    pub verdict: OracleVerdict,
+}
+
+/// Replays one decoded trace through the oracle.
+///
+/// The end-of-stream invariant (every mandated wakeup observed) is
+/// applied only to complete, clean, drop-free traces: an aborted run
+/// legitimately stops mid-operation, and a capped or truncated capture
+/// is missing the tail — exactly as the live campaign ignores the
+/// verdict of panicked runs.
+pub fn replay_decoded(path: PathBuf, decoded: DecodedTrace) -> ReplayedTrace {
+    let complete = decoded.complete();
+    let (clean, dropped) = match decoded.trailer {
+        Some(t) => (t.close == StreamClose::Clean, t.dropped),
+        None => (false, 0),
+    };
+    let mut checker = Checker::new();
+    for se in &decoded.events {
+        checker.push(&se.ev);
+    }
+    let check_end = complete && clean && dropped == 0 && decoded.skipped == 0;
+    ReplayedTrace {
+        path,
+        header: decoded.header,
+        events: decoded.events,
+        complete,
+        clean,
+        dropped,
+        verdict: checker.verdict(check_end),
+    }
+}
+
+/// Replays one `.rtkt` file.
+pub fn replay_trace(path: &Path) -> Result<ReplayedTrace, CodecError> {
+    Ok(replay_decoded(path.to_path_buf(), read_trace(path)?))
+}
+
+/// Replays a trace file, or every `*.rtkt` file in a directory. The
+/// result is sorted by recorded seed, so directory iteration order
+/// (host-dependent) never shows through.
+pub fn replay_path(path: &Path) -> Result<Vec<ReplayedTrace>, CodecError> {
+    let mut traces = Vec::new();
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(CodecError::Io)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rtkt"))
+            .collect();
+        files.sort();
+        for file in files {
+            traces.push(replay_trace(&file)?);
+        }
+    } else {
+        traces.push(replay_trace(path)?);
+    }
+    traces.sort_by_key(|t| t.header.seed);
+    Ok(traces)
+}
+
+/// Renders the replay report (`rtk-farm-replay-v1`). The oracle fields
+/// mirror the live campaign report's (`oracle_events`, the
+/// `oracle_divergences` array), so a replay can be diffed against the
+/// live run's verdicts field-for-field.
+pub fn replay_report_json(traces: &[ReplayedTrace]) -> String {
+    use std::fmt::Write as _;
+    let mut j = String::with_capacity(1024);
+    let divergences: Vec<DivergenceRecord> = traces
+        .iter()
+        .filter_map(|t| {
+            t.verdict.divergence.as_ref().map(|d| DivergenceRecord {
+                seed: t.header.seed,
+                event_index: d.index as u64,
+                detail: d.to_string(),
+            })
+        })
+        .collect();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"rtk-farm-replay-v1\",");
+    let _ = writeln!(j, "  \"traces\": {},", traces.len());
+    let _ = writeln!(
+        j,
+        "  \"incomplete\": {},",
+        traces.iter().filter(|t| !t.complete).count()
+    );
+    let _ = writeln!(
+        j,
+        "  \"aborted\": {},",
+        traces.iter().filter(|t| t.complete && !t.clean).count()
+    );
+    let _ = writeln!(
+        j,
+        "  \"obs_dropped\": {},",
+        traces.iter().map(|t| t.dropped).sum::<u64>()
+    );
+    let _ = writeln!(
+        j,
+        "  \"oracle_events\": {},",
+        traces.iter().map(|t| t.verdict.events_checked).sum::<u64>()
+    );
+    let _ = writeln!(
+        j,
+        "  \"oracle_divergences\": {},",
+        divergences_json(&divergences)
+    );
+    j.push_str("  \"seeds\": [");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        let _ = write!(
+            j,
+            "{{\"seed\": {}, \"topology\": \"{}\", \"events\": {}, \"diverged\": {}}}",
+            t.header.seed,
+            json_escape(&t.header.topology),
+            t.verdict.events_checked,
+            t.verdict.divergence.is_some(),
+        );
+    }
+    j.push_str("]\n}\n");
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{run_scenario_checked_on, run_scenario_traced, TraceConfig};
+    use crate::scenario::{ScenarioSpec, Tuning};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtk_replay_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn replay_matches_live_verdict_for_clean_seeds() {
+        let dir = tmp_dir("clean");
+        let tuning = Tuning {
+            quick: true,
+            faults: true,
+        };
+        let tc = TraceConfig {
+            dir: dir.clone(),
+            cap: 0,
+        };
+        let mut live = Vec::new();
+        for seed in 300..308 {
+            let spec = ScenarioSpec::generate(seed, &tuning);
+            live.push(run_scenario_traced(
+                &spec,
+                true,
+                sysc::Runtime::default(),
+                &tc,
+            ));
+        }
+        let replayed = replay_path(&dir).unwrap();
+        assert_eq!(replayed.len(), live.len());
+        for (r, l) in replayed.iter().zip(&live) {
+            assert_eq!(r.header.seed, l.seed);
+            assert!(r.complete && r.clean, "seed {}", l.seed);
+            assert_eq!(r.verdict.events_checked, l.oracle_events, "seed {}", l.seed);
+            assert_eq!(
+                r.verdict.divergence.as_ref().map(|d| d.index as u64),
+                l.divergence.as_ref().map(|(i, _)| *i),
+                "seed {}",
+                l.seed
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_run_has_same_outcome_as_untraced() {
+        let dir = tmp_dir("digest");
+        let tuning = Tuning {
+            quick: true,
+            faults: true,
+        };
+        let spec = ScenarioSpec::generate(42, &tuning);
+        let plain = run_scenario_checked_on(&spec, true, sysc::Runtime::default());
+        let traced = run_scenario_traced(
+            &spec,
+            true,
+            sysc::Runtime::default(),
+            &TraceConfig {
+                dir: dir.clone(),
+                cap: 0,
+            },
+        );
+        assert_eq!(plain.digest(), traced.digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_report_shape() {
+        let dir = tmp_dir("report");
+        let tuning = Tuning {
+            quick: true,
+            faults: false,
+        };
+        let tc = TraceConfig {
+            dir: dir.clone(),
+            cap: 0,
+        };
+        let spec = ScenarioSpec::generate(5, &tuning);
+        run_scenario_traced(&spec, true, sysc::Runtime::default(), &tc);
+        let traces = replay_path(&dir).unwrap();
+        let j = replay_report_json(&traces);
+        assert!(j.contains("\"schema\": \"rtk-farm-replay-v1\""));
+        assert!(j.contains("\"traces\": 1"));
+        assert!(j.contains("\"incomplete\": 0"));
+        assert!(j.contains("\"oracle_divergences\": []"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -67,6 +67,10 @@ pub struct Aggregate {
     pub oracle_events: u64,
     /// Scenarios whose decision stream diverged from the spec.
     pub diverged: u64,
+    /// Observation events dropped by stream sinks over the campaign
+    /// (bounded trace capture, I/O failure). Host-side accounting:
+    /// reported in the timed JSON only, never in the digest.
+    pub obs_dropped: u64,
 }
 
 impl CampaignReport {
@@ -99,6 +103,7 @@ impl CampaignReport {
             agg.engine_starved += u64::from(o.engine_outcome == "starved");
             agg.oracle_events += o.oracle_events;
             agg.diverged += u64::from(o.divergence.is_some());
+            agg.obs_dropped += o.obs_dropped;
         }
         agg.latency_us = Summary::of(&mut latencies);
         agg.dispatches = Summary::of(&mut dispatches);
@@ -199,6 +204,9 @@ impl CampaignReport {
             let _ = writeln!(j, "  \"runtime\": \"{}\",", self.cfg.runtime.resolve());
             let _ = writeln!(j, "  \"wall_clock_ms\": {ms},");
             let _ = writeln!(j, "  \"scenarios_per_sec\": {per_sec},");
+            // Sink drop accounting is host-side too (whether a trace
+            // was captured, and with what cap, is a CLI choice).
+            let _ = writeln!(j, "  \"obs_dropped\": {},", agg.obs_dropped);
         }
         let _ = writeln!(j, "  \"scenarios\": {},", self.outcomes.len());
         let _ = writeln!(j, "  \"releases\": {},", agg.releases);
@@ -268,6 +276,7 @@ mod tests {
             oracle: true,
             topology: None,
             runtime: sysc::Runtime::default(),
+            trace: None,
         };
         let outcomes = run_campaign(&cfg);
         CampaignReport::new(cfg, outcomes)

@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use crate::build::{run_scenario_checked_on, ScenarioOutcome};
+use crate::build::{run_scenario_checked_on, run_scenario_traced, ScenarioOutcome, TraceConfig};
 use crate::scenario::{ScenarioSpec, Tuning};
 
 /// Campaign parameters (the CLI surface).
@@ -42,6 +42,12 @@ pub struct CampaignConfig {
     /// changes the simulated-domain outcomes (hence the campaign
     /// digest); only host execution cost.
     pub runtime: sysc::Runtime,
+    /// When set, every scenario's observation stream is captured into
+    /// a binary `.rtkt` trace file in the given directory
+    /// (`--trace-dir`) — replayable offline with `rtk-farm --replay`.
+    /// Host-side instrumentation only: never changes outcomes or the
+    /// campaign digest.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -54,6 +60,7 @@ impl Default for CampaignConfig {
             oracle: false,
             topology: None,
             runtime: sysc::Runtime::default(),
+            trace: None,
         }
     }
 }
@@ -168,7 +175,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
                 while let Some(idx) = next_job(w, queues) {
                     let seed = cfg.base_seed + selected[idx];
                     let spec = ScenarioSpec::generate(seed, &cfg.tuning);
-                    let outcome = run_scenario_checked_on(&spec, cfg.oracle, cfg.runtime);
+                    let outcome = match &cfg.trace {
+                        Some(tc) => run_scenario_traced(&spec, cfg.oracle, cfg.runtime, tc),
+                        None => run_scenario_checked_on(&spec, cfg.oracle, cfg.runtime),
+                    };
                     *slots[idx].lock().unwrap() = Some(outcome);
                 }
             });
@@ -201,6 +211,7 @@ mod tests {
             oracle: false,
             topology: None,
             runtime: sysc::Runtime::default(),
+            trace: None,
         }
     }
 

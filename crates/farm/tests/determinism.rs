@@ -68,6 +68,7 @@ proptest! {
             oracle: true,
             topology: None,
             runtime: Runtime::default(),
+            trace: None,
         };
         let cfgn = CampaignConfig { threads, ..cfg1.clone() };
 
@@ -90,6 +91,7 @@ fn campaign_json_is_stable_across_repeated_runs() {
         oracle: true,
         topology: None,
         runtime: Runtime::default(),
+        trace: None,
     };
     let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
@@ -109,6 +111,7 @@ fn campaign_report_is_runtime_invariant() {
         oracle: true,
         topology: None,
         runtime,
+        trace: None,
     };
     let threaded = cfg(Runtime::Threaded);
     let coro = cfg(Runtime::Coro);

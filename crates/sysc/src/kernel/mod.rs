@@ -315,7 +315,7 @@ impl ProcCtx {
     /// runnable process, no pending delta work, no timed action at or
     /// before the deadline), the wait is served from the fast-forward
     /// run budget: simulated time advances in place, with no engine
-    /// round trip (see [`crate::kernel`]'s scheduler docs).
+    /// round trip (see the `crate::kernel` scheduler docs).
     pub fn wait_time(&mut self, d: SimTime) {
         self.suspend(WaitSpec::Time(d));
     }

@@ -3,13 +3,13 @@
 //! Every thread process needs an OS thread for its stack, but a farm
 //! campaign builds thousands of short-lived simulations — paying a
 //! `thread::spawn` + `join` per process per scenario dominated
-//! campaign start-up cost. The [`ProcPool`] recycles workers instead:
+//! campaign start-up cost. The `ProcPool` recycles workers instead:
 //! a finished process's thread parks in the pool and the next
 //! `spawn_thread` (from *any* simulation in the same OS process)
 //! leases it with a boxed job, skipping the kernel-level spawn.
 //!
 //! Isolation between occupants is structural: every process owns a
-//! fresh [`crate::process::ProcShared`], so a recycled worker can never
+//! fresh `ProcShared` (see `crate::process`), so a recycled worker can never
 //! observe the previous occupant's baton state. The only residue a
 //! worker can carry is a stale parker token, which the baton protocol
 //! absorbs by design (token-gated wait loops). Jobs run under
@@ -18,7 +18,7 @@
 //! worker for the next occupant.
 //!
 //! The global pool is process-wide and unbounded in-flight; idle
-//! workers beyond [`MAX_IDLE`] exit instead of re-enlisting, bounding
+//! workers beyond `MAX_IDLE` exit instead of re-enlisting, bounding
 //! the parked-thread footprint after a large campaign drains.
 
 use std::panic::{self, AssertUnwindSafe};

@@ -3,16 +3,16 @@
 //! The kernel schedules *contexts*; it does not care what a context is
 //! made of. Two backends implement the same transfer protocol:
 //!
-//! * **Threaded** ([`crate::process`], [`crate::pool`]) — each process
+//! * **Threaded** (`crate::process`, [`crate::pool`]) — each process
 //!   body runs on a pooled OS thread under the lock-free baton
 //!   protocol. Handoffs cost an unpark/park pair in the worst case.
-//! * **Coro** ([`coro`], [`ctx`]) — each process body runs on a
+//! * **Coro** (`coro`, `ctx`) — each process body runs on a
 //!   heap-allocated stack as a hand-rolled stackful coroutine; the
 //!   whole simulation executes on **one** host thread and a handoff is
 //!   a userspace register swap (no syscalls, no parking).
 //!
 //! Both backends speak the identical call protocol, so the scheduler
-//! ([`crate::kernel`]) is runtime-agnostic:
+//! (`crate::kernel`) is runtime-agnostic:
 //!
 //! | op          | threaded                       | coro                          |
 //! |-------------|--------------------------------|-------------------------------|
@@ -23,8 +23,8 @@
 //! | gate signal | set token, unpark kernel       | set token, switch to root     |
 //! | gate wait   | park until token               | assert + consume token        |
 //!
-//! The protocol vocabulary ([`Cmd`], [`Reply`], [`WakeReason`],
-//! [`WaitSpec`], the terminate unwind) lives here; the backends only
+//! The protocol vocabulary (`Cmd`, `Reply`, [`WakeReason`],
+//! `WaitSpec`, the terminate unwind) lives here; the backends only
 //! implement the transfer mechanics.
 
 use std::any::Any;

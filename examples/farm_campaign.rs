@@ -20,6 +20,8 @@ fn main() {
         oracle: true,
         topology: None,
         runtime: sysc::Runtime::default(),
+        // No .rtkt capture here; see `rtk-farm --trace-dir`.
+        trace: None,
     };
 
     // Every seed names a complete scenario; show a few.
