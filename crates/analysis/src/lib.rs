@@ -24,6 +24,9 @@
 //!   `about:tracing` JSON via [`obs_to_chrome_trace`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+// This crate is `unsafe`-free; the attribute pins the policy the
+// `unsafe_audit` binary enforces across the workspace.
 
 pub mod bench_compare;
 pub mod energy;
@@ -33,6 +36,7 @@ pub mod obs_export;
 pub mod oracle_report;
 pub mod percentile;
 pub mod speed;
+pub mod static_verify;
 pub mod trace;
 pub mod trace_codec;
 pub mod vcd;
@@ -44,9 +48,10 @@ pub use obs_export::{decision_slices, obs_to_chrome_trace, obs_to_vcd};
 pub use oracle_report::{divergences_json, DivergenceRecord};
 pub use percentile::Summary;
 pub use speed::{measure, SpeedRow, SpeedTable};
+pub use static_verify::{analyze, AnalysisOptions, AnalysisResult, Conformance, Verdict};
 pub use trace::TraceRecorder;
 pub use trace_codec::{
     decode_trace, encode_trace, read_trace, CodecError, DecodedTrace, TraceHeader, TraceTrailer,
-    TraceWriter, TraceWriterHandle,
+    TraceTuning, TraceWriter, TraceWriterHandle,
 };
 pub use vcd::WaveProbe;

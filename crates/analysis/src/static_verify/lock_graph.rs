@@ -1,0 +1,320 @@
+//! Resource-allocation / lock-order graph construction and the static
+//! deadlock verdict.
+//!
+//! Nodes are the model's resources; a directed edge `a → b` means some
+//! task acquires `b` while holding `a` (a nested section). A deadlock
+//! requires a cycle in this graph (circular hold-and-wait); an acyclic
+//! graph certifies deadlock freedom outright, whatever the lock
+//! policies.
+//!
+//! Cycles are not automatically fatal: under the **immediate priority
+//! ceiling** protocol a task's priority is raised to the resource
+//! ceiling the moment it acquires the lock, so no other task that uses
+//! (or could use) the same resources can even start a conflicting
+//! section — hold-and-wait across ceiling resources is impossible and
+//! a ceiling-only cycle is deadlock-free *by construction*, provided
+//! every ceiling is sound (at least as urgent as every user).
+//! `TA_INHERIT` has no such prevention property: inheritance bounds
+//! blocking *after* the circular wait exists, so an inherit (or bare
+//! semaphore) cycle stays a potential deadlock.
+
+use std::collections::BTreeSet;
+
+use rtk_core::{LockPolicy, SysModel};
+
+use super::{AnalysisOptions, Verdict};
+
+/// The lock-order graph over a model's resources.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Directed nesting edges `(outer, inner)`, deduplicated and
+    /// sorted (deterministic iteration).
+    pub edges: BTreeSet<(usize, usize)>,
+    /// Elementary cycles found (one representative per strongly
+    /// connected component with a cycle), as resource-index paths.
+    pub cycles: Vec<Vec<usize>>,
+}
+
+/// Builds the lock-order graph from the declared sections. An edge is
+/// recorded from **every** held resource to the newly acquired one
+/// (i.e. the transitive closure along each nesting path), matching
+/// what [`super::conformance`] checks dynamically.
+pub fn build(model: &SysModel) -> LockGraph {
+    let mut edges = BTreeSet::new();
+    fn walk(
+        edges: &mut BTreeSet<(usize, usize)>,
+        held: &mut Vec<usize>,
+        s: &rtk_core::SectionModel,
+    ) {
+        for &outer in held.iter() {
+            edges.insert((outer, s.resource));
+        }
+        held.push(s.resource);
+        for inner in &s.inner {
+            walk(edges, held, inner);
+        }
+        held.pop();
+    }
+    let mut held = Vec::new();
+    for t in &model.tasks {
+        for s in &t.sections {
+            walk(&mut edges, &mut held, s);
+            debug_assert!(held.is_empty());
+        }
+    }
+    let cycles = find_cycles(model.resources.len(), &edges);
+    LockGraph { edges, cycles }
+}
+
+/// Finds one representative cycle through each resource that lies on
+/// one, by iterative DFS with an explicit color map. Resource counts
+/// are tiny (≤ tasks × sections), so no sophistication is needed.
+fn find_cycles(n: usize, edges: &BTreeSet<(usize, usize)>) -> Vec<Vec<usize>> {
+    let mut succ = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if a < n && b < n {
+            succ[a].push(b);
+        }
+    }
+    let mut cycles = Vec::new();
+    let mut on_cycle = vec![false; n];
+    // 0 = white, 1 = on current path, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut path: Vec<usize> = Vec::new();
+
+    fn dfs(
+        v: usize,
+        succ: &[Vec<usize>],
+        color: &mut [u8],
+        path: &mut Vec<usize>,
+        on_cycle: &mut [bool],
+        cycles: &mut Vec<Vec<usize>>,
+    ) {
+        color[v] = 1;
+        path.push(v);
+        for &w in &succ[v] {
+            if color[w] == 1 {
+                // Back edge: the path suffix from w is a cycle.
+                let start = path.iter().position(|&x| x == w).unwrap();
+                let cyc: Vec<usize> = path[start..].to_vec();
+                if !cyc.iter().any(|&x| on_cycle[x]) {
+                    for &x in &cyc {
+                        on_cycle[x] = true;
+                    }
+                    cycles.push(cyc);
+                }
+            } else if color[w] == 0 {
+                dfs(w, succ, color, path, on_cycle, cycles);
+            }
+        }
+        path.pop();
+        color[v] = 2;
+    }
+
+    for v in 0..n {
+        if color[v] == 0 {
+            dfs(v, &succ, &mut color, &mut path, &mut on_cycle, &mut cycles);
+        }
+    }
+    cycles
+}
+
+/// Issues the static deadlock verdict for a model and its lock graph.
+pub fn deadlock_verdict(
+    model: &SysModel,
+    graph: &LockGraph,
+    opts: &AnalysisOptions,
+) -> (Verdict, String) {
+    // Self-nesting (re-locking a held, non-recursive resource) is an
+    // immediate self-deadlock regardless of policy.
+    for &(a, b) in &graph.edges {
+        if a == b {
+            let name = resource_name(model, a);
+            return (
+                Verdict::Refuted,
+                format!("resource {name} is nested inside itself (self-deadlock)"),
+            );
+        }
+    }
+    if graph.cycles.is_empty() {
+        return (
+            Verdict::Certified,
+            format!(
+                "lock graph acyclic ({} resources, {} nesting edges)",
+                model.resources.len(),
+                graph.edges.len()
+            ),
+        );
+    }
+    for cyc in &graph.cycles {
+        let mut benign = true;
+        for &r in cyc {
+            let res = &model.resources[r];
+            match res.policy {
+                LockPolicy::Ceiling(c) => {
+                    // The ceiling must be at least as urgent (numerically
+                    // ≤) as every task using the resource, or the
+                    // prevention property does not hold.
+                    let sound = model.tasks.iter().all(|t| {
+                        model
+                            .sections_of(t)
+                            .iter()
+                            .all(|s| s.resource != r || c <= t.priority)
+                    });
+                    if !sound {
+                        benign = false;
+                    }
+                }
+                LockPolicy::Inherit if opts.inherit_breaks_cycles => {}
+                LockPolicy::Inherit | LockPolicy::None => benign = false,
+            }
+        }
+        if !benign {
+            let names: Vec<String> = cyc.iter().map(|&r| resource_name(model, r)).collect();
+            return (
+                Verdict::Refuted,
+                format!("potential deadlock cycle: {}", names.join(" -> ")),
+            );
+        }
+    }
+    (
+        Verdict::Certified,
+        format!(
+            "{} lock-order cycle(s) protected by sound priority ceilings",
+            graph.cycles.len()
+        ),
+    )
+}
+
+fn resource_name(model: &SysModel, r: usize) -> String {
+    model
+        .resources
+        .get(r)
+        .map(|x| x.name.clone())
+        .unwrap_or_else(|| format!("#{r}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtk_core::{ResourceModel, SectionModel, SysModel, TaskModel};
+
+    fn model_with(sections: Vec<Vec<SectionModel>>, policies: Vec<LockPolicy>) -> SysModel {
+        let mut m = SysModel::empty();
+        for (i, p) in policies.into_iter().enumerate() {
+            m.resources.push(ResourceModel {
+                name: format!("r{i}"),
+                policy: p,
+                pri_order: true,
+            });
+        }
+        for (i, secs) in sections.into_iter().enumerate() {
+            m.tasks.push(TaskModel {
+                name: format!("t{i}"),
+                priority: 10 + i as u8,
+                period_us: 10_000,
+                offset_us: 0,
+                deadline_us: 10_000,
+                cost_us: 100,
+                sections: secs,
+                measured: true,
+            });
+        }
+        m
+    }
+
+    fn nested(outer: usize, inner: usize) -> SectionModel {
+        SectionModel {
+            resource: outer,
+            len_us: 100,
+            inner: vec![SectionModel::leaf(inner, 50)],
+        }
+    }
+
+    #[test]
+    fn no_nesting_no_edges() {
+        let m = model_with(
+            vec![
+                vec![SectionModel::leaf(0, 10)],
+                vec![SectionModel::leaf(0, 10)],
+            ],
+            vec![LockPolicy::Inherit],
+        );
+        let g = build(&m);
+        assert!(g.edges.is_empty());
+        assert!(g.cycles.is_empty());
+        let (v, _) = deadlock_verdict(&m, &g, &AnalysisOptions::default());
+        assert_eq!(v, Verdict::Certified);
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_cycle() {
+        let m = model_with(
+            vec![vec![nested(0, 1)], vec![nested(1, 0)]],
+            vec![LockPolicy::Inherit, LockPolicy::Inherit],
+        );
+        let g = build(&m);
+        assert_eq!(g.edges.len(), 2);
+        assert_eq!(g.cycles.len(), 1);
+        let (v, detail) = deadlock_verdict(&m, &g, &AnalysisOptions::default());
+        assert_eq!(v, Verdict::Refuted);
+        assert!(detail.contains("cycle"), "{detail}");
+    }
+
+    #[test]
+    fn consistent_order_is_acyclic() {
+        let m = model_with(
+            vec![vec![nested(0, 1)], vec![nested(0, 1)]],
+            vec![LockPolicy::Inherit, LockPolicy::Inherit],
+        );
+        let g = build(&m);
+        assert!(g.cycles.is_empty());
+    }
+
+    #[test]
+    fn transitive_edges_recorded() {
+        // a → b → c also records a → c.
+        let deep = SectionModel {
+            resource: 0,
+            len_us: 100,
+            inner: vec![SectionModel {
+                resource: 1,
+                len_us: 60,
+                inner: vec![SectionModel::leaf(2, 20)],
+            }],
+        };
+        let m = model_with(
+            vec![vec![deep]],
+            vec![
+                LockPolicy::Inherit,
+                LockPolicy::Inherit,
+                LockPolicy::Inherit,
+            ],
+        );
+        let g = build(&m);
+        assert!(g.edges.contains(&(0, 2)));
+        assert_eq!(g.edges.len(), 3);
+    }
+
+    #[test]
+    fn unsound_ceiling_does_not_certify_a_cycle() {
+        // Ceiling 50 is less urgent than user priority 10: prevention
+        // property void.
+        let m = model_with(
+            vec![vec![nested(0, 1)], vec![nested(1, 0)]],
+            vec![LockPolicy::Ceiling(50), LockPolicy::Ceiling(50)],
+        );
+        let g = build(&m);
+        let (v, detail) = deadlock_verdict(&m, &g, &AnalysisOptions::default());
+        assert_eq!(v, Verdict::Refuted, "{detail}");
+    }
+
+    #[test]
+    fn self_nesting_refuted_even_under_ceiling() {
+        let m = model_with(vec![vec![nested(0, 0)]], vec![LockPolicy::Ceiling(1)]);
+        let g = build(&m);
+        let (v, detail) = deadlock_verdict(&m, &g, &AnalysisOptions::default());
+        assert_eq!(v, Verdict::Refuted);
+        assert!(detail.contains("self-deadlock"), "{detail}");
+    }
+}

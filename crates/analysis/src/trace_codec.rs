@@ -79,6 +79,20 @@ pub struct TraceHeader {
     /// Process runtime the run executed on (host metadata; never
     /// affects the event stream).
     pub runtime: String,
+    /// Generator tuning the scenario was expanded under, when the
+    /// writer recorded it. Required to regenerate the exact spec from
+    /// the seed alone (offline `--replay --analyze`); `None` in traces
+    /// from writers that predate the field.
+    pub tuning: Option<TraceTuning>,
+}
+
+/// Scenario-generator tuning flags carried in a trace header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTuning {
+    /// Short-horizon campaign (`--quick`).
+    pub quick: bool,
+    /// Fault plans enabled in the generator.
+    pub faults: bool,
 }
 
 impl TraceHeader {
@@ -90,6 +104,7 @@ impl TraceHeader {
             tick_us: DEFAULT_TICK_US,
             topology: topology.to_string(),
             runtime: runtime.to_string(),
+            tuning: None,
         }
     }
 }
@@ -214,6 +229,13 @@ pub fn encode_header(h: &TraceHeader) -> Vec<u8> {
     body.extend_from_slice(&h.tick_us.to_le_bytes());
     put_str8(&mut body, &h.topology);
     put_str8(&mut body, &h.runtime);
+    // Optional trailing tuning flags. Appended only when present so a
+    // tuning-free header is byte-identical to what earlier writers
+    // produced; readers that predate the field skip it via the body
+    // length prefix.
+    if let Some(t) = &h.tuning {
+        body.push(u8::from(t.quick) | (u8::from(t.faults) << 1));
+    }
 
     let mut out = Vec::with_capacity(body.len() + 12);
     out.extend_from_slice(&MAGIC);
@@ -252,6 +274,10 @@ pub fn decode_header(bytes: &[u8]) -> Result<(TraceHeader, usize), CodecError> {
     pos += 12;
     let topology = get_str8(body, &mut pos)?;
     let runtime = get_str8(body, &mut pos)?;
+    let tuning = body.get(pos).map(|&flags| TraceTuning {
+        quick: flags & 1 != 0,
+        faults: flags & 2 != 0,
+    });
     Ok((
         TraceHeader {
             grammar_version,
@@ -259,6 +285,7 @@ pub fn decode_header(bytes: &[u8]) -> Result<(TraceHeader, usize), CodecError> {
             tick_us,
             topology,
             runtime,
+            tuning,
         },
         12 + body_len,
     ))

@@ -59,6 +59,7 @@ mod error;
 mod ids;
 pub mod kernel;
 pub mod minikernels;
+pub mod model;
 pub mod obs;
 mod rtos;
 pub mod sim_api;
@@ -85,6 +86,7 @@ pub use kernel::sem::RefSem;
 pub use kernel::sysmgmt::{RefSys, RefVer, SysState};
 pub use kernel::task::RefTsk;
 pub use kernel::time::{RefAlm, RefCyc};
+pub use model::{InterferenceModel, LockPolicy, ResourceModel, SectionModel, SysModel, TaskModel};
 pub use obs::{
     CollectHandle, CollectSink, ObsEvent, ObsSink, ObsStream, StampedEvent, StreamClose,
     StreamSink, StreamStats, VecObsSink, WakeCode, GRAMMAR_VERSION,

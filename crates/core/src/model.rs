@@ -1,0 +1,234 @@
+//! Declarative system model for static analysis.
+//!
+//! The farm's scenario generator builds workloads imperatively (closures
+//! handed to `tk_cre_tsk`), which a static analyzer cannot inspect. This
+//! module is the *declarative mirror*: a [`SysModel`] states, per task,
+//! the period, phase, worst-case execution budget and the critical
+//! sections it takes — enough for a lock-order graph, blocking bounds
+//! and response-time analysis without running the kernel (the
+//! `static_verify` family in `rtk-analysis` consumes it).
+//!
+//! The model is deliberately conservative rather than exact. A producer
+//! that cannot bound some aspect of its timing must say so
+//! ([`SysModel::timing_complete`]` = false`) instead of under-declaring:
+//! the analyzer refuses to certify schedulability from an incomplete
+//! model, and every *positive* verdict it does issue is cross-checked
+//! against dynamic reality by the farm.
+
+use crate::config::Priority;
+
+/// Resource locking discipline, as declared by the model producer.
+///
+/// Mirrors the kernel's mutex attributes ([`crate::MtxPolicy`]) plus
+/// `None` for counting semaphores used as locks, which confer no
+/// priority adjustment at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockPolicy {
+    /// No priority adjustment (counting semaphore, `TA_TFIFO`/`TA_TPRI`
+    /// mutex). Blocking is bounded only by inversion-window analysis.
+    None,
+    /// Priority inheritance (`TA_INHERIT`): the holder runs at the
+    /// highest priority among its waiters, transitively.
+    Inherit,
+    /// Immediate priority ceiling (`TA_CEILING`): the holder runs at
+    /// the ceiling priority from the moment it acquires the lock.
+    Ceiling(Priority),
+}
+
+/// One lockable resource in the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// Stable name (diagnostics only).
+    pub name: String,
+    /// Locking discipline.
+    pub policy: LockPolicy,
+    /// `true` when waiters queue in priority order, `false` for FIFO.
+    /// Only consulted for [`LockPolicy::None`] resources, where queue
+    /// order changes the inversion-window bound.
+    pub pri_order: bool,
+}
+
+/// A critical section: which resource is held, for how long, and any
+/// sections nested strictly inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionModel {
+    /// Index into [`SysModel::resources`].
+    pub resource: usize,
+    /// Worst-case time the resource is held, in µs, *including* any
+    /// nested sections and the kernel cost of releasing it.
+    pub len_us: u64,
+    /// Sections taken while this one is held (lock-order graph edges).
+    pub inner: Vec<SectionModel>,
+}
+
+impl SectionModel {
+    /// A leaf section with no nesting.
+    pub fn leaf(resource: usize, len_us: u64) -> Self {
+        SectionModel {
+            resource,
+            len_us,
+            inner: Vec::new(),
+        }
+    }
+}
+
+/// One task's declared timing behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskModel {
+    /// Stable name (matches the scenario's task name).
+    pub name: String,
+    /// Base priority (lower number = more urgent, ITRON convention).
+    pub priority: Priority,
+    /// Release period in µs; `0` marks an aperiodic/helper task that
+    /// contributes critical sections but no periodic interference and
+    /// is excluded from response-time analysis.
+    pub period_us: u64,
+    /// First-release offset in µs.
+    pub offset_us: u64,
+    /// Relative deadline in µs (the farm uses implicit deadlines:
+    /// deadline = period).
+    pub deadline_us: u64,
+    /// Worst-case execution budget per job in µs, including critical
+    /// sections and the kernel-service costs of every call the job
+    /// makes, but excluding time spent blocked or preempted.
+    pub cost_us: u64,
+    /// Outermost critical sections taken by each job.
+    pub sections: Vec<SectionModel>,
+    /// `true` when the dynamic run measures this task's release-to-
+    /// completion latency, making its response-time bound falsifiable.
+    pub measured: bool,
+}
+
+/// A periodic interference source that is not a task: timer tick,
+/// release machinery, interrupt storms. Modelled as top-priority work
+/// (it preempts every task) recurring every `period_us`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceModel {
+    /// Stable name (diagnostics only).
+    pub name: String,
+    /// Recurrence period in µs.
+    pub period_us: u64,
+    /// Worst-case cost per occurrence in µs.
+    pub cost_us: u64,
+}
+
+/// The complete declarative model of one generated scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysModel {
+    /// All tasks, in creation order.
+    pub tasks: Vec<TaskModel>,
+    /// All lockable resources, in creation order per kind.
+    pub resources: Vec<ResourceModel>,
+    /// Non-task periodic interference sources.
+    pub interference: Vec<InterferenceModel>,
+    /// `true` when the producer bounded *every* timing aspect, so
+    /// schedulability verdicts are meaningful. `false` (e.g. workloads
+    /// with unbounded retry loops, lifecycle churn, or timeouts longer
+    /// than the deadline) restricts analysis to structural verdicts
+    /// (lock-order / deadlock).
+    pub timing_complete: bool,
+    /// `true` when an injected fault plan deliberately perturbs timing
+    /// (delayed releases); response-time certification is withheld.
+    pub fault_degraded: bool,
+    /// Maps the k-th `MtxCreate` observed in the event stream to the
+    /// index in [`SysModel::resources`] it instantiates (conformance
+    /// checking of a dynamic trace against the declared model).
+    pub mutex_resources: Vec<usize>,
+    /// Maps the k-th `SemCreate` likewise; `usize::MAX` marks a
+    /// semaphore that is *not* a declared lock resource (gates,
+    /// barriers) and is exempt from lock-order conformance.
+    pub sem_resources: Vec<usize>,
+}
+
+impl SysModel {
+    /// An empty model that certifies nothing.
+    pub fn empty() -> Self {
+        SysModel {
+            tasks: Vec::new(),
+            resources: Vec::new(),
+            interference: Vec::new(),
+            timing_complete: false,
+            fault_degraded: false,
+            mutex_resources: Vec::new(),
+            sem_resources: Vec::new(),
+        }
+    }
+
+    /// Total utilization of periodic tasks in parts-per-million
+    /// (`Σ C_i/T_i`, integer arithmetic — deterministic across hosts).
+    pub fn utilization_ppm(&self) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.period_us > 0)
+            .map(|t| t.cost_us * 1_000_000 / t.period_us)
+            .sum()
+    }
+
+    /// Iterates every section of a task depth-first (outer before
+    /// inner), visiting nested sections.
+    pub fn sections_of<'a>(&'a self, task: &'a TaskModel) -> Vec<&'a SectionModel> {
+        fn walk<'a>(out: &mut Vec<&'a SectionModel>, s: &'a SectionModel) {
+            out.push(s);
+            for inner in &s.inner {
+                walk(out, inner);
+            }
+        }
+        let mut out = Vec::new();
+        for s in &task.sections {
+            walk(&mut out, s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_integer_exact() {
+        let mut m = SysModel::empty();
+        m.tasks.push(TaskModel {
+            name: "a".into(),
+            priority: 10,
+            period_us: 4_000,
+            offset_us: 0,
+            deadline_us: 4_000,
+            cost_us: 1_000,
+            sections: Vec::new(),
+            measured: true,
+        });
+        m.tasks.push(TaskModel {
+            name: "helper".into(),
+            priority: 130,
+            period_us: 0, // aperiodic: excluded
+            offset_us: 0,
+            deadline_us: 0,
+            cost_us: 99_999,
+            sections: Vec::new(),
+            measured: false,
+        });
+        assert_eq!(m.utilization_ppm(), 250_000);
+    }
+
+    #[test]
+    fn sections_walk_depth_first() {
+        let mut outer = SectionModel::leaf(0, 100);
+        outer.inner.push(SectionModel::leaf(1, 40));
+        let t = TaskModel {
+            name: "t".into(),
+            priority: 10,
+            period_us: 1000,
+            offset_us: 0,
+            deadline_us: 1000,
+            cost_us: 10,
+            sections: vec![outer],
+            measured: true,
+        };
+        let m = SysModel::empty();
+        let secs = m.sections_of(&t);
+        assert_eq!(secs.len(), 2);
+        assert_eq!(secs[0].resource, 0);
+        assert_eq!(secs[1].resource, 1);
+    }
+}

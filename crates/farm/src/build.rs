@@ -12,13 +12,15 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use rtk_analysis::trace_codec::{TraceHeader, TraceWriter};
+use rtk_analysis::static_verify::Conformance;
+use rtk_analysis::trace_codec::{TraceHeader, TraceTuning, TraceWriter};
 use rtk_core::{
     CollectSink, FlagWaitMode, IntNo, KernelConfig, MsgPacket, MtxPolicy, ObsStream, QueueOrder,
     Rtos, RunStats, StampedEvent, StreamClose, StreamSink, Timeout,
 };
 use sysc::{RunOutcome, SimTime, SpawnMode};
 
+use crate::model::{static_model, WARMUP_US};
 use crate::oracle;
 use crate::scenario::{Fnv, ScenarioSpec, Topology};
 
@@ -32,6 +34,10 @@ pub struct TraceConfig {
     /// Maximum events written per trace; `0` means unlimited. Excess
     /// events are counted in the trace trailer's drop count.
     pub cap: u64,
+    /// Generator tuning to record in the trace header so an offline
+    /// `--replay --analyze` can regenerate the exact spec from the
+    /// seed (the tuning changes the generator's draw sequence).
+    pub tuning: Option<TraceTuning>,
 }
 
 /// Measured result of one scenario run.
@@ -80,6 +86,24 @@ pub struct ScenarioOutcome {
     /// captured is host-side instrumentation and must not change the
     /// simulated-domain identity of the run.
     pub obs_dropped: u64,
+    /// Worst observed response latency per task (µs), counting only
+    /// jobs released at or after [`WARMUP_US`] — the steady-state
+    /// figure the static response-time bounds are checked against.
+    /// Populated only on `--analyze` runs and **excluded from
+    /// [`digest`](Self::digest)** (host-side verification state; the
+    /// campaign digest must not depend on whether analysis ran).
+    pub max_latency_by_task: Vec<u64>,
+    /// Deadline misses among jobs released at or after [`WARMUP_US`].
+    /// `--analyze` runs only; digest-excluded like
+    /// [`max_latency_by_task`](Self::max_latency_by_task).
+    pub post_warmup_misses: u64,
+    /// Lock-order conformance violations the observed stream committed
+    /// against the declared static model (see
+    /// [`rtk_analysis::static_verify::Conformance`]). `--analyze` runs
+    /// only; digest-excluded.
+    pub conformance_violations: u64,
+    /// Rendered accounts of the first conformance violations.
+    pub conformance_details: Vec<String>,
 }
 
 impl ScenarioOutcome {
@@ -150,6 +174,11 @@ struct Collect {
     misses: AtomicU64,
     /// Simulated time (µs) of the most recent completion, any task.
     last_completion_us: AtomicU64,
+    /// Worst response latency per task among jobs released at or
+    /// after [`WARMUP_US`] (static-bound cross-check input).
+    max_latency_us: Vec<AtomicU64>,
+    /// Deadline misses among jobs released at or after [`WARMUP_US`].
+    post_warmup_misses: AtomicU64,
 }
 
 impl Collect {
@@ -161,6 +190,8 @@ impl Collect {
             latencies_us: Mutex::new(Vec::new()),
             misses: AtomicU64::new(0),
             last_completion_us: AtomicU64::new(0),
+            max_latency_us: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            post_warmup_misses: AtomicU64::new(0),
         }
     }
 }
@@ -190,7 +221,24 @@ pub fn run_scenario_checked_on(
     oracle: bool,
     runtime: sysc::Runtime,
 ) -> ScenarioOutcome {
-    run_scenario_recorded(spec, oracle, runtime, None, false).0
+    run_scenario_recorded(spec, oracle, runtime, None, false, false).0
+}
+
+/// Like [`run_scenario_checked_on`], additionally feeding the
+/// observation stream through the static-model conformance checker and
+/// collecting the warmup-filtered measurements the static/dynamic
+/// cross-validation consumes ([`crate::verify`]): per-task worst
+/// post-warmup latency, post-warmup deadline misses, and lock-order
+/// conformance violations. All of it lands in digest-excluded
+/// [`ScenarioOutcome`] fields — analysis never changes a run's
+/// simulated-domain identity.
+pub fn run_scenario_analyzed(
+    spec: &ScenarioSpec,
+    oracle: bool,
+    runtime: sysc::Runtime,
+    trace: Option<&TraceConfig>,
+) -> ScenarioOutcome {
+    run_scenario_recorded(spec, oracle, runtime, trace, false, true).0
 }
 
 /// Like [`run_scenario_checked_on`], additionally capturing the
@@ -205,7 +253,7 @@ pub fn run_scenario_traced(
     runtime: sysc::Runtime,
     trace: &TraceConfig,
 ) -> ScenarioOutcome {
-    run_scenario_recorded(spec, oracle, runtime, Some(trace), false).0
+    run_scenario_recorded(spec, oracle, runtime, Some(trace), false, false).0
 }
 
 /// Like [`run_scenario_checked_on`] with the oracle enabled, but also
@@ -217,7 +265,7 @@ pub fn run_scenario_observed(
     spec: &ScenarioSpec,
     runtime: sysc::Runtime,
 ) -> (ScenarioOutcome, Vec<StampedEvent>) {
-    run_scenario_recorded(spec, true, runtime, None, true)
+    run_scenario_recorded(spec, true, runtime, None, true, false)
 }
 
 /// An [`ObsStream`] backend feeding the incremental differential
@@ -237,12 +285,29 @@ impl StreamSink for SpecSink {
     }
 }
 
+/// An [`ObsStream`] backend feeding the static-model conformance
+/// checker while the simulation runs.
+struct ConformanceSink {
+    checker: Arc<Mutex<Conformance>>,
+}
+
+impl StreamSink for ConformanceSink {
+    fn batch(&mut self, events: &[StampedEvent]) -> usize {
+        let mut checker = self.checker.lock().unwrap();
+        for se in events {
+            checker.push(&se.ev);
+        }
+        events.len()
+    }
+}
+
 fn run_scenario_recorded(
     spec: &ScenarioSpec,
     oracle: bool,
     runtime: sysc::Runtime,
     trace: Option<&TraceConfig>,
     collect_events: bool,
+    analyze: bool,
 ) -> (ScenarioOutcome, Vec<StampedEvent>) {
     let mut out = ScenarioOutcome {
         seed: spec.seed,
@@ -274,6 +339,15 @@ fn run_scenario_recorded(
         any_sink = true;
         collected = Some(handle);
     }
+    let mut conformance = None;
+    if analyze {
+        let shared = Arc::new(Mutex::new(Conformance::from_model(&static_model(spec))));
+        stream = stream.attach(Box::new(ConformanceSink {
+            checker: Arc::clone(&shared),
+        }));
+        any_sink = true;
+        conformance = Some(shared);
+    }
     if let Some(tc) = trace {
         let header = TraceHeader {
             grammar_version: rtk_core::GRAMMAR_VERSION,
@@ -281,6 +355,7 @@ fn run_scenario_recorded(
             tick_us: KernelConfig::paper().tick.as_us() as u32,
             topology: spec.topology.label().to_string(),
             runtime: runtime.resolve().as_str().to_string(),
+            tuning: tc.tuning,
         };
         let path = tc.dir.join(format!("seed-{:010}.rtkt", spec.seed));
         match TraceWriter::create(&path, &header, tc.cap) {
@@ -326,6 +401,11 @@ fn run_scenario_recorded(
     if let Some(handle) = &collected {
         events = handle.take();
     }
+    if let Some(conformance) = &conformance {
+        let c = conformance.lock().unwrap();
+        out.conformance_violations = c.violation_count();
+        out.conformance_details = c.violations().to_vec();
+    }
 
     match result {
         Err(payload) => {
@@ -341,6 +421,14 @@ fn run_scenario_recorded(
             out.stats = stats;
             out.latencies_us = collect.latencies_us.lock().unwrap().clone();
             out.deadline_misses = collect.misses.load(Ordering::Relaxed);
+            if analyze {
+                out.max_latency_by_task = collect
+                    .max_latency_us
+                    .iter()
+                    .map(|m| m.load(Ordering::Relaxed))
+                    .collect();
+                out.post_warmup_misses = collect.post_warmup_misses.load(Ordering::Relaxed);
+            }
             for i in 0..spec.tasks.len() {
                 let rel = collect.releases[i].load(Ordering::Relaxed);
                 let cmp = collect.completions[i].load(Ordering::Relaxed);
@@ -812,6 +900,15 @@ fn execute(
                             .fetch_max(now_us, Ordering::Relaxed);
                         if latency > deadline_us {
                             collect.misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Steady-state view for the static analyzer:
+                        // jobs released during the boot/creation
+                        // transient are exempt (docs/STATIC_ANALYSIS.md).
+                        if release_us >= WARMUP_US {
+                            collect.max_latency_us[i].fetch_max(latency, Ordering::Relaxed);
+                            if latency > deadline_us {
+                                collect.post_warmup_misses.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 };

@@ -51,20 +51,27 @@
 #![warn(missing_docs)]
 
 mod build;
+pub mod model;
 pub mod oracle;
 pub mod replay;
 mod report;
 mod rng;
 mod runner;
 mod scenario;
+pub mod verify;
 
 pub use build::{
-    run_scenario, run_scenario_checked, run_scenario_checked_on, run_scenario_observed,
-    run_scenario_traced, ScenarioOutcome, TraceConfig,
+    run_scenario, run_scenario_analyzed, run_scenario_checked, run_scenario_checked_on,
+    run_scenario_observed, run_scenario_traced, ScenarioOutcome, TraceConfig,
 };
+pub use model::static_model;
 pub use oracle::{check, Checker, Divergence, OracleVerdict};
-pub use replay::{replay_path, replay_report_json, replay_trace, ReplayedTrace};
+pub use replay::{
+    replay_analysis, replay_path, replay_report_json, replay_report_json_analyzed, replay_trace,
+    ReplayedAnalysis, ReplayedTrace,
+};
 pub use report::{Aggregate, CampaignReport};
 pub use rng::FarmRng;
 pub use runner::{run_campaign, CampaignConfig};
 pub use scenario::{FaultPlan, ScenarioSpec, StormSpec, TaskSpec, Topology, Tuning};
+pub use verify::{analyze_spec, verify_outcome, AnalysisRecord};

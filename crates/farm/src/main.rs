@@ -19,9 +19,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use rtk_analysis::trace_codec::TraceTuning;
 use rtk_farm::{
-    replay_path, replay_report_json, run_campaign, CampaignConfig, CampaignReport, Topology,
-    TraceConfig,
+    replay_analysis, replay_path, replay_report_json_analyzed, run_campaign, CampaignConfig,
+    CampaignReport, ReplayedAnalysis, Topology, TraceConfig,
 };
 
 const USAGE: &str = "usage: rtk-farm [options]
@@ -34,6 +35,10 @@ campaign options:
   --no-faults     disable fault-injection draws
   --oracle        replay every scenario through the differential
                   ITRON oracle; any divergence fails the campaign
+  --analyze       run the static scenario analyzer as a pre-pass and
+                  cross-validate verdicts against the dynamic run;
+                  any static/dynamic contradiction fails the campaign
+                  (see docs/STATIC_ANALYSIS.md)
   --topology NAME run only the seeds expanding to this scenario
                   family (one-command divergence repro), one of:
                   independent sem_chain mbx_pipeline flag_barrier
@@ -59,6 +64,10 @@ replay options:
                        seed-<seed>.vcd per trace into DIR
   --export-chrome DIR  also write a chrome://tracing JSON
                        seed-<seed>.trace.json per trace into DIR
+  --analyze       recompute static verdicts from the trace headers and
+                  check each decoded stream against its declared lock
+                  model; a conformance violation fails the replay
+                  (timing cross-checks stay live-campaign-only)
   --help          this text";
 
 #[derive(Debug)]
@@ -104,6 +113,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--quick" => cli.cfg.tuning.quick = true,
             "--no-faults" => cli.cfg.tuning.faults = false,
             "--oracle" => cli.cfg.oracle = true,
+            "--analyze" => cli.cfg.analyze = true,
             "--topology" => {
                 let name = value("--topology")?;
                 if !Topology::ALL_LABELS.contains(&name.as_str()) {
@@ -145,9 +155,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     .into(),
             );
         }
+        // Record the generator tuning in every trace header, so
+        // `--replay --analyze` can regenerate the exact spec offline.
         cli.cfg.trace = Some(TraceConfig {
             dir,
             cap: trace_cap.unwrap_or(0),
+            tuning: Some(TraceTuning {
+                quick: cli.cfg.tuning.quick,
+                faults: cli.cfg.tuning.faults,
+            }),
         });
     }
     if cli.replay.is_none() && (cli.export_vcd.is_some() || cli.export_chrome.is_some()) {
@@ -193,8 +209,26 @@ fn run_replay(cli: &Cli, path: &std::path::Path) -> ExitCode {
             }
         }
     }
+    let analyses: Option<Vec<ReplayedAnalysis>> = if cli.cfg.analyze {
+        let mut recs = Vec::with_capacity(traces.len());
+        for t in &traces {
+            match replay_analysis(t) {
+                Ok(r) => recs.push(r),
+                Err(e) => {
+                    eprintln!("rtk-farm: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some(recs)
+    } else {
+        None
+    };
     let out = cli.out.clone().unwrap_or_else(|| "REPLAY_farm.json".into());
-    if let Err(e) = std::fs::write(&out, replay_report_json(&traces)) {
+    if let Err(e) = std::fs::write(
+        &out,
+        replay_report_json_analyzed(&traces, analyses.as_deref()),
+    ) {
         eprintln!("rtk-farm: cannot write {out}: {e}");
         return ExitCode::from(2);
     }
@@ -213,7 +247,29 @@ fn run_replay(cli: &Cli, path: &std::path::Path) -> ExitCode {
     for (seed, d) in &diverged {
         eprintln!("rtk-farm: seed {seed} DIVERGED: {d}");
     }
-    if diverged.is_empty() {
+    let mut nonconformant = 0usize;
+    if let Some(recs) = &analyses {
+        let certified = |v| recs.iter().filter(|r| r.deadlock == v).count();
+        eprintln!(
+            "rtk-farm: static analysis over {} header(s): deadlock certified {}, \
+             schedulable certified {}",
+            recs.len(),
+            certified(rtk_analysis::static_verify::Verdict::Certified),
+            recs.iter()
+                .filter(|r| r.schedulable == rtk_analysis::static_verify::Verdict::Certified)
+                .count(),
+        );
+        for r in recs.iter().filter(|r| !r.consistent()) {
+            nonconformant += 1;
+            eprintln!(
+                "rtk-farm: seed {} NONCONFORMANT: {} lock-model violation(s), first: {}",
+                r.seed,
+                r.conformance_violations,
+                r.conformance_details.first().map_or("", String::as_str),
+            );
+        }
+    }
+    if diverged.is_empty() && nonconformant == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -253,7 +309,7 @@ fn main() -> ExitCode {
         format!("{}..{}", cfg.base_seed, cfg.base_seed + cfg.seeds - 1)
     };
     eprintln!(
-        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} runtime, {} horizon, faults {}, oracle {}{}{}",
+        "rtk-farm: {} scenarios (seeds {}), {} worker thread(s), {} runtime, {} horizon, faults {}, oracle {}{}{}{}",
         cfg.seeds,
         seed_range,
         workers,
@@ -261,6 +317,7 @@ fn main() -> ExitCode {
         if cfg.tuning.quick { "quick" } else { "full" },
         if cfg.tuning.faults { "on" } else { "off" },
         if cfg.oracle { "on" } else { "off" },
+        if cfg.analyze { ", analyze on" } else { "" },
         match &cfg.topology {
             Some(t) => format!(", topology {t}"),
             None => String::new(),
@@ -307,7 +364,26 @@ fn main() -> ExitCode {
         );
     }
 
-    if report.all_healthy() {
+    // The static/dynamic cross-check: contradictions are evidence the
+    // analyzer, the model, or the kernel is wrong — campaign-failing.
+    let contradictions = report.contradictions();
+    if report.cfg.analyze {
+        let records = report.analysis_records();
+        use rtk_analysis::static_verify::Verdict;
+        eprintln!(
+            "rtk-farm: static analysis: deadlock certified {}/{}, schedulable certified {}/{}, {} contradiction(s)",
+            records.iter().filter(|r| r.deadlock == Verdict::Certified).count(),
+            records.len(),
+            records.iter().filter(|r| r.schedulable == Verdict::Certified).count(),
+            records.len(),
+            contradictions.len(),
+        );
+        for (seed, why) in &contradictions {
+            eprintln!("rtk-farm: seed {seed} CONTRADICTION: {why}");
+        }
+    }
+
+    if report.all_healthy() && contradictions.is_empty() {
         ExitCode::SUCCESS
     } else {
         for (seed, why) in report.failures() {
@@ -386,6 +462,20 @@ mod tests {
         // Cap defaults to unlimited.
         let cli = parse(&["--trace-dir", "traces"]).unwrap();
         assert_eq!(cli.cfg.trace.unwrap().cap, 0);
+    }
+
+    #[test]
+    fn analyze_flag_and_trace_tuning() {
+        let cli = parse(&["--analyze"]).unwrap();
+        assert!(cli.cfg.analyze);
+        // Trace headers record the generator tuning regardless of flag
+        // order, so `--replay --analyze` regenerates the exact spec.
+        let cli = parse(&["--trace-dir", "t", "--quick", "--no-faults"]).unwrap();
+        let tuning = cli.cfg.trace.unwrap().tuning.unwrap();
+        assert!(tuning.quick);
+        assert!(!tuning.faults);
+        let cli = parse(&["--quick", "--trace-dir", "t"]).unwrap();
+        assert!(cli.cfg.trace.unwrap().tuning.unwrap().quick);
     }
 
     #[test]

@@ -13,10 +13,14 @@ use std::path::{Path, PathBuf};
 
 use rtk_analysis::json_escape;
 use rtk_analysis::oracle_report::{divergences_json, DivergenceRecord};
+use rtk_analysis::static_verify::{AnalysisOptions, Conformance, Verdict};
 use rtk_analysis::trace_codec::{read_trace, CodecError, DecodedTrace, TraceHeader};
 use rtk_core::{StampedEvent, StreamClose};
 
+use crate::model::static_model;
 use crate::oracle::{Checker, OracleVerdict};
+use crate::scenario::{ScenarioSpec, Tuning};
+use crate::verify::analyze_spec;
 
 /// One replayed trace file: provenance, the decoded stream, and the
 /// oracle's verdict over it.
@@ -96,11 +100,101 @@ pub fn replay_path(path: &Path) -> Result<Vec<ReplayedTrace>, CodecError> {
     Ok(traces)
 }
 
+/// Static verdicts recomputed from a trace file alone (`rtk-farm
+/// --replay DIR --analyze`): the header's seed + tuning regenerate the
+/// scenario spec, the analyzer re-derives its verdicts from the
+/// declarative model, and the decoded stream is checked against the
+/// declared lock model. Timing cross-checks (response bounds, deadline
+/// misses) need live measurements that traces do not carry, so they
+/// remain live-campaign-only — see `docs/STATIC_ANALYSIS.md`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedAnalysis {
+    /// The seed recorded in the trace header.
+    pub seed: u64,
+    /// Static deadlock verdict.
+    pub deadlock: Verdict,
+    /// Static schedulability verdict.
+    pub schedulable: Verdict,
+    /// RM utilization of the modelled task set, parts-per-million.
+    pub utilization_ppm: u64,
+    /// One-line deterministic account of the analysis.
+    pub summary: String,
+    /// Lock-model conformance violations committed by the decoded
+    /// stream (event-driven, so valid for truncated captures too).
+    pub conformance_violations: u64,
+    /// Rendered accounts of the first conformance violations.
+    pub conformance_details: Vec<String>,
+}
+
+impl ReplayedAnalysis {
+    /// `true` when the replayed stream contradicts the static model.
+    pub fn consistent(&self) -> bool {
+        self.conformance_violations == 0
+    }
+}
+
+/// Recomputes the static analysis for one replayed trace.
+///
+/// Fails when the header carries no tuning record (traces captured
+/// before the analyzer existed): the tuning changes the generator's
+/// draw sequence, so without it the spec cannot be regenerated. Also
+/// fails when the regenerated topology does not match the recorded
+/// one — a header/generator version skew that would silently analyze
+/// the wrong scenario.
+pub fn replay_analysis(t: &ReplayedTrace) -> Result<ReplayedAnalysis, String> {
+    let Some(tuning) = t.header.tuning else {
+        return Err(format!(
+            "{}: header carries no tuning record; re-capture with a \
+             current rtk-farm --trace-dir to analyze offline",
+            t.path.display()
+        ));
+    };
+    let spec = ScenarioSpec::generate(
+        t.header.seed,
+        &Tuning {
+            quick: tuning.quick,
+            faults: tuning.faults,
+        },
+    );
+    if spec.topology.label() != t.header.topology {
+        return Err(format!(
+            "{}: regenerated topology {:?} does not match recorded {:?} \
+             (generator/header version skew)",
+            t.path.display(),
+            spec.topology.label(),
+            t.header.topology
+        ));
+    }
+    let analysis = analyze_spec(&spec, &AnalysisOptions::default());
+    let mut conformance = Conformance::from_model(&static_model(&spec));
+    for se in &t.events {
+        conformance.push(&se.ev);
+    }
+    Ok(ReplayedAnalysis {
+        seed: t.header.seed,
+        deadlock: analysis.deadlock,
+        schedulable: analysis.schedulable,
+        utilization_ppm: analysis.utilization_ppm,
+        summary: analysis.summary(),
+        conformance_violations: conformance.violation_count(),
+        conformance_details: conformance.violations().to_vec(),
+    })
+}
+
 /// Renders the replay report (`rtk-farm-replay-v1`). The oracle fields
 /// mirror the live campaign report's (`oracle_events`, the
 /// `oracle_divergences` array), so a replay can be diffed against the
 /// live run's verdicts field-for-field.
 pub fn replay_report_json(traces: &[ReplayedTrace]) -> String {
+    replay_report_json_analyzed(traces, None)
+}
+
+/// [`replay_report_json`] plus an `analysis` block (mirroring the live
+/// campaign report's) when `--analyze` recomputed static verdicts.
+pub fn replay_report_json_analyzed(
+    traces: &[ReplayedTrace],
+    analyses: Option<&[ReplayedAnalysis]>,
+) -> String {
     use std::fmt::Write as _;
     let mut j = String::with_capacity(1024);
     let divergences: Vec<DivergenceRecord> = traces
@@ -141,6 +235,47 @@ pub fn replay_report_json(traces: &[ReplayedTrace]) -> String {
         "  \"oracle_divergences\": {},",
         divergences_json(&divergences)
     );
+    if let Some(analyses) = analyses {
+        j.push_str("  \"analysis\": {\n");
+        let count = |f: fn(&ReplayedAnalysis) -> Verdict, v: Verdict| {
+            analyses.iter().filter(|a| f(a) == v).count()
+        };
+        let _ = writeln!(
+            j,
+            "    \"deadlock\": {{\"certified\": {}, \"refuted\": {}, \"unknown\": {}}},",
+            count(|a| a.deadlock, Verdict::Certified),
+            count(|a| a.deadlock, Verdict::Refuted),
+            count(|a| a.deadlock, Verdict::Unknown),
+        );
+        let _ = writeln!(
+            j,
+            "    \"schedulable\": {{\"certified\": {}, \"refuted\": {}, \"unknown\": {}}},",
+            count(|a| a.schedulable, Verdict::Certified),
+            count(|a| a.schedulable, Verdict::Refuted),
+            count(|a| a.schedulable, Verdict::Unknown),
+        );
+        let _ = writeln!(
+            j,
+            "    \"conformance_violations\": {},",
+            analyses
+                .iter()
+                .map(|a| a.conformance_violations)
+                .sum::<u64>()
+        );
+        j.push_str("    \"verdicts\": [");
+        for (i, a) in analyses.iter().enumerate() {
+            if i > 0 {
+                j.push_str(", ");
+            }
+            let _ = write!(
+                j,
+                "{{\"seed\": {}, \"deadlock\": \"{}\", \"schedulable\": \"{}\", \
+                 \"util_ppm\": {}, \"conformance_violations\": {}}}",
+                a.seed, a.deadlock, a.schedulable, a.utilization_ppm, a.conformance_violations,
+            );
+        }
+        j.push_str("]\n  },\n");
+    }
     j.push_str("  \"seeds\": [");
     for (i, t) in traces.iter().enumerate() {
         if i > 0 {
@@ -181,6 +316,7 @@ mod tests {
         let tc = TraceConfig {
             dir: dir.clone(),
             cap: 0,
+            tuning: None,
         };
         let mut live = Vec::new();
         for seed in 300..308 {
@@ -224,9 +360,64 @@ mod tests {
             &TraceConfig {
                 dir: dir.clone(),
                 cap: 0,
+                tuning: None,
             },
         );
         assert_eq!(plain.digest(), traced.digest());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_analysis_matches_live_verdicts() {
+        use rtk_analysis::trace_codec::TraceTuning;
+        let dir = tmp_dir("analyze");
+        let tuning = Tuning {
+            quick: true,
+            faults: true,
+        };
+        let tc = TraceConfig {
+            dir: dir.clone(),
+            cap: 0,
+            tuning: Some(TraceTuning {
+                quick: true,
+                faults: true,
+            }),
+        };
+        for seed in 400..408 {
+            let spec = ScenarioSpec::generate(seed, &tuning);
+            run_scenario_traced(&spec, false, sysc::Runtime::default(), &tc);
+        }
+        let traces = replay_path(&dir).unwrap();
+        assert_eq!(traces.len(), 8);
+        let mut recs = Vec::new();
+        for t in &traces {
+            let rec = replay_analysis(t).unwrap();
+            // Offline verdicts are byte-identical to what the live
+            // campaign's analyzer derives for the same seed.
+            let spec = ScenarioSpec::generate(t.header.seed, &tuning);
+            let live = analyze_spec(&spec, &AnalysisOptions::default());
+            assert_eq!(rec.deadlock, live.deadlock, "seed {}", t.header.seed);
+            assert_eq!(rec.schedulable, live.schedulable, "seed {}", t.header.seed);
+            assert_eq!(rec.summary, live.summary(), "seed {}", t.header.seed);
+            // A healthy capture conforms to its declared lock model.
+            assert!(
+                rec.consistent(),
+                "seed {}: {:?}",
+                t.header.seed,
+                rec.conformance_details
+            );
+            recs.push(rec);
+        }
+        let j = replay_report_json_analyzed(&traces, Some(&recs));
+        assert!(j.contains("\"analysis\": {"));
+        assert!(j.contains("\"conformance_violations\": 0"));
+
+        // A header without a tuning record cannot be re-analyzed: the
+        // tuning changes the generator's draw sequence.
+        let mut stripped = traces.into_iter().next().unwrap();
+        stripped.header.tuning = None;
+        let err = replay_analysis(&stripped).unwrap_err();
+        assert!(err.contains("tuning"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -240,6 +431,7 @@ mod tests {
         let tc = TraceConfig {
             dir: dir.clone(),
             cap: 0,
+            tuning: None,
         };
         let spec = ScenarioSpec::generate(5, &tuning);
         run_scenario_traced(&spec, true, sysc::Runtime::default(), &tc);

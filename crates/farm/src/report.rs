@@ -17,10 +17,12 @@ use std::fmt::Write as _;
 use rtk_analysis::json_escape;
 use rtk_analysis::oracle_report::{divergences_json, DivergenceRecord};
 use rtk_analysis::percentile::Summary;
+use rtk_analysis::static_verify::{AnalysisOptions, Verdict};
 
 use crate::build::ScenarioOutcome;
 use crate::runner::CampaignConfig;
-use crate::scenario::Fnv;
+use crate::scenario::{Fnv, ScenarioSpec};
+use crate::verify::{analyze_spec, verify_outcome, AnalysisRecord};
 
 /// Aggregated view of a finished campaign.
 #[derive(Debug, Clone)]
@@ -152,6 +154,33 @@ impl CampaignReport {
             .collect()
     }
 
+    /// Static-analysis records, one per scenario in seed order; empty
+    /// unless the campaign ran with `--analyze`. Recomputed from the
+    /// seeds (the analyzer is a pure function of the spec) and
+    /// cross-validated against the stored outcomes.
+    pub fn analysis_records(&self) -> Vec<AnalysisRecord> {
+        if !self.cfg.analyze {
+            return Vec::new();
+        }
+        self.outcomes
+            .iter()
+            .map(|o| {
+                let spec = ScenarioSpec::generate(o.seed, &self.cfg.tuning);
+                let analysis = analyze_spec(&spec, &AnalysisOptions::default());
+                verify_outcome(&spec, &analysis, o)
+            })
+            .collect()
+    }
+
+    /// Static/dynamic contradictions over the campaign: `(seed,
+    /// account)` pairs. Any entry fails an `--analyze` campaign.
+    pub fn contradictions(&self) -> Vec<(u64, String)> {
+        self.analysis_records()
+            .iter()
+            .flat_map(|r| r.contradictions.iter().map(|c| (r.seed, c.clone())))
+            .collect()
+    }
+
     /// Divergence records for the oracle section of the report.
     pub fn divergences(&self) -> Vec<DivergenceRecord> {
         self.outcomes
@@ -228,6 +257,52 @@ impl CampaignReport {
         write_summary(&mut j, "preemptions", &agg.preemptions);
         write_summary(&mut j, "energy_nj", &agg.energy_nj);
         write_summary(&mut j, "deadline_misses_per_scenario", &agg.misses);
+        // The static-analysis block (`--analyze` campaigns only).
+        // Digest-excluded by construction: `campaign_digest` hashes the
+        // per-scenario outcome digests, which ignore every analysis
+        // field — a campaign with analysis on reports the same digest
+        // as one without.
+        if self.cfg.analyze {
+            let records = self.analysis_records();
+            let count = |f: &dyn Fn(&AnalysisRecord) -> Verdict, v: Verdict| {
+                records.iter().filter(|r| f(r) == v).count()
+            };
+            let dl = &|r: &AnalysisRecord| r.deadlock;
+            let sc = &|r: &AnalysisRecord| r.schedulable;
+            j.push_str("  \"analysis\": {\n");
+            let _ = writeln!(
+                j,
+                "    \"deadlock\": {{\"certified\": {}, \"refuted\": {}, \"unknown\": {}}},",
+                count(dl, Verdict::Certified),
+                count(dl, Verdict::Refuted),
+                count(dl, Verdict::Unknown)
+            );
+            let _ = writeln!(
+                j,
+                "    \"schedulable\": {{\"certified\": {}, \"refuted\": {}, \"unknown\": {}}},",
+                count(sc, Verdict::Certified),
+                count(sc, Verdict::Refuted),
+                count(sc, Verdict::Unknown)
+            );
+            j.push_str("    \"contradictions\": [");
+            for (i, (seed, why)) in self.contradictions().iter().enumerate() {
+                if i > 0 {
+                    j.push_str(", ");
+                }
+                let _ = write!(j, "{{\"seed\": {seed}, \"why\": \"{}\"}}", json_escape(why));
+            }
+            j.push_str("],\n");
+            j.push_str("    \"verdicts\": [\n");
+            for (i, r) in records.iter().enumerate() {
+                let _ = write!(
+                    j,
+                    "      {{\"seed\": {}, \"deadlock\": \"{}\", \"schedulable\": \"{}\", \"util_ppm\": {}}}",
+                    r.seed, r.deadlock, r.schedulable, r.utilization_ppm
+                );
+                j.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+            }
+            j.push_str("    ]\n  },\n");
+        }
         let failures = self.failures();
         j.push_str("  \"failures\": [");
         for (i, (seed, why)) in failures.iter().enumerate() {
@@ -277,9 +352,42 @@ mod tests {
             topology: None,
             runtime: sysc::Runtime::default(),
             trace: None,
+            analyze: false,
         };
         let outcomes = run_campaign(&cfg);
         CampaignReport::new(cfg, outcomes)
+    }
+
+    #[test]
+    fn analyze_block_appears_without_touching_the_digest() {
+        let mk = |analyze: bool| {
+            let cfg = CampaignConfig {
+                base_seed: 7,
+                seeds: 6,
+                threads: 2,
+                tuning: Tuning {
+                    quick: true,
+                    faults: true,
+                },
+                oracle: false,
+                topology: None,
+                runtime: sysc::Runtime::default(),
+                trace: None,
+                analyze,
+            };
+            let outcomes = run_campaign(&cfg);
+            CampaignReport::new(cfg, outcomes)
+        };
+        let plain = mk(false);
+        let analyzed = mk(true);
+        assert_eq!(plain.digest(), analyzed.digest());
+        assert!(!plain.to_json().contains("\"analysis\""));
+        let j = analyzed.to_json();
+        assert!(j.contains("\"analysis\""));
+        assert!(j.contains("\"verdicts\""));
+        assert!(j.contains("\"contradictions\": []"), "{j}");
+        assert!(analyzed.contradictions().is_empty());
+        assert_eq!(analyzed.analysis_records().len(), 6);
     }
 
     #[test]

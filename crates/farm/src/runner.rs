@@ -17,7 +17,10 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use crate::build::{run_scenario_checked_on, run_scenario_traced, ScenarioOutcome, TraceConfig};
+use crate::build::{
+    run_scenario_analyzed, run_scenario_checked_on, run_scenario_traced, ScenarioOutcome,
+    TraceConfig,
+};
 use crate::scenario::{ScenarioSpec, Tuning};
 
 /// Campaign parameters (the CLI surface).
@@ -48,6 +51,13 @@ pub struct CampaignConfig {
     /// Host-side instrumentation only: never changes outcomes or the
     /// campaign digest.
     pub trace: Option<TraceConfig>,
+    /// Run the static scenario analyzer as a pre-pass on every seed
+    /// and cross-validate its verdicts against the dynamic run
+    /// (`--analyze`, see `docs/STATIC_ANALYSIS.md`). Host-side only:
+    /// adds digest-excluded verification fields to outcomes and an
+    /// analysis block to the report, never changing the campaign
+    /// digest.
+    pub analyze: bool,
 }
 
 impl Default for CampaignConfig {
@@ -61,6 +71,7 @@ impl Default for CampaignConfig {
             topology: None,
             runtime: sysc::Runtime::default(),
             trace: None,
+            analyze: false,
         }
     }
 }
@@ -175,9 +186,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Vec<ScenarioOutcome> {
                 while let Some(idx) = next_job(w, queues) {
                     let seed = cfg.base_seed + selected[idx];
                     let spec = ScenarioSpec::generate(seed, &cfg.tuning);
-                    let outcome = match &cfg.trace {
-                        Some(tc) => run_scenario_traced(&spec, cfg.oracle, cfg.runtime, tc),
-                        None => run_scenario_checked_on(&spec, cfg.oracle, cfg.runtime),
+                    let outcome = if cfg.analyze {
+                        run_scenario_analyzed(&spec, cfg.oracle, cfg.runtime, cfg.trace.as_ref())
+                    } else {
+                        match &cfg.trace {
+                            Some(tc) => run_scenario_traced(&spec, cfg.oracle, cfg.runtime, tc),
+                            None => run_scenario_checked_on(&spec, cfg.oracle, cfg.runtime),
+                        }
                     };
                     *slots[idx].lock().unwrap() = Some(outcome);
                 }
@@ -212,6 +227,7 @@ mod tests {
             topology: None,
             runtime: sysc::Runtime::default(),
             trace: None,
+            analyze: false,
         }
     }
 

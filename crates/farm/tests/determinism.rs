@@ -69,6 +69,7 @@ proptest! {
             topology: None,
             runtime: Runtime::default(),
             trace: None,
+            analyze: false,
         };
         let cfgn = CampaignConfig { threads, ..cfg1.clone() };
 
@@ -92,6 +93,7 @@ fn campaign_json_is_stable_across_repeated_runs() {
         topology: None,
         runtime: Runtime::default(),
         trace: None,
+        analyze: false,
     };
     let a = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
     let b = CampaignReport::new(cfg.clone(), run_campaign(&cfg)).to_json();
@@ -112,6 +114,7 @@ fn campaign_report_is_runtime_invariant() {
         topology: None,
         runtime,
         trace: None,
+        analyze: false,
     };
     let threaded = cfg(Runtime::Threaded);
     let coro = cfg(Runtime::Coro);

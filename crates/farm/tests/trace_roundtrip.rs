@@ -171,7 +171,9 @@ fn bounded_capture_drop_accounting_is_deterministic() {
             trace: Some(TraceConfig {
                 dir: dir.to_path_buf(),
                 cap: 40,
+                tuning: None,
             }),
+            analyze: false,
         };
         let outcomes = run_campaign(&cfg);
         let report = CampaignReport::new(cfg, outcomes);
@@ -232,7 +234,9 @@ fn trace_bytes_are_thread_count_invariant() {
             trace: Some(TraceConfig {
                 dir: dir.to_path_buf(),
                 cap: 0,
+                tuning: None,
             }),
+            analyze: false,
         };
         run_campaign(&cfg);
     };

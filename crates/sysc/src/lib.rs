@@ -53,6 +53,11 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Every `unsafe` operation must sit in an explicit `unsafe` block with
+// its own `// SAFETY:` justification (mechanically enforced by
+// `cargo run -p rtk-analysis --bin unsafe_audit`), even inside
+// `unsafe fn` bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod ids;
 mod kernel;

@@ -287,6 +287,8 @@ impl CoroShared {
                 // (its stack went through the graveyard, reaped by the
                 // transfer above).
                 debug_assert_eq!(self.state.get(), CoroState::Finished);
+                // SAFETY: we hold control and the victim is finished —
+                // nothing can touch its reply cell anymore.
                 unsafe { (*self.reply.get()).take() }.expect("terminated coroutine left no reply")
             }
         }
@@ -403,6 +405,9 @@ extern "C" fn coro_entry() -> ! {
     // A fresh stack is also a (re)gain-control point: a chained finish
     // may have started us directly, with its own death still unreaped.
     me.rt.reap();
+    // SAFETY: this context holds control, and the entry job was
+    // deposited by `set_entry` strictly before the first transfer that
+    // could have started this stack.
     let job = unsafe { (*me.entry.get()).take() }.expect("coroutine started without an entry job");
     let terminal = job();
     // The job frame is gone: nothing owned remains on this stack except

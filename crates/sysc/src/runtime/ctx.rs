@@ -406,6 +406,7 @@ mod tests {
         let pool = StackPool::new(4);
         let s = pool.lease();
         // Simulate an overflow reaching the low end of the stack.
+        // SAFETY: the first 8 bytes belong to the leased allocation.
         unsafe { (s.base as *mut u64).write(0) };
         pool.give_back(s);
     }

@@ -22,6 +22,8 @@ fn main() {
         runtime: sysc::Runtime::default(),
         // No .rtkt capture here; see `rtk-farm --trace-dir`.
         trace: None,
+        // No static-analysis cross-check here; see `rtk-farm --analyze`.
+        analyze: false,
     };
 
     // Every seed names a complete scenario; show a few.
