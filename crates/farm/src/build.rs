@@ -24,6 +24,24 @@ use crate::model::{static_model, WARMUP_US};
 use crate::oracle;
 use crate::scenario::{Fnv, ScenarioSpec, Topology};
 
+/// Critical-section share of a lock-taking job body: the tail quarter
+/// of the execution budget, floored at 10 µs. This split is a schedule
+/// *choice point* — it decides when the lock attempt lands relative to
+/// competing releases — so it is a named function rather than an
+/// inline expression: `--explore` family programs must branch at the
+/// same instant the kernel workload does.
+pub(crate) fn mtx_chain_crit_us(exec_us: u64) -> u64 {
+    (exec_us / 4).max(10)
+}
+
+/// Finite blocking timeout of a job body, in ms: 1/500th of the
+/// deadline. The second surfaced choice point — it decides which
+/// schedules take the timeout branch instead of acquiring — shared by
+/// the `MtxChain`, `MbfPipeline`, `MpfPool` and `MplPressure` bodies.
+pub(crate) fn mtx_chain_lock_timeout_ms(deadline_us: u64) -> u64 {
+    deadline_us / 500
+}
+
 /// Binary trace capture settings for a run (CLI `--trace-dir` /
 /// `--trace-cap`): one `.rtkt` file per scenario is written into
 /// `dir`, named `seed-<seed>.rtkt` (see `docs/TRACE_FORMAT.md`).
@@ -796,13 +814,19 @@ fn execute(
                                 sys.tk_set_flg(barrier_flg.unwrap(), 1 << i).unwrap();
                             }
                             Topology::MtxChain { .. } => {
-                                let crit = (exec_us / 4).max(10);
+                                let crit = mtx_chain_crit_us(exec_us);
                                 sys.exec(SimTime::from_us(exec_us - crit));
                                 // Finite timeout: under heavy inversion the
                                 // lock attempt may expire, exercising the
                                 // timer path; the job still completes.
                                 let mtx = chain_mtx.unwrap();
-                                if sys.tk_loc_mtx(mtx, Timeout::ms(deadline_us / 500)).is_ok() {
+                                if sys
+                                    .tk_loc_mtx(
+                                        mtx,
+                                        Timeout::ms(mtx_chain_lock_timeout_ms(deadline_us)),
+                                    )
+                                    .is_ok()
+                                {
                                     sys.exec(SimTime::from_us(crit));
                                     sys.tk_unl_mtx(mtx).unwrap();
                                 }
@@ -815,12 +839,15 @@ fn execute(
                                 let _ = sys.tk_snd_mbf(
                                     pipe_mbf.unwrap(),
                                     &record,
-                                    Timeout::ms(deadline_us / 500),
+                                    Timeout::ms(mtx_chain_lock_timeout_ms(deadline_us)),
                                 );
                             }
                             Topology::MpfPool => {
                                 let mpf = pool_mpf.unwrap();
-                                match sys.tk_get_mpf(mpf, Timeout::ms(deadline_us / 500)) {
+                                match sys.tk_get_mpf(
+                                    mpf,
+                                    Timeout::ms(mtx_chain_lock_timeout_ms(deadline_us)),
+                                ) {
                                     Ok(blk) => {
                                         sys.exec(SimTime::from_us(exec_us));
                                         sys.tk_rel_mpf(mpf, blk).unwrap();
@@ -842,7 +869,7 @@ fn execute(
                                 }
                             }
                             Topology::DispWindow { lock_cpu } => {
-                                let crit = (exec_us / 4).max(10);
+                                let crit = mtx_chain_crit_us(exec_us);
                                 sys.exec(SimTime::from_us(exec_us - crit));
                                 if lock_cpu {
                                     let _ = sys.tk_loc_cpu();
@@ -860,7 +887,11 @@ fn execute(
                             Topology::MplPressure => {
                                 let mpl = pool_mpl.unwrap();
                                 let sz = 8 + (i * 12) % 36;
-                                match sys.tk_get_mpl(mpl, sz, Timeout::ms(deadline_us / 500)) {
+                                match sys.tk_get_mpl(
+                                    mpl,
+                                    sz,
+                                    Timeout::ms(mtx_chain_lock_timeout_ms(deadline_us)),
+                                ) {
                                     Ok(off) => {
                                         sys.exec(SimTime::from_us(exec_us));
                                         let _ = sys.tk_rel_mpl(mpl, off);
@@ -977,6 +1008,17 @@ fn execute(
 mod tests {
     use super::*;
     use crate::scenario::Tuning;
+
+    #[test]
+    fn choice_point_formulas_are_pinned() {
+        // These two functions are schedule choice points shared with
+        // the `--explore` documentation; changing them silently would
+        // shift every branch instant in the workload.
+        assert_eq!(mtx_chain_crit_us(2000), 500);
+        assert_eq!(mtx_chain_crit_us(0), 10); // floor
+        assert_eq!(mtx_chain_lock_timeout_ms(10_000), 20);
+        assert_eq!(mtx_chain_lock_timeout_ms(400), 0); // Finite(0): expires next tick
+    }
 
     #[test]
     fn scenario_runs_and_measures() {

@@ -1,0 +1,1107 @@
+//! `rtk-farm --explore`: a bounded model checker over the executable
+//! ITRON spec.
+//!
+//! The campaign validates the kernel against the oracle one random
+//! schedule per seed; this module turns the same oracle state
+//! ([`SpecState`]) into a *closed transition system* and walks every
+//! schedule of a small hand-built topology ([`Family`]) exhaustively.
+//! The nondeterminism is exactly what a real execution resolves by
+//! accident of timing:
+//!
+//! * which armed **timeout** fires first when several tie on a tick,
+//! * which tick of its jitter window an **IRQ** arrives on,
+//! * whether a budgeted **fault** (dropped IRQ arrival, delayed
+//!   release) strikes at a choice point,
+//! * interleaving of same-tick **cyclic releases** and the running
+//!   task's operation completion.
+//!
+//! Scheduler choices (dispatch, preemption) are *forced* — the ITRON
+//! scheduler is deterministic — so they never branch; the explorer
+//! simply plays them.
+//!
+//! The walk is an explicit-stack DFS with a canonical FNV-1a state
+//! hash for revisit dedup and a partial-order reduction: when every
+//! candidate at a frontier is pairwise independent (same tick,
+//! disjoint object/task footprints, distinct woken priorities), the
+//! commuting diamond collapses to one representative order. Violations
+//! — deadlock states, broken spec invariants, contradiction of an
+//! `rtk-verify` certificate — are distilled into `.rtkt`-replayable
+//! event streams, and families with a kernel-executable twin are
+//! cross-executed on the real kernel. See `docs/EXPLORATION.md`.
+
+mod program;
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use rtk_analysis::trace_codec::{encode_trace, TraceHeader, TraceTrailer};
+use rtk_core::{CycId, MtxId, ObsEvent, SemId, StampedEvent, TaskId, WaitObj};
+
+use crate::build::run_scenario_checked_on;
+use crate::oracle::{Choice, SpecMutation, SpecState};
+use crate::scenario::Fnv;
+use crate::verify::explore_certificate_contradiction;
+
+pub use program::Family;
+use program::{ExploreModel, Micro};
+
+/// Bounds and switches of one exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// The topology family to explore.
+    pub family: Family,
+    /// Maximum DFS depth (transitions on one path).
+    pub depth: usize,
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Partial-order reduction (collapse commuting frontiers).
+    pub por: bool,
+    /// Adversarial scheduler mode: at every branch keep only the
+    /// choices that maximize preemption (POR is off in this mode —
+    /// the selection already prunes).
+    pub adversarial: bool,
+    /// Fault-injection branch points (budgeted dropped IRQs and
+    /// delayed releases). `--no-faults` clears this.
+    pub faults: bool,
+    /// Explore a deliberately-mutated spec (the mutation-sensitivity
+    /// proofs in `crates/farm/tests/explore.rs`). Not CLI-reachable.
+    pub mutation: Option<SpecMutation>,
+    /// Cap on counterexamples whose full event streams are retained.
+    pub max_counterexamples: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            family: Family::Mtx,
+            depth: 2000,
+            max_states: 200_000,
+            por: true,
+            adversarial: false,
+            faults: true,
+            mutation: None,
+            max_counterexamples: 8,
+        }
+    }
+}
+
+/// One violation found by exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Violation class: `deadlock`, `invariant` or `spec_error`.
+    pub kind: String,
+    /// Tick of the violating state.
+    pub tick: u64,
+    /// Canonical hash of the violating state.
+    pub state_hash: u64,
+    /// Deterministic counterexample trace file name (written when
+    /// `--explore-dir` is given; the name is assigned regardless).
+    pub trace: String,
+    /// Human-readable account.
+    pub detail: String,
+}
+
+/// A replayable counterexample: the full observation-event stream
+/// from system creation to the violating state. Encoded as a `.rtkt`
+/// trace it replays through `rtk-farm --replay` like any captured
+/// campaign trace, and exports through `--export-vcd`/
+/// `--export-chrome`.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// File name this counterexample is written under (matches the
+    /// [`Violation::trace`] it proves).
+    pub name: String,
+    /// Violation class it reaches.
+    pub kind: String,
+    /// Trace-header seed (sentinel range, outside the campaign space).
+    pub seed: u64,
+    /// The event stream, tick-stamped.
+    pub events: Vec<StampedEvent>,
+}
+
+/// Deterministic summary of one exploration run; rendered to
+/// `rtk-farm-explore-v1` JSON by [`ExploreReport::to_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Family label.
+    pub family: String,
+    /// Partial-order reduction was active.
+    pub por: bool,
+    /// Adversarial scheduler mode was active.
+    pub adversarial: bool,
+    /// Fault branch points were active.
+    pub faults: bool,
+    /// Configured DFS depth bound.
+    pub depth_limit: usize,
+    /// Configured state-count bound.
+    pub max_states: usize,
+    /// Model horizon in ticks.
+    pub horizon: u64,
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions taken.
+    pub transitions: u64,
+    /// Transitions that landed on an already-visited state.
+    pub deduped: u64,
+    /// Candidates pruned by partial-order reduction.
+    pub collapsed: u64,
+    /// Deepest DFS path reached.
+    pub max_depth: u64,
+    /// A bound cut the walk short (the counts are a lower bound).
+    pub truncated: bool,
+    /// Forced preemptions played.
+    pub preemptions: u64,
+    /// Deadlock states found.
+    pub deadlocks: u64,
+    /// States with broken spec invariants.
+    pub invariant_violations: u64,
+    /// Internal spec-transition failures (always a bug).
+    pub spec_errors: u64,
+    /// FNV-1a digest folded over visited state hashes in visit order —
+    /// the determinism anchor (byte-identical across thread counts and
+    /// process runtimes).
+    pub state_hash: u64,
+    /// `rtk-verify` deadlock certificate of the kernel-executable twin
+    /// (`certified`/`refuted`/`unknown`), or `none` without a twin.
+    pub certificate: String,
+    /// Certificate contradiction account, if exploration refuted it.
+    pub certificate_contradiction: Option<String>,
+    /// Cross-execution of the twin on the real kernel (`healthy`,
+    /// `diverged: …`, `unhealthy`), or `none` without a twin.
+    pub cross_execution: String,
+    /// The violations, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// Renders the deterministic `rtk-farm-explore-v1` JSON report.
+    pub fn to_json(&self) -> String {
+        crate::report::render_explore_json(self)
+    }
+
+    /// `true` when exploration found no violation of any class.
+    pub fn clean(&self) -> bool {
+        self.deadlocks == 0
+            && self.invariant_violations == 0
+            && self.spec_errors == 0
+            && self.certificate_contradiction.is_none()
+    }
+}
+
+/// An exploration result: the report plus the retained counterexample
+/// streams.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// The deterministic report.
+    pub report: ExploreReport,
+    /// Retained counterexamples (capped by
+    /// [`ExploreConfig::max_counterexamples`]).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+/// Writes every retained counterexample of `outcome` as a `.rtkt`
+/// trace into `dir` (created if missing). Returns the written paths.
+pub fn write_counterexamples(
+    outcome: &ExploreOutcome,
+    dir: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(outcome.counterexamples.len());
+    for ce in &outcome.counterexamples {
+        let header = TraceHeader::new(
+            ce.seed,
+            &format!("explore_{}", outcome.report.family),
+            "explore",
+        );
+        let bytes = encode_trace(
+            &header,
+            &ce.events,
+            Some(TraceTrailer::clean(ce.events.len() as u64)),
+        );
+        let path = dir.join(&ce.name);
+        std::fs::write(&path, bytes)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs one bounded exhaustive exploration: walks the family's
+/// schedule tree, then anchors the result with the `rtk-verify`
+/// certificate cross-check and (when the family has a twin) one
+/// cross-execution on the real kernel under `runtime`.
+///
+/// Exploration itself is single-threaded and a pure function of `cfg`;
+/// the report is byte-identical across worker-thread settings and
+/// process runtimes.
+pub fn run_exploration(cfg: &ExploreConfig, runtime: sysc::Runtime) -> ExploreOutcome {
+    let model = cfg.family.model(cfg.faults);
+    let mut walker = Walker::new(cfg, &model);
+    walker.run();
+    let counterexamples = std::mem::take(&mut walker.counterexamples);
+    let mut report = walker.into_report(cfg, &model);
+
+    if let Some(cross) = &model.cross {
+        report.certificate = crate::verify::analyze_spec(
+            cross,
+            &rtk_analysis::static_verify::AnalysisOptions::default(),
+        )
+        .deadlock
+        .to_string();
+        report.certificate_contradiction =
+            explore_certificate_contradiction(cross, report.deadlocks);
+        let out = run_scenario_checked_on(cross, true, runtime);
+        report.cross_execution = match (&out.divergence, out.healthy()) {
+            (Some((idx, detail)), _) => format!("diverged: event {idx}: {detail}"),
+            (None, false) => "unhealthy".to_string(),
+            (None, true) => "healthy".to_string(),
+        };
+    }
+
+    ExploreOutcome {
+        report,
+        counterexamples,
+    }
+}
+
+/// Per-task program position: the op index and, at an [`Micro::Exec`],
+/// the remaining ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TaskRt {
+    pc: usize,
+    rem: u64,
+}
+
+/// One explored system state: the spec state plus the environment the
+/// spec does not own (clock, program counters, deferred-release debts,
+/// IRQ schedule, fault budgets).
+#[derive(Debug, Clone)]
+struct ExpState {
+    spec: SpecState,
+    now: u64,
+    tasks: Vec<TaskRt>,
+    owed: Vec<u32>,
+    irq_next: u64,
+    delays_left: u32,
+    drops_left: u32,
+}
+
+impl ExpState {
+    fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.spec.canon_digest());
+        h.u64(self.now);
+        for t in &self.tasks {
+            h.u64(t.pc as u64);
+            h.u64(t.rem);
+        }
+        for &o in &self.owed {
+            h.u64(u64::from(o));
+        }
+        h.u64(self.irq_next);
+        h.u64(u64::from(self.delays_left));
+        h.u64(u64::from(self.drops_left));
+        h.finish()
+    }
+}
+
+/// One resolvable branch at a frontier.
+#[derive(Debug, Clone, PartialEq)]
+enum EChoice {
+    /// A spec-owned choice: forced dispatch/preempt (instantaneous) or
+    /// an armed timeout at its tick.
+    Spec(Choice),
+    /// The running task's current `Exec` burst finishes.
+    OpComplete { task: u32, tick: u64 },
+    /// A cyclic release source fires; `delayed` defers the gate signal
+    /// (fault, budgeted).
+    CycFire {
+        idx: usize,
+        tick: u64,
+        delayed: bool,
+    },
+    /// The IRQ arrives on tick `tick` of its jitter window; `dropped`
+    /// suppresses the signal (fault, budgeted).
+    IrqFire { tick: u64, dropped: bool },
+}
+
+/// A computed successor: the candidate's child state and the realized,
+/// tick-stamped event tail.
+struct Cand {
+    choice: EChoice,
+    child: ExpState,
+    events: Vec<StampedEvent>,
+    preempt: bool,
+    tick: u64,
+    /// Dependent-with-everything (CPU-coupled) for the POR check.
+    cpu: bool,
+    /// Footprint tokens for the POR independence check.
+    tokens: std::collections::BTreeSet<(u8, u64)>,
+    /// Current priorities of tasks this candidate wakes.
+    wake_pris: std::collections::BTreeSet<u8>,
+}
+
+struct Frame {
+    cands: Vec<Option<Cand>>,
+    next: usize,
+    incoming: Vec<StampedEvent>,
+}
+
+enum Expansion {
+    LeafHorizon,
+    LeafQuiescent,
+    LeafDeadlock,
+    Choices(Vec<EChoice>),
+}
+
+struct Walker<'a> {
+    cfg: &'a ExploreConfig,
+    model: &'a ExploreModel,
+    visited: HashSet<u64>,
+    stack: Vec<Frame>,
+    states: u64,
+    transitions: u64,
+    deduped: u64,
+    collapsed: u64,
+    max_depth: u64,
+    truncated: bool,
+    preemptions: u64,
+    deadlocks: u64,
+    invariant_violations: u64,
+    spec_errors: u64,
+    frontier: Fnv,
+    violations: Vec<Violation>,
+    counterexamples: Vec<Counterexample>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(cfg: &'a ExploreConfig, model: &'a ExploreModel) -> Walker<'a> {
+        Walker {
+            cfg,
+            model,
+            visited: HashSet::new(),
+            stack: Vec::new(),
+            states: 0,
+            transitions: 0,
+            deduped: 0,
+            collapsed: 0,
+            max_depth: 0,
+            truncated: false,
+            preemptions: 0,
+            deadlocks: 0,
+            invariant_violations: 0,
+            spec_errors: 0,
+            frontier: Fnv::new(),
+            violations: Vec::new(),
+            counterexamples: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        let (root, root_events) = match self.build_root() {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_violation("spec_error", 0, 0, &e, Vec::new());
+                return;
+            }
+        };
+        let h = root.digest();
+        self.visited.insert(h);
+        self.frontier.u64(h);
+        self.states = 1;
+        if let Some(frame) = self.enter(root, h, root_events) {
+            self.stack.push(frame);
+        }
+        while !self.stack.is_empty() {
+            let cand = {
+                let top = self.stack.last_mut().expect("non-empty stack");
+                if top.next >= top.cands.len() {
+                    None
+                } else {
+                    let c = top.cands[top.next].take();
+                    top.next += 1;
+                    c
+                }
+            };
+            let Some(cand) = cand else {
+                self.stack.pop();
+                continue;
+            };
+            self.transitions += 1;
+            if cand.preempt {
+                self.preemptions += 1;
+            }
+            let h = cand.child.digest();
+            if !self.visited.insert(h) {
+                self.deduped += 1;
+                continue;
+            }
+            self.frontier.u64(h);
+            self.states += 1;
+            if let Some(frame) = self.enter(cand.child, h, cand.events) {
+                self.stack.push(frame);
+                self.max_depth = self.max_depth.max(self.stack.len() as u64);
+            }
+        }
+    }
+
+    /// Visits a freshly-discovered state: checks invariants, applies
+    /// the bounds, expands the frontier. Returns the frame to descend
+    /// into, or `None` for a leaf.
+    fn enter(&mut self, st: ExpState, hash: u64, incoming: Vec<StampedEvent>) -> Option<Frame> {
+        let broken = st.spec.invariant_violations();
+        if !broken.is_empty() {
+            self.invariant_violations += 1;
+            let detail = broken.join("; ");
+            let path = self.path_events(&incoming);
+            self.record_violation("invariant", st.now, hash, &detail, path);
+        }
+        if self.stack.len() >= self.cfg.depth || self.states >= self.cfg.max_states as u64 {
+            self.truncated = true;
+            return None;
+        }
+        let choices = match self.expand(&st) {
+            Expansion::LeafHorizon | Expansion::LeafQuiescent => return None,
+            Expansion::LeafDeadlock => {
+                self.deadlocks += 1;
+                let waiting = st.spec.waiting_tasks();
+                let detail = format!(
+                    "deadlock: no enabled transition, task(s) {} blocked forever",
+                    waiting
+                        .iter()
+                        .map(|t| format!("tsk{t}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let path = self.path_events(&incoming);
+                self.record_violation("deadlock", st.now, hash, &detail, path);
+                return None;
+            }
+            Expansion::Choices(cs) => cs,
+        };
+        let mut cands: Vec<Cand> = Vec::with_capacity(choices.len());
+        for ch in &choices {
+            match self.apply_choice(&st, ch) {
+                Ok(c) => cands.push(c),
+                Err(e) => {
+                    self.spec_errors += 1;
+                    let detail = format!("spec transition failed on {ch:?}: {e}");
+                    let path = self.path_events(&incoming);
+                    self.record_violation("spec_error", st.now, hash, &detail, path);
+                }
+            }
+        }
+        if self.cfg.adversarial && cands.len() > 1 {
+            let running_pri = st.spec.running().and_then(|r| st.spec.current_priority(r));
+            let score = |c: &Cand| -> u32 {
+                match running_pri {
+                    Some(rp) => u32::from(c.wake_pris.iter().any(|&p| p < rp)),
+                    None => 0,
+                }
+            };
+            let best = cands.iter().map(&score).max().unwrap_or(0);
+            let before = cands.len();
+            cands.retain(|c| score(c) == best);
+            self.collapsed += (before - cands.len()) as u64;
+        } else if self.cfg.por && cands.len() > 1 && self.frontier_commutes(&cands) {
+            // The whole frontier commutes: every order reaches the
+            // same joint state (verified, not assumed — see
+            // `frontier_commutes`) and, footprints being disjoint, any
+            // violation on a pruned intermediate state persists into
+            // it. One representative order suffices.
+            self.collapsed += (cands.len() - 1) as u64;
+            cands.truncate(1);
+        }
+        Some(Frame {
+            cands: cands.into_iter().map(Some).collect(),
+            next: 0,
+            incoming,
+        })
+    }
+
+    /// The partial-order-reduction gate, two layers deep:
+    ///
+    /// 1. **Static independence** — every candidate is a pure stimulus
+    ///    (no CPU-coupled effects) at the same tick, and footprint
+    ///    token sets (tasks, objects, sources, budgets) are pairwise
+    ///    disjoint. This is the soundness backbone: a violation on an
+    ///    intermediate state of a pruned order involves only that
+    ///    candidate's footprint, which the disjoint siblings cannot
+    ///    repair, so it persists into the joint state the
+    ///    representative order visits.
+    /// 2. **Verified confluence** — independence of footprints does
+    ///    *not* by itself make same-tick stimuli commute: if the CPU
+    ///    is idle, the first wakeup's forced dispatch can let the
+    ///    woken task run instantaneous ops (take a lock!) before the
+    ///    sibling stimulus lands. So every unordered pair is executed
+    ///    both ways — through all interposed forced moves — and must
+    ///    reach digest-identical joint states.
+    fn frontier_commutes(&self, cands: &[Cand]) -> bool {
+        for (i, a) in cands.iter().enumerate() {
+            if a.cpu {
+                return false;
+            }
+            for b in &cands[i + 1..] {
+                if a.tick != b.tick || !a.tokens.is_disjoint(&b.tokens) {
+                    return false;
+                }
+            }
+        }
+        for (i, a) in cands.iter().enumerate() {
+            for b in &cands[i + 1..] {
+                let ab = self.joint_digest(&a.child, &b.choice);
+                let ba = self.joint_digest(&b.child, &a.choice);
+                if !matches!((ab, ba), (Some(x), Some(y)) if x == y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Digest of the state reached from `mid` by playing all forced
+    /// moves, applying `then`, and playing forced moves again. `None`
+    /// if the sibling choice is no longer applicable (treated as
+    /// non-commuting).
+    fn joint_digest(&self, mid: &ExpState, then: &EChoice) -> Option<u64> {
+        let closed = self.closed(mid.clone())?;
+        let c = self.apply_choice(&closed, then).ok()?;
+        let fin = self.closed(c.child)?;
+        Some(fin.digest())
+    }
+
+    /// Plays out the deterministic forced moves (dispatch, preemption)
+    /// of a state. Bounded defensively; `None` means "give up, treat
+    /// as non-commuting".
+    fn closed(&self, mut st: ExpState) -> Option<ExpState> {
+        for _ in 0..64 {
+            let forced = match st.spec.enabled().as_slice() {
+                [c @ (Choice::Dispatch { .. } | Choice::Preempt { .. })] => c.clone(),
+                _ => return Some(st),
+            };
+            st = self.apply_choice(&st, &EChoice::Spec(forced)).ok()?.child;
+        }
+        None
+    }
+
+    fn path_events(&self, tail: &[StampedEvent]) -> Vec<StampedEvent> {
+        let mut evs: Vec<StampedEvent> = Vec::new();
+        for f in &self.stack {
+            evs.extend_from_slice(&f.incoming);
+        }
+        evs.extend_from_slice(tail);
+        evs
+    }
+
+    fn record_violation(
+        &mut self,
+        kind: &str,
+        tick: u64,
+        state_hash: u64,
+        detail: &str,
+        path: Vec<StampedEvent>,
+    ) {
+        let idx = self.violations.len();
+        let name = format!("explore-{}-{idx:02}.rtkt", self.model.family.label());
+        if idx < self.cfg.max_counterexamples {
+            self.counterexamples.push(Counterexample {
+                name: name.clone(),
+                kind: kind.to_string(),
+                seed: self.model.sentinel_seed + idx as u64,
+                events: path,
+            });
+        }
+        self.violations.push(Violation {
+            kind: kind.to_string(),
+            tick,
+            state_hash,
+            trace: name,
+            detail: detail.to_string(),
+        });
+    }
+
+    fn build_root(&self) -> Result<(ExpState, Vec<StampedEvent>), String> {
+        let spec = match self.cfg.mutation {
+            Some(m) => SpecState::with_mutation(m),
+            None => SpecState::new(),
+        };
+        let (spec, evs) = spec.step(&Choice::Stimulus(self.model.init.clone()))?;
+        let events = evs
+            .into_iter()
+            .map(|ev| StampedEvent { tick: 0, ev })
+            .collect();
+        let tasks = self
+            .model
+            .tasks
+            .iter()
+            .map(|p| {
+                let rem = match p.ops[0] {
+                    Micro::Exec(n) => n,
+                    _ => 0,
+                };
+                TaskRt { pc: 0, rem }
+            })
+            .collect();
+        Ok((
+            ExpState {
+                spec,
+                now: 0,
+                tasks,
+                owed: vec![0; self.model.cycs.len()],
+                irq_next: self.model.irq.map_or(0, |i| i.first),
+                delays_left: self.model.delay_budget,
+                drops_left: self.model.drop_budget,
+            },
+            events,
+        ))
+    }
+
+    /// Enumerates the candidates at a quiescent state, in a fixed
+    /// deterministic order.
+    fn expand(&self, st: &ExpState) -> Expansion {
+        let spec_enabled = st.spec.enabled();
+        if let [c @ (Choice::Dispatch { .. } | Choice::Preempt { .. })] = spec_enabled.as_slice() {
+            return Expansion::Choices(vec![EChoice::Spec(c.clone())]);
+        }
+        let mut timed: Vec<EChoice> = spec_enabled
+            .iter()
+            .filter_map(|c| match c {
+                Choice::Timeout { .. } => Some(EChoice::Spec(c.clone())),
+                _ => None,
+            })
+            .collect();
+        if let Some(r) = st.spec.running() {
+            let rt = st.tasks[r as usize - 1];
+            if matches!(self.model.tasks[r as usize - 1].ops[rt.pc], Micro::Exec(_)) {
+                timed.push(EChoice::OpComplete {
+                    task: r,
+                    tick: st.now + rt.rem,
+                });
+            }
+        }
+        for (idx, cyc) in self.model.cycs.iter().enumerate() {
+            if let Some(tick) = st.spec.cyc_next_fire(cyc.id) {
+                timed.push(EChoice::CycFire {
+                    idx,
+                    tick,
+                    delayed: false,
+                });
+            }
+        }
+        let tick_of = |c: &EChoice| match *c {
+            EChoice::Spec(Choice::Timeout { tick, .. }) => tick,
+            EChoice::OpComplete { tick, .. } => tick,
+            EChoice::CycFire { tick, .. } => tick,
+            EChoice::IrqFire { tick, .. } => tick,
+            EChoice::Spec(_) => st.now,
+        };
+        let tmin = timed.iter().map(&tick_of).min();
+        let tmin_h = tmin.filter(|&t| t <= self.model.horizon);
+        let irq_window = self.model.irq.and_then(|irq| {
+            let lo = st.irq_next.max(st.now);
+            if lo > self.model.horizon {
+                return None;
+            }
+            Some((
+                lo,
+                (st.irq_next + irq.jitter).max(lo).min(self.model.horizon),
+            ))
+        });
+        let cut = match (tmin_h, irq_window) {
+            (None, None) => {
+                return if tmin.is_some() {
+                    Expansion::LeafHorizon
+                } else if st.spec.waiting_tasks().is_empty() {
+                    Expansion::LeafQuiescent
+                } else {
+                    Expansion::LeafDeadlock
+                };
+            }
+            (Some(t), None) => t,
+            (None, Some((_, hi))) => hi,
+            (Some(t), Some((_, hi))) => t.min(hi),
+        };
+        let mut out: Vec<EChoice> = Vec::new();
+        for c in timed {
+            if tick_of(&c) != cut {
+                continue;
+            }
+            if let EChoice::CycFire { idx, tick, .. } = c {
+                out.push(c);
+                if st.delays_left > 0 {
+                    out.push(EChoice::CycFire {
+                        idx,
+                        tick,
+                        delayed: true,
+                    });
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        if let Some((lo, hi)) = irq_window {
+            if lo <= cut {
+                for w in lo..=hi.min(cut) {
+                    out.push(EChoice::IrqFire {
+                        tick: w,
+                        dropped: false,
+                    });
+                }
+                if st.drops_left > 0 {
+                    out.push(EChoice::IrqFire {
+                        tick: lo,
+                        dropped: true,
+                    });
+                }
+            }
+        }
+        Expansion::Choices(out)
+    }
+
+    /// Applies one candidate, producing the successor state and the
+    /// realized tick-stamped event tail.
+    fn apply_choice(&self, st: &ExpState, ch: &EChoice) -> Result<Cand, String> {
+        let mut next = st.clone();
+        let mut out: Vec<StampedEvent> = Vec::new();
+        let mut cpu = false;
+        let tick;
+        match ch {
+            EChoice::Spec(c) => {
+                if let Choice::Timeout { tick: t, .. } = c {
+                    advance(self.model, &mut next, *t)?;
+                }
+                tick = next.now;
+                cpu = matches!(c, Choice::Dispatch { .. } | Choice::Preempt { .. });
+                step_spec(self.model, &mut next, c.clone(), &mut out)?;
+                drive(self.model, &mut next, &mut out)?;
+            }
+            EChoice::OpComplete { task, tick: t } => {
+                advance(self.model, &mut next, *t)?;
+                tick = *t;
+                cpu = true;
+                let i = *task as usize - 1;
+                if next.tasks[i].rem != 0 {
+                    return Err(format!(
+                        "tsk{task}: exec completion with {} tick(s) left",
+                        next.tasks[i].rem
+                    ));
+                }
+                let pc = next.tasks[i].pc;
+                set_pc(self.model, &mut next, *task, pc + 1);
+                drive(self.model, &mut next, &mut out)?;
+            }
+            EChoice::CycFire {
+                idx,
+                tick: t,
+                delayed,
+            } => {
+                advance(self.model, &mut next, *t)?;
+                tick = *t;
+                let cyc = self.model.cycs[*idx];
+                let mut evs = vec![ObsEvent::CycFire {
+                    id: CycId::from_raw(cyc.id),
+                    tick: *t,
+                }];
+                if *delayed {
+                    next.owed[*idx] += 1;
+                    next.delays_left -= 1;
+                } else {
+                    let cnt = 1 + std::mem::take(&mut next.owed[*idx]);
+                    evs.push(ObsEvent::SemSignal {
+                        id: SemId::from_raw(cyc.gate),
+                        cnt,
+                    });
+                }
+                step_spec(self.model, &mut next, Choice::Stimulus(evs), &mut out)?;
+            }
+            EChoice::IrqFire { tick: t, dropped } => {
+                advance(self.model, &mut next, *t)?;
+                tick = *t;
+                let irq = self.model.irq.expect("irq candidate without a source");
+                next.irq_next += irq.gap;
+                if *dropped {
+                    next.drops_left -= 1;
+                } else {
+                    let evs = vec![ObsEvent::SemSignal {
+                        id: SemId::from_raw(irq.sem),
+                        cnt: 1,
+                    }];
+                    step_spec(self.model, &mut next, Choice::Stimulus(evs), &mut out)?;
+                }
+            }
+        }
+        let mut tokens = std::collections::BTreeSet::new();
+        let mut wake_pris = std::collections::BTreeSet::new();
+        match ch {
+            EChoice::Spec(Choice::Timeout { tid, .. }) => {
+                tokens.insert((0u8, u64::from(*tid)));
+            }
+            EChoice::CycFire { idx, delayed, .. } => {
+                let cyc = self.model.cycs[*idx];
+                tokens.insert((3, u64::from(cyc.id)));
+                tokens.insert((2, u64::from(cyc.gate)));
+                if *delayed {
+                    tokens.insert((5, 0));
+                }
+            }
+            EChoice::IrqFire { dropped, .. } => {
+                tokens.insert((4, 0));
+                if let Some(irq) = self.model.irq {
+                    tokens.insert((2, u64::from(irq.sem)));
+                }
+                if *dropped {
+                    tokens.insert((5, 1));
+                }
+            }
+            _ => {}
+        }
+        for se in &out {
+            match se.ev {
+                ObsEvent::TimerFire { tid, .. } => {
+                    tokens.insert((0, u64::from(tid.raw())));
+                }
+                ObsEvent::Wakeup { tid, obj, .. } => {
+                    let raw = tid.raw();
+                    tokens.insert((0, u64::from(raw)));
+                    match obj {
+                        WaitObj::Sem(id, _) => {
+                            tokens.insert((2, u64::from(id.raw())));
+                        }
+                        WaitObj::Mtx(id) => {
+                            tokens.insert((1, u64::from(id.raw())));
+                        }
+                        _ => cpu = true,
+                    }
+                    if let Some(p) = next.spec.current_priority(raw) {
+                        wake_pris.insert(p);
+                    }
+                }
+                ObsEvent::SemSignal { id, .. } => {
+                    tokens.insert((2, u64::from(id.raw())));
+                }
+                ObsEvent::CycFire { id, .. } => {
+                    tokens.insert((3, u64::from(id.raw())));
+                }
+                _ => cpu = true,
+            }
+        }
+        Ok(Cand {
+            preempt: matches!(ch, EChoice::Spec(Choice::Preempt { .. })),
+            choice: ch.clone(),
+            child: next,
+            events: out,
+            tick,
+            cpu,
+            tokens,
+            wake_pris,
+        })
+    }
+
+    fn into_report(self, cfg: &ExploreConfig, model: &ExploreModel) -> ExploreReport {
+        ExploreReport {
+            family: model.family.label().to_string(),
+            por: cfg.por && !cfg.adversarial,
+            adversarial: cfg.adversarial,
+            faults: cfg.faults,
+            depth_limit: cfg.depth,
+            max_states: cfg.max_states,
+            horizon: model.horizon,
+            states: self.states,
+            transitions: self.transitions,
+            deduped: self.deduped,
+            collapsed: self.collapsed,
+            max_depth: self.max_depth,
+            truncated: self.truncated,
+            preemptions: self.preemptions,
+            deadlocks: self.deadlocks,
+            invariant_violations: self.invariant_violations,
+            spec_errors: self.spec_errors,
+            state_hash: self.frontier.finish(),
+            certificate: "none".to_string(),
+            certificate_contradiction: None,
+            cross_execution: "none".to_string(),
+            violations: self.violations,
+        }
+    }
+}
+
+/// Advances the clock to `to`, charging the elapsed ticks to the
+/// running task's current `Exec` burst.
+fn advance(model: &ExploreModel, st: &mut ExpState, to: u64) -> Result<(), String> {
+    let dt = to
+        .checked_sub(st.now)
+        .ok_or_else(|| format!("time moved backwards: {} -> {to}", st.now))?;
+    if dt > 0 {
+        if let Some(r) = st.spec.running() {
+            let i = r as usize - 1;
+            if matches!(model.tasks[i].ops[st.tasks[i].pc], Micro::Exec(_)) {
+                st.tasks[i].rem = st.tasks[i]
+                    .rem
+                    .checked_sub(dt)
+                    .ok_or_else(|| format!("tsk{r}: exec burst overrun by {dt} tick(s)"))?;
+            }
+        }
+    }
+    st.now = to;
+    Ok(())
+}
+
+/// Applies one spec choice, stamping the realized events and advancing
+/// the program counter of every woken task.
+fn step_spec(
+    model: &ExploreModel,
+    st: &mut ExpState,
+    choice: Choice,
+    out: &mut Vec<StampedEvent>,
+) -> Result<(), String> {
+    let (spec, evs) = st.spec.step(&choice)?;
+    st.spec = spec;
+    for ev in evs {
+        if let ObsEvent::Wakeup { tid, code, .. } = ev {
+            wake_advance(model, st, tid.raw(), code)?;
+        }
+        out.push(StampedEvent { tick: st.now, ev });
+    }
+    Ok(())
+}
+
+/// A woken task's program advances past its wait op: `Ok` proceeds,
+/// `Timeout` branches to the op's `skip_to`.
+fn wake_advance(
+    model: &ExploreModel,
+    st: &mut ExpState,
+    tid: u32,
+    code: rtk_core::WakeCode,
+) -> Result<(), String> {
+    use rtk_core::WakeCode;
+    let i = tid as usize - 1;
+    let pc = st.tasks[i].pc;
+    let (on_ok, on_tmo) = match model.tasks[i].ops[pc] {
+        Micro::Lock { skip_to, .. } | Micro::WaitSem { skip_to, .. } => (pc + 1, Some(skip_to)),
+        Micro::WaitGate => (pc + 1, None),
+        ref op => {
+            return Err(format!(
+                "tsk{tid} woken while at non-wait op {op:?} (pc {pc})"
+            ))
+        }
+    };
+    let target = match code {
+        WakeCode::Ok => on_ok,
+        WakeCode::Timeout => {
+            on_tmo.ok_or_else(|| format!("tsk{tid}: timeout wakeup from a TMO_FEVR wait"))?
+        }
+        other => return Err(format!("tsk{tid}: unexpected wake code {other:?}")),
+    };
+    set_pc(model, st, tid, target);
+    Ok(())
+}
+
+/// Moves a task to `pc`, looping `EndJob` back to the program start
+/// and arming the remaining-tick counter of an `Exec` op.
+fn set_pc(model: &ExploreModel, st: &mut ExpState, tid: u32, pc: usize) {
+    let i = tid as usize - 1;
+    let ops = &model.tasks[i].ops;
+    let mut pc = pc;
+    while matches!(ops[pc], Micro::EndJob) {
+        pc = 0;
+    }
+    st.tasks[i].pc = pc;
+    if let Micro::Exec(n) = ops[pc] {
+        st.tasks[i].rem = n;
+    }
+}
+
+/// Plays the running task's program forward through its instantaneous
+/// operations until it blocks, reaches an `Exec` burst, loses the CPU,
+/// or a mandated preemption interposes.
+fn drive(
+    model: &ExploreModel,
+    st: &mut ExpState,
+    out: &mut Vec<StampedEvent>,
+) -> Result<(), String> {
+    loop {
+        let Some(r) = st.spec.running() else {
+            return Ok(());
+        };
+        if !st.spec.is_dispatch_disabled() {
+            if let (Some((_, hp)), Some(rp)) = (st.spec.ready_front(), st.spec.current_priority(r))
+            {
+                if hp < rp {
+                    // A more urgent task is ready: the preemption is
+                    // forced before the next program op.
+                    return Ok(());
+                }
+            }
+        }
+        let i = r as usize - 1;
+        let pc = st.tasks[i].pc;
+        match model.tasks[i].ops[pc] {
+            Micro::Exec(_) => return Ok(()),
+            Micro::Lock { mtx, tmo, .. } => {
+                let obj = WaitObj::Mtx(MtxId::from_raw(mtx));
+                if st.spec.would_block(r, &obj) {
+                    let ev = ObsEvent::Block {
+                        tid: TaskId::from_raw(r),
+                        obj,
+                        deadline_tick: tmo.map(|t| st.now + t),
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                } else {
+                    let ev = ObsEvent::MtxLock {
+                        id: MtxId::from_raw(mtx),
+                        tid: TaskId::from_raw(r),
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                    set_pc(model, st, r, pc + 1);
+                }
+            }
+            Micro::Unlock { mtx } => {
+                let ev = ObsEvent::MtxUnlock {
+                    id: MtxId::from_raw(mtx),
+                    tid: TaskId::from_raw(r),
+                };
+                step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                set_pc(model, st, r, pc + 1);
+            }
+            Micro::WaitSem { sem, cnt, tmo, .. } => {
+                let obj = WaitObj::Sem(SemId::from_raw(sem), cnt);
+                if st.spec.would_block(r, &obj) {
+                    let ev = ObsEvent::Block {
+                        tid: TaskId::from_raw(r),
+                        obj,
+                        deadline_tick: tmo.map(|t| st.now + t),
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                } else {
+                    let ev = ObsEvent::SemTake {
+                        id: SemId::from_raw(sem),
+                        tid: TaskId::from_raw(r),
+                        cnt,
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                    set_pc(model, st, r, pc + 1);
+                }
+            }
+            Micro::WaitGate => {
+                let gate = program::GATE_BASE + r;
+                let obj = WaitObj::Sem(SemId::from_raw(gate), 1);
+                if st.spec.would_block(r, &obj) {
+                    let ev = ObsEvent::Block {
+                        tid: TaskId::from_raw(r),
+                        obj,
+                        deadline_tick: None,
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                } else {
+                    let ev = ObsEvent::SemTake {
+                        id: SemId::from_raw(gate),
+                        tid: TaskId::from_raw(r),
+                        cnt: 1,
+                    };
+                    step_spec(model, st, Choice::Stimulus(vec![ev]), out)?;
+                    set_pc(model, st, r, pc + 1);
+                }
+            }
+            Micro::EndJob => set_pc(model, st, r, pc),
+        }
+    }
+}

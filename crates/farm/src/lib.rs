@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod build;
+pub mod explore;
 pub mod model;
 pub mod oracle;
 pub mod replay;
@@ -64,8 +65,12 @@ pub use build::{
     run_scenario, run_scenario_analyzed, run_scenario_checked, run_scenario_checked_on,
     run_scenario_observed, run_scenario_traced, ScenarioOutcome, TraceConfig,
 };
+pub use explore::{
+    run_exploration, write_counterexamples, Counterexample, ExploreConfig, ExploreOutcome,
+    ExploreReport, Family, Violation,
+};
 pub use model::static_model;
-pub use oracle::{check, Checker, Divergence, OracleVerdict};
+pub use oracle::{check, Checker, Choice, Divergence, OracleVerdict, SpecMutation, SpecState};
 pub use replay::{
     replay_analysis, replay_path, replay_report_json, replay_report_json_analyzed, replay_trace,
     ReplayedAnalysis, ReplayedTrace,

@@ -8,12 +8,17 @@
 //!          [--out PATH]
 //! rtk-farm --replay PATH [--export-vcd DIR] [--export-chrome DIR]
 //!          [--out PATH]
+//! rtk-farm --explore FAMILY [--depth N] [--max-states N] [--no-por]
+//!          [--adversarial] [--no-faults] [--explore-dir DIR]
+//!          [--export-vcd DIR] [--export-chrome DIR] [--out PATH]
 //! ```
 //!
-//! Exit code 0 when every scenario (or replayed trace) is healthy; 1
-//! when any scenario panicked, stalled, livelocked or (with `--oracle`
-//! or under `--replay`) diverged from the ITRON reference model (the
-//! CI gates); 2 on usage errors.
+//! Exit code 0 when every scenario (or replayed trace) is healthy and
+//! every explored schedule is violation-free; 1 when any scenario
+//! panicked, stalled, livelocked or (with `--oracle` or under
+//! `--replay`) diverged from the ITRON reference model, or when
+//! `--explore` found a deadlock, invariant break or certificate
+//! contradiction (the CI gates); 2 on usage errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,8 +26,9 @@ use std::time::Instant;
 
 use rtk_analysis::trace_codec::TraceTuning;
 use rtk_farm::{
-    replay_analysis, replay_path, replay_report_json_analyzed, run_campaign, CampaignConfig,
-    CampaignReport, ReplayedAnalysis, Topology, TraceConfig,
+    replay_analysis, replay_path, replay_report_json_analyzed, run_campaign, run_exploration,
+    write_counterexamples, CampaignConfig, CampaignReport, ExploreConfig, Family, ReplayedAnalysis,
+    Topology, TraceConfig,
 };
 
 const USAGE: &str = "usage: rtk-farm [options]
@@ -68,6 +74,30 @@ replay options:
                   check each decoded stream against its declared lock
                   model; a conformance violation fails the replay
                   (timing cross-checks stay live-campaign-only)
+
+explore options (bounded model checking, see docs/EXPLORATION.md):
+  --explore FAMILY walk every schedule of a hand-built topology through
+                  the executable ITRON spec — timeout ties, IRQ jitter
+                  slots, same-tick release orders and budgeted faults
+                  all branch; any deadlock state, spec-invariant break
+                  or rtk-verify certificate contradiction fails the
+                  run (exit 1). FAMILY is one of:
+                  mtx irq chain deadlock
+                  Report goes to --out (default EXPLORE_farm.json).
+                  Excludes every campaign/replay option except
+                  --threads, --runtime, --quick and --no-faults
+  --depth N       DFS depth bound, at least 1        (default 2000)
+  --max-states N  distinct-state bound, at least 1   (default 200000)
+  --no-por        disable partial-order reduction (explore every
+                  order of commuting same-tick choices)
+  --adversarial   keep only the preemption-maximizing choices at every
+                  branch point (a pruning of the exhaustive tree;
+                  implies no POR)
+  --no-faults     with --explore: no fault branch points
+  --explore-dir DIR  write each violation's replayable counterexample
+                  as explore-<family>-<n>.rtkt into DIR
+  --export-vcd/--export-chrome  with --explore: render each
+                  counterexample like a replayed trace
   --help          this text";
 
 #[derive(Debug)]
@@ -77,6 +107,8 @@ struct Cli {
     replay: Option<PathBuf>,
     export_vcd: Option<PathBuf>,
     export_chrome: Option<PathBuf>,
+    explore: Option<ExploreConfig>,
+    explore_dir: Option<PathBuf>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -86,18 +118,31 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         replay: None,
         export_vcd: None,
         export_chrome: None,
+        explore: None,
+        explore_dir: None,
     };
     let mut trace_dir: Option<PathBuf> = None;
     let mut trace_cap: Option<u64> = None;
+    // --explore knobs, collected order-independently and validated
+    // after the loop (so `--depth 10 --explore mtx` parses too).
+    let mut explore_family: Option<String> = None;
+    let mut depth: Option<usize> = None;
+    let mut max_states: Option<usize> = None;
+    let mut no_por = false;
+    let mut adversarial = false;
+    // Campaign-only options seen, for the --explore exclusion check.
+    let mut campaign_only: Vec<&'static str> = Vec::new();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match arg.as_str() {
             "--seeds" => {
+                campaign_only.push("--seeds");
                 cli.cfg.seeds = value("--seeds")?
                     .parse()
                     .map_err(|e| format!("--seeds: {e}"))?
             }
             "--base-seed" => {
+                campaign_only.push("--base-seed");
                 cli.cfg.base_seed = value("--base-seed")?
                     .parse()
                     .map_err(|e| format!("--base-seed: {e}"))?
@@ -112,9 +157,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--quick" => cli.cfg.tuning.quick = true,
             "--no-faults" => cli.cfg.tuning.faults = false,
-            "--oracle" => cli.cfg.oracle = true,
-            "--analyze" => cli.cfg.analyze = true,
+            "--oracle" => {
+                campaign_only.push("--oracle");
+                cli.cfg.oracle = true
+            }
+            "--analyze" => {
+                campaign_only.push("--analyze");
+                cli.cfg.analyze = true
+            }
             "--topology" => {
+                campaign_only.push("--topology");
                 let name = value("--topology")?;
                 if !Topology::ALL_LABELS.contains(&name.as_str()) {
                     return Err(format!(
@@ -129,8 +181,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--runtime: {e}"))?
             }
-            "--trace-dir" => trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
+            "--trace-dir" => {
+                campaign_only.push("--trace-dir");
+                trace_dir = Some(PathBuf::from(value("--trace-dir")?))
+            }
             "--trace-cap" => {
+                campaign_only.push("--trace-cap");
                 trace_cap = Some(
                     value("--trace-cap")?
                         .parse()
@@ -141,6 +197,28 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--export-vcd" => cli.export_vcd = Some(PathBuf::from(value("--export-vcd")?)),
             "--export-chrome" => cli.export_chrome = Some(PathBuf::from(value("--export-chrome")?)),
             "--out" => cli.out = Some(value("--out")?),
+            "--explore" => explore_family = Some(value("--explore")?),
+            "--depth" => {
+                let n: usize = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?;
+                if n == 0 {
+                    return Err("--depth must be at least 1".into());
+                }
+                depth = Some(n);
+            }
+            "--max-states" => {
+                let n: usize = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?;
+                if n == 0 {
+                    return Err("--max-states must be at least 1".into());
+                }
+                max_states = Some(n);
+            }
+            "--no-por" => no_por = true,
+            "--adversarial" => adversarial = true,
+            "--explore-dir" => cli.explore_dir = Some(PathBuf::from(value("--explore-dir")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -166,8 +244,55 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
             }),
         });
     }
-    if cli.replay.is_none() && (cli.export_vcd.is_some() || cli.export_chrome.is_some()) {
-        return Err("--export-vcd/--export-chrome require --replay".into());
+    match explore_family {
+        None => {
+            let knobs: Vec<&str> = [
+                depth.map(|_| "--depth"),
+                max_states.map(|_| "--max-states"),
+                no_por.then_some("--no-por"),
+                adversarial.then_some("--adversarial"),
+                cli.explore_dir.as_ref().map(|_| "--explore-dir"),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            if !knobs.is_empty() {
+                return Err(format!("{} require(s) --explore", knobs.join("/")));
+            }
+        }
+        Some(name) => {
+            let family = Family::parse(&name).ok_or_else(|| {
+                format!(
+                    "--explore: unknown family {name:?} (known: {})",
+                    Family::ALL_LABELS.join(" ")
+                )
+            })?;
+            if cli.replay.is_some() {
+                return Err("--explore cannot be combined with --replay".into());
+            }
+            if !campaign_only.is_empty() {
+                return Err(format!(
+                    "--explore cannot be combined with campaign option(s) {}",
+                    campaign_only.join("/")
+                ));
+            }
+            let defaults = ExploreConfig::default();
+            cli.explore = Some(ExploreConfig {
+                family,
+                depth: depth.unwrap_or(defaults.depth),
+                max_states: max_states.unwrap_or(defaults.max_states),
+                por: !no_por,
+                adversarial,
+                faults: cli.cfg.tuning.faults,
+                ..defaults
+            });
+        }
+    }
+    if cli.replay.is_none()
+        && cli.explore.is_none()
+        && (cli.export_vcd.is_some() || cli.export_chrome.is_some())
+    {
+        return Err("--export-vcd/--export-chrome require --replay or --explore".into());
     }
     Ok(cli)
 }
@@ -276,6 +401,93 @@ fn run_replay(cli: &Cli, path: &std::path::Path) -> ExitCode {
     }
 }
 
+/// The `--explore` mode: exhaust the family's schedule tree, distill
+/// violations into replayable counterexamples, write the report.
+fn run_explore(cli: &Cli, cfg: &ExploreConfig) -> ExitCode {
+    eprintln!(
+        "rtk-farm: exploring family {} (depth {}, max-states {}, por {}, \
+         adversarial {}, faults {})",
+        cfg.family, cfg.depth, cfg.max_states, cfg.por, cfg.adversarial, cfg.faults,
+    );
+    let outcome = run_exploration(cfg, cli.cfg.runtime);
+    let mut written: Vec<PathBuf> = Vec::new();
+    if let Some(dir) = &cli.explore_dir {
+        match write_counterexamples(&outcome, dir) {
+            Ok(paths) => written = paths,
+            Err(e) => {
+                eprintln!(
+                    "rtk-farm: cannot write counterexamples to {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cli.export_vcd.is_some() || cli.export_chrome.is_some() {
+        for dir in [&cli.export_vcd, &cli.export_chrome].into_iter().flatten() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("rtk-farm: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let tick_us = rtk_analysis::trace_codec::DEFAULT_TICK_US;
+        for ce in &outcome.counterexamples {
+            let stem = ce.name.trim_end_matches(".rtkt");
+            let exports: [(&Option<PathBuf>, &str, ExportFn); 2] = [
+                (&cli.export_vcd, "vcd", rtk_analysis::obs_to_vcd),
+                (
+                    &cli.export_chrome,
+                    "trace.json",
+                    rtk_analysis::obs_to_chrome_trace,
+                ),
+            ];
+            for (dir, ext, render) in exports {
+                if let Some(dir) = dir {
+                    let file = dir.join(format!("{stem}.{ext}"));
+                    if let Err(e) = std::fs::write(&file, render(&ce.events, tick_us)) {
+                        eprintln!("rtk-farm: cannot write {}: {e}", file.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+    let out = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| "EXPLORE_farm.json".into());
+    if let Err(e) = std::fs::write(&out, outcome.report.to_json()) {
+        eprintln!("rtk-farm: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    let r = &outcome.report;
+    eprintln!(
+        "rtk-farm: explored {} state(s), {} transition(s), {} deduped, {} collapsed, \
+         max depth {}, hash {:016x} -> {out}",
+        r.states, r.transitions, r.deduped, r.collapsed, r.max_depth, r.state_hash,
+    );
+    if r.truncated {
+        eprintln!("rtk-farm: WARNING: exploration truncated by --depth/--max-states bounds");
+    }
+    if !written.is_empty() {
+        eprintln!("rtk-farm: wrote {} counterexample(s)", written.len());
+    }
+    for v in &r.violations {
+        eprintln!(
+            "rtk-farm: {} at tick {} (state {:016x}): {}",
+            v.kind, v.tick, v.state_hash, v.detail
+        );
+    }
+    if let Some(msg) = &r.certificate_contradiction {
+        eprintln!("rtk-farm: CERTIFICATE CONTRADICTION: {msg}");
+    }
+    if r.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
         Ok(v) => v,
@@ -291,6 +503,9 @@ fn main() -> ExitCode {
 
     if let Some(path) = &cli.replay {
         return run_replay(&cli, path);
+    }
+    if let Some(ecfg) = cli.explore.clone() {
+        return run_explore(&cli, &ecfg);
     }
     let cfg = cli.cfg;
     let out_path = cli.out.unwrap_or_else(|| "BENCH_farm.json".into());
@@ -532,5 +747,104 @@ mod tests {
     #[test]
     fn unknown_option_is_a_usage_error() {
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn explore_flags_build_a_config() {
+        let cli = parse(&[
+            "--explore",
+            "irq",
+            "--depth",
+            "64",
+            "--max-states",
+            "1000",
+            "--no-por",
+            "--adversarial",
+            "--explore-dir",
+            "ces",
+        ])
+        .unwrap();
+        let e = cli.explore.expect("explore config");
+        assert_eq!(e.family, super::Family::Irq);
+        assert_eq!((e.depth, e.max_states), (64, 1000));
+        assert!(!e.por);
+        assert!(e.adversarial);
+        assert_eq!(
+            cli.explore_dir.as_deref(),
+            Some(std::path::Path::new("ces"))
+        );
+    }
+
+    #[test]
+    fn explore_defaults_and_knob_order_independence() {
+        // Knobs may precede --explore; defaults match ExploreConfig.
+        let cli = parse(&["--depth", "10", "--explore", "mtx"]).unwrap();
+        let e = cli.explore.unwrap();
+        assert_eq!((e.depth, e.max_states), (10, 200_000));
+        assert!(e.por && !e.adversarial && e.faults);
+        let e = parse(&["--explore", "mtx"]).unwrap().explore.unwrap();
+        assert_eq!(e.depth, 2000);
+        // --no-faults flows into the explore config.
+        let e = parse(&["--explore", "mtx", "--no-faults"])
+            .unwrap()
+            .explore
+            .unwrap();
+        assert!(!e.faults);
+    }
+
+    #[test]
+    fn explore_unknown_family_lists_the_labels() {
+        let err = parse(&["--explore", "nope"]).unwrap_err();
+        assert!(err.contains("unknown family"), "{err}");
+        for label in super::Family::ALL_LABELS {
+            assert!(err.contains(label), "{err} missing {label}");
+        }
+    }
+
+    #[test]
+    fn explore_knobs_without_explore_are_a_usage_error() {
+        for args in [
+            &["--depth", "5"][..],
+            &["--max-states", "5"][..],
+            &["--no-por"][..],
+            &["--adversarial"][..],
+            &["--explore-dir", "d"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("--explore"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn explore_excludes_campaign_and_replay_modes() {
+        let err = parse(&["--explore", "mtx", "--replay", "t"]).unwrap_err();
+        assert!(err.contains("--replay"), "{err}");
+        for args in [
+            &["--explore", "mtx", "--seeds", "9"][..],
+            &["--explore", "mtx", "--oracle"][..],
+            &["--explore", "mtx", "--analyze"][..],
+            &["--explore", "mtx", "--topology", "independent"][..],
+            &["--explore", "mtx", "--trace-dir", "t"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("campaign option"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn explore_zero_bounds_are_usage_errors() {
+        let err = parse(&["--explore", "mtx", "--depth", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--explore", "mtx", "--max-states", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--explore", "mtx", "--depth", "junk"]).unwrap_err();
+        assert!(err.contains("--depth"), "{err}");
+    }
+
+    #[test]
+    fn exports_are_allowed_with_explore() {
+        let cli = parse(&["--explore", "deadlock", "--export-vcd", "w"]).unwrap();
+        assert!(cli.explore.is_some());
+        assert_eq!(cli.export_vcd.as_deref(), Some(std::path::Path::new("w")));
     }
 }

@@ -316,6 +316,70 @@ impl CampaignReport {
     }
 }
 
+/// Renders the deterministic `rtk-farm-explore-v1` JSON document for
+/// one exploration run (see `docs/EXPLORATION.md`). Same discipline as
+/// the bench report: fixed field order, integer/quoted-hex values
+/// only, no host quantities — byte-identical across thread counts,
+/// runtimes and hosts.
+pub(crate) fn render_explore_json(r: &crate::explore::ExploreReport) -> String {
+    let mut j = String::with_capacity(2048);
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"rtk-farm-explore-v1\",");
+    let _ = writeln!(j, "  \"family\": \"{}\",", r.family);
+    let _ = writeln!(j, "  \"por\": {},", r.por);
+    let _ = writeln!(j, "  \"adversarial\": {},", r.adversarial);
+    let _ = writeln!(j, "  \"faults\": {},", r.faults);
+    let _ = writeln!(j, "  \"depth_limit\": {},", r.depth_limit);
+    let _ = writeln!(j, "  \"max_states\": {},", r.max_states);
+    let _ = writeln!(j, "  \"horizon\": {},", r.horizon);
+    let _ = writeln!(j, "  \"states\": {},", r.states);
+    let _ = writeln!(j, "  \"transitions\": {},", r.transitions);
+    let _ = writeln!(j, "  \"deduped\": {},", r.deduped);
+    let _ = writeln!(j, "  \"collapsed\": {},", r.collapsed);
+    let _ = writeln!(j, "  \"max_depth\": {},", r.max_depth);
+    let _ = writeln!(j, "  \"truncated\": {},", r.truncated);
+    let _ = writeln!(j, "  \"preemptions\": {},", r.preemptions);
+    let _ = writeln!(j, "  \"deadlocks\": {},", r.deadlocks);
+    let _ = writeln!(j, "  \"invariant_violations\": {},", r.invariant_violations);
+    let _ = writeln!(j, "  \"spec_errors\": {},", r.spec_errors);
+    let _ = writeln!(j, "  \"state_hash\": \"{:016x}\",", r.state_hash);
+    let _ = writeln!(j, "  \"certificate\": \"{}\",", r.certificate);
+    match &r.certificate_contradiction {
+        Some(why) => {
+            let _ = writeln!(
+                j,
+                "  \"certificate_contradiction\": \"{}\",",
+                json_escape(why)
+            );
+        }
+        None => {
+            let _ = writeln!(j, "  \"certificate_contradiction\": null,");
+        }
+    }
+    let _ = writeln!(
+        j,
+        "  \"cross_execution\": \"{}\",",
+        json_escape(&r.cross_execution)
+    );
+    j.push_str("  \"violations\": [");
+    for (i, v) in r.violations.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        let _ = write!(
+            j,
+            "{{\"kind\": \"{}\", \"tick\": {}, \"state\": \"{:016x}\", \"trace\": \"{}\", \"why\": \"{}\"}}",
+            v.kind,
+            v.tick,
+            v.state_hash,
+            v.trace,
+            json_escape(&v.detail)
+        );
+    }
+    j.push_str("]\n}\n");
+    j
+}
+
 /// Writes one `Summary` as a nested JSON object (integer fields only).
 /// Always followed by another field (the `failures` array closes the
 /// document), hence the unconditional trailing comma.

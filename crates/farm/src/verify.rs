@@ -61,6 +61,27 @@ pub fn analyze_spec(spec: &ScenarioSpec, opts: &AnalysisOptions) -> AnalysisResu
     analyze(&static_model(spec), opts)
 }
 
+/// Cross-checks an exhaustive exploration against the `rtk-verify`
+/// deadlock certificate of the explored family's kernel-executable
+/// twin. A twin certified deadlock-free whose schedule tree still
+/// contains a reachable deadlock state is a contradiction: the
+/// certificate, the spec, or the explorer's model of the topology is
+/// wrong, and the explore run fails. The reverse (refuted/unknown but
+/// no deadlock found) is conservative analysis, not a contradiction.
+pub fn explore_certificate_contradiction(spec: &ScenarioSpec, deadlocks: u64) -> Option<String> {
+    if deadlocks == 0 {
+        return None;
+    }
+    let analysis = analyze_spec(spec, &AnalysisOptions::default());
+    (analysis.deadlock == Verdict::Certified).then(|| {
+        format!(
+            "rtk-verify certifies the twin (seed {}) deadlock-free, \
+             but exploration reached {deadlocks} deadlock state(s)",
+            spec.seed
+        )
+    })
+}
+
 /// Cross-validates one scenario's static analysis against its dynamic
 /// outcome; returns the combined record.
 pub fn verify_outcome(

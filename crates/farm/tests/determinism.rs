@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use rtk_farm::{
-    run_campaign, run_scenario, run_scenario_observed, CampaignConfig, CampaignReport,
-    ScenarioSpec, Tuning,
+    run_campaign, run_exploration, run_scenario, run_scenario_observed, CampaignConfig,
+    CampaignReport, ExploreConfig, Family, ScenarioSpec, Tuning,
 };
 use sysc::Runtime;
 
@@ -122,6 +122,43 @@ fn campaign_report_is_runtime_invariant() {
     let rc = CampaignReport::new(coro.clone(), run_campaign(&coro));
     assert_eq!(rt.digest(), rc.digest());
     assert_eq!(rt.to_json(), rc.to_json());
+}
+
+/// The `--explore` walk is a pure function of its config: the
+/// canonical state hash and the *entire report* (JSON bytes) must not
+/// depend on the host runtime backing the cross-execution, nor on any
+/// thread-count setting (exploration is single-walker by construction;
+/// this pins that `--threads` can never leak into the report).
+#[test]
+fn explore_report_is_runtime_and_thread_invariant() {
+    for family in [Family::Mtx, Family::Irq, Family::Chain, Family::Deadlock] {
+        let cfg = ExploreConfig {
+            family,
+            ..ExploreConfig::default()
+        };
+        let threaded = run_exploration(&cfg, Runtime::Threaded);
+        let coro = run_exploration(&cfg, Runtime::Coro);
+        assert_eq!(
+            threaded.report.state_hash, coro.report.state_hash,
+            "{family}: canonical state hash must be runtime-invariant"
+        );
+        assert_eq!(
+            threaded.report.to_json(),
+            coro.report.to_json(),
+            "{family}: explore report must be byte-identical across runtimes"
+        );
+        // Counterexample distillation is part of the determinism
+        // contract too: same violations, same events, same order.
+        assert_eq!(
+            threaded.counterexamples.len(),
+            coro.counterexamples.len(),
+            "{family}"
+        );
+        for (a, b) in threaded.counterexamples.iter().zip(&coro.counterexamples) {
+            assert_eq!(a.name, b.name, "{family}");
+            assert_eq!(a.events, b.events, "{family}: {} diverged", a.name);
+        }
+    }
 }
 
 /// Stronger than digest equality: under both runtimes the kernel makes
